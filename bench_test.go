@@ -1,0 +1,453 @@
+package minup
+
+// Benchmarks for the reproduction experiments of DESIGN.md, one family per
+// table/figure claim; `go run ./cmd/benchtab` prints the same measurements
+// as derived tables (with shape metrics like ns/S and search-node counts),
+// and EXPERIMENTS.md records paper-claim versus measured results.
+//
+//	E1 BenchmarkFigure2                 Figure 2 worked example
+//	E2 BenchmarkAcyclicScaling          Theorem 5.2 acyclic O(S·c)
+//	E3 BenchmarkCyclicScaling           Theorem 5.2 cyclic worst case
+//	E4 BenchmarkLatticeOps / Encoding   §5 lattice-operation cost
+//	E5 BenchmarkVsQian                  minimal vs. overclassifying baseline
+//	E6 BenchmarkVsBacktracking          §3.2 rejected alternative
+//	E7 BenchmarkMinPoset                Theorem 6.1 NP-hardness contrast
+//	E8 BenchmarkUpperBounds             §6 preprocessing
+//	   BenchmarkMinlevelFastPath        footnote-4 ablation
+
+import (
+	"fmt"
+	"testing"
+
+	"minup/internal/baseline"
+	"minup/internal/constraint"
+	"minup/internal/core"
+	"minup/internal/lattice"
+	"minup/internal/poset"
+	"minup/internal/workload"
+)
+
+// BenchmarkFigure2 (E1) solves the paper's worked example.
+func BenchmarkFigure2(b *testing.B) {
+	f := constraint.NewFigure2()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := core.MustSolve(f.Set, core.Options{})
+		if !res.Assignment.Equal(f.Want) {
+			b.Fatal("wrong answer")
+		}
+	}
+}
+
+// BenchmarkAcyclicScaling (E2) solves acyclic sets of doubling size; the
+// reported S metric lets ns/S be read off across sub-benchmarks.
+func BenchmarkAcyclicScaling(b *testing.B) {
+	lat := lattice.MustMLS("mls", []string{"U", "C", "S", "TS"},
+		[]string{"a", "b", "c", "d", "e", "f", "g", "h"})
+	for _, n := range []int{1000, 4000, 16000} {
+		s := workload.MustConstraints(lat, workload.ConstraintSpec{
+			Seed: 42, NumAttrs: n, NumConstraints: 3 * n, MaxLHS: 3,
+			LevelRHSFraction: 0.3,
+		})
+		b.Run(fmt.Sprintf("S=%d", s.TotalSize()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.MustSolve(s, core.Options{})
+			}
+			b.ReportMetric(float64(s.TotalSize()), "S")
+		})
+	}
+}
+
+// BenchmarkCyclicScaling (E3) solves the adversarial single-SCC ring whose
+// Try calls traverse the entire component — the quadratic worst case.
+func BenchmarkCyclicScaling(b *testing.B) {
+	lat := lattice.FigureOneB()
+	mid, _ := lat.ParseLevel("L3")
+	for _, n := range []int{64, 256, 1024} {
+		s := constraint.NewSet(lat)
+		attrs := make([]constraint.Attr, n)
+		for i := range attrs {
+			attrs[i] = s.MustAttr(fmt.Sprintf("r%04d", i))
+		}
+		for i := range attrs {
+			s.MustAdd([]constraint.Attr{attrs[i]}, constraint.AttrRHS(attrs[(i+1)%n]))
+		}
+		s.MustAdd([]constraint.Attr{attrs[0]}, constraint.LevelRHS(mid))
+		b.Run(fmt.Sprintf("ring/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var st core.Stats
+			for i := 0; i < b.N; i++ {
+				st = core.MustSolve(s, core.Options{}).Stats
+			}
+			b.ReportMetric(float64(st.TrySteps), "checks")
+		})
+	}
+}
+
+// BenchmarkLatticeOps (E4) measures single lattice operations across the
+// encoded explicit lattice, the naive Hasse-walking wrapper, and the
+// bit-vector MLS lattice.
+func BenchmarkLatticeOps(b *testing.B) {
+	base, err := workload.RandomSublattice(3, 9, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := base.Elements()
+	a1 := elems[len(elems)/3]
+	a2 := elems[2*len(elems)/3]
+	run := func(name string, l lattice.Lattice, x, y lattice.Level) {
+		b.Run(name+"/dominates", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l.Dominates(x, y)
+			}
+		})
+		b.Run(name+"/lub", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l.Lub(x, y)
+			}
+		})
+		b.Run(name+"/glb", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l.Glb(x, y)
+			}
+		})
+	}
+	run("encoded", base, a1, a2)
+	run("naive", lattice.NaiveOps{Explicit: base}, a1, a2)
+	mls := lattice.MustMLS("m", []string{"U", "C", "S", "TS"},
+		[]string{"a", "b", "c", "d", "e", "f", "g", "h"})
+	m1, _ := mls.LevelFromParts(2, 0xa5)
+	m2, _ := mls.LevelFromParts(1, 0x3c)
+	run("mls", mls, m1, m2)
+}
+
+// BenchmarkEncodingEndToEnd (E4) solves the same instance with encoded and
+// naive lattice operations.
+func BenchmarkEncodingEndToEnd(b *testing.B) {
+	base, err := workload.RandomSublattice(3, 8, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := workload.ConstraintSpec{
+		Seed: 5, NumAttrs: 60, NumConstraints: 120, MaxLHS: 3,
+		LevelRHSFraction: 0.3, Cyclic: true,
+	}
+	b.Run("encoded", func(b *testing.B) {
+		s := workload.MustConstraints(base, spec)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.MustSolve(s, core.Options{})
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		s := workload.MustConstraints(lattice.NaiveOps{Explicit: base}, spec)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.MustSolve(s, core.Options{})
+		}
+	})
+}
+
+// BenchmarkVsQian (E5) compares Algorithm 3.1 with the overclassifying
+// polynomial propagation on the same instance.
+func BenchmarkVsQian(b *testing.B) {
+	lat := lattice.MustMLS("mls", []string{"U", "C", "S", "TS"},
+		[]string{"a", "b", "c", "d", "e", "f"})
+	s := workload.MustConstraints(lat, workload.ConstraintSpec{
+		Seed: 11, NumAttrs: 800, NumConstraints: 1600, MaxLHS: 3,
+		LevelRHSFraction: 0.35, Cyclic: true,
+	})
+	b.Run("alg3.1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.MustSolve(s, core.Options{})
+		}
+	})
+	b.Run("qian", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.Qian(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkVsBacktracking (E6) pits Algorithm 3.1 against the §3.2
+// rejected alternative on entangled complex cycles.
+func BenchmarkVsBacktracking(b *testing.B) {
+	lat := lattice.MustChain("mil", "U", "C", "S", "TS")
+	sLvl, _ := lat.ParseLevel("S")
+	build := func(k, w int) *constraint.Set {
+		s := constraint.NewSet(lat)
+		n := k + w
+		attrs := make([]constraint.Attr, n)
+		for i := range attrs {
+			attrs[i] = s.MustAttr(fmt.Sprintf("x%02d", i))
+		}
+		for i := range attrs {
+			s.MustAdd([]constraint.Attr{attrs[i]}, constraint.AttrRHS(attrs[(i+1)%n]))
+		}
+		for i := 0; i < k; i++ {
+			lhs := make([]constraint.Attr, w)
+			for j := 0; j < w; j++ {
+				lhs[j] = attrs[(i+j)%n]
+			}
+			s.MustAdd(lhs, constraint.LevelRHS(sLvl))
+		}
+		return s
+	}
+	for _, k := range []int{4, 8, 10} {
+		s := build(k, 3)
+		b.Run(fmt.Sprintf("alg3.1/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MustSolve(s, core.Options{})
+			}
+		})
+		b.Run(fmt.Sprintf("backtracking/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := baseline.Backtracking(s, 1<<30); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMinPoset (E7) solves Theorem 6.1 reduction instances of growing
+// size; the lattice sub-benchmarks solve same-attribute-count lattice
+// instances for contrast.
+func BenchmarkMinPoset(b *testing.B) {
+	lat := lattice.FigureOneB()
+	for _, n := range []int{6, 10, 14} {
+		inst, err := workload.RandomSAT3(int64(n), n, int(4.3*float64(n)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		clauses := make([]poset.Clause, len(inst.Clauses))
+		for i, c := range inst.Clauses {
+			clauses[i] = poset.Clause{c[0], c[1], c[2]}
+		}
+		red, err := poset.Reduce(n, clauses)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("poset/vars=%d", n), func(b *testing.B) {
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				_, st, err := red.Instance.Solve(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = st.Nodes
+			}
+			b.ReportMetric(float64(nodes), "nodes")
+		})
+		attrs := len(red.Instance.AttrNames)
+		ls := workload.MustConstraints(lat, workload.ConstraintSpec{
+			Seed: int64(n), NumAttrs: attrs, NumConstraints: 2 * attrs,
+			MaxLHS: 3, LevelRHSFraction: 0.3, Cyclic: true,
+		})
+		b.Run(fmt.Sprintf("lattice/attrs=%d", attrs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MustSolve(ls, core.Options{})
+			}
+		})
+	}
+}
+
+// BenchmarkUpperBounds (E8) measures the §6 preprocessing pass and the
+// full bounded solve.
+func BenchmarkUpperBounds(b *testing.B) {
+	lat := lattice.MustMLS("mls", []string{"U", "C", "S", "TS"},
+		[]string{"a", "b", "c", "d", "e", "f"})
+	s := workload.MustConstraints(lat, workload.ConstraintSpec{
+		Seed: 9, NumAttrs: 4000, NumConstraints: 12000, MaxLHS: 3,
+		LevelRHSFraction: 0.35,
+	})
+	sol := core.MustSolve(s, core.Options{}).Assignment
+	for i, a := range s.Attrs() {
+		if i%4 == 0 {
+			s.MustAddUpper(a, sol[a])
+		}
+	}
+	b.Run("preprocess", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DeriveUpperBounds(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("solve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Solve(s, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMinlevelFastPath (ablation) compares the footnote-4 closed form
+// against the generic lattice descent on a compartmented lattice.
+func BenchmarkMinlevelFastPath(b *testing.B) {
+	lat := lattice.MustMLS("mls", []string{"U", "C", "S", "TS"},
+		[]string{"a", "b", "c", "d", "e", "f", "g", "h"})
+	s := workload.MustConstraints(lat, workload.ConstraintSpec{
+		Seed: 3, NumAttrs: 1000, NumConstraints: 2500, MaxLHS: 4,
+		LevelRHSFraction: 0.3, Cyclic: true,
+	})
+	b.Run("footnote4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.MustSolve(s, core.Options{})
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.MustSolve(s, core.Options{DisableMinComplement: true})
+		}
+	})
+}
+
+// BenchmarkSimpleCycleCollapse (ablation) measures the §3.2 simple-cycle
+// optimization on the ring worst case: collapse turns the quadratic
+// forward-lowering into one linear pass.
+func BenchmarkSimpleCycleCollapse(b *testing.B) {
+	lat := lattice.FigureOneB()
+	mid, _ := lat.ParseLevel("L3")
+	for _, n := range []int{256, 1024} {
+		s := constraint.NewSet(lat)
+		attrs := make([]constraint.Attr, n)
+		for i := range attrs {
+			attrs[i] = s.MustAttr(fmt.Sprintf("r%04d", i))
+		}
+		for i := range attrs {
+			s.MustAdd([]constraint.Attr{attrs[i]}, constraint.AttrRHS(attrs[(i+1)%n]))
+		}
+		s.MustAdd([]constraint.Attr{attrs[0]}, constraint.LevelRHS(mid))
+		b.Run(fmt.Sprintf("general/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MustSolve(s, core.Options{})
+			}
+		})
+		b.Run(fmt.Sprintf("collapse/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MustSolve(s, core.Options{CollapseSimpleCycles: true})
+			}
+		})
+	}
+}
+
+// BenchmarkRepair measures incremental repair against a full re-solve in
+// the scenario repair exists for: an instance with an expensive cyclic
+// region that the added constraint does not touch. A policy change local
+// to the acyclic tail must not pay to re-solve the ring. (On dense
+// instances whose dependency closure covers most attributes, repair
+// degrades to roughly a full solve plus a linear scan — see
+// TestRepairRandom for the correctness side.)
+func BenchmarkRepair(b *testing.B) {
+	lat := lattice.FigureOneB()
+	mid, _ := lat.ParseLevel("L3")
+	s := constraint.NewSet(lat)
+	// Expensive region: the E3 worst-case ring.
+	const ringN = 1024
+	ring := make([]constraint.Attr, ringN)
+	for i := range ring {
+		ring[i] = s.MustAttr(fmt.Sprintf("r%04d", i))
+	}
+	for i := range ring {
+		s.MustAdd([]constraint.Attr{ring[i]}, constraint.AttrRHS(ring[(i+1)%ringN]))
+	}
+	s.MustAdd([]constraint.Attr{ring[0]}, constraint.LevelRHS(mid))
+	// Independent acyclic tail of 100 attributes.
+	tail := make([]constraint.Attr, 100)
+	for i := range tail {
+		tail[i] = s.MustAttr(fmt.Sprintf("t%03d", i))
+		if i > 0 {
+			s.MustAdd([]constraint.Attr{tail[i]}, constraint.AttrRHS(tail[i-1]))
+		}
+	}
+	base := core.MustSolve(s, core.Options{}).Assignment
+	n := len(s.Constraints())
+	// The policy change touches only the tail.
+	l4, _ := lat.ParseLevel("L4")
+	s.MustAdd([]constraint.Attr{tail[0]}, constraint.LevelRHS(l4))
+	if _, st, err := core.Repair(s, n, base, core.RepairOptions{}); err != nil ||
+		st.ViolatedConstraints == 0 || st.Recomputed >= ringN {
+		b.Fatalf("bench setup: repair shape wrong (%v, %+v)", err, st)
+	}
+	b.Run("repair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Repair(s, n, base, core.RepairOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-resolve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.MustSolve(s, core.Options{})
+		}
+	})
+}
+
+// BenchmarkLHSWidth sweeps complex-constraint width at fixed S, probing
+// how association arity affects solve cost.
+func BenchmarkLHSWidth(b *testing.B) {
+	lat := lattice.MustMLS("mls", []string{"U", "C", "S", "TS"},
+		[]string{"a", "b", "c", "d", "e", "f"})
+	for _, w := range []int{1, 2, 4, 8} {
+		s := workload.MustConstraints(lat, workload.ConstraintSpec{
+			Seed: 17, NumAttrs: 1000, NumConstraints: 4000 / w, MaxLHS: w,
+			LevelRHSFraction: 0.35, Cyclic: true,
+		})
+		b.Run(fmt.Sprintf("w=%d/S=%d", w, s.TotalSize()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MustSolve(s, core.Options{})
+			}
+		})
+	}
+}
+
+// BenchmarkProbeMinimality measures the polynomial minimality certifier
+// relative to the solve it certifies.
+func BenchmarkProbeMinimality(b *testing.B) {
+	lat := lattice.MustMLS("mls", []string{"U", "S", "TS"}, []string{"a", "b", "c", "d"})
+	s := workload.MustConstraints(lat, workload.ConstraintSpec{
+		Seed: 4, NumAttrs: 500, NumConstraints: 1200, MaxLHS: 3,
+		LevelRHSFraction: 0.3, Cyclic: true,
+	})
+	sol := core.MustSolve(s, core.Options{}).Assignment
+	b.Run("solve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.MustSolve(s, core.Options{})
+		}
+	})
+	b.Run("probe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			minimal, _, err := core.ProbeMinimality(s, sol)
+			if err != nil || !minimal {
+				b.Fatalf("probe: %v %v", minimal, err)
+			}
+		}
+	})
+}
+
+// BenchmarkSolveFacade exercises the public API end to end (parse +
+// solve), the path a downstream user hits.
+func BenchmarkSolveFacade(b *testing.B) {
+	lat := MustChainLattice("mil", "U", "C", "S", "TS")
+	text := `
+salary >= C
+lub(name, salary) >= TS
+bonus >= salary
+S >= rank
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		set := NewConstraintSet(lat)
+		if err := set.ParseString(text); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Solve(set, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command minclass computes a minimal security classification from a
+// lattice file and a constraint file, implementing the paper's Algorithm
+// 3.1 as a command-line tool.
+//
+// Usage:
+//
+//	minclass -lattice lat.txt -constraints cons.txt [-trace] [-check]
+//
+// The lattice file uses the format of internal/lattice.Parse (chain / mls /
+// explicit / semilattice); the constraint file uses the format of
+// ConstraintSet.ParseInto, e.g.
+//
+//	salary >= Confidential
+//	lub(name, salary) >= Secret
+//	bonus >= salary
+//	Secret >= rank        # §6 upper bound
+//
+// With -trace the execution is printed as a Figure 2(b)-style table; with
+// -check the result is re-verified against every constraint before
+// printing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"minup"
+)
+
+func main() {
+	latticePath := flag.String("lattice", "", "path to the lattice description file")
+	consPath := flag.String("constraints", "", "path to the constraint file")
+	trace := flag.Bool("trace", false, "print the execution trace table")
+	check := flag.Bool("check", false, "re-verify the result against all constraints and probe minimality")
+	explain := flag.String("explain", "", "explain why the named attribute has its level")
+	dotPath := flag.String("dot", "", "write the constraint graph in Graphviz DOT format to this file")
+	stats := flag.Bool("stats", false, "print constraint-set shape statistics")
+	flag.Parse()
+	if *latticePath == "" || *consPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	lf, err := os.Open(*latticePath)
+	if err != nil {
+		fatal(err)
+	}
+	lat, err := minup.ParseLattice(lf)
+	lf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	cf, err := os.Open(*consPath)
+	if err != nil {
+		fatal(err)
+	}
+	set := minup.NewConstraintSet(lat)
+	err = set.ParseInto(cf)
+	cf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		fmt.Fprintln(os.Stderr, "minclass:", set.Stats())
+	}
+	if *dotPath != "" {
+		df, err := os.Create(*dotPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := set.WriteDOT(df); err != nil {
+			fatal(err)
+		}
+		if err := df.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	res, err := minup.Solve(set, minup.Options{RecordTrace: *trace})
+	if err != nil {
+		fatal(err)
+	}
+	if *trace {
+		fmt.Println(res.Trace.Table())
+	}
+	fmt.Println(set.FormatAssignment(res.Assignment))
+	if *check {
+		if v := set.Violations(res.Assignment); v != nil {
+			fatal(fmt.Errorf("result violates constraints: %v", v))
+		}
+		minimal, w, err := minup.ProbeMinimality(set, res.Assignment)
+		if err != nil {
+			fatal(err)
+		}
+		if !minimal {
+			fatal(fmt.Errorf("result not minimal: %s lowerable to %s",
+				set.AttrName(w.Attr), lat.FormatLevel(w.To)))
+		}
+		fmt.Fprintf(os.Stderr, "minclass: verified %d constraints, %d upper bounds, and minimality\n",
+			len(set.Constraints()), len(set.UpperBounds()))
+	}
+	if *explain != "" {
+		attr, ok := set.AttrByName(*explain)
+		if !ok {
+			fatal(fmt.Errorf("unknown attribute %q", *explain))
+		}
+		ex, err := minup.Explain(set, res.Assignment, attr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(minup.FormatExplanation(set, ex))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minclass:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,195 @@
+package minup_test
+
+// Runnable godoc examples for the public API beyond the basic Solve: each
+// doubles as a test via its Output comment.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"minup"
+)
+
+func ExampleSolve_trace() {
+	lat := minup.Figure1B()
+	set := minup.NewConstraintSet(lat)
+	if err := set.ParseString("a >= L3\nlub(a, b) >= L6\n"); err != nil {
+		panic(err)
+	}
+	res, err := minup.Solve(set, minup.Options{RecordTrace: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(set.FormatAssignment(res.Assignment))
+	fmt.Println(len(res.Trace.Steps) > 0)
+	// Output:
+	// a=L3 b=L6
+	// true
+}
+
+func ExampleProbeMinimality() {
+	lat := minup.MustChainLattice("mil", "U", "C", "S", "TS")
+	set := minup.NewConstraintSet(lat)
+	if err := set.ParseString("salary >= C\n"); err != nil {
+		panic(err)
+	}
+	ts, _ := lat.ParseLevel("TS")
+	over := minup.Assignment{ts} // wildly overclassified but satisfying
+	minimal, witness, err := minup.ProbeMinimality(set, over)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(minimal)
+	fmt.Println(set.FormatAssignment(witness.Assignment))
+	// Output:
+	// false
+	// salary=S
+}
+
+func ExampleExplain() {
+	lat := minup.MustChainLattice("mil", "U", "C", "S", "TS")
+	set := minup.NewConstraintSet(lat)
+	if err := set.ParseString("bonus >= salary\nsalary >= S\n"); err != nil {
+		panic(err)
+	}
+	res, err := minup.Solve(set, minup.Options{})
+	if err != nil {
+		panic(err)
+	}
+	bonus, _ := set.AttrByName("bonus")
+	ex, err := minup.Explain(set, res.Assignment, bonus)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(minup.FormatExplanation(set, ex))
+	// Output:
+	// bonus = S
+	//   cannot lower to C: would violate salary >= S
+}
+
+func ExampleRepair() {
+	lat := minup.MustChainLattice("mil", "U", "C", "S", "TS")
+	set := minup.NewConstraintSet(lat)
+	if err := set.ParseString("a >= C\nb >= a\n"); err != nil {
+		panic(err)
+	}
+	res, err := minup.Solve(set, minup.Options{})
+	if err != nil {
+		panic(err)
+	}
+	n := len(set.Constraints())
+	// Policy evolves: a must now be Secret.
+	if err := set.ParseString("a >= S\n"); err != nil {
+		panic(err)
+	}
+	repaired, stats, err := minup.Repair(set, n, res.Assignment, minup.RepairOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(set.FormatAssignment(repaired))
+	fmt.Println("recomputed:", stats.Recomputed)
+	diff, err := set.DiffAssignments(res.Assignment, repaired)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(set.FormatDiff(diff))
+	// Output:
+	// a=S b=S
+	// recomputed: 2
+	// a: C raised to S
+	// b: C raised to S
+}
+
+func ExampleSchema() {
+	lat := minup.MustChainLattice("corp", "Public", "Secret")
+	schema := minup.NewSchema(lat)
+	schema.MustAddRelation("emp", []string{"id", "name", "salary"}, []string{"id"})
+	if err := schema.AddFD("emp", []string{"name"}, []string{"salary"}); err != nil {
+		panic(err)
+	}
+	secret, _ := lat.ParseLevel("Secret")
+	set, err := schema.Constraints(
+		[]minup.Requirement{{Rel: "emp", Attr: "salary", Level: secret}}, nil)
+	if err != nil {
+		panic(err)
+	}
+	res, err := minup.Solve(set, minup.Options{})
+	if err != nil {
+		panic(err)
+	}
+	lab, err := schema.ApplyAssignment(set, res.Assignment)
+	if err != nil {
+		panic(err)
+	}
+	nameLvl, _ := lab.Level("emp", "name")
+	fmt.Println("emp.name:", lat.FormatLevel(nameLvl)) // raised by the FD
+	fmt.Println("channels open:", len(schema.CheckInferenceClosed(lab)))
+	// Output:
+	// emp.name: Secret
+	// channels open: 0
+}
+
+func ExampleNewMonitor() {
+	lat := minup.MustChainLattice("mil", "U", "C", "S", "TS")
+	mon := minup.NewMonitor(lat)
+	s, _ := lat.ParseLevel("S")
+	c, _ := lat.ParseLevel("C")
+	u, _ := lat.ParseLevel("U")
+
+	alice, err := mon.NewSubject("alice", s)
+	if err != nil {
+		panic(err)
+	}
+	sess, err := mon.Login(alice, c) // run below clearance
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("read U memo:", mon.CheckRead(sess, "memo", u).Allowed)
+	fmt.Println("read S plan:", mon.CheckRead(sess, "plan", s).Allowed)
+	fmt.Println("write S report:", mon.CheckWrite(sess, "report", s).Allowed)
+	fmt.Println("write U wiki:", mon.CheckWrite(sess, "wiki", u).Allowed)
+	fmt.Println("denials:", len(mon.Denials()))
+	// Output:
+	// read U memo: true
+	// read S plan: false
+	// write S report: true
+	// write U wiki: false
+	// denials: 2
+}
+
+// TestConcurrentSolves checks that a fully built ConstraintSet is safe to
+// solve from many goroutines at once (each Solve owns its state; the set
+// and lattice are read-only). Run with -race to make this meaningful.
+func TestConcurrentSolves(t *testing.T) {
+	lat := minup.Figure1B()
+	set := minup.NewConstraintSet(lat)
+	if err := set.ParseString(`
+a >= L3
+lub(a, b) >= L6
+c >= a
+b >= c
+`); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := minup.Solve(set, minup.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := minup.Solve(set, minup.Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !res.Assignment.Equal(ref.Assignment) {
+				t.Error("concurrent solve diverged")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,109 @@
+// Command filesystem applies the classification machinery outside
+// databases, as §1 of the paper suggests ("file systems, object-oriented
+// databases, or component-based system designs"): a file tree where
+//
+//   - a directory must be classified no higher than any of its entries
+//     (otherwise a user could see a file but not the path to it), which is
+//     the constraint λ(child) ≽ λ(parent);
+//   - build artifacts inherit the classification of their sources
+//     (inference: the binary reveals the code), λ(artifact) ≽ λ(source);
+//   - certain file *combinations* are more sensitive than the files
+//     themselves (association), e.g. a key file together with the vault it
+//     opens.
+//
+// The minimal labeling gives every path the lowest classification
+// consistent with all of that, and Explain shows which rule pins any
+// given file.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"minup"
+)
+
+func main() {
+	lat := minup.MustChainLattice("corp", "Public", "Internal", "Secret", "TopSecret")
+
+	set := minup.NewConstraintSet(lat)
+	files := map[string][]string{
+		"/":               {"/src", "/build", "/ops"},
+		"/src":            {"/src/app.go", "/src/crypto.go"},
+		"/build":          {"/build/app.bin"},
+		"/ops":            {"/ops/vault.db", "/ops/vault.key", "/ops/runbook.md"},
+		"/src/app.go":     nil,
+		"/src/crypto.go":  nil,
+		"/build/app.bin":  nil,
+		"/ops/vault.db":   nil,
+		"/ops/vault.key":  nil,
+		"/ops/runbook.md": nil,
+	}
+	attrOf := map[string]minup.Attr{}
+	var paths []string
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		attrOf[p] = set.MustAttr(pathAttr(p))
+	}
+
+	// Path visibility: every entry dominates its directory.
+	for dir, entries := range files {
+		for _, e := range entries {
+			if err := set.Add([]minup.Attr{attrOf[e]}, minup.AttrRHS(attrOf[dir])); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	// Content requirements and inference/association rules.
+	if err := set.ParseString(`
+` + pathAttr("/src/crypto.go") + ` >= Secret
+` + pathAttr("/ops/vault.db") + ` >= Secret
+# The binary is built from the sources: it reveals them.
+` + pathAttr("/build/app.bin") + ` >= ` + pathAttr("/src/app.go") + `
+` + pathAttr("/build/app.bin") + ` >= ` + pathAttr("/src/crypto.go") + `
+# Key + vault together unlock everything.
+lub(` + pathAttr("/ops/vault.key") + `, ` + pathAttr("/ops/vault.db") + `) >= TopSecret
+# The runbook must stay readable by everyone on call.
+Internal >= ` + pathAttr("/ops/runbook.md") + `
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := minup.Solve(set, minup.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("minimal file labeling:")
+	for _, p := range paths {
+		fmt.Printf("  %-18s %s\n", p, lat.FormatLevel(res.Assignment[attrOf[p]]))
+	}
+
+	minimal, _, err := minup.ProbeMinimality(set, res.Assignment)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprobed minimal: %v\n\n", minimal)
+
+	for _, p := range []string{"/build/app.bin", "/ops/vault.key"} {
+		ex, err := minup.Explain(set, res.Assignment, attrOf[p])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(minup.FormatExplanation(set, ex))
+	}
+}
+
+// pathAttr converts a path into an identifier the constraint grammar
+// accepts (no slashes or dots).
+func pathAttr(p string) string {
+	if p == "/" {
+		return "root"
+	}
+	r := strings.NewReplacer("/", "_", ".", "-")
+	return strings.TrimPrefix(r.Replace(p), "_")
+}

@@ -1,0 +1,110 @@
+// Command hospital demonstrates closing database inference channels with a
+// minimal labeling (experiment E10's scenario): a hospital schema whose
+// functional dependencies would let low-cleared staff infer confidential
+// diagnoses, the classification constraints the schema generates, the
+// minimal classification Algorithm 3.1 computes, and read-down query
+// filtering over the labeled store showing the channel closed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"minup"
+)
+
+func main() {
+	lat := minup.MustChainLattice("hospital", "Public", "Staff", "Confidential", "Restricted")
+	lv := func(name string) minup.Level {
+		l, err := lat.ParseLevel(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return l
+	}
+
+	// Schema: patients and their doctors. The functional dependencies are
+	// the inference channels: treatment → diagnosis (the treatment
+	// protocol reveals the condition) and (ward, doctor) → diagnosis (in a
+	// small hospital, placement plus specialist identifies the illness).
+	schema := minup.NewSchema(lat)
+	schema.MustAddRelation("patient",
+		[]string{"patient_id", "name", "ward", "doctor", "treatment", "diagnosis"},
+		[]string{"patient_id"})
+	schema.MustAddRelation("doctor",
+		[]string{"doctor_id", "name", "specialty"},
+		[]string{"doctor_id"})
+	must(schema.AddForeignKey("patient", []string{"doctor"}, "doctor"))
+	must(schema.AddFD("patient", []string{"treatment"}, []string{"diagnosis"}))
+	must(schema.AddFD("patient", []string{"ward", "doctor"}, []string{"diagnosis"}))
+
+	reqs := []minup.Requirement{
+		{Rel: "patient", Attr: "diagnosis", Level: lv("Confidential")},
+		{Rel: "patient", Attr: "name", Level: lv("Staff")},
+	}
+	assocs := []minup.Association{
+		// A name–diagnosis pair is more sensitive than either field alone.
+		{Rel: "patient", Attrs: []string{"name", "diagnosis"}, Level: lv("Restricted")},
+	}
+
+	set, err := schema.Constraints(reqs, assocs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schema generated %d classification constraints:\n", len(set.Constraints()))
+	for _, c := range set.Constraints() {
+		fmt.Println("  ", set.Format(c))
+	}
+
+	res, err := minup.Solve(set, minup.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lab, err := schema.ApplyAssignment(set, res.Assignment)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nminimal labeling:")
+	for _, rel := range schema.Relations() {
+		attrs := append([]string(nil), rel.Attrs...)
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			l, _ := lab.Level(rel.Name, a)
+			fmt.Printf("  %-22s %s\n", rel.Name+"."+a, lat.FormatLevel(l))
+		}
+	}
+
+	if open := schema.CheckInferenceClosed(lab); open != nil {
+		log.Fatalf("inference channels remain open: %v", open)
+	}
+	fmt.Println("\nall FD inference channels closed.")
+
+	// Populate the labeled store and show read-down filtering.
+	store := minup.NewStore(schema, lab)
+	must(store.Insert("doctor", lv("Staff"), map[string]string{
+		"doctor_id": "d1", "name": "Dr. Wu", "specialty": "oncology",
+	}))
+	must(store.Insert("patient", lv("Restricted"), map[string]string{
+		"patient_id": "p1", "name": "Ada Lovelace", "ward": "W3",
+		"doctor": "d1", "treatment": "chemo", "diagnosis": "leukemia",
+	}))
+
+	for _, subject := range []string{"Staff", "Restricted"} {
+		rows, err := store.Select("patient", lv(subject), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nSELECT * FROM patient AS %s subject → %d row(s)\n", subject, len(rows))
+		for _, row := range rows {
+			fmt.Printf("  %v\n", row)
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

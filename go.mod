@@ -1,0 +1,3 @@
+module minup
+
+go 1.23

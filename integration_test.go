@@ -1,0 +1,175 @@
+package minup_test
+
+// End-to-end integration tests: build and run every command and example
+// binary and check their observable output. These exercise the same
+// binaries a user runs, flag parsing included. They shell out to the Go
+// tool, so they are skipped in -short mode.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runMain runs `go run ./<pkg> args...` with optional input files and
+// returns combined output.
+func runMain(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./" + pkg}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./%s %v: %v\n%s", pkg, args, err, out)
+	}
+	return string(out)
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("integration test; skipped in -short mode")
+	}
+}
+
+func TestIntegrationFigure2(t *testing.T) {
+	skipIfShort(t)
+	out := runMain(t, "cmd/figure2")
+	if !strings.Contains(out, "reproduction matches the paper exactly") {
+		t.Fatalf("figure2 output:\n%s", out)
+	}
+}
+
+func TestIntegrationMinclass(t *testing.T) {
+	skipIfShort(t)
+	lat := writeTemp(t, "mil.lat", "chain mil\nlevels U C S TS\n")
+	cons := writeTemp(t, "payroll.cons", `
+salary >= C
+lub(name, salary) >= TS
+bonus >= salary
+S >= rank
+`)
+	dot := filepath.Join(t.TempDir(), "graph.dot")
+	out := runMain(t, "cmd/minclass",
+		"-lattice", lat, "-constraints", cons,
+		"-trace", "-check", "-explain", "name", "-dot", dot)
+	for _, want := range []string{
+		"bonus=C name=TS rank=U salary=C",
+		"verified",
+		"name = TS",
+		"cannot lower",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("minclass output missing %q:\n%s", want, out)
+		}
+	}
+	dotBytes, err := os.ReadFile(dot)
+	if err != nil || !strings.Contains(string(dotBytes), "digraph constraints") {
+		t.Errorf("dot export: %v", err)
+	}
+}
+
+func TestIntegrationLabelschema(t *testing.T) {
+	skipIfShort(t)
+	lat := writeTemp(t, "h.lat", "chain hosp\nlevels Public Staff Confidential Restricted\n")
+	schema := writeTemp(t, "h.schema", `
+relation patient(patient_id, name, treatment, diagnosis) key(patient_id)
+fd patient: treatment -> diagnosis
+require patient.diagnosis >= Confidential
+assoc patient(name, diagnosis) >= Restricted
+`)
+	out := runMain(t, "cmd/labelschema", "-lattice", lat, "-schema", schema, "-constraints")
+	for _, want := range []string{
+		"generated",
+		"patient.diagnosis",
+		"inference channels are closed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("labelschema output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIntegrationMinposet(t *testing.T) {
+	skipIfShort(t)
+	sat := writeTemp(t, "sat.cnf", "p cnf 3 2\n1 2 0\n2 -3 0\n")
+	out := runMain(t, "cmd/minposet", "-cnf", sat, "-stats")
+	if !strings.Contains(out, "SATISFIABLE (confirmed by DPLL)") {
+		t.Fatalf("minposet output:\n%s", out)
+	}
+	unsat := writeTemp(t, "unsat.cnf", "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n")
+	out = runMain(t, "cmd/minposet", "-cnf", unsat)
+	if !strings.Contains(out, "UNSATISFIABLE (confirmed by DPLL)") {
+		t.Fatalf("minposet unsat output:\n%s", out)
+	}
+}
+
+func TestIntegrationLatticetool(t *testing.T) {
+	skipIfShort(t)
+	lat := writeTemp(t, "f.lat", `
+explicit fig1b
+elements 1 L1 L2 L3 L4 L5 L6
+cover L6 L5 L4
+cover L5 L3
+cover L4 L2 L3
+cover L3 L1
+cover L2 L1
+cover L1 1
+`)
+	out := runMain(t, "cmd/latticetool", "-lattice", lat, "info")
+	for _, want := range []string{"height:  4", "size:    7", "top:     L6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("latticetool info missing %q:\n%s", want, out)
+		}
+	}
+	out = runMain(t, "cmd/latticetool", "-lattice", lat, "check")
+	if !strings.Contains(out, "ok: 7 elements") {
+		t.Errorf("latticetool check:\n%s", out)
+	}
+	out = runMain(t, "cmd/latticetool", "-lattice", lat, "dot")
+	if !strings.Contains(out, `"L6" -> "L5"`) {
+		t.Errorf("latticetool dot:\n%s", out)
+	}
+}
+
+func TestIntegrationExamples(t *testing.T) {
+	skipIfShort(t)
+	for _, tc := range []struct {
+		pkg  string
+		want []string
+	}{
+		{"examples/quickstart", []string{"minimal classification:", "all 4 constraints satisfied"}},
+		{"examples/hospital", []string{"all FD inference channels closed", "Restricted subject"}},
+		{"examples/military", []string{"footnote-4 fast path agrees", "correctly rejected"}},
+		{"examples/satreduction", []string{"DPLL oracle agrees", "reduced and refuted"}},
+		{"examples/filesystem", []string{"probed minimal: true", "TopSecret"}},
+	} {
+		t.Run(tc.pkg, func(t *testing.T) {
+			out := runMain(t, tc.pkg)
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output missing %q:\n%s", tc.pkg, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestIntegrationBenchtabFast(t *testing.T) {
+	skipIfShort(t)
+	out := runMain(t, "cmd/benchtab", "-exp", "E1,E9")
+	for _, want := range []string{"E1 — Figure 2 worked example", "E9 — semi-lattice handling"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("benchtab output missing %q", want)
+		}
+	}
+}

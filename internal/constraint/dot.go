@@ -1,0 +1,70 @@
+package constraint
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the constraint graph in Graphviz DOT format following
+// the paper's Figure 2(a) conventions: attributes as circles, level
+// constants as boxes, and complex constraints as dashed hypernode
+// clusters with a single outgoing edge. The output is deterministic.
+func (s *Set) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph constraints {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [fontname=\"Helvetica\"];\n")
+
+	for _, a := range s.Attrs() {
+		fmt.Fprintf(&b, "  %q [shape=circle];\n", s.AttrName(a))
+	}
+	// Level constants referenced by constraints, deduplicated.
+	levelNode := func(l string) string { return "level: " + l }
+	seenLevels := map[string]bool{}
+	for _, c := range s.cons {
+		if c.RHS.IsLevel {
+			name := s.lat.FormatLevel(c.RHS.Level)
+			if !seenLevels[name] {
+				seenLevels[name] = true
+				fmt.Fprintf(&b, "  %q [shape=box, label=%q];\n", levelNode(name), name)
+			}
+		}
+	}
+	for _, u := range s.upper {
+		name := s.lat.FormatLevel(u.Level)
+		if !seenLevels[name] {
+			seenLevels[name] = true
+			fmt.Fprintf(&b, "  %q [shape=box, label=%q];\n", levelNode(name), name)
+		}
+	}
+
+	rhsName := func(r RHS) string {
+		if r.IsLevel {
+			return levelNode(s.lat.FormatLevel(r.Level))
+		}
+		return s.AttrName(r.Attr)
+	}
+	for i, c := range s.cons {
+		if c.Simple() {
+			fmt.Fprintf(&b, "  %q -> %q;\n", s.AttrName(c.LHS[0]), rhsName(c.RHS))
+			continue
+		}
+		// Hypernode: a dashed cluster anchored by a point node.
+		anchor := fmt.Sprintf("hyper%d", i)
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    style=dashed;\n", i)
+		fmt.Fprintf(&b, "    %q [shape=point, label=\"\"];\n", anchor)
+		b.WriteString("  }\n")
+		for _, a := range c.LHS {
+			fmt.Fprintf(&b, "  %q -> %q [style=dashed, arrowhead=none];\n", s.AttrName(a), anchor)
+		}
+		fmt.Fprintf(&b, "  %q -> %q;\n", anchor, rhsName(c.RHS))
+	}
+	for _, u := range s.upper {
+		fmt.Fprintf(&b, "  %q -> %q [style=dotted, label=\"cap\"];\n",
+			levelNode(s.lat.FormatLevel(u.Level)), s.AttrName(u.Attr))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

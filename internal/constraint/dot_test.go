@@ -1,0 +1,58 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	f := NewFigure2()
+	var sb strings.Builder
+	if err := f.Set.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph constraints",
+		`"P" [shape=circle]`,
+		`"level: L5" [shape=box`,
+		`"B" -> "M"`, // simple constraint edge
+		"cluster_",   // a hypernode for a complex constraint
+		`"E" -> `,    // E participates in the {E,F} hypernode
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Every attribute appears.
+	for _, a := range f.Set.Attrs() {
+		if !strings.Contains(out, `"`+f.Set.AttrName(a)+`"`) {
+			t.Errorf("attribute %s missing from DOT", f.Set.AttrName(a))
+		}
+	}
+	// Hypernode count matches the complex constraints.
+	complexCount := 0
+	for _, c := range f.Set.Constraints() {
+		if !c.Simple() {
+			complexCount++
+		}
+	}
+	if got := strings.Count(out, "subgraph cluster_"); got != complexCount {
+		t.Errorf("hypernodes = %d, want %d", got, complexCount)
+	}
+}
+
+func TestWriteDOTUpperBounds(t *testing.T) {
+	lat := chain4(t)
+	s := NewSet(lat)
+	a := s.MustAttr("a")
+	top := lat.Top()
+	s.MustAddUpper(a, top)
+	var sb strings.Builder
+	if err := s.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `label="cap"`) {
+		t.Error("upper-bound edge missing")
+	}
+}

@@ -1,0 +1,56 @@
+package constraint
+
+import (
+	"testing"
+
+	"minup/internal/lattice"
+)
+
+// FuzzParseString checks the constraint parser never panics and that any
+// accepted input produces a structurally valid set (non-empty lhs, rhs
+// levels inside the lattice, rhs attribute not on the lhs). Run the seeds
+// under plain `go test`; run `go test -fuzz=FuzzParseString` to explore.
+func FuzzParseString(f *testing.F) {
+	for _, seed := range []string{
+		"a >= S",
+		"lub(a, b) >= TS",
+		"a >= b\nb >= C",
+		"S >= a",
+		"attrs x y\nx >= y",
+		"# comment\n\nlub(p,q,r) >= s",
+		"lub( >= S",
+		"a >= >=",
+		"lub(a,b) >= lub(c,d)",
+		">= \x00\x01",
+		"a\t>=\tS",
+	} {
+		f.Add(seed)
+	}
+	lat := lattice.MustChain("mil", "U", "C", "S", "TS")
+	f.Fuzz(func(t *testing.T, input string) {
+		s := NewSet(lat)
+		if err := s.ParseString(input); err != nil {
+			return
+		}
+		for _, c := range s.Constraints() {
+			if len(c.LHS) == 0 {
+				t.Fatalf("accepted constraint with empty lhs from %q", input)
+			}
+			if c.RHS.IsLevel && !lat.Contains(c.RHS.Level) {
+				t.Fatalf("accepted foreign level from %q", input)
+			}
+			if !c.RHS.IsLevel {
+				for _, a := range c.LHS {
+					if a == c.RHS.Attr {
+						t.Fatalf("accepted trivial constraint from %q", input)
+					}
+				}
+			}
+		}
+		for _, u := range s.UpperBounds() {
+			if !lat.Contains(u.Level) || int(u.Attr) >= s.NumAttrs() {
+				t.Fatalf("accepted invalid upper bound from %q", input)
+			}
+		}
+	})
+}

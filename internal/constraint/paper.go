@@ -1,0 +1,80 @@
+package constraint
+
+import (
+	"minup/internal/lattice"
+)
+
+// Figure2 bundles the paper's worked example: the constraint set of Figure
+// 2(a) over the lattice of Figure 1(b), together with the final minimal
+// classification reported in Figure 2(b).
+type Figure2 struct {
+	Lattice *lattice.Explicit
+	Set     *Set
+	// Attr ids for the eleven attributes, in the paper's processing order.
+	P, B, C, E, F, G, M, I, O, N, D Attr
+	// Want is the final classification of Figure 2(b)'s bottom row.
+	Want Assignment
+}
+
+// NewFigure2 constructs the worked example. The constraint list combines
+// the cyclic constraints spelled out in §2 — ({E,F},M), (M,G), ({D,G},C),
+// (C,E), (C,F), ({F,I},B), (B,M), and the simple cycle (I,O), (O,N),
+// (N,I) — with the acyclic constant constraints that the Figure 2(b) trace
+// implies: (P,L1), (B,L5), (C,L4), (E,L1), (F,L2), (G,L1), (M,L3).
+func NewFigure2() *Figure2 {
+	lat := lattice.FigureOneB()
+	s := NewSet(lat)
+	f := &Figure2{Lattice: lat, Set: s}
+	// Declare attributes in the paper's processing order so that priority
+	// sets iterate B,C,E,F,G,M and I,O,N exactly as in Figure 2(b).
+	f.P = s.MustAttr("P")
+	f.B = s.MustAttr("B")
+	f.C = s.MustAttr("C")
+	f.E = s.MustAttr("E")
+	f.F = s.MustAttr("F")
+	f.G = s.MustAttr("G")
+	f.M = s.MustAttr("M")
+	f.I = s.MustAttr("I")
+	f.O = s.MustAttr("O")
+	f.N = s.MustAttr("N")
+	f.D = s.MustAttr("D")
+
+	lv := func(name string) lattice.Level {
+		l, err := lat.ParseLevel(name)
+		if err != nil {
+			panic(err)
+		}
+		return l
+	}
+
+	// Cyclic constraints (§2's running enumeration).
+	s.MustAdd([]Attr{f.E, f.F}, AttrRHS(f.M))
+	s.MustAdd([]Attr{f.M}, AttrRHS(f.G))
+	s.MustAdd([]Attr{f.D, f.G}, AttrRHS(f.C))
+	s.MustAdd([]Attr{f.C}, AttrRHS(f.E))
+	s.MustAdd([]Attr{f.C}, AttrRHS(f.F))
+	s.MustAdd([]Attr{f.F, f.I}, AttrRHS(f.B))
+	s.MustAdd([]Attr{f.B}, AttrRHS(f.M))
+	// Simple cycle.
+	s.MustAdd([]Attr{f.I}, AttrRHS(f.O))
+	s.MustAdd([]Attr{f.O}, AttrRHS(f.N))
+	s.MustAdd([]Attr{f.N}, AttrRHS(f.I))
+	// Acyclic constant constraints implied by the trace.
+	s.MustAdd([]Attr{f.P}, LevelRHS(lv("L1")))
+	s.MustAdd([]Attr{f.B}, LevelRHS(lv("L5")))
+	s.MustAdd([]Attr{f.C}, LevelRHS(lv("L4")))
+	s.MustAdd([]Attr{f.E}, LevelRHS(lv("L1")))
+	s.MustAdd([]Attr{f.F}, LevelRHS(lv("L2")))
+	s.MustAdd([]Attr{f.G}, LevelRHS(lv("L1")))
+	s.MustAdd([]Attr{f.M}, LevelRHS(lv("L3")))
+
+	// Final classification from the bottom row of Figure 2(b).
+	f.Want = make(Assignment, s.NumAttrs())
+	for a, name := range map[Attr]string{
+		f.P: "L1", f.B: "L5", f.C: "L4", f.E: "L1", f.F: "L4",
+		f.G: "L1", f.M: "L3", f.I: "L5", f.O: "L5", f.N: "L5", f.D: "L4",
+	} {
+		f.Want[a] = lv(name)
+	}
+	return f
+}

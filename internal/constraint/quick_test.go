@@ -1,0 +1,158 @@
+package constraint
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"minup/internal/lattice"
+)
+
+// TestParseNeverPanics feeds random byte soup and random mutations of
+// valid constraint text to the parser: it must return an error or succeed,
+// never panic.
+func TestParseNeverPanics(t *testing.T) {
+	lat := lattice.MustChain("mil", "U", "C", "S", "TS")
+	alphabet := []rune("abxyz >=lub(),#\n\tUSC")
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < 3+rng.Intn(200); i++ {
+			b.WriteRune(alphabet[rng.Intn(len(alphabet))])
+		}
+		s := NewSet(lat)
+		_ = s.ParseString(b.String()) // error or nil, both fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFormatParseRoundTrip property-tests that Format output re-parses to
+// an equivalent constraint on randomly generated sets.
+func TestFormatParseRoundTrip(t *testing.T) {
+	lats := []lattice.Lattice{
+		lattice.MustChain("mil", "U", "C", "S", "TS"),
+		lattice.FigureOneA(),
+		lattice.MustPowerset("p", "x", "y", "z"),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lat := lats[rng.Intn(len(lats))]
+		s := NewSet(lat)
+		attrs := make([]Attr, 5)
+		for i := range attrs {
+			attrs[i] = s.MustAttr(string(rune('p' + i)))
+		}
+		for i := 0; i < 6; i++ {
+			width := 1 + rng.Intn(3)
+			perm := rng.Perm(len(attrs))
+			lhs := make([]Attr, width)
+			for j := range lhs {
+				lhs[j] = attrs[perm[j]]
+			}
+			var rhs RHS
+			if rng.Intn(2) == 0 {
+				rhs = AttrRHS(attrs[perm[width]])
+			} else {
+				if en, ok := lat.(lattice.Enumerable); ok {
+					el := en.Elements()
+					rhs = LevelRHS(el[rng.Intn(len(el))])
+				} else {
+					rhs = LevelRHS(lat.Top())
+				}
+			}
+			if err := s.Add(lhs, rhs); err != nil {
+				return false
+			}
+		}
+		// Round-trip every constraint through its textual form.
+		s2 := NewSet(lat)
+		for i := range attrs {
+			s2.MustAttr(string(rune('p' + i)))
+		}
+		for _, c := range s.Constraints() {
+			if err := s2.ParseString(s.Format(c)); err != nil {
+				t.Logf("seed %d: reparse of %q failed: %v", seed, s.Format(c), err)
+				return false
+			}
+		}
+		if len(s2.Constraints()) != len(s.Constraints()) {
+			return false
+		}
+		for i, c := range s.Constraints() {
+			if s.Format(c) != s2.Format(s2.Constraints()[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSatisfiesMonotone property-tests a core invariant of Definition
+// 2.1 constraints: raising any attribute of a satisfying assignment that
+// appears only on left-hand sides keeps it satisfying, and the all-top
+// assignment always satisfies (the consistency argument of §3).
+func TestSatisfiesMonotone(t *testing.T) {
+	lat := lattice.FigureOneB()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSet(lat)
+		attrs := make([]Attr, 6)
+		for i := range attrs {
+			attrs[i] = s.MustAttr(string(rune('p' + i)))
+		}
+		elems := lat.Elements()
+		for i := 0; i < 8; i++ {
+			width := 1 + rng.Intn(3)
+			perm := rng.Perm(len(attrs))
+			lhs := make([]Attr, width)
+			for j := range lhs {
+				lhs[j] = attrs[perm[j]]
+			}
+			s.MustAdd(lhs, LevelRHS(elems[rng.Intn(len(elems))]))
+		}
+		// All-top satisfies.
+		top := make(Assignment, len(attrs))
+		for i := range top {
+			top[i] = lat.Top()
+		}
+		if !s.Satisfies(top) {
+			return false
+		}
+		// Find any satisfying assignment by random sampling, then raise a
+		// random attribute: still satisfying (all rhs are constants here).
+		m := make(Assignment, len(attrs))
+		for tries := 0; tries < 50; tries++ {
+			for i := range m {
+				m[i] = elems[rng.Intn(len(elems))]
+			}
+			if s.Satisfies(m) {
+				a := rng.Intn(len(m))
+				up := lat.CoveredBy(m[a])
+				if len(up) > 0 {
+					m[a] = up[rng.Intn(len(up))]
+					if !s.Satisfies(m) {
+						return false
+					}
+				}
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package constraint
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"minup/internal/lattice"
+)
+
+// WriteTo serializes the constraint set in the textual format ParseInto
+// accepts: an attrs declaration (preserving ids for attributes no
+// constraint mentions), every lower-bound constraint, and every upper
+// bound. A set round-trips through WriteTo/ParseInto into an equivalent
+// set with identical attribute ids.
+func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	if len(s.names) > 0 {
+		b.WriteString("attrs")
+		for _, n := range s.names {
+			b.WriteString(" ")
+			b.WriteString(n)
+		}
+		b.WriteString("\n")
+	}
+	for _, c := range s.cons {
+		b.WriteString(s.Format(c))
+		b.WriteString("\n")
+	}
+	for _, u := range s.upper {
+		fmt.Fprintf(&b, "%s >= %s\n", s.lat.FormatLevel(u.Level), s.AttrName(u.Attr))
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// SetStats summarizes a constraint set's shape in the quantities the
+// paper's complexity analysis uses.
+type SetStats struct {
+	Attrs       int
+	Constraints int
+	Simple      int
+	Complex     int
+	MaxLHS      int
+	TotalSize   int // the paper's S
+	UpperBounds int
+	Acyclic     bool
+	Components  int // strongly connected components of the graph
+	LargestSCC  int
+}
+
+// Stats computes summary statistics for the set.
+func (s *Set) Stats() SetStats {
+	st := SetStats{
+		Attrs:       s.NumAttrs(),
+		Constraints: len(s.cons),
+		TotalSize:   s.TotalSize(),
+		UpperBounds: len(s.upper),
+	}
+	for _, c := range s.cons {
+		if c.Simple() {
+			st.Simple++
+		} else {
+			st.Complex++
+		}
+		if len(c.LHS) > st.MaxLHS {
+			st.MaxLHS = len(c.LHS)
+		}
+	}
+	pr := s.Priorities()
+	st.Components = pr.Max
+	for p := 1; p <= pr.Max; p++ {
+		if len(pr.Sets[p]) > st.LargestSCC {
+			st.LargestSCC = len(pr.Sets[p])
+		}
+	}
+	st.Acyclic = st.LargestSCC <= 1 && s.Acyclic()
+	return st
+}
+
+// String renders the stats on one line.
+func (st SetStats) String() string {
+	shape := "cyclic"
+	if st.Acyclic {
+		shape = "acyclic"
+	}
+	return fmt.Sprintf("%d attrs, %d constraints (%d simple, %d complex, max lhs %d), S=%d, %d upper bounds, %s, %d components (largest %d)",
+		st.Attrs, st.Constraints, st.Simple, st.Complex, st.MaxLHS,
+		st.TotalSize, st.UpperBounds, shape, st.Components, st.LargestSCC)
+}
+
+// DiffEntry records one attribute whose level differs between two
+// assignments.
+type DiffEntry struct {
+	Attr     Attr
+	From, To lattice.Level
+	// Raised is true when To strictly dominates From; lowered moves have
+	// both flags false; incomparable moves set Incomparable.
+	Raised       bool
+	Incomparable bool
+}
+
+// DiffAssignments reports the attributes whose levels changed from one
+// assignment to another (e.g. before and after a policy change repaired
+// with Repair), in attribute order.
+func (s *Set) DiffAssignments(from, to Assignment) ([]DiffEntry, error) {
+	if len(from) != s.NumAttrs() || len(to) != s.NumAttrs() {
+		return nil, fmt.Errorf("constraint: diff needs two full assignments")
+	}
+	var out []DiffEntry
+	for i := range from {
+		if from[i] == to[i] {
+			continue
+		}
+		e := DiffEntry{Attr: Attr(i), From: from[i], To: to[i]}
+		switch {
+		case s.lat.Dominates(to[i], from[i]):
+			e.Raised = true
+		case s.lat.Dominates(from[i], to[i]):
+			// lowered
+		default:
+			e.Incomparable = true
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// FormatDiff renders a diff for humans, one line per change.
+func (s *Set) FormatDiff(diff []DiffEntry) string {
+	if len(diff) == 0 {
+		return "no changes"
+	}
+	var b strings.Builder
+	for i, e := range diff {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		arrow := "lowered to"
+		if e.Raised {
+			arrow = "raised to"
+		} else if e.Incomparable {
+			arrow = "moved (incomparably) to"
+		}
+		fmt.Fprintf(&b, "%s: %s %s %s", s.AttrName(e.Attr),
+			s.lat.FormatLevel(e.From), arrow, s.lat.FormatLevel(e.To))
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"minup/internal/constraint"
+	"minup/internal/lattice"
+	"minup/internal/workload"
+)
+
+// TestCollapseRing checks the §3.2 simple-cycle optimization on the
+// canonical ring: identical result, no Try calls.
+func TestCollapseRing(t *testing.T) {
+	lat := lattice.FigureOneB()
+	mid, _ := lat.ParseLevel("L3")
+	s := constraint.NewSet(lat)
+	const n = 50
+	attrs := make([]constraint.Attr, n)
+	for i := range attrs {
+		attrs[i] = s.MustAttr(fmt.Sprintf("r%03d", i))
+	}
+	for i := range attrs {
+		s.MustAdd([]constraint.Attr{attrs[i]}, constraint.AttrRHS(attrs[(i+1)%n]))
+	}
+	s.MustAdd([]constraint.Attr{attrs[0]}, constraint.LevelRHS(mid))
+
+	plain := MustSolve(s, Options{})
+	fast := MustSolve(s, Options{CollapseSimpleCycles: true})
+	if !plain.Assignment.Equal(fast.Assignment) {
+		t.Fatalf("collapse changed the result:\nplain %s\nfast  %s",
+			s.FormatAssignment(plain.Assignment), s.FormatAssignment(fast.Assignment))
+	}
+	if fast.Stats.TryCalls != 0 {
+		t.Errorf("collapse still made %d Try calls", fast.Stats.TryCalls)
+	}
+	if plain.Stats.TryCalls == 0 {
+		t.Errorf("plain path made no Try calls; ring not exercising the cycle machinery")
+	}
+	for _, a := range attrs {
+		if fast.Assignment[a] != mid {
+			t.Fatalf("collapsed ring level = %s", lat.FormatLevel(fast.Assignment[a]))
+		}
+	}
+}
+
+// TestCollapseIneligible checks that components touching complex
+// constraints are left to the general machinery (Figure 2's big SCC).
+func TestCollapseIneligible(t *testing.T) {
+	f := constraint.NewFigure2()
+	plain := MustSolve(f.Set, Options{})
+	fast := MustSolve(f.Set, Options{CollapseSimpleCycles: true})
+	if !plain.Assignment.Equal(fast.Assignment) {
+		t.Fatal("collapse changed Figure 2's result")
+	}
+	if !fast.Assignment.Equal(f.Want) {
+		t.Fatal("collapse broke the Figure 2 reproduction")
+	}
+	// Nothing in Figure 2 is eligible: the big SCC has complex
+	// constraints, and even the simple cycle {I,O,N} contains I, which
+	// sits on the complex left-hand side {F,I} — its level comes from
+	// Minlevel, not from the cycle alone. The optimization must leave the
+	// instance entirely to the general machinery.
+	if fast.Stats.TryCalls != plain.Stats.TryCalls {
+		t.Errorf("collapse altered Try behavior on an ineligible instance: %d vs %d",
+			fast.Stats.TryCalls, plain.Stats.TryCalls)
+	}
+}
+
+// TestCollapseEquivalenceRandom checks result equality with and without
+// the optimization across random cyclic workloads.
+func TestCollapseEquivalenceRandom(t *testing.T) {
+	for _, lat := range []lattice.Lattice{
+		lattice.FigureOneB(),
+		lattice.MustMLS("m", []string{"U", "S", "TS"}, []string{"a", "b", "c"}),
+	} {
+		for seed := int64(0); seed < 40; seed++ {
+			for _, maxLHS := range []int{1, 3} {
+				s := workload.MustConstraints(lat, workload.ConstraintSpec{
+					Seed: seed, NumAttrs: 12, NumConstraints: 24, MaxLHS: maxLHS,
+					LevelRHSFraction: 0.35, Cyclic: true,
+				})
+				plain := MustSolve(s, Options{})
+				fast := MustSolve(s, Options{CollapseSimpleCycles: true})
+				if !plain.Assignment.Equal(fast.Assignment) {
+					t.Fatalf("%s seed=%d lhs=%d: collapse diverged\nplain %s\nfast  %s",
+						lat.Name(), seed, maxLHS,
+						s.FormatAssignment(plain.Assignment),
+						s.FormatAssignment(fast.Assignment))
+				}
+			}
+		}
+	}
+}
+
+// TestCollapseSkippedWithUpperBounds ensures the optimization stays off in
+// §6 eager mode, where the all-equal argument does not apply.
+func TestCollapseSkippedWithUpperBounds(t *testing.T) {
+	lat := lattice.MustChain("c", "lo", "mid", "hi")
+	s := constraint.NewSet(lat)
+	a, b := s.MustAttr("a"), s.MustAttr("b")
+	s.MustAdd([]constraint.Attr{a}, constraint.AttrRHS(b))
+	s.MustAdd([]constraint.Attr{b}, constraint.AttrRHS(a))
+	midLvl, _ := lat.ParseLevel("mid")
+	s.MustAdd([]constraint.Attr{a}, constraint.LevelRHS(midLvl))
+	s.MustAddUpper(b, lat.Top())
+	res, err := Solve(s, Options{CollapseSimpleCycles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[a] != midLvl || res.Assignment[b] != midLvl {
+		t.Fatalf("cycle with bounds solved to %s", s.FormatAssignment(res.Assignment))
+	}
+}

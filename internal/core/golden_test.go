@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"minup/internal/constraint"
+)
+
+// figure2Golden is the full reproduced Figure 2(b) table, pinned verbatim
+// so any behavioral drift in the solver, priority computation, lattice
+// descent order, or trace rendering fails loudly. It matches the paper's
+// table cell for cell, with two documented additions: explicit
+// "assign"/"done" rows for every attribute and the forced failing
+// try(O,L3) the paper's illustrative table omits.
+const figure2Golden = `step         P   B   C   E   F   G   M   I   O   N   D
+-----------  --  --  --  --  --  --  --  --  --  --  --
+initial      L6  L6  L6  L6  L6  L6  L6  L6  L6  L6  L6
+P assign     L1  L6  L6  L6  L6  L6  L6  L6  L6  L6  L6
+try(B,L5)    L1  L5  L6  L6  L6  L5  L5  L6  L6  L6  L6
+B done       L1  L5  L6  L6  L6  L5  L5  L6  L6  L6  L6
+try(C,L4)    L1  L5  L4  L4  L4  L3  L3  L6  L6  L6  L6
+C done       L1  L5  L4  L4  L4  L3  L3  L6  L6  L6  L6
+try(E,L2)    L1  L5  L4  L2  L4  L3  L3  L6  L6  L6  L6
+try(E,L1)    L1  L5  L4  L1  L4  L3  L3  L6  L6  L6  L6
+E done       L1  L5  L4  L1  L4  L3  L3  L6  L6  L6  L6
+try(F,L2) F  L1  L5  L4  L1  L4  L3  L3  L6  L6  L6  L6
+F done       L1  L5  L4  L1  L4  L3  L3  L6  L6  L6  L6
+G assign     L1  L5  L4  L1  L4  L1  L3  L6  L6  L6  L6
+M assign     L1  L5  L4  L1  L4  L1  L3  L6  L6  L6  L6
+try(I,L5)    L1  L5  L4  L1  L4  L1  L3  L5  L5  L5  L6
+I done       L1  L5  L4  L1  L4  L1  L3  L5  L5  L5  L6
+try(O,L3) F  L1  L5  L4  L1  L4  L1  L3  L5  L5  L5  L6
+O done       L1  L5  L4  L1  L4  L1  L3  L5  L5  L5  L6
+N assign     L1  L5  L4  L1  L4  L1  L3  L5  L5  L5  L6
+D assign     L1  L5  L4  L1  L4  L1  L3  L5  L5  L5  L4
+`
+
+// TestFigure2GoldenTrace pins the complete reproduced trace table.
+func TestFigure2GoldenTrace(t *testing.T) {
+	f := constraint.NewFigure2()
+	res := MustSolve(f.Set, Options{RecordTrace: true})
+	got := res.Trace.Table()
+	if got != figure2Golden {
+		t.Errorf("Figure 2(b) trace drifted.\n--- got ---\n%s--- want ---\n%s", got, figure2Golden)
+	}
+}

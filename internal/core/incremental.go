@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"minup/internal/constraint"
+)
+
+// Incremental repair: classification constraints evolve as policies are
+// refined, and re-solving a large instance from scratch for every added
+// constraint is wasteful. Repair takes a minimal solution of a prefix of
+// the constraint set and the full (extended) set, and recomputes only the
+// attributes whose levels can be forced upward by the new constraints —
+// the ancestors, in the constraint graph, of the violated constraints'
+// left-hand sides. Unaffected attributes keep their levels.
+//
+// Guarantees: the result satisfies the extended set, and equals the base
+// solution when the additions are already satisfied (in that case the base
+// remains minimal: shrinking the solution space cannot create lower
+// solutions). When additions are violated, the recomputed region is
+// labeled minimally *given* the frozen complement; in rare entangled cases
+// a globally lower choice may exist, so callers needing certified global
+// minimality set VerifyMinimal, which probes the result and falls back to
+// a full solve if a witness is found.
+
+// RepairOptions tunes Repair.
+type RepairOptions struct {
+	// VerifyMinimal probes the repaired solution for global minimality and
+	// falls back to a full Solve when the probe finds a strictly lower
+	// solution.
+	VerifyMinimal bool
+}
+
+// RepairStats reports how much work the repair did.
+type RepairStats struct {
+	// ViolatedConstraints counts the added constraints the base solution
+	// violated.
+	ViolatedConstraints int
+	// Recomputed counts the attributes whose levels were recomputed.
+	Recomputed int
+	// FellBack reports that a full solve was performed (verification
+	// found a lower solution, or the instance has upper bounds).
+	FellBack bool
+}
+
+// Repair extends a minimal solution after constraints were appended to the
+// set. base must be a satisfying assignment for the first baseCount
+// constraints of s (typically the Result.Assignment of a previous Solve);
+// everything after baseCount is treated as new. Sets with §6 upper bounds
+// always fall back to a full solve (the preprocessing pass must see every
+// constraint).
+func Repair(s *constraint.Set, baseCount int, base constraint.Assignment, opt RepairOptions) (constraint.Assignment, *RepairStats, error) {
+	stats := &RepairStats{}
+	cons := s.Constraints()
+	if baseCount < 0 || baseCount > len(cons) {
+		return nil, stats, fmt.Errorf("core: baseCount %d out of range [0,%d]", baseCount, len(cons))
+	}
+	if len(base) != s.NumAttrs() {
+		return nil, stats, fmt.Errorf("core: base assignment covers %d of %d attributes", len(base), s.NumAttrs())
+	}
+	if len(s.UpperBounds()) > 0 {
+		stats.FellBack = true
+		res, err := Solve(s, Options{})
+		if err != nil {
+			return nil, stats, err
+		}
+		return res.Assignment, stats, nil
+	}
+	for _, c := range cons[:baseCount] {
+		if !s.SatisfiedBy(base, c) {
+			return nil, stats, fmt.Errorf("core: base assignment violates prefix constraint %s", s.Format(c))
+		}
+	}
+
+	// Seed: left-hand sides of violated new constraints.
+	lat := s.Lattice()
+	seed := make(map[constraint.Attr]bool)
+	for _, c := range cons[baseCount:] {
+		if s.SatisfiedBy(base, c) {
+			continue
+		}
+		stats.ViolatedConstraints++
+		for _, a := range c.LHS {
+			seed[a] = true
+		}
+	}
+	if stats.ViolatedConstraints == 0 {
+		return base.Clone(), stats, nil
+	}
+
+	// Affected = attributes that reach a seed attribute in the constraint
+	// graph (raising a seed can violate constraints whose rhs it is,
+	// pushing the raise to their lhs — i.e. backward along edges).
+	g := s.Graph()
+	affected := make([]bool, s.NumAttrs())
+	stack := make([]int, 0, len(seed))
+	for a := range seed {
+		affected[a] = true
+		stack = append(stack, int(a))
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.Pred(v) {
+			if !affected[u] {
+				affected[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	for _, isAff := range affected {
+		if isAff {
+			stats.Recomputed++
+		}
+	}
+
+	// Partial solve: unaffected attributes are frozen done at their base
+	// levels; affected ones restart at ⊤ and run through BigLoop in
+	// (restricted) priority order. The solver's own priority structure is
+	// reused — restricted to the affected attributes it is a valid
+	// evaluation order for the sub-instance.
+	sv := newSolver(s, Options{})
+	sv.lambda = base.Clone()
+	sv.done = make([]bool, s.NumAttrs())
+	sv.unlabeled = make([]int, len(cons))
+	for a := 0; a < s.NumAttrs(); a++ {
+		if affected[a] {
+			sv.lambda[a] = lat.Top()
+		} else {
+			sv.done[a] = true
+		}
+	}
+	for ci, c := range cons {
+		if c.Simple() {
+			continue
+		}
+		n := 0
+		for _, a := range c.LHS {
+			if affected[a] {
+				n++
+			}
+		}
+		sv.unlabeled[ci] = n
+	}
+	for p := sv.pr.Max; p >= 1; p-- {
+		for _, node := range sv.pr.Sets[p] {
+			if affected[node] {
+				sv.processAttr(constraint.Attr(node))
+			}
+		}
+	}
+
+	if v := s.Violations(sv.lambda); v != nil {
+		return nil, stats, fmt.Errorf("core: internal error: repair produced violations (%s)", v[0])
+	}
+	if opt.VerifyMinimal {
+		minimal, _, err := ProbeMinimality(s, sv.lambda)
+		if err != nil {
+			return nil, stats, err
+		}
+		if !minimal {
+			stats.FellBack = true
+			res, err := Solve(s, Options{})
+			if err != nil {
+				return nil, stats, err
+			}
+			return res.Assignment, stats, nil
+		}
+	}
+	return sv.lambda, stats, nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"minup/internal/constraint"
+	"minup/internal/lattice"
+	"minup/internal/workload"
+)
+
+// TestSoak is a wide randomized campaign across every lattice family and
+// constraint shape: thousands of instances, each checked for satisfaction,
+// a sample checked for probe-minimality, and the collapse and fast-path
+// options checked for result equality. Skipped in -short mode.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped in -short mode")
+	}
+	sub, err := workload.RandomSublattice(13, 8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := map[string]lattice.Lattice{
+		"figure1b": lattice.FigureOneB(),
+		"figure1a": lattice.FigureOneA(),
+		"chain8": lattice.MustChain("c8",
+			"l0", "l1", "l2", "l3", "l4", "l5", "l6", "l7"),
+		"powerset4":  lattice.MustPowerset("p4", "a", "b", "c", "d"),
+		"mls":        lattice.MustMLS("m", []string{"U", "C", "S", "TS"}, []string{"a", "b", "c", "d", "e"}),
+		"sublattice": sub,
+		"product": lattice.MustProduct("prod",
+			lattice.MustChain("pc", "lo", "hi"),
+			lattice.MustPowerset("pp", "x", "y")),
+	}
+	shapes := []workload.ConstraintSpec{
+		{NumAttrs: 12, NumConstraints: 20, MaxLHS: 1, LevelRHSFraction: 0.4},
+		{NumAttrs: 12, NumConstraints: 24, MaxLHS: 4, LevelRHSFraction: 0.35},
+		{NumAttrs: 12, NumConstraints: 24, MaxLHS: 4, LevelRHSFraction: 0.3, Cyclic: true},
+		{NumAttrs: 16, NumConstraints: 36, MaxLHS: 3, LevelRHSFraction: 0.25, Cyclic: true, SingleSCC: true},
+		{NumAttrs: 10, NumConstraints: 18, MaxLHS: 3, LevelRHSFraction: 0.4, Cyclic: true, UpperBoundFraction: 0.3},
+	}
+	instances, probed := 0, 0
+	for name, lat := range lats {
+		for si, shape := range shapes {
+			for seed := int64(0); seed < 60; seed++ {
+				spec := shape
+				spec.Seed = seed*1000 + int64(si)
+				s := workload.MustConstraints(lat, spec)
+				res, err := Solve(s, Options{})
+				if err != nil {
+					var ie *InconsistencyError
+					if spec.UpperBoundFraction > 0 && errors.As(err, &ie) {
+						continue // legitimately inconsistent
+					}
+					t.Fatalf("%s shape=%d seed=%d: %v", name, si, seed, err)
+				}
+				instances++
+				if v := s.Violations(res.Assignment); v != nil {
+					t.Fatalf("%s shape=%d seed=%d: violations %v", name, si, seed, v)
+				}
+				// Option equivalences on a deterministic sample.
+				if seed%5 == 0 {
+					fast := MustSolve(s, Options{CollapseSimpleCycles: true})
+					if !fast.Assignment.Equal(res.Assignment) {
+						t.Fatalf("%s shape=%d seed=%d: collapse diverged", name, si, seed)
+					}
+					slow := MustSolve(s, Options{DisableMinComplement: true})
+					if !slow.Assignment.Equal(res.Assignment) {
+						t.Fatalf("%s shape=%d seed=%d: fast path diverged", name, si, seed)
+					}
+				}
+				// Probe minimality on a sample (probe is solver-priced).
+				if seed%5 == 0 && spec.UpperBoundFraction == 0 {
+					probed++
+					minimal, w, err := ProbeMinimality(s, res.Assignment)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !minimal {
+						t.Fatalf("%s shape=%d seed=%d: non-minimal, witness lowers %s to %s",
+							name, si, seed, s.AttrName(w.Attr), lat.FormatLevel(w.To))
+					}
+				}
+			}
+		}
+	}
+	if instances < 600 {
+		t.Fatalf("soak covered only %d instances", instances)
+	}
+	t.Logf("soak: %d instances solved, %d probed minimal", instances, probed)
+}
+
+// TestSoakRepairChains exercises repeated incremental evolution: solve,
+// append, repair, verify — ten generations per instance.
+func TestSoakRepairChains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped in -short mode")
+	}
+	lat := lattice.MustMLS("m", []string{"U", "S", "TS"}, []string{"x", "y", "z"})
+	for seed := int64(0); seed < 10; seed++ {
+		sizes := []int{10, 12, 14, 16, 18, 20, 22, 24, 26, 28}
+		var base constraint.Assignment
+		var prevCount int
+		for gen, size := range sizes {
+			s := workload.MustConstraints(lat, workload.ConstraintSpec{
+				Seed: seed, NumAttrs: 9, NumConstraints: size, MaxLHS: 3,
+				LevelRHSFraction: 0.35, Cyclic: true,
+			})
+			if gen == 0 {
+				base = MustSolve(s, Options{}).Assignment
+				prevCount = len(s.Constraints())
+				continue
+			}
+			repaired, _, err := Repair(s, prevCount, base, RepairOptions{VerifyMinimal: true})
+			if err != nil {
+				t.Fatalf("seed=%d gen=%d: %v", seed, gen, err)
+			}
+			if v := s.Violations(repaired); v != nil {
+				t.Fatalf("seed=%d gen=%d: violations %v", seed, gen, v)
+			}
+			minimal, _, err := ProbeMinimality(s, repaired)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !minimal {
+				t.Fatalf("seed=%d gen=%d: repair chain lost minimality", seed, gen)
+			}
+			base = repaired
+			prevCount = len(s.Constraints())
+		}
+	}
+}

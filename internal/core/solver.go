@@ -1,0 +1,461 @@
+// Package core implements Algorithm 3.1 of the paper: generation of a
+// minimal classification λ : A → L satisfying a set of classification
+// constraints over a security lattice.
+//
+// The solver combines the two techniques of §3 exactly as the paper's
+// pseudocode (Figure 3) prescribes:
+//
+//   - Back-propagation for acyclic constraints: attributes are considered
+//     in decreasing priority (reverse topological order of the strongly
+//     connected components of the constraint graph); an attribute all of
+//     whose constraints have definitively labeled right-hand sides is
+//     assigned the lub of the levels those constraints force on it, each
+//     complex constraint contributing through Minlevel.
+//   - Forward lowering for cyclic constraints: attributes in a cycle start
+//     at ⊤ and are lowered one lattice step at a time; Try propagates a
+//     candidate lowering through the cycle, accumulating the induced
+//     lowerings (Tolower) or failing if a constraint with a definitively
+//     labeled right-hand side would break.
+//
+// Section 6's upper-bound constraints are handled by the preprocessing
+// pass in upperbound.go, which derives a firm upper bound for every
+// attribute and detects inconsistencies; BigLoop then starts from those
+// bounds instead of ⊤ and solves every complex constraint eagerly.
+package core
+
+import (
+	"fmt"
+
+	"minup/internal/constraint"
+	"minup/internal/graph"
+	"minup/internal/lattice"
+)
+
+// Options tunes the solver. The zero value is ready to use.
+type Options struct {
+	// RecordTrace captures a step-by-step execution trace (the Figure 2(b)
+	// table). Tracing snapshots the full assignment at every step, so it
+	// should be off for large instances.
+	RecordTrace bool
+
+	// DisableMinComplement turns off the footnote-4 closed form for
+	// Minlevel even when the lattice supports it, forcing the generic
+	// lattice descent. Used by the ablation benchmarks.
+	DisableMinComplement bool
+
+	// CollapseSimpleCycles enables the §3.2 simple-cycle optimization:
+	// a strongly connected component all of whose members appear only in
+	// simple constraints forces every member to the same level, so the
+	// component is labeled in one step (the lub of its external needs)
+	// instead of per-attribute forward lowering. Purely an optimization —
+	// results are identical — but it turns pathological simple-cycle
+	// components from quadratic to linear (ablation benchmark
+	// BenchmarkSimpleCycleCollapse).
+	CollapseSimpleCycles bool
+}
+
+// Stats reports operation counts from one solve, used by the complexity
+// experiments (E2/E3) to confirm the bounds of Theorem 5.2.
+type Stats struct {
+	TryCalls      int // invocations of Try
+	TryFailures   int // Try invocations that returned failure
+	MinlevelCalls int // invocations of Minlevel
+	TrySteps      int // constraint checks performed inside Try
+	DescentSteps  int // lattice covers expansions in Minlevel/BigLoop
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	// Assignment is the computed minimal classification λ.
+	Assignment constraint.Assignment
+	// Priorities is the §4 priority structure used for the evaluation
+	// order (one set per strongly connected component).
+	Priorities *graph.PriorityResult
+	// UpperBounds is the firm per-attribute bound derived by the §6
+	// preprocessing pass; nil when the instance has no upper-bound
+	// constraints.
+	UpperBounds constraint.Assignment
+	// Trace is the recorded execution trace, nil unless requested.
+	Trace *Trace
+	// Stats counts solver operations.
+	Stats Stats
+}
+
+// Solve computes a minimal classification for the constraint set. Instances
+// consisting solely of lower-bound constraints (Definition 2.1) are always
+// consistent and never yield an error; instances with §6 upper-bound
+// constraints may be inconsistent, in which case an *InconsistencyError is
+// returned.
+func Solve(s *constraint.Set, opt Options) (*Result, error) {
+	sv := newSolver(s, opt)
+	if len(s.UpperBounds()) > 0 {
+		ub, err := deriveUpperBounds(s)
+		if err != nil {
+			return nil, err
+		}
+		sv.start = ub
+		sv.eagerMinlevel = true
+	}
+	sv.run()
+	res := &Result{
+		Assignment:  sv.lambda,
+		Priorities:  sv.pr,
+		UpperBounds: sv.start,
+		Trace:       sv.trace,
+		Stats:       sv.stats,
+	}
+	return res, nil
+}
+
+// MustSolve is Solve that panics on error, for fixtures built from
+// lower-bound-only constraint sets (which cannot fail).
+func MustSolve(s *constraint.Set, opt Options) *Result {
+	r, err := Solve(s, opt)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// solver carries the mutable state of one run of Algorithm 3.1.
+type solver struct {
+	set *constraint.Set
+	lat lattice.Lattice
+	opt Options
+
+	cons    []constraint.Constraint
+	constr  [][]int // Constr[A]: constraint indices with A on the lhs
+	pr      *graph.PriorityResult
+	minComp lattice.ComplementMinimizer // non-nil when the fast path applies
+
+	lambda    constraint.Assignment // λ
+	done      []bool
+	unlabeled []int                 // per complex constraint
+	start     constraint.Assignment // initial levels (nil = all ⊤)
+	// eagerMinlevel makes BigLoop solve complex constraints for every lhs
+	// attribute, not only the last-labeled one — required when attributes
+	// may start below ⊤ (§6 upper bounds).
+	eagerMinlevel bool
+
+	trace *Trace
+	stats Stats
+	// lastFailure is the index of the constraint whose violation made the
+	// most recent try call fail, or -1. Used by Explain.
+	lastFailure int
+
+	// Scratch buffers reused across Try calls.
+	tocheck map[constraint.Attr]lattice.Level
+	tolower map[constraint.Attr]lattice.Level
+	queue   []constraint.Attr
+}
+
+func newSolver(s *constraint.Set, opt Options) *solver {
+	sv := &solver{
+		set:     s,
+		lat:     s.Lattice(),
+		opt:     opt,
+		cons:    s.Constraints(),
+		constr:  s.ConstraintsOn(),
+		pr:      s.Priorities(),
+		tocheck: make(map[constraint.Attr]lattice.Level),
+		tolower: make(map[constraint.Attr]lattice.Level),
+	}
+	if !opt.DisableMinComplement {
+		if mc, ok := sv.lat.(lattice.ComplementMinimizer); ok {
+			sv.minComp = mc
+		}
+	}
+	if opt.RecordTrace {
+		sv.trace = &Trace{set: s}
+	}
+	return sv
+}
+
+// run executes Main's initialization plus BigLoop.
+func (sv *solver) run() {
+	n := sv.set.NumAttrs()
+	sv.lambda = make(constraint.Assignment, n)
+	for i := range sv.lambda {
+		if sv.start != nil {
+			sv.lambda[i] = sv.start[i]
+		} else {
+			sv.lambda[i] = sv.lat.Top()
+		}
+	}
+	sv.done = make([]bool, n)
+	sv.unlabeled = make([]int, len(sv.cons))
+	for i, c := range sv.cons {
+		if !c.Simple() {
+			sv.unlabeled[i] = len(c.LHS)
+		}
+	}
+	if sv.trace != nil {
+		sv.trace.record(-1, "initial", false, sv.lambda)
+	}
+	sv.bigloop()
+}
+
+// bigloop is the BigLoop procedure of Figure 3.
+func (sv *solver) bigloop() {
+	for p := sv.pr.Max; p >= 1; p-- {
+		if sv.opt.CollapseSimpleCycles && sv.collapseSet(sv.pr.Sets[p]) {
+			continue
+		}
+		for _, node := range sv.pr.Sets[p] {
+			sv.processAttr(constraint.Attr(node))
+		}
+	}
+}
+
+// collapseSet applies the §3.2 simple-cycle optimization to one priority
+// set when eligible: the set has several members (a real cycle), no
+// member appears in a complex constraint, and attributes may start only
+// at ⊤ (upper bounds could break the all-equal argument, so eager mode is
+// excluded). All members are then pinned to the lub of the set's external
+// needs. Reports whether the set was handled.
+func (sv *solver) collapseSet(nodes []int) bool {
+	if len(nodes) < 2 || sv.eagerMinlevel {
+		return false
+	}
+	for _, node := range nodes {
+		for _, ci := range sv.constr[constraint.Attr(node)] {
+			if !sv.cons[ci].Simple() {
+				return false
+			}
+		}
+	}
+	// Mutual reachability through simple constraints forces equality, so
+	// the minimal common level is the lub of every member's external
+	// requirements (internal right-hand sides contribute the same level
+	// and are skipped).
+	inSet := make(map[constraint.Attr]bool, len(nodes))
+	for _, node := range nodes {
+		inSet[constraint.Attr(node)] = true
+	}
+	l := sv.lat.Bottom()
+	for _, node := range nodes {
+		for _, ci := range sv.constr[constraint.Attr(node)] {
+			c := sv.cons[ci]
+			if !c.RHS.IsLevel && inSet[c.RHS.Attr] {
+				continue
+			}
+			l = sv.lat.Lub(l, sv.set.RHSLevel(sv.lambda, c.RHS))
+		}
+	}
+	for _, node := range nodes {
+		a := constraint.Attr(node)
+		sv.lambda[a] = l
+		sv.done[a] = true
+		// No unlabeled counters to maintain: eligibility guarantees no
+		// member sits on a complex left-hand side.
+		if sv.trace != nil {
+			sv.trace.record(a, "collapse", false, sv.lambda)
+		}
+	}
+	return true
+}
+
+// processAttr labels one attribute: the body of BigLoop's second-level
+// loop.
+func (sv *solver) processAttr(a constraint.Attr) {
+	aDone := true
+	l := sv.lat.Bottom()
+	for _, ci := range sv.constr[a] {
+		c := sv.cons[ci]
+		if !c.Simple() {
+			sv.unlabeled[ci]--
+		}
+		if sv.rhsDone(c) {
+			if c.Simple() {
+				l = sv.lat.Lub(l, sv.set.RHSLevel(sv.lambda, c.RHS))
+			} else if sv.unlabeled[ci] == 0 || sv.eagerMinlevel {
+				l = sv.lat.Lub(l, sv.minlevel(a, c))
+			} else if !sv.othersCover(a, c) {
+				// A complex constraint with unlabeled siblings may be
+				// deferred to the sibling that is labeled last — but only
+				// while it holds no matter how low a goes. Outside cycles
+				// that is automatic (unlabeled siblings still sit at ⊤);
+				// inside an SCC, Try may already have lowered a sibling, in
+				// which case a must go through forward lowering so the
+				// constraint is re-checked at every step.
+				aDone = false
+			}
+		} else {
+			aDone = false
+		}
+	}
+	if aDone {
+		sv.lambda[a] = l
+		sv.done[a] = true
+		if sv.trace != nil {
+			sv.trace.record(a, "assign", false, sv.lambda)
+		}
+		return
+	}
+	// Forward lowering through the cycle: try each maximal level between
+	// the lower bound l and the current level.
+	dset := lattice.CoversAbove(sv.lat, sv.lambda[a], l)
+	sv.stats.DescentSteps += len(dset)
+	for len(dset) > 0 {
+		cand := dset[0]
+		dset = dset[1:]
+		lower, ok := sv.try(a, cand)
+		sv.stats.TryCalls++
+		if !ok {
+			sv.stats.TryFailures++
+			if sv.trace != nil {
+				sv.trace.record(a, fmt.Sprintf("try(%s,%s)", sv.set.AttrName(a), sv.lat.FormatLevel(cand)), true, sv.lambda)
+			}
+			continue
+		}
+		for attr, lvl := range lower {
+			sv.lambda[attr] = lvl
+		}
+		if sv.trace != nil {
+			sv.trace.record(a, fmt.Sprintf("try(%s,%s)", sv.set.AttrName(a), sv.lat.FormatLevel(cand)), false, sv.lambda)
+		}
+		dset = lattice.CoversAbove(sv.lat, sv.lambda[a], l)
+		sv.stats.DescentSteps += len(dset)
+	}
+	sv.done[a] = true
+	if sv.trace != nil {
+		sv.trace.record(a, "done", false, sv.lambda)
+	}
+}
+
+// othersCover reports whether the lub of the left-hand-side attributes
+// other than a already dominates the right-hand side, i.e. the constraint
+// holds regardless of the level assigned to a.
+func (sv *solver) othersCover(a constraint.Attr, c constraint.Constraint) bool {
+	lubothers := sv.lat.Bottom()
+	for _, o := range c.LHS {
+		if o != a {
+			lubothers = sv.lat.Lub(lubothers, sv.lambda[o])
+		}
+	}
+	return sv.lat.Dominates(lubothers, sv.set.RHSLevel(sv.lambda, c.RHS))
+}
+
+// rhsDone reports whether a constraint's right-hand side is definitively
+// labeled (level constants always are).
+func (sv *solver) rhsDone(c constraint.Constraint) bool {
+	return c.RHS.IsLevel || sv.done[c.RHS.Attr]
+}
+
+// minlevel is the Minlevel procedure of Figure 3: a minimal level that a
+// may assume without violating the complex constraint c, given the current
+// levels of the other left-hand-side attributes. When the lattice provides
+// the footnote-4 closed form (compartmented lattices) it is used directly;
+// otherwise the procedure descends the lattice from a's current level,
+// stopping at the lowest level all of whose immediate descendants would
+// violate the constraint.
+func (sv *solver) minlevel(a constraint.Attr, c constraint.Constraint) lattice.Level {
+	sv.stats.MinlevelCalls++
+	lubothers := sv.lat.Bottom()
+	for _, o := range c.LHS {
+		if o != a {
+			lubothers = sv.lat.Lub(lubothers, sv.lambda[o])
+		}
+	}
+	rhs := sv.set.RHSLevel(sv.lambda, c.RHS)
+	if sv.minComp != nil {
+		return sv.minComp.MinComplement(lubothers, rhs)
+	}
+	if sv.lat.Dominates(lubothers, rhs) {
+		return sv.lat.Bottom()
+	}
+	last := sv.lambda[a]
+	trylevels := sv.lat.Covers(last)
+	sv.stats.DescentSteps += len(trylevels)
+	for len(trylevels) > 0 {
+		l := trylevels[0]
+		trylevels = trylevels[1:]
+		if sv.lat.Dominates(sv.lat.Lub(l, lubothers), rhs) {
+			last = l
+			trylevels = sv.lat.Covers(last)
+			sv.stats.DescentSteps += len(trylevels)
+		}
+	}
+	return last
+}
+
+// try is the Try procedure of Figure 3. It returns the set of lowerings
+// (including a→l itself) that together with the current λ still satisfy
+// all constraints, or ok=false if lowering a to l transitively violates a
+// constraint whose right-hand side is already definitively labeled. λ is
+// not modified.
+func (sv *solver) try(a constraint.Attr, l lattice.Level) (map[constraint.Attr]lattice.Level, bool) {
+	sv.lastFailure = -1
+	tocheck := sv.tocheck
+	tolower := sv.tolower
+	clear(tocheck)
+	clear(tolower)
+	queue := sv.queue[:0]
+
+	tocheck[a] = l
+	queue = append(queue, a)
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		curLvl, pending := tocheck[cur]
+		if !pending {
+			continue // superseded entry
+		}
+		delete(tocheck, cur)
+		tolower[cur] = curLvl
+
+		for _, ci := range sv.constr[cur] {
+			c := sv.cons[ci]
+			sv.stats.TrySteps++
+			// Level of the lhs under the tentative lowerings: Tolower
+			// entries override λ.
+			level := sv.lat.Bottom()
+			for _, m := range c.LHS {
+				if lv, ok := tolower[m]; ok {
+					level = sv.lat.Lub(level, lv)
+				} else {
+					level = sv.lat.Lub(level, sv.lambda[m])
+				}
+			}
+			rhsLvl := sv.set.RHSLevel(sv.lambda, c.RHS)
+			if sv.rhsDone(c) {
+				if !sv.lat.Dominates(level, rhsLvl) {
+					sv.lastFailure = ci
+					sv.queue = queue[:0]
+					return nil, false
+				}
+				continue
+			}
+			if sv.lat.Dominates(level, rhsLvl) {
+				continue
+			}
+			rhs := c.RHS.Attr
+			newlevel := sv.lat.Glb(rhsLvl, level)
+			if old, ok := tolower[rhs]; ok {
+				if sv.lat.Dominates(newlevel, old) {
+					continue // existing lowering already suffices
+				}
+				newlevel = sv.lat.Glb(old, newlevel)
+				delete(tolower, rhs)
+				tocheck[rhs] = newlevel
+				queue = append(queue, rhs)
+			} else if old, ok := tocheck[rhs]; ok {
+				if sv.lat.Dominates(newlevel, old) {
+					continue
+				}
+				tocheck[rhs] = sv.lat.Glb(old, newlevel) // already queued
+			} else {
+				tocheck[rhs] = newlevel
+				queue = append(queue, rhs)
+			}
+		}
+	}
+	sv.queue = queue[:0]
+	// Copy the result out: the scratch map is reused by the next call.
+	out := make(map[constraint.Attr]lattice.Level, len(tolower))
+	for k, v := range tolower {
+		out[k] = v
+	}
+	return out, true
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"minup/internal/constraint"
+)
+
+// Trace records the solver's execution step by step, enough to reprint the
+// classification-process table of Figure 2(b): one row per action (direct
+// assignment, Try call, completion), with the full assignment after the
+// action and a failure marker for failed Try calls.
+type Trace struct {
+	set   *constraint.Set
+	Steps []Step
+}
+
+// Step is one recorded solver action.
+type Step struct {
+	// Attr is the attribute being processed (-1 for the initial snapshot).
+	Attr constraint.Attr
+	// Action describes the step: "initial", "assign", "done", or
+	// "try(A,l)".
+	Action string
+	// Failed marks a Try call that returned failure (the paper's "F").
+	Failed bool
+	// After is the assignment after the step.
+	After constraint.Assignment
+}
+
+func (t *Trace) record(a constraint.Attr, action string, failed bool, after constraint.Assignment) {
+	t.Steps = append(t.Steps, Step{Attr: a, Action: action, Failed: failed, After: after.Clone()})
+}
+
+// Tries returns the Try-call steps in order, formatted as in the paper,
+// e.g. "try(B,L5)" and "try(F,L2) F".
+func (t *Trace) Tries() []string {
+	var out []string
+	for _, s := range t.Steps {
+		if !strings.HasPrefix(s.Action, "try(") {
+			continue
+		}
+		if s.Failed {
+			out = append(out, s.Action+" F")
+		} else {
+			out = append(out, s.Action)
+		}
+	}
+	return out
+}
+
+// Table renders the trace as a text table in the style of Figure 2(b):
+// one column per attribute (in declaration order), one row per step, the
+// level of every attribute after each step, and "F" marking failed tries.
+func (t *Trace) Table() string {
+	s := t.set
+	lat := s.Lattice()
+	attrs := s.Attrs()
+
+	header := make([]string, 0, len(attrs)+1)
+	header = append(header, "step")
+	for _, a := range attrs {
+		header = append(header, s.AttrName(a))
+	}
+	rows := [][]string{header}
+	for _, st := range t.Steps {
+		label := st.Action
+		if st.Attr >= 0 && !strings.HasPrefix(st.Action, "try(") {
+			label = s.AttrName(st.Attr) + " " + st.Action
+		}
+		if st.Failed {
+			label += " F"
+		}
+		row := make([]string, 0, len(attrs)+1)
+		row = append(row, label)
+		for _, a := range attrs {
+			row = append(row, lat.FormatLevel(st.After[a]))
+		}
+		rows = append(rows, row)
+	}
+
+	// Column widths.
+	width := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		var line strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			fmt.Fprintf(&line, "%-*s", width[i], cell)
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteString("\n")
+		if ri == 0 {
+			for i, w := range width {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Final returns the assignment after the last step.
+func (t *Trace) Final() constraint.Assignment {
+	if len(t.Steps) == 0 {
+		return nil
+	}
+	return t.Steps[len(t.Steps)-1].After
+}

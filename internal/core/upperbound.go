@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"minup/internal/constraint"
+	"minup/internal/lattice"
+)
+
+// InconsistencyError reports that a constraint set mixing §6 upper-bound
+// constraints with lower-bound constraints admits no solution. Conflicts
+// lists human-readable descriptions of the constraints that clash.
+type InconsistencyError struct {
+	Conflicts []string
+}
+
+func (e *InconsistencyError) Error() string {
+	return fmt.Sprintf("core: constraints are inconsistent: %s", strings.Join(e.Conflicts, "; "))
+}
+
+// deriveUpperBounds performs the §6 preprocessing phase: every attribute
+// starts at ⊤; explicit upper bounds are glb-merged onto their attributes
+// and pushed forward through the constraint graph (a complex constraint
+// propagates the lub of its left-hand side). An inconsistency is detected
+// when the bound arriving at a level constant fails to dominate it. On
+// success the returned assignment labels each attribute at its maximum
+// allowed level, and that assignment satisfies every lower-bound
+// constraint — the starting point for the modified BigLoop.
+//
+// The fixpoint is computed with a worklist over constraints; each
+// attribute's bound strictly decreases on every update, so the pass
+// terminates after at most H updates per attribute, O(S·H·c) in the worst
+// case and O(S·c) when bounds settle in one pass as the paper assumes.
+func deriveUpperBounds(s *constraint.Set) (constraint.Assignment, error) {
+	lat := s.Lattice()
+	n := s.NumAttrs()
+	ub := make(constraint.Assignment, n)
+	for i := range ub {
+		ub[i] = lat.Top()
+	}
+	for _, u := range s.UpperBounds() {
+		ub[u.Attr] = lat.Glb(ub[u.Attr], u.Level)
+	}
+
+	cons := s.Constraints()
+	onLHS := s.ConstraintsOn()
+
+	// Worklist of constraint indices whose lhs bound may have tightened.
+	inQueue := make([]bool, len(cons))
+	queue := make([]int, 0, len(cons))
+	push := func(ci int) {
+		if !inQueue[ci] {
+			inQueue[ci] = true
+			queue = append(queue, ci)
+		}
+	}
+	for ci := range cons {
+		push(ci)
+	}
+
+	var conflicts []string
+	for len(queue) > 0 {
+		ci := queue[0]
+		queue = queue[1:]
+		inQueue[ci] = false
+		c := cons[ci]
+		bound := lat.Bottom()
+		for _, a := range c.LHS {
+			bound = lat.Lub(bound, ub[a])
+		}
+		if c.RHS.IsLevel {
+			if !lat.Dominates(bound, c.RHS.Level) {
+				conflicts = append(conflicts, fmt.Sprintf(
+					"upper bounds cap lub of lhs at %s, below required %s in %q",
+					lat.FormatLevel(bound), lat.FormatLevel(c.RHS.Level), s.Format(c)))
+			}
+			continue
+		}
+		rhs := c.RHS.Attr
+		merged := lat.Glb(ub[rhs], bound)
+		if merged != ub[rhs] {
+			ub[rhs] = merged
+			for _, dep := range onLHS[rhs] {
+				push(dep)
+			}
+		}
+	}
+	if conflicts != nil {
+		return nil, &InconsistencyError{Conflicts: conflicts}
+	}
+	return ub, nil
+}
+
+// DeriveUpperBounds exposes the §6 preprocessing pass for inspection and
+// testing: the firm maximum level of every attribute, or an
+// *InconsistencyError.
+func DeriveUpperBounds(s *constraint.Set) (constraint.Assignment, error) {
+	return deriveUpperBounds(s)
+}
+
+// CheckSolvable reports nil when the constraint set has a solution.
+// Lower-bound-only sets are always solvable; mixed sets are solvable iff
+// the §6 preprocessing pass finds no inconsistency.
+func CheckSolvable(s *constraint.Set) error {
+	if len(s.UpperBounds()) == 0 {
+		return nil
+	}
+	_, err := deriveUpperBounds(s)
+	return err
+}
+
+// SemiLatticeDiagnosis interprets a solve over a lattice completed from a
+// semi-lattice by lattice.CompleteToLattice (§6): attributes pinned at the
+// injected dummy ⊤ have unsatisfiable requirements (no real level is high
+// enough), and attributes resting at the injected dummy ⊥ were effectively
+// unconstrained (which the paper suggests flagging as input
+// incompleteness).
+type SemiLatticeDiagnosis struct {
+	// Unsatisfiable lists attributes stuck at the dummy top.
+	Unsatisfiable []constraint.Attr
+	// Unconstrained lists attributes resting at the dummy bottom.
+	Unconstrained []constraint.Attr
+}
+
+// OK reports whether the solution uses no dummy level, i.e. is a genuine
+// classification into the original semi-lattice.
+func (d *SemiLatticeDiagnosis) OK() bool {
+	return len(d.Unsatisfiable) == 0 && len(d.Unconstrained) == 0
+}
+
+// DiagnoseSemiLattice inspects a result computed over a completed
+// semi-lattice. The lattice of the constraint set must be an
+// *lattice.Explicit produced by lattice.CompleteToLattice.
+func DiagnoseSemiLattice(s *constraint.Set, res *Result) (*SemiLatticeDiagnosis, error) {
+	e, ok := s.Lattice().(*lattice.Explicit)
+	if !ok {
+		return nil, fmt.Errorf("core: semi-lattice diagnosis requires an explicit lattice, have %T", s.Lattice())
+	}
+	d := &SemiLatticeDiagnosis{}
+	for _, a := range s.Attrs() {
+		lvl := res.Assignment[a]
+		if !lattice.IsDummy(e, lvl) {
+			continue
+		}
+		if lvl == e.Top() {
+			d.Unsatisfiable = append(d.Unsatisfiable, a)
+		} else {
+			d.Unconstrained = append(d.Unconstrained, a)
+		}
+	}
+	return d, nil
+}

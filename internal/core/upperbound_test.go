@@ -1,0 +1,289 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"minup/internal/baseline"
+	"minup/internal/constraint"
+	"minup/internal/lattice"
+	"minup/internal/workload"
+)
+
+// TestUpperBoundPropagation checks the §6 preprocessing pass: explicit
+// bounds glb-merge and flow through simple and complex constraints.
+func TestUpperBoundPropagation(t *testing.T) {
+	lat := lattice.MustChain("mil", "U", "C", "S", "TS")
+	lv := func(n string) lattice.Level { x, _ := lat.ParseLevel(n); return x }
+	s := constraint.NewSet(lat)
+	a, b, c := s.MustAttr("a"), s.MustAttr("b"), s.MustAttr("c")
+	// a ≤ S; constraint a ≽ b propagates the bound to b; lub(b,c) ≽ d... use
+	// a chain: a >= b, b >= c.
+	s.MustAdd([]constraint.Attr{a}, constraint.AttrRHS(b))
+	s.MustAdd([]constraint.Attr{b}, constraint.AttrRHS(c))
+	s.MustAddUpper(a, lv("S"))
+	ub, err := DeriveUpperBounds(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub[a] != lv("S") {
+		t.Errorf("ub[a] = %s", lat.FormatLevel(ub[a]))
+	}
+	// b and c are only bounded through a... no: constraint a ≽ b means b's
+	// level must stay BELOW a's, so the bound propagates forward: b ≤ S.
+	if ub[b] != lv("S") || ub[c] != lv("S") {
+		t.Errorf("propagated bounds: b=%s c=%s, want S S",
+			lat.FormatLevel(ub[b]), lat.FormatLevel(ub[c]))
+	}
+}
+
+// TestUpperBoundComplexPropagation checks that a complex constraint
+// propagates the lub of its lhs bounds.
+func TestUpperBoundComplexPropagation(t *testing.T) {
+	lat := lattice.MustPowerset("cats", "x", "y", "z")
+	s := constraint.NewSet(lat)
+	a, b, c := s.MustAttr("a"), s.MustAttr("b"), s.MustAttr("c")
+	s.MustAdd([]constraint.Attr{a, b}, constraint.AttrRHS(c))
+	xy, _ := lat.LevelOf("x", "y")
+	yz, _ := lat.LevelOf("y", "z")
+	x, _ := lat.LevelOf("x")
+	s.MustAddUpper(a, x)
+	s.MustAddUpper(b, yz)
+	ub, err := DeriveUpperBounds(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c is bounded by lub(x, yz) = {x,y,z} = ⊤: no effective bound.
+	if ub[c] != lat.Top() {
+		t.Errorf("ub[c] = %s", lat.FormatLevel(ub[c]))
+	}
+	// Tighten b and the bound on c tightens too.
+	s.MustAddUpper(b, lat.Glb(yz, xy)) // {y}
+	ub, err = DeriveUpperBounds(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := lat.LevelOf("x", "y"); ub[c] != want {
+		t.Errorf("ub[c] = %s, want {x,y}", lat.FormatLevel(ub[c]))
+	}
+}
+
+// TestUpperBoundInconsistency checks detection of the paper's trivial
+// inconsistency pattern and transitively induced ones.
+func TestUpperBoundInconsistency(t *testing.T) {
+	lat := lattice.MustChain("mil", "U", "C", "S", "TS")
+	lv := func(n string) lattice.Level { x, _ := lat.ParseLevel(n); return x }
+
+	// {A ≽ ⊤, ⊥ ≽ A}.
+	s := constraint.NewSet(lat)
+	a := s.MustAttr("a")
+	s.MustAdd([]constraint.Attr{a}, constraint.LevelRHS(lat.Top()))
+	s.MustAddUpper(a, lat.Bottom())
+	if _, err := Solve(s, Options{}); err == nil {
+		t.Fatal("trivial inconsistency not detected")
+	} else {
+		var ie *InconsistencyError
+		if !errors.As(err, &ie) || len(ie.Conflicts) == 0 {
+			t.Fatalf("wrong error: %v", err)
+		}
+		if !strings.Contains(ie.Error(), "inconsistent") {
+			t.Errorf("error text: %v", ie)
+		}
+	}
+	if err := CheckSolvable(s); err == nil {
+		t.Error("CheckSolvable missed inconsistency")
+	}
+
+	// Transitive: c ≤ C, but b ≽ S flows through b ≽ c? No: a chain
+	// a ≽ b ≽ S with a ≤ C.
+	s2 := constraint.NewSet(lat)
+	x, y := s2.MustAttr("x"), s2.MustAttr("y")
+	s2.MustAdd([]constraint.Attr{x}, constraint.AttrRHS(y))
+	s2.MustAdd([]constraint.Attr{y}, constraint.LevelRHS(lv("S")))
+	s2.MustAddUpper(x, lv("C"))
+	if _, err := Solve(s2, Options{}); err == nil {
+		t.Fatal("transitive inconsistency not detected")
+	}
+
+	// Consistent version solves.
+	s3 := constraint.NewSet(lat)
+	p, q := s3.MustAttr("p"), s3.MustAttr("q")
+	s3.MustAdd([]constraint.Attr{p}, constraint.AttrRHS(q))
+	s3.MustAdd([]constraint.Attr{q}, constraint.LevelRHS(lv("C")))
+	s3.MustAddUpper(p, lv("S"))
+	res, err := Solve(s3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s3.Violations(res.Assignment); v != nil {
+		t.Fatalf("violations: %v", v)
+	}
+	if res.UpperBounds == nil {
+		t.Error("result should carry derived upper bounds")
+	}
+}
+
+// TestUpperBoundSolveRandom property-tests the §6 solver: on random mixed
+// instances that are consistent, the result satisfies everything including
+// the bounds, and is minimal per the exhaustive oracle.
+func TestUpperBoundSolveRandom(t *testing.T) {
+	lats := map[string]lattice.Lattice{
+		"figure1b": lattice.FigureOneB(),
+		"chain4":   lattice.MustChain("mil", "U", "C", "S", "TS"),
+	}
+	solved := 0
+	for name, lat := range lats {
+		for seed := int64(0); seed < 80; seed++ {
+			s := workload.MustConstraints(lat, workload.ConstraintSpec{
+				Seed: seed, NumAttrs: 5, NumConstraints: 7, MaxLHS: 3,
+				LevelRHSFraction: 0.4, Cyclic: seed%2 == 0,
+				UpperBoundFraction: 0.5,
+			})
+			res, err := Solve(s, Options{})
+			if err != nil {
+				var ie *InconsistencyError
+				if !errors.As(err, &ie) {
+					t.Fatalf("%s seed=%d: unexpected error %v", name, seed, err)
+				}
+				continue // legitimately inconsistent instance
+			}
+			solved++
+			if v := s.Violations(res.Assignment); v != nil {
+				t.Fatalf("%s seed=%d: violations %v", name, seed, v)
+			}
+			min, err := baseline.IsMinimal(s, res.Assignment)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !min {
+				t.Fatalf("%s seed=%d: non-minimal %s", name, seed,
+					s.FormatAssignment(res.Assignment))
+			}
+		}
+	}
+	if solved < 20 {
+		t.Fatalf("only %d consistent instances solved; generator too aggressive", solved)
+	}
+}
+
+// TestUpperBoundRespected checks that solutions never exceed their bounds
+// even when lower-bound constraints pull upward elsewhere.
+func TestUpperBoundRespected(t *testing.T) {
+	lat := lattice.FigureOneA() // MLS of Figure 1(a)
+	s := constraint.NewSet(lat)
+	a, b := s.MustAttr("a"), s.MustAttr("b")
+	tsArmy := lat.MustLevel("TS", "Army")
+	sArmy := lat.MustLevel("S", "Army")
+	s.MustAdd([]constraint.Attr{a, b}, constraint.LevelRHS(tsArmy))
+	s.MustAddUpper(b, sArmy)
+	res, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lat.Dominates(sArmy, res.Assignment[b]) {
+		t.Errorf("b exceeds its bound: %s", lat.FormatLevel(res.Assignment[b]))
+	}
+	if v := s.Violations(res.Assignment); v != nil {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+// TestSemiLatticeUnsatisfiable exercises §6's dummy-top diagnosis: two
+// incomparable maximal levels and a constraint requiring an attribute to
+// dominate both.
+func TestSemiLatticeUnsatisfiable(t *testing.T) {
+	l, comp, err := lattice.CompleteToLattice("semi",
+		[]string{"hi1", "hi2", "lo"},
+		map[string][]string{"hi1": {"lo"}, "hi2": {"lo"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.AddedTop {
+		t.Fatal("expected dummy top")
+	}
+	s := constraint.NewSet(l)
+	a := s.MustAttr("a")
+	h1, _ := l.ParseLevel("hi1")
+	h2, _ := l.ParseLevel("hi2")
+	s.MustAdd([]constraint.Attr{a}, constraint.LevelRHS(h1))
+	s.MustAdd([]constraint.Attr{a}, constraint.LevelRHS(h2))
+	res := MustSolve(s, Options{})
+	d, err := DiagnoseSemiLattice(s, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() || len(d.Unsatisfiable) != 1 || d.Unsatisfiable[0] != a {
+		t.Fatalf("diagnosis = %+v", d)
+	}
+}
+
+// TestSemiLatticeUnconstrained exercises the dummy-bottom diagnosis.
+func TestSemiLatticeUnconstrained(t *testing.T) {
+	l, comp, err := lattice.CompleteToLattice("semi",
+		[]string{"top", "m1", "m2"},
+		map[string][]string{"top": {"m1", "m2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.AddedBottom {
+		t.Fatal("expected dummy bottom")
+	}
+	s := constraint.NewSet(l)
+	a := s.MustAttr("a")
+	free := s.MustAttr("free")
+	m1, _ := l.ParseLevel("m1")
+	s.MustAdd([]constraint.Attr{a}, constraint.LevelRHS(m1))
+	res := MustSolve(s, Options{})
+	d, err := DiagnoseSemiLattice(s, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Unconstrained) != 1 || d.Unconstrained[0] != free {
+		t.Fatalf("diagnosis = %+v", d)
+	}
+	if len(d.Unsatisfiable) != 0 {
+		t.Fatalf("false unsatisfiable: %+v", d)
+	}
+	// Constrained attribute got a real level.
+	if res.Assignment[a] != m1 {
+		t.Errorf("a = %s", l.FormatLevel(res.Assignment[a]))
+	}
+
+	// Diagnosis requires an explicit lattice.
+	s2 := constraint.NewSet(lattice.MustChain("c", "a", "b"))
+	s2.MustAttr("x")
+	if _, err := DiagnoseSemiLattice(s2, MustSolve(s2, Options{})); err == nil {
+		t.Error("diagnosis accepted non-explicit lattice")
+	}
+}
+
+// TestEagerMinlevelMinimality: with upper bounds the modified BigLoop calls
+// Minlevel eagerly; check on a hand-built associative case that the result
+// is still minimal.
+func TestEagerMinlevelMinimality(t *testing.T) {
+	lat := lattice.MustPowerset("cats", "x", "y")
+	s := constraint.NewSet(lat)
+	a, b := s.MustAttr("a"), s.MustAttr("b")
+	s.MustAdd([]constraint.Attr{a, b}, constraint.LevelRHS(lat.Top()))
+	x, _ := lat.LevelOf("x")
+	s.MustAddUpper(a, x) // a can carry at most {x}; b must carry {y}.
+	res, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Violations(res.Assignment); v != nil {
+		t.Fatalf("violations: %v", v)
+	}
+	min, err := baseline.IsMinimal(s, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !min {
+		t.Fatalf("non-minimal: %s", s.FormatAssignment(res.Assignment))
+	}
+	y, _ := lat.LevelOf("y")
+	if !lat.Dominates(res.Assignment[b], y) {
+		t.Errorf("b must carry y: %s", s.FormatAssignment(res.Assignment))
+	}
+}

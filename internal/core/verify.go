@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"minup/internal/constraint"
+	"minup/internal/lattice"
+)
+
+// This file provides verification and explanation tools layered on the
+// solver's Try machinery:
+//
+//   - ProbeMinimality checks an arbitrary solution for pointwise
+//     minimality by attempting, for every attribute, every one-cover
+//     lowering together with the forward propagation it induces — the
+//     exact criterion the paper's minimality proof (Theorem 5.1) is built
+//     on, usable on instances far beyond the reach of the exhaustive
+//     oracle.
+//   - Explain reports, for one attribute of a solved instance, which
+//     constraints pin it at its level: for each immediate descendant of
+//     its level, the constraint that breaks when the attribute is lowered
+//     there (with propagation).
+
+// Witness is a strictly lower satisfying assignment found by
+// ProbeMinimality, as evidence of non-minimality.
+type Witness struct {
+	// Attr is the attribute whose lowering initiated the witness.
+	Attr constraint.Attr
+	// To is the level Attr was lowered to.
+	To lattice.Level
+	// Assignment is the full strictly-lower satisfying assignment.
+	Assignment constraint.Assignment
+}
+
+// ProbeMinimality reports whether the assignment is pointwise minimal for
+// the constraint set, in the sense that no single-attribute lowering —
+// together with the transitive lowerings it forces on other attributes —
+// yields a satisfying assignment strictly below m. This is the fixpoint
+// condition Algorithm 3.1 terminates on; for solutions produced by the
+// solver it holds by construction, and for foreign assignments it is a
+// strong (and, on lattices, exact for propagation-reachable witnesses)
+// minimality check that runs in polynomial time.
+//
+// The assignment must satisfy the constraint set; otherwise an error is
+// returned.
+func ProbeMinimality(s *constraint.Set, m constraint.Assignment) (minimal bool, w *Witness, err error) {
+	if v := s.Violations(m); v != nil {
+		return false, nil, fmt.Errorf("core: assignment does not satisfy the constraints: %s", v[0])
+	}
+	sv := probeSolver(s, m)
+	for _, a := range s.Attrs() {
+		for _, cand := range sv.lat.Covers(m[a]) {
+			lower, ok := sv.try(a, cand)
+			if !ok {
+				continue
+			}
+			witness := m.Clone()
+			for attr, lvl := range lower {
+				witness[attr] = lvl
+			}
+			if viol := s.Violations(witness); viol != nil {
+				return false, nil, fmt.Errorf("core: internal error: probe produced a non-solution (%s)", viol[0])
+			}
+			return false, &Witness{Attr: a, To: cand, Assignment: witness}, nil
+		}
+	}
+	return true, nil, nil
+}
+
+// probeSolver builds a solver positioned at an arbitrary assignment with
+// every attribute un-done, so Try propagates lowerings freely and fails
+// only against level constants.
+func probeSolver(s *constraint.Set, m constraint.Assignment) *solver {
+	sv := newSolver(s, Options{})
+	sv.lambda = m.Clone()
+	sv.done = make([]bool, s.NumAttrs())
+	return sv
+}
+
+// Binding describes why an attribute cannot be lowered to one immediate
+// descendant of its level.
+type Binding struct {
+	// To is the rejected lower level.
+	To lattice.Level
+	// Constraint is the index (into Set.Constraints()) of the constraint
+	// whose violation rejects the lowering, or -1 when an upper bound or
+	// the propagation budget rejected it.
+	Constraint int
+	// Text is the human-readable form of the rejecting constraint.
+	Text string
+}
+
+// Explanation reports why one attribute of a solved instance sits at its
+// level.
+type Explanation struct {
+	Attr  constraint.Attr
+	Level lattice.Level
+	// Bindings has one entry per immediate descendant of Level, naming a
+	// constraint that breaks if the attribute is lowered there (with
+	// propagation). Empty means Level is the lattice bottom.
+	Bindings []Binding
+}
+
+// Explain reports, for each immediate descendant of m[attr], one
+// constraint that pins the attribute above it. The assignment must be a
+// minimal solution (as produced by Solve); on non-minimal assignments some
+// descendants may have no binding constraint, which is reported as an
+// error identifying the lowerable direction.
+func Explain(s *constraint.Set, m constraint.Assignment, attr constraint.Attr) (*Explanation, error) {
+	if v := s.Violations(m); v != nil {
+		return nil, fmt.Errorf("core: assignment does not satisfy the constraints: %s", v[0])
+	}
+	sv := probeSolver(s, m)
+	ex := &Explanation{Attr: attr, Level: m[attr]}
+	for _, cand := range sv.lat.Covers(m[attr]) {
+		_, ok := sv.try(attr, cand)
+		if ok {
+			return nil, fmt.Errorf("core: %s can be lowered to %s — assignment is not minimal",
+				s.AttrName(attr), sv.lat.FormatLevel(cand))
+		}
+		ci := sv.lastFailure
+		b := Binding{To: cand, Constraint: ci}
+		if ci >= 0 {
+			b.Text = s.Format(s.Constraints()[ci])
+		}
+		ex.Bindings = append(ex.Bindings, b)
+	}
+	return ex, nil
+}
+
+// FormatExplanation renders an explanation for humans.
+func FormatExplanation(s *constraint.Set, ex *Explanation) string {
+	lat := s.Lattice()
+	out := fmt.Sprintf("%s = %s", s.AttrName(ex.Attr), lat.FormatLevel(ex.Level))
+	if len(ex.Bindings) == 0 {
+		return out + " (lattice bottom; no lower level exists)"
+	}
+	for _, b := range ex.Bindings {
+		out += fmt.Sprintf("\n  cannot lower to %s: would violate %s",
+			lat.FormatLevel(b.To), b.Text)
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"minup/internal/baseline"
+	"minup/internal/constraint"
+	"minup/internal/lattice"
+	"minup/internal/workload"
+)
+
+// TestProbeMinimalityAgreesWithOracle differentially tests the polynomial
+// probe against the exhaustive oracle on many random small instances.
+func TestProbeMinimalityAgreesWithOracle(t *testing.T) {
+	lats := map[string]lattice.Lattice{
+		"figure1b": lattice.FigureOneB(),
+		"chain4":   lattice.MustChain("mil", "U", "C", "S", "TS"),
+	}
+	for name, lat := range lats {
+		for seed := int64(0); seed < 50; seed++ {
+			s := workload.MustConstraints(lat, workload.ConstraintSpec{
+				Seed: seed, NumAttrs: 5, NumConstraints: 8, MaxLHS: 3,
+				LevelRHSFraction: 0.4, Cyclic: seed%2 == 0,
+			})
+			// Probe the solver's own answer (must be minimal)...
+			res := MustSolve(s, Options{})
+			minProbe, w, err := ProbeMinimality(s, res.Assignment)
+			if err != nil {
+				t.Fatal(err)
+			}
+			minOracle, err := baseline.IsMinimal(s, res.Assignment)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if minProbe != minOracle {
+				t.Fatalf("%s seed=%d: probe=%v oracle=%v on solver output (witness %+v)",
+					name, seed, minProbe, minOracle, w)
+			}
+			if !minProbe {
+				t.Fatalf("%s seed=%d: solver output not minimal", name, seed)
+			}
+			// ...and a deliberately inflated non-minimal solution.
+			inflated := res.Assignment.Clone()
+			bumped := false
+			for i := range inflated {
+				if up := lat.CoveredBy(inflated[i]); len(up) > 0 {
+					inflated[i] = up[0]
+					bumped = true
+					break
+				}
+			}
+			if !bumped || !s.Satisfies(inflated) {
+				continue // inflation violated nothing to probe, or all at top
+			}
+			minProbe, w, err = ProbeMinimality(s, inflated)
+			if err != nil {
+				t.Fatal(err)
+			}
+			minOracle, err = baseline.IsMinimal(s, inflated)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if minProbe != minOracle {
+				t.Fatalf("%s seed=%d: inflated: probe=%v oracle=%v", name, seed, minProbe, minOracle)
+			}
+			if !minProbe {
+				if w == nil || !inflated.Dominates(lat, w.Assignment) {
+					t.Fatalf("%s seed=%d: witness not below inflated", name, seed)
+				}
+				if w.Assignment.Equal(inflated) {
+					t.Fatalf("%s seed=%d: witness equals input", name, seed)
+				}
+				if !s.Satisfies(w.Assignment) {
+					t.Fatalf("%s seed=%d: witness not a solution", name, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestProbeMinimalityRejectsNonSolutions checks the input validation.
+func TestProbeMinimalityRejectsNonSolutions(t *testing.T) {
+	lat := lattice.MustChain("c", "lo", "hi")
+	s := constraint.NewSet(lat)
+	a := s.MustAttr("a")
+	s.MustAdd([]constraint.Attr{a}, constraint.LevelRHS(lat.Top()))
+	if _, _, err := ProbeMinimality(s, constraint.Assignment{lat.Bottom()}); err == nil {
+		t.Fatal("non-solution accepted")
+	}
+}
+
+// TestProbeMinimalityLarge runs the probe on an instance far beyond the
+// exhaustive oracle's reach.
+func TestProbeMinimalityLarge(t *testing.T) {
+	lat := lattice.MustMLS("mls", []string{"U", "S", "TS"}, []string{"a", "b", "c", "d"})
+	s := workload.MustConstraints(lat, workload.ConstraintSpec{
+		Seed: 4, NumAttrs: 300, NumConstraints: 700, MaxLHS: 3,
+		LevelRHSFraction: 0.3, Cyclic: true,
+	})
+	res := MustSolve(s, Options{})
+	min, w, err := ProbeMinimality(s, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !min {
+		t.Fatalf("solver output not minimal: witness %+v", w)
+	}
+}
+
+// TestExplain checks binding-constraint reporting on the Figure 2
+// instance.
+func TestExplain(t *testing.T) {
+	f := constraint.NewFigure2()
+	res := MustSolve(f.Set, Options{})
+
+	// B sits at L5 because of its constant constraint (B, L5).
+	ex, err := Explain(f.Set, res.Assignment, f.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Bindings) == 0 {
+		t.Fatal("no bindings for B")
+	}
+	found := false
+	for _, b := range ex.Bindings {
+		if strings.Contains(b.Text, "B >= L5") {
+			found = true
+		}
+		if b.Constraint < 0 {
+			t.Errorf("binding without constraint index: %+v", b)
+		}
+	}
+	if !found {
+		t.Errorf("B's constant bound not among bindings: %+v", ex.Bindings)
+	}
+
+	// P at L1 is pinned by (P, L1).
+	ex, err = Explain(f.Set, res.Assignment, f.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Bindings) != 1 || !strings.Contains(ex.Bindings[0].Text, "P >= L1") {
+		t.Errorf("P bindings = %+v", ex.Bindings)
+	}
+
+	// Formatting.
+	out := FormatExplanation(f.Set, ex)
+	if !strings.Contains(out, "P = L1") || !strings.Contains(out, "cannot lower") {
+		t.Errorf("format = %q", out)
+	}
+
+	// An attribute at bottom explains trivially.
+	lat := lattice.MustChain("c", "lo", "hi")
+	s2 := constraint.NewSet(lat)
+	x := s2.MustAttr("x")
+	r2 := MustSolve(s2, Options{})
+	ex2, err := Explain(s2, r2.Assignment, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex2.Bindings) != 0 {
+		t.Errorf("bottom attribute has bindings: %+v", ex2.Bindings)
+	}
+	if !strings.Contains(FormatExplanation(s2, ex2), "bottom") {
+		t.Error("bottom formatting missing")
+	}
+}
+
+// TestExplainNonMinimal checks that Explain flags lowerable directions.
+func TestExplainNonMinimal(t *testing.T) {
+	lat := lattice.MustChain("c", "lo", "mid", "hi")
+	s := constraint.NewSet(lat)
+	a := s.MustAttr("a")
+	midLvl, _ := lat.ParseLevel("mid")
+	s.MustAdd([]constraint.Attr{a}, constraint.LevelRHS(midLvl))
+	if _, err := Explain(s, constraint.Assignment{lat.Top()}, a); err == nil {
+		t.Fatal("non-minimal assignment accepted")
+	}
+}

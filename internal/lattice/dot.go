@@ -1,0 +1,35 @@
+package lattice
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the Hasse diagram of an enumerable lattice in Graphviz
+// DOT format, top-ranked first, with an edge from each element to every
+// element it covers. The output is deterministic.
+func WriteDOT(w io.Writer, l Enumerable) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", l.Name())
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, e := range l.Elements() {
+		label := l.FormatLevel(e)
+		attrs := ""
+		switch e {
+		case l.Top():
+			attrs = ", style=filled, fillcolor=\"#ffdddd\""
+		case l.Bottom():
+			attrs = ", style=filled, fillcolor=\"#ddddff\""
+		}
+		fmt.Fprintf(&b, "  %q [label=%q%s];\n", label, label, attrs)
+	}
+	for _, e := range l.Elements() {
+		for _, c := range l.Covers(e) {
+			fmt.Fprintf(&b, "  %q -> %q;\n", l.FormatLevel(e), l.FormatLevel(c))
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,72 @@
+package lattice
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the lattice-description parser never panics and
+// that anything it accepts is a genuine lattice (validated with Check for
+// enumerable results).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"chain c\nlevels a b c",
+		"mls m\nlevels U TS\ncategories X Y",
+		"explicit e\nelements t b\ncover t b",
+		"semilattice s\nelements a b",
+		"explicit e\nelements a\ncover a a",
+		"chain c\nlevels a a",
+		"# only a comment",
+		"explicit e\nelements t m1 m2 b\ncover t m1 m2\ncover m1 b\ncover m2 b",
+		"cover x y",
+		"chain c\nchain d",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted: the basic laws must hold on a sample, and Check must
+		// pass for small enumerable lattices.
+		top, bot := l.Top(), l.Bottom()
+		if !l.Dominates(top, bot) {
+			t.Fatalf("accepted lattice where ⊤ does not dominate ⊥ (input %q)", input)
+		}
+		if l.Lub(top, bot) != top || l.Glb(top, bot) != bot {
+			t.Fatalf("extreme lub/glb wrong (input %q)", input)
+		}
+		if en, ok := l.(Enumerable); ok && len(en.Elements()) <= 32 {
+			if err := Check(en); err != nil {
+				t.Fatalf("accepted invalid lattice from %q: %v", input, err)
+			}
+		}
+	})
+}
+
+// FuzzMLSParseLevel checks level-literal parsing against a fixed MLS
+// lattice.
+func FuzzMLSParseLevel(f *testing.F) {
+	for _, seed := range []string{
+		"<TS,{Army}>", "<S,{}>", "S", "<TS,{Army,Nuclear}>",
+		"<,{}>", "<TS,{Nope}>", "<<>>", "",
+	} {
+		f.Add(seed)
+	}
+	m := FigureOneA()
+	f.Fuzz(func(t *testing.T, input string) {
+		l, err := m.ParseLevel(input)
+		if err != nil {
+			return
+		}
+		if !m.Contains(l) {
+			t.Fatalf("parsed level outside lattice from %q", input)
+		}
+		// Round-trip through the canonical form.
+		back, err := m.ParseLevel(m.FormatLevel(l))
+		if err != nil || back != l {
+			t.Fatalf("canonical round-trip failed for %q: %v", input, err)
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package lattice
+
+import (
+	"testing"
+
+	_ "embed"
+)
+
+// jiFixtures returns lattices exercising the join-irreducible encoding,
+// including the two canonical non-distributive lattices M3 and N5 where
+// code unions/intersections are not themselves codes.
+func jiFixtures(t *testing.T) map[string]*Explicit {
+	t.Helper()
+	m3, err := NewExplicit("M3",
+		[]string{"bot", "a", "b", "c", "top"},
+		map[string][]string{
+			"top": {"a", "b", "c"},
+			"a":   {"bot"}, "b": {"bot"}, "c": {"bot"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n5, err := NewExplicit("N5",
+		[]string{"bot", "a", "b", "c", "top"},
+		map[string][]string{
+			"top": {"a", "c"},
+			"a":   {"b"},
+			"b":   {"bot"},
+			"c":   {"bot"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainish, err := NewExplicit("chain3",
+		[]string{"lo", "mid", "hi"},
+		map[string][]string{"hi": {"mid"}, "mid": {"lo"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Explicit{
+		"figure1b": FigureOneB(),
+		"m3":       m3,
+		"n5":       n5,
+		"chain3":   chainish,
+	}
+}
+
+// TestJICodeAgreesWithExplicit differentially tests the encoding against
+// the closure-table operations on every element pair.
+func TestJICodeAgreesWithExplicit(t *testing.T) {
+	for name, base := range jiFixtures(t) {
+		j := MustJICode(base)
+		for _, a := range base.Elements() {
+			for _, b := range base.Elements() {
+				if j.Dominates(a, b) != base.Dominates(a, b) {
+					t.Errorf("%s: JI Dominates(%s,%s) disagrees", name,
+						base.FormatLevel(a), base.FormatLevel(b))
+				}
+				if got, want := j.Lub(a, b), base.Lub(a, b); got != want {
+					t.Errorf("%s: JI Lub(%s,%s)=%s want %s", name,
+						base.FormatLevel(a), base.FormatLevel(b),
+						base.FormatLevel(got), base.FormatLevel(want))
+				}
+				if got, want := j.Glb(a, b), base.Glb(a, b); got != want {
+					t.Errorf("%s: JI Glb(%s,%s)=%s want %s", name,
+						base.FormatLevel(a), base.FormatLevel(b),
+						base.FormatLevel(got), base.FormatLevel(want))
+				}
+			}
+		}
+	}
+}
+
+// TestJICodeCompactness checks the encoding is narrower than the closure
+// representation: the number of irreducibles is below the element count,
+// and codes grow with the order (monotone popcount).
+func TestJICodeCompactness(t *testing.T) {
+	base := FigureOneB()
+	j := MustJICode(base)
+	if j.NumIrreducibles() >= base.Size() {
+		t.Errorf("irreducibles = %d, elements = %d", j.NumIrreducibles(), base.Size())
+	}
+	if j.CodeWords() != 1 {
+		t.Errorf("code words = %d, want 1 for a 7-element lattice", j.CodeWords())
+	}
+	for _, a := range base.Elements() {
+		for _, b := range base.Elements() {
+			if base.Dominates(a, b) && j.PopCount(a) < j.PopCount(b) {
+				t.Errorf("popcount not monotone: %s vs %s",
+					base.FormatLevel(a), base.FormatLevel(b))
+			}
+		}
+	}
+	// Top's code has every irreducible; bottom's none.
+	if j.PopCount(base.Top()) != j.NumIrreducibles() {
+		t.Error("top code incomplete")
+	}
+	if j.PopCount(base.Bottom()) != 0 {
+		t.Error("bottom code non-empty")
+	}
+	if bits := j.SpaceBits(); bits <= 0 {
+		t.Errorf("space = %d", bits)
+	}
+	// Code returns a defensive copy.
+	c := j.Code(base.Top())
+	c[0] = 0
+	if j.PopCount(base.Top()) != j.NumIrreducibles() {
+		t.Error("Code leaked internal state")
+	}
+}
+
+// TestJICodeOneElement covers the degenerate lattice with no
+// irreducibles.
+func TestJICodeOneElement(t *testing.T) {
+	one, err := NewExplicit("one", []string{"x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJICode(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := one.Top()
+	if !j.Dominates(x, x) || j.Lub(x, x) != x || j.Glb(x, x) != x {
+		t.Error("one-element ops wrong")
+	}
+}

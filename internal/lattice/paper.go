@@ -1,0 +1,49 @@
+package lattice
+
+// This file provides the two example security lattices of Figure 1 of the
+// paper as ready-made fixtures. They are used throughout the tests, the
+// Figure 2 reproduction, and the examples.
+
+// FigureOneA returns the compartmented lattice of Figure 1(a): two
+// classification levels S < TS and two categories Army and Nuclear, giving
+// the eight access classes from <S,{}> up to <TS,{Army,Nuclear}>.
+func FigureOneA() *MLS {
+	return MustMLS("figure-1a", []string{"S", "TS"}, []string{"Army", "Nuclear"})
+}
+
+// FigureOneB returns the seven-element lattice of Figure 1(b), which is
+// also the lattice the worked example of Figure 2 runs on. Its Hasse
+// diagram (top to bottom, with cover lists in the paper's left-to-right
+// order) is:
+//
+//	   L6
+//	  /  \
+//	L5    L4
+//	 \   /  \
+//	  L3     L2
+//	   \    /
+//	    L1
+//	     |
+//	     1
+//
+// i.e. L6 covers {L5,L4}; L5 covers {L3}; L4 covers {L2,L3}; both L2 and
+// L3 cover {L1}; L1 covers the bottom element 1. This structure is
+// reconstructed from the constraints and the execution trace in Figure
+// 2(b): glb(L4,L5)=L3, L2 and L3 incomparable, L2 and L5 incomparable, and
+// the descent orders try L2 before L3 under L4.
+func FigureOneB() *Explicit {
+	e, err := NewExplicit("figure-1b",
+		[]string{"1", "L1", "L2", "L3", "L4", "L5", "L6"},
+		map[string][]string{
+			"L6": {"L5", "L4"},
+			"L5": {"L3"},
+			"L4": {"L2", "L3"},
+			"L3": {"L1"},
+			"L2": {"L1"},
+			"L1": {"1"},
+		})
+	if err != nil {
+		panic("lattice: FigureOneB fixture invalid: " + err.Error())
+	}
+	return e
+}

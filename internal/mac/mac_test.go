@@ -1,0 +1,205 @@
+package mac
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"minup/internal/constraint"
+	"minup/internal/core"
+	"minup/internal/lattice"
+	"minup/internal/workload"
+)
+
+func chain(t *testing.T) *lattice.Chain {
+	t.Helper()
+	return lattice.MustChain("mil", "U", "C", "S", "TS")
+}
+
+func lv(t *testing.T, l lattice.Lattice, n string) lattice.Level {
+	t.Helper()
+	x, err := l.ParseLevel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestMonitorBasics(t *testing.T) {
+	l := chain(t)
+	m := NewMonitor(l)
+	alice, err := m.NewSubject("alice", lv(t, l, "S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sessions at or below clearance only.
+	if _, err := m.Login(alice, lv(t, l, "TS")); err == nil {
+		t.Error("login above clearance accepted")
+	}
+	sess, err := m.Login(alice, lv(t, l, "C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simple security: read down yes, read up no.
+	if !m.CheckRead(sess, "memo", lv(t, l, "U")).Allowed {
+		t.Error("read down denied")
+	}
+	if m.CheckRead(sess, "warplan", lv(t, l, "S")).Allowed {
+		t.Error("read up allowed")
+	}
+	// ⋆-property: write up yes, write down no.
+	if !m.CheckWrite(sess, "report", lv(t, l, "S")).Allowed {
+		t.Error("write up denied")
+	}
+	if m.CheckWrite(sess, "bulletin", lv(t, l, "U")).Allowed {
+		t.Error("write down allowed")
+	}
+
+	audit := m.Audit()
+	if len(audit) != 4 {
+		t.Fatalf("audit = %d entries", len(audit))
+	}
+	if d := m.Denials(); len(d) != 2 {
+		t.Fatalf("denials = %d", len(d))
+	}
+
+	if _, err := m.NewSubject("x", lattice.Level(999999)); err == nil {
+		t.Error("foreign clearance accepted")
+	}
+}
+
+// TestFlowSimNoLeak is the end-to-end leakage argument: label a random
+// constraint instance minimally, run thousands of random monitored
+// reads/writes by subjects at every level, and verify no object's taint
+// ever contains a source above its level.
+func TestFlowSimNoLeak(t *testing.T) {
+	lats := map[string]lattice.Lattice{
+		"chain":    chain(t),
+		"figure1a": lattice.FigureOneA(),
+	}
+	for name, l := range lats {
+		for seed := int64(0); seed < 10; seed++ {
+			s := workload.MustConstraints(l, workload.ConstraintSpec{
+				Seed: seed, NumAttrs: 12, NumConstraints: 24, MaxLHS: 3,
+				LevelRHSFraction: 0.4, Cyclic: true,
+			})
+			res := core.MustSolve(s, core.Options{})
+			levels := make(map[string]lattice.Level, s.NumAttrs())
+			for _, a := range s.Attrs() {
+				levels[s.AttrName(a)] = res.Assignment[a]
+			}
+
+			mon := NewMonitor(l)
+			sim := NewFlowSim(mon, levels)
+			// One actor per distinct level in use plus top and bottom.
+			distinct := map[lattice.Level]bool{l.Top(): true, l.Bottom(): true}
+			for _, lvl := range levels {
+				distinct[lvl] = true
+			}
+			var actorLevels []lattice.Level
+			for lvl := range distinct {
+				actorLevels = append(actorLevels, lvl)
+			}
+			sort.Slice(actorLevels, func(i, j int) bool { return actorLevels[i] < actorLevels[j] })
+			var actors []*Actor
+			for i, lvl := range actorLevels {
+				sub, err := mon.NewSubject(string(rune('a'+i)), lvl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess, err := mon.Login(sub, lvl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				actors = append(actors, sim.NewActor(sess))
+			}
+			rng := rand.New(rand.NewSource(seed))
+			allowed := sim.Run(rng, actors, 4000)
+			if allowed == 0 {
+				t.Fatalf("%s seed=%d: simulation permitted nothing", name, seed)
+			}
+			if leaks := sim.Check(); leaks != nil {
+				t.Fatalf("%s seed=%d: leaks: %v", name, seed, leaks)
+			}
+		}
+	}
+}
+
+// TestFlowSimDetectsBypass shows the invariant checker works: writing
+// around the monitor (simulated by mislabeling) is caught.
+func TestFlowSimDetectsBypass(t *testing.T) {
+	l := chain(t)
+	mon := NewMonitor(l)
+	levels := map[string]lattice.Level{
+		"high": lv(t, l, "TS"),
+		"low":  lv(t, l, "U"),
+	}
+	sim := NewFlowSim(mon, levels)
+	// Bypass: directly taint the low object with the high one.
+	sim.taint["low"]["high"] = true
+	leaks := sim.Check()
+	if len(leaks) != 1 {
+		t.Fatalf("leaks = %v", leaks)
+	}
+}
+
+// TestFlowSimUnknownObjectPanics pins the programming-error behavior.
+func TestFlowSimUnknownObjectPanics(t *testing.T) {
+	l := chain(t)
+	mon := NewMonitor(l)
+	sim := NewFlowSim(mon, map[string]lattice.Level{"x": l.Bottom()})
+	sub, _ := mon.NewSubject("s", l.Top())
+	sess, _ := mon.Login(sub, l.Top())
+	a := sim.NewActor(sess)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sim.Read(a, "nope")
+}
+
+// TestOpenChannelLeaksWithoutConstraint is the punchline test: with the
+// FD-induced inference constraint omitted, the "inference" (modeled as a
+// permitted derived write by a cleared subject) contaminates a low object;
+// with the constraint enforced by the solver, the channel disappears
+// because the deriving object is labeled high enough.
+func TestOpenChannelLeaksWithoutConstraint(t *testing.T) {
+	l := chain(t)
+	secret := lv(t, l, "S")
+
+	build := func(withInference bool) map[string]lattice.Level {
+		s := constraint.NewSet(l)
+		diag := s.MustAttr("diagnosis")
+		treat := s.MustAttr("treatment")
+		s.MustAdd([]constraint.Attr{diag}, constraint.LevelRHS(secret))
+		if withInference {
+			// treatment reveals diagnosis.
+			s.MustAdd([]constraint.Attr{treat}, constraint.AttrRHS(diag))
+		}
+		res := core.MustSolve(s, core.Options{})
+		return map[string]lattice.Level{
+			"diagnosis": res.Assignment[diag],
+			"treatment": res.Assignment[treat],
+		}
+	}
+
+	// Without the constraint, treatment is labeled U: a cleared insider
+	// session at U... cannot read diagnosis. The leak happens *outside*
+	// the monitor: domain knowledge lets anyone who reads treatment infer
+	// diagnosis. Model: the dependency taints treatment with diagnosis at
+	// setup (the data is correlated by the world, not by an access).
+	check := func(levels map[string]lattice.Level) []string {
+		mon := NewMonitor(l)
+		sim := NewFlowSim(mon, levels)
+		sim.taint["treatment"]["diagnosis"] = true // the real-world FD
+		return sim.Check()
+	}
+	if leaks := check(build(false)); len(leaks) == 0 {
+		t.Fatal("missing inference constraint should leave an open channel")
+	}
+	if leaks := check(build(true)); leaks != nil {
+		t.Fatalf("solver labeling left the channel open: %v", leaks)
+	}
+}

@@ -1,0 +1,134 @@
+package mlsdb
+
+import (
+	"fmt"
+
+	"minup/internal/lattice"
+)
+
+// This file provides the two worked schemas used by the E10 experiment and
+// the runnable examples: a hospital database whose functional dependencies
+// open inference channels into patient diagnoses, and a military logistics
+// database over a compartmented lattice with association constraints.
+
+// HospitalFixture bundles the hospital scenario.
+type HospitalFixture struct {
+	Lattice *lattice.Chain
+	Schema  *Schema
+	Reqs    []Requirement
+	Assocs  []Association
+}
+
+// Hospital builds the hospital scenario: patients, their ward and treating
+// doctor, and diagnoses. Diagnosis is Confidential; the paper's §1 example
+// of inference — a functional dependency from observable attributes to a
+// protected one — appears as treatment → diagnosis and
+// (ward, doctor) → diagnosis: anyone who can read a patient's ward and
+// doctor could infer the diagnosis unless the labeling closes the channel.
+func Hospital() (*HospitalFixture, error) {
+	lat, err := lattice.NewChain("hospital", "Public", "Staff", "Confidential", "Restricted")
+	if err != nil {
+		return nil, err
+	}
+	s := NewSchema(lat)
+	if _, err := s.AddRelation("patient",
+		[]string{"patient_id", "name", "ward", "doctor", "treatment", "diagnosis"},
+		[]string{"patient_id"}); err != nil {
+		return nil, err
+	}
+	if _, err := s.AddRelation("doctor",
+		[]string{"doctor_id", "name", "specialty"},
+		[]string{"doctor_id"}); err != nil {
+		return nil, err
+	}
+	if err := s.AddForeignKey("patient", []string{"doctor"}, "doctor"); err != nil {
+		return nil, err
+	}
+	// Inference channels: the treatment determines the diagnosis, and so
+	// does the (ward, doctor) pair in this small hospital.
+	if err := s.AddFD("patient", []string{"treatment"}, []string{"diagnosis"}); err != nil {
+		return nil, err
+	}
+	if err := s.AddFD("patient", []string{"ward", "doctor"}, []string{"diagnosis"}); err != nil {
+		return nil, err
+	}
+	// A doctor's specialty reveals the kind of conditions they treat.
+	if err := s.AddFD("doctor", []string{"specialty"}, []string{"name"}); err != nil {
+		return nil, err
+	}
+	lv := func(n string) lattice.Level {
+		l, err := lat.ParseLevel(n)
+		if err != nil {
+			panic(fmt.Sprintf("mlsdb: hospital fixture: %v", err))
+		}
+		return l
+	}
+	reqs := []Requirement{
+		{Rel: "patient", Attr: "diagnosis", Level: lv("Confidential")},
+		{Rel: "patient", Attr: "name", Level: lv("Staff")},
+		{Rel: "doctor", Attr: "name", Level: lv("Public")},
+		// The ward list is published on every floor: visibility guarantee.
+		{Rel: "patient", Attr: "ward", Level: lv("Staff"), Upper: true},
+	}
+	assocs := []Association{
+		// Name and diagnosis together are more sensitive than either alone.
+		{Rel: "patient", Attrs: []string{"name", "diagnosis"}, Level: lv("Restricted")},
+	}
+	return &HospitalFixture{Lattice: lat, Schema: s, Reqs: reqs, Assocs: assocs}, nil
+}
+
+// LogisticsFixture bundles the military logistics scenario.
+type LogisticsFixture struct {
+	Lattice *lattice.MLS
+	Schema  *Schema
+	Reqs    []Requirement
+	Assocs  []Association
+}
+
+// Logistics builds a compartmented military logistics scenario over the
+// lattice shape of Figure 1(a): shipments of materiel between depots, with
+// Army and Nuclear compartments. Individually unclassified fields become
+// sensitive in association (route + cargo), the motivating pattern for
+// association constraints.
+func Logistics() (*LogisticsFixture, error) {
+	lat, err := lattice.NewMLS("logistics",
+		[]string{"U", "S", "TS"},
+		[]string{"Army", "Nuclear"})
+	if err != nil {
+		return nil, err
+	}
+	s := NewSchema(lat)
+	if _, err := s.AddRelation("depot",
+		[]string{"depot_id", "location", "commander"},
+		[]string{"depot_id"}); err != nil {
+		return nil, err
+	}
+	if _, err := s.AddRelation("shipment",
+		[]string{"shipment_id", "origin", "destination", "cargo", "schedule"},
+		[]string{"shipment_id"}); err != nil {
+		return nil, err
+	}
+	if err := s.AddForeignKey("shipment", []string{"origin"}, "depot"); err != nil {
+		return nil, err
+	}
+	if err := s.AddForeignKey("shipment", []string{"destination"}, "depot"); err != nil {
+		return nil, err
+	}
+	// The schedule determines the cargo type in this fleet.
+	if err := s.AddFD("shipment", []string{"schedule"}, []string{"cargo"}); err != nil {
+		return nil, err
+	}
+	reqs := []Requirement{
+		{Rel: "shipment", Attr: "cargo", Level: lat.MustLevel("S", "Nuclear")},
+		{Rel: "depot", Attr: "commander", Level: lat.MustLevel("S", "Army")},
+	}
+	assocs := []Association{
+		// Origin and destination together reveal the route.
+		{Rel: "shipment", Attrs: []string{"origin", "destination"},
+			Level: lat.MustLevel("S", "Army")},
+		// Cargo plus schedule together are top secret nuclear.
+		{Rel: "shipment", Attrs: []string{"cargo", "schedule"},
+			Level: lat.MustLevel("TS", "Nuclear")},
+	}
+	return &LogisticsFixture{Lattice: lat, Schema: s, Reqs: reqs, Assocs: assocs}, nil
+}

@@ -1,0 +1,383 @@
+package mlsdb
+
+import (
+	"strings"
+	"testing"
+
+	"minup/internal/baseline"
+	"minup/internal/core"
+	"minup/internal/lattice"
+)
+
+func TestSchemaValidation(t *testing.T) {
+	lat := lattice.MustChain("c", "lo", "hi")
+	s := NewSchema(lat)
+	if _, err := s.AddRelation("", []string{"a"}, []string{"a"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := s.AddRelation("r", nil, nil); err == nil {
+		t.Error("no attributes accepted")
+	}
+	if _, err := s.AddRelation("r", []string{"a", "a"}, []string{"a"}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := s.AddRelation("r", []string{"a"}, nil); err == nil {
+		t.Error("missing key accepted")
+	}
+	if _, err := s.AddRelation("r", []string{"a"}, []string{"z"}); err == nil {
+		t.Error("unknown key accepted")
+	}
+	s.MustAddRelation("r", []string{"a", "b"}, []string{"a"})
+	if _, err := s.AddRelation("r", []string{"a"}, []string{"a"}); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if err := s.AddFD("nope", []string{"a"}, []string{"b"}); err == nil {
+		t.Error("FD on unknown relation accepted")
+	}
+	if err := s.AddFD("r", []string{"a"}, []string{"zz"}); err == nil {
+		t.Error("FD on unknown attribute accepted")
+	}
+	if err := s.AddFD("r", nil, []string{"b"}); err == nil {
+		t.Error("one-sided FD accepted")
+	}
+	if err := s.AddMVD("r", []string{"a"}, []string{"zz"}); err == nil {
+		t.Error("bad MVD accepted")
+	}
+	if err := s.AddForeignKey("r", []string{"b"}, "nope"); err == nil {
+		t.Error("FK to unknown relation accepted")
+	}
+	s.MustAddRelation("r2", []string{"x", "y"}, []string{"x", "y"})
+	if err := s.AddForeignKey("r", []string{"b"}, "r2"); err == nil {
+		t.Error("FK arity mismatch accepted")
+	}
+}
+
+func TestConstraintGeneration(t *testing.T) {
+	lat := lattice.MustChain("c", "Public", "Secret")
+	s := NewSchema(lat)
+	s.MustAddRelation("emp", []string{"id", "dept", "name", "salary"}, []string{"id", "dept"})
+	if err := s.AddFD("emp", []string{"name"}, []string{"salary"}); err != nil {
+		t.Fatal(err)
+	}
+	secret, _ := lat.ParseLevel("Secret")
+	set, err := s.Constraints(
+		[]Requirement{{Rel: "emp", Attr: "salary", Level: secret}},
+		[]Association{{Rel: "emp", Attrs: []string{"name", "dept"}, Level: secret}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected constraints: key cycle id≥dept≥id (2), non-key name,salary
+	// ≥ id (2), FD name≥salary (1), requirement (1), association (1).
+	if got := len(set.Constraints()); got != 7 {
+		for _, c := range set.Constraints() {
+			t.Log(set.Format(c))
+		}
+		t.Fatalf("generated %d constraints, want 7", got)
+	}
+
+	res := core.MustSolve(set, core.Options{})
+	lab, err := s.ApplyAssignment(set, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The FD pulls name up to salary's Secret; keys uniform and below all.
+	for _, tc := range []struct {
+		attr, want string
+	}{
+		{"salary", "Secret"}, {"name", "Secret"},
+		{"id", "Public"}, {"dept", "Public"},
+	} {
+		lvl, ok := lab.Level("emp", tc.attr)
+		if !ok {
+			t.Fatalf("no level for %s", tc.attr)
+		}
+		if got := lat.FormatLevel(lvl); got != tc.want {
+			t.Errorf("emp.%s = %s, want %s", tc.attr, got, tc.want)
+		}
+	}
+	if open := s.CheckInferenceClosed(lab); open != nil {
+		t.Errorf("open channels: %v", open)
+	}
+	// Minimality of the schema labeling.
+	min, err := baseline.IsMinimal(set, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !min {
+		t.Error("schema labeling not minimal")
+	}
+}
+
+func TestKeyUniformity(t *testing.T) {
+	lat := lattice.MustChain("c", "lo", "mid", "hi")
+	s := NewSchema(lat)
+	s.MustAddRelation("r", []string{"k1", "k2", "v"}, []string{"k1", "k2"})
+	mid, _ := lat.ParseLevel("mid")
+	set, err := s.Constraints([]Requirement{{Rel: "r", Attr: "k1", Level: mid}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.MustSolve(set, core.Options{})
+	lab, _ := s.ApplyAssignment(set, res.Assignment)
+	l1, _ := lab.Level("r", "k1")
+	l2, _ := lab.Level("r", "k2")
+	lv, _ := lab.Level("r", "v")
+	if l1 != l2 {
+		t.Errorf("key not uniform: %s vs %s", lat.FormatLevel(l1), lat.FormatLevel(l2))
+	}
+	if !lat.Dominates(lv, l1) {
+		t.Errorf("non-key %s below key %s", lat.FormatLevel(lv), lat.FormatLevel(l1))
+	}
+}
+
+func TestReferentialIntegrityConstraint(t *testing.T) {
+	lat := lattice.MustChain("c", "lo", "hi")
+	s := NewSchema(lat)
+	s.MustAddRelation("dept", []string{"dept_id", "name"}, []string{"dept_id"})
+	s.MustAddRelation("emp", []string{"emp_id", "dept"}, []string{"emp_id"})
+	if err := s.AddForeignKey("emp", []string{"dept"}, "dept"); err != nil {
+		t.Fatal(err)
+	}
+	hi, _ := lat.ParseLevel("hi")
+	set, err := s.Constraints([]Requirement{{Rel: "dept", Attr: "dept_id", Level: hi}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.MustSolve(set, core.Options{})
+	lab, _ := s.ApplyAssignment(set, res.Assignment)
+	fk, _ := lab.Level("emp", "dept")
+	ref, _ := lab.Level("dept", "dept_id")
+	if !lat.Dominates(fk, ref) {
+		t.Errorf("foreign key %s does not dominate referenced key %s",
+			lat.FormatLevel(fk), lat.FormatLevel(ref))
+	}
+}
+
+func TestRequirementValidation(t *testing.T) {
+	lat := lattice.MustChain("c", "lo", "hi")
+	s := NewSchema(lat)
+	s.MustAddRelation("r", []string{"a"}, []string{"a"})
+	if _, err := s.Constraints([]Requirement{{Rel: "zz", Attr: "a", Level: lat.Top()}}, nil); err == nil {
+		t.Error("requirement on unknown relation accepted")
+	}
+	if _, err := s.Constraints(nil, []Association{{Rel: "r", Attrs: []string{"zz"}, Level: lat.Top()}}); err == nil {
+		t.Error("association on unknown attribute accepted")
+	}
+}
+
+func TestHospitalEndToEnd(t *testing.T) {
+	fx, err := Hospital()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := fx.Schema.Constraints(fx.Reqs, fx.Assocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := set.Violations(res.Assignment); v != nil {
+		t.Fatalf("violations: %v", v)
+	}
+	lab, err := fx.Schema.ApplyAssignment(set, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open := fx.Schema.CheckInferenceClosed(lab); open != nil {
+		t.Fatalf("open inference channels: %v", open)
+	}
+	lat := fx.Lattice
+	conf, _ := lat.ParseLevel("Confidential")
+	diag, _ := lab.Level("patient", "diagnosis")
+	if !lat.Dominates(diag, conf) {
+		t.Errorf("diagnosis = %s, want ≥ Confidential", lat.FormatLevel(diag))
+	}
+	// The FD treatment→diagnosis must have pulled treatment up.
+	treat, _ := lab.Level("patient", "treatment")
+	if !lat.Dominates(treat, diag) {
+		t.Errorf("treatment %s does not cover diagnosis %s",
+			lat.FormatLevel(treat), lat.FormatLevel(diag))
+	}
+	// The visibility guarantee on ward held.
+	staff, _ := lat.ParseLevel("Staff")
+	ward, _ := lab.Level("patient", "ward")
+	if !lat.Dominates(staff, ward) {
+		t.Errorf("ward = %s exceeds its Staff ceiling", lat.FormatLevel(ward))
+	}
+
+	// Storage engine: a Staff subject must not see diagnoses.
+	store := NewStore(fx.Schema, lab)
+	restricted, _ := lat.ParseLevel("Restricted")
+	if err := store.Insert("patient", restricted, map[string]string{
+		"patient_id": "p1", "name": "Ada", "ward": "W3",
+		"doctor": "d1", "treatment": "chemo", "diagnosis": "leukemia",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := store.Select("patient", staff, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The key patient_id is labeled at the key level; tuple class is
+	// Restricted (the writer), so a Staff subject cannot even see the row.
+	if len(rows) != 0 {
+		t.Fatalf("staff subject sees %d restricted rows: %v", len(rows), rows)
+	}
+	rows, err = store.Select("patient", restricted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["diagnosis"] != "leukemia" {
+		t.Fatalf("restricted subject rows: %v", rows)
+	}
+}
+
+func TestLogisticsEndToEnd(t *testing.T) {
+	fx, err := Logistics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := fx.Schema.Constraints(fx.Reqs, fx.Assocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := set.Violations(res.Assignment); v != nil {
+		t.Fatalf("violations: %v", v)
+	}
+	lab, _ := fx.Schema.ApplyAssignment(set, res.Assignment)
+	if open := fx.Schema.CheckInferenceClosed(lab); open != nil {
+		t.Fatalf("open channels: %v", open)
+	}
+	lat := fx.Lattice
+	// Association cargo+schedule ≥ <TS,{Nuclear}>.
+	cargo, _ := lab.Level("shipment", "cargo")
+	sched, _ := lab.Level("shipment", "schedule")
+	if !lat.Dominates(lat.Lub(cargo, sched), lat.MustLevel("TS", "Nuclear")) {
+		t.Errorf("cargo+schedule = %s, below TS Nuclear",
+			lat.FormatLevel(lat.Lub(cargo, sched)))
+	}
+}
+
+func TestStoreWriteControl(t *testing.T) {
+	lat := lattice.MustChain("c", "lo", "hi")
+	s := NewSchema(lat)
+	s.MustAddRelation("r", []string{"k", "v"}, []string{"k"})
+	hi, _ := lat.ParseLevel("hi")
+	lo, _ := lat.ParseLevel("lo")
+	set, _ := s.Constraints([]Requirement{{Rel: "r", Attr: "v", Level: hi}}, nil)
+	res := core.MustSolve(set, core.Options{})
+	lab, _ := s.ApplyAssignment(set, res.Assignment)
+	st := NewStore(s, lab)
+
+	// A low subject cannot write the high attribute.
+	if err := st.Insert("r", lo, map[string]string{"k": "1", "v": "x"}); err == nil {
+		t.Error("low write of high cell accepted")
+	}
+	// But may write the key alone.
+	if err := st.Insert("r", lo, map[string]string{"k": "1"}); err != nil {
+		t.Errorf("key-only low insert rejected: %v", err)
+	}
+	if err := st.Insert("r", hi, map[string]string{"k": "1", "v": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// Polyinstantiation: same key at two classes.
+	poly, err := st.Polyinstantiated("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poly) != 1 {
+		t.Fatalf("polyinstantiated keys = %v", poly)
+	}
+	// Same-class reinsert replaces.
+	if err := st.Insert("r", hi, map[string]string{"k": "1", "v": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if st.TupleCount("r") != 2 {
+		t.Errorf("tuples = %d, want 2", st.TupleCount("r"))
+	}
+	rows, _ := st.Select("r", hi, []string{"v"})
+	found := false
+	for _, row := range rows {
+		if row["v"] == "y" {
+			found = true
+		}
+		if row["v"] == "x" {
+			t.Error("replaced tuple still visible")
+		}
+	}
+	if !found {
+		t.Error("replacement not visible")
+	}
+	// Low subject sees only the low variant, with v masked.
+	rows, _ = st.Select("r", lo, nil)
+	if len(rows) != 1 {
+		t.Fatalf("low subject rows: %v", rows)
+	}
+	if _, ok := rows[0]["v"]; ok {
+		t.Error("low subject sees high cell")
+	}
+
+	// Unknown relation / attribute errors.
+	if err := st.Insert("zz", hi, map[string]string{"k": "1"}); err == nil {
+		t.Error("unknown relation insert accepted")
+	}
+	if err := st.Insert("r", hi, map[string]string{"k": "1", "zz": "1"}); err == nil {
+		t.Error("unknown attribute insert accepted")
+	}
+	if err := st.Insert("r", hi, map[string]string{"v": "1"}); err == nil {
+		t.Error("missing key insert accepted")
+	}
+	if _, err := st.Select("zz", hi, nil); err == nil {
+		t.Error("unknown relation select accepted")
+	}
+	if _, err := st.Select("r", hi, []string{"zz"}); err == nil {
+		t.Error("unknown attribute select accepted")
+	}
+	if _, err := st.Polyinstantiated("zz"); err == nil {
+		t.Error("unknown relation poly check accepted")
+	}
+}
+
+func TestOpenChannelDetection(t *testing.T) {
+	// A deliberately bad labeling must be flagged.
+	lat := lattice.MustChain("c", "lo", "hi")
+	s := NewSchema(lat)
+	s.MustAddRelation("r", []string{"k", "x", "y"}, []string{"k"})
+	if err := s.AddFD("r", []string{"x"}, []string{"y"}); err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := lat.ParseLevel("lo")
+	hi, _ := lat.ParseLevel("hi")
+	bad := &Labeling{lat: lat, levels: map[string]lattice.Level{
+		"r.k": lo, "r.x": lo, "r.y": hi,
+	}}
+	open := s.CheckInferenceClosed(bad)
+	if len(open) != 1 || !strings.Contains(open[0], "FD") {
+		t.Fatalf("open = %v", open)
+	}
+}
+
+func TestConstraintAttrCollision(t *testing.T) {
+	// Qualified names must not collide with lattice level names.
+	lat := lattice.MustChain("c", "lo", "hi")
+	s := NewSchema(lat)
+	s.MustAddRelation("r", []string{"a"}, []string{"a"})
+	set, err := s.Constraints(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := set.AttrByName("r.a"); !ok {
+		t.Error("qualified attribute missing")
+	}
+	// The generated set with no requirements solves to all-bottom.
+	res := core.MustSolve(set, core.Options{})
+	if res.Assignment[0] != lat.Bottom() {
+		t.Error("unconstrained schema should label at bottom")
+	}
+}

@@ -1,0 +1,216 @@
+package mlsdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"minup/internal/lattice"
+)
+
+// ParseSchema reads a schema description plus explicit requirements in a
+// line-oriented text format. Blank lines and '#' comments are ignored.
+// Directives:
+//
+//	relation patient(patient_id, name, ward, doctor, diagnosis) key(patient_id)
+//	fd  patient: treatment -> diagnosis
+//	fd  patient: ward, doctor -> diagnosis
+//	mvd patient: ward -> doctor
+//	fk  patient(doctor) -> doctor
+//	require patient.diagnosis >= Confidential
+//	require Staff >= patient.ward            # upper bound
+//	assoc patient(name, diagnosis) >= Restricted
+//
+// Level literals use the lattice's own syntax. The parse returns the
+// schema together with the requirement and association lists ready for
+// Schema.Constraints.
+func ParseSchema(lat lattice.Lattice, r io.Reader) (*Schema, []Requirement, []Association, error) {
+	s := NewSchema(lat)
+	var reqs []Requirement
+	var assocs []Association
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("line %d: %s", lineno, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		directive, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch directive {
+		case "relation":
+			name, attrs, key, err := parseRelationDecl(rest)
+			if err != nil {
+				return nil, nil, nil, fail("%v", err)
+			}
+			if _, err := s.AddRelation(name, attrs, key); err != nil {
+				return nil, nil, nil, fail("%v", err)
+			}
+		case "fd", "mvd":
+			rel, det, dep, err := parseDependency(rest)
+			if err != nil {
+				return nil, nil, nil, fail("%v", err)
+			}
+			if directive == "fd" {
+				err = s.AddFD(rel, det, dep)
+			} else {
+				err = s.AddMVD(rel, det, dep)
+			}
+			if err != nil {
+				return nil, nil, nil, fail("%v", err)
+			}
+		case "fk":
+			rel, attrs, ref, err := parseForeignKey(rest)
+			if err != nil {
+				return nil, nil, nil, fail("%v", err)
+			}
+			if err := s.AddForeignKey(rel, attrs, ref); err != nil {
+				return nil, nil, nil, fail("%v", err)
+			}
+		case "require":
+			req, err := parseRequirement(lat, rest)
+			if err != nil {
+				return nil, nil, nil, fail("%v", err)
+			}
+			reqs = append(reqs, req)
+		case "assoc":
+			as, err := parseAssociation(lat, rest)
+			if err != nil {
+				return nil, nil, nil, fail("%v", err)
+			}
+			assocs = append(assocs, as)
+		default:
+			return nil, nil, nil, fail("unknown directive %q", directive)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+	return s, reqs, assocs, nil
+}
+
+// parseRelationDecl parses `name(a, b, c) key(a, b)`.
+func parseRelationDecl(text string) (name string, attrs, key []string, err error) {
+	open := strings.Index(text, "(")
+	if open < 0 {
+		return "", nil, nil, fmt.Errorf("relation declaration %q missing attribute list", text)
+	}
+	name = strings.TrimSpace(text[:open])
+	closeIdx := strings.Index(text, ")")
+	if closeIdx < open {
+		return "", nil, nil, fmt.Errorf("relation declaration %q missing ')'", text)
+	}
+	attrs = splitList(text[open+1 : closeIdx])
+	rest := strings.TrimSpace(text[closeIdx+1:])
+	if !strings.HasPrefix(rest, "key(") || !strings.HasSuffix(rest, ")") {
+		return "", nil, nil, fmt.Errorf("relation declaration %q missing key(...)", text)
+	}
+	key = splitList(rest[len("key(") : len(rest)-1])
+	return name, attrs, key, nil
+}
+
+// parseDependency parses `rel: a, b -> c, d`.
+func parseDependency(text string) (rel string, det, dep []string, err error) {
+	relPart, rest, ok := strings.Cut(text, ":")
+	if !ok {
+		return "", nil, nil, fmt.Errorf("dependency %q missing relation prefix", text)
+	}
+	left, right, ok := strings.Cut(rest, "->")
+	if !ok {
+		return "", nil, nil, fmt.Errorf("dependency %q missing '->'", text)
+	}
+	return strings.TrimSpace(relPart), splitList(left), splitList(right), nil
+}
+
+// parseForeignKey parses `rel(a, b) -> ref`.
+func parseForeignKey(text string) (rel string, attrs []string, ref string, err error) {
+	left, right, ok := strings.Cut(text, "->")
+	if !ok {
+		return "", nil, "", fmt.Errorf("foreign key %q missing '->'", text)
+	}
+	left = strings.TrimSpace(left)
+	open := strings.Index(left, "(")
+	if open < 0 || !strings.HasSuffix(left, ")") {
+		return "", nil, "", fmt.Errorf("foreign key %q missing attribute list", text)
+	}
+	return strings.TrimSpace(left[:open]), splitList(left[open+1 : len(left)-1]),
+		strings.TrimSpace(right), nil
+}
+
+// parseRequirement parses `rel.attr >= LEVEL` or `LEVEL >= rel.attr`.
+func parseRequirement(lat lattice.Lattice, text string) (Requirement, error) {
+	left, right, ok := strings.Cut(text, ">=")
+	if !ok {
+		return Requirement{}, fmt.Errorf("requirement %q missing '>='", text)
+	}
+	left, right = strings.TrimSpace(left), strings.TrimSpace(right)
+	if rel, attr, ok := cutQualified(left); ok {
+		lvl, err := lat.ParseLevel(right)
+		if err != nil {
+			return Requirement{}, fmt.Errorf("requirement %q: %v", text, err)
+		}
+		return Requirement{Rel: rel, Attr: attr, Level: lvl}, nil
+	}
+	// Upper bound: LEVEL >= rel.attr.
+	lvl, err := lat.ParseLevel(left)
+	if err != nil {
+		return Requirement{}, fmt.Errorf("requirement %q: left side is neither rel.attr nor a level (%v)", text, err)
+	}
+	rel, attr, ok := cutQualified(right)
+	if !ok {
+		return Requirement{}, fmt.Errorf("requirement %q: right side must be rel.attr", text)
+	}
+	return Requirement{Rel: rel, Attr: attr, Level: lvl, Upper: true}, nil
+}
+
+// parseAssociation parses `rel(a, b, c) >= LEVEL`.
+func parseAssociation(lat lattice.Lattice, text string) (Association, error) {
+	left, right, ok := strings.Cut(text, ">=")
+	if !ok {
+		return Association{}, fmt.Errorf("association %q missing '>='", text)
+	}
+	left = strings.TrimSpace(left)
+	open := strings.Index(left, "(")
+	if open < 0 || !strings.HasSuffix(left, ")") {
+		return Association{}, fmt.Errorf("association %q missing attribute list", text)
+	}
+	lvl, err := lat.ParseLevel(strings.TrimSpace(right))
+	if err != nil {
+		return Association{}, fmt.Errorf("association %q: %v", text, err)
+	}
+	return Association{
+		Rel:   strings.TrimSpace(left[:open]),
+		Attrs: splitList(left[open+1 : len(left)-1]),
+		Level: lvl,
+	}, nil
+}
+
+// cutQualified splits "rel.attr"; level literals containing dots are
+// disambiguated by requiring both halves to be non-empty identifiers
+// without lattice syntax characters.
+func cutQualified(s string) (rel, attr string, ok bool) {
+	rel, attr, found := strings.Cut(s, ".")
+	if !found || rel == "" || attr == "" {
+		return "", "", false
+	}
+	if strings.ContainsAny(rel, "<>{},( ") || strings.ContainsAny(attr, "<>{},( ") {
+		return "", "", false
+	}
+	return rel, attr, true
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package mlsdb
+
+import (
+	"strings"
+	"testing"
+
+	"minup/internal/core"
+	"minup/internal/lattice"
+)
+
+const hospitalSchemaText = `
+# hospital schema
+relation patient(patient_id, name, ward, doctor, treatment, diagnosis) key(patient_id)
+relation doctor(doctor_id, name, specialty) key(doctor_id)
+
+fk patient(doctor) -> doctor
+
+fd  patient: treatment -> diagnosis
+fd  patient: ward, doctor -> diagnosis
+mvd patient: treatment -> ward
+
+require patient.diagnosis >= Confidential
+require patient.name >= Staff
+require Staff >= patient.ward
+assoc patient(name, diagnosis) >= Restricted
+`
+
+func TestParseSchema(t *testing.T) {
+	lat := lattice.MustChain("hospital", "Public", "Staff", "Confidential", "Restricted")
+	s, reqs, assocs, err := ParseSchema(lat, strings.NewReader(hospitalSchemaText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Relations()) != 2 {
+		t.Fatalf("relations = %d", len(s.Relations()))
+	}
+	pat, ok := s.Relation("patient")
+	if !ok || len(pat.Attrs) != 6 || len(pat.Key) != 1 {
+		t.Fatalf("patient shape: %+v", pat)
+	}
+	if len(pat.FDs) != 2 || len(pat.MVDs) != 1 || len(pat.ForeignKey) != 1 {
+		t.Fatalf("dependency counts: %d fd, %d mvd, %d fk",
+			len(pat.FDs), len(pat.MVDs), len(pat.ForeignKey))
+	}
+	if len(pat.FDs[1].Determinant) != 2 {
+		t.Fatalf("second FD determinant: %v", pat.FDs[1].Determinant)
+	}
+	if len(reqs) != 3 || len(assocs) != 1 {
+		t.Fatalf("reqs=%d assocs=%d", len(reqs), len(assocs))
+	}
+	var uppers int
+	for _, r := range reqs {
+		if r.Upper {
+			uppers++
+			if r.Attr != "ward" {
+				t.Errorf("upper bound on %s", r.Attr)
+			}
+		}
+	}
+	if uppers != 1 {
+		t.Fatalf("uppers = %d", uppers)
+	}
+
+	// The parsed schema solves end to end with channels closed.
+	set, err := s.Constraints(reqs, assocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := s.ApplyAssignment(set, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open := s.CheckInferenceClosed(lab); open != nil {
+		t.Fatalf("open channels: %v", open)
+	}
+	// The visibility ceiling was respected.
+	staff, _ := lat.ParseLevel("Staff")
+	ward, _ := lab.Level("patient", "ward")
+	if !lat.Dominates(staff, ward) {
+		t.Errorf("ward above its ceiling: %s", lat.FormatLevel(ward))
+	}
+}
+
+func TestParseSchemaMLSLevels(t *testing.T) {
+	lat := lattice.MustMLS("m", []string{"U", "S"}, []string{"Army"})
+	src := `
+relation ship(id, cargo) key(id)
+require ship.cargo >= <S,{Army}>
+assoc ship(id, cargo) >= <S,{Army}>
+`
+	_, reqs, assocs, err := ParseSchema(lat, strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lat.MustLevel("S", "Army")
+	if reqs[0].Level != want || assocs[0].Level != want {
+		t.Fatal("MLS level literals parsed wrong")
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	lat := lattice.MustChain("c", "lo", "hi")
+	for _, bad := range []string{
+		"bogus x",
+		"relation r",                              // no attr list
+		"relation r(a",                            // no close paren
+		"relation r(a)",                           // no key
+		"relation r(a) key(zz)",                   // unknown key
+		"fd r: a -> b",                            // unknown relation
+		"relation r(a, b) key(a)\nfd r: a b",      // missing ->
+		"relation r(a, b) key(a)\nfd : a -> b",    // empty relation
+		"fk r(a) b",                               // missing ->
+		"fk r a -> b",                             // missing parens
+		"require r.a hi",                          // missing >=
+		"require hi >= hi",                        // no rel.attr
+		"require zz >= lo",                        // left neither attr nor... zz unparsable level
+		"relation r(a) key(a)\nrequire r.a >= zz", // unknown level
+		"assoc r(a) hi",                           // missing >=
+		"assoc r a >= hi",                         // missing parens
+		"relation r(a) key(a)\nassoc r(a) >= zz",
+	} {
+		if _, _, _, err := ParseSchema(lat, strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseSchema accepted %q", bad)
+		}
+	}
+}
+
+func TestParseSchemaRoundTripWithFixture(t *testing.T) {
+	// The parsed hospital text must generate the same constraint count as
+	// the programmatic fixture modulo the doctor FD the fixture adds.
+	lat := lattice.MustChain("hospital", "Public", "Staff", "Confidential", "Restricted")
+	s, reqs, assocs, err := ParseSchema(lat, strings.NewReader(hospitalSchemaText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := s.Constraints(reqs, assocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Constraints()) == 0 || len(set.UpperBounds()) != 1 {
+		t.Fatalf("constraints=%d uppers=%d", len(set.Constraints()), len(set.UpperBounds()))
+	}
+}

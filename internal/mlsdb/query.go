@@ -1,0 +1,157 @@
+package mlsdb
+
+import (
+	"fmt"
+	"sort"
+
+	"minup/internal/lattice"
+)
+
+// This file extends the store with the two query forms the multilevel
+// literature discusses beyond plain selection: predicated selection and
+// equi-joins, both under read-down semantics. The security-relevant
+// subtlety of each is covered by tests: a predicate must only be able to
+// observe cells the subject is cleared for (otherwise the predicate's
+// outcome itself becomes a covert channel), and a join must label each
+// output row with the lub of its inputs.
+
+// Predicate restricts SelectWhere rows. It receives only the cells visible
+// to the querying subject; invisible attributes are absent from the map.
+type Predicate func(Row) bool
+
+// SelectWhere returns the rows of rel visible to the subject, filtered by
+// the predicate after read-down masking — the predicate can never observe
+// data above the subject's level.
+func (st *Store) SelectWhere(rel string, subject lattice.Level, attrs []string, where Predicate) ([]Row, error) {
+	rows, err := st.Select(rel, subject, attrs)
+	if err != nil {
+		return nil, err
+	}
+	if where == nil {
+		return rows, nil
+	}
+	out := rows[:0]
+	for _, r := range rows {
+		if where(r) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// JoinedRow is one equi-join result: left and right rows plus the class of
+// the combined information (the lub of the two tuple classes), which by
+// the association principle may exceed either side alone.
+type JoinedRow struct {
+	Left  Row
+	Right Row
+	Class lattice.Level
+}
+
+// Join computes the equi-join of two relations on leftAttr = rightAttr for
+// a subject, under read-down semantics: a pair participates only if the
+// subject can see both join cells, and the combined row's class is the lub
+// of the two tuple classes. The result is deterministic (left-major
+// insertion order).
+func (st *Store) Join(leftRel, leftAttr, rightRel, rightAttr string, subject lattice.Level) ([]JoinedRow, error) {
+	lr, ok := st.schema.Relation(leftRel)
+	if !ok {
+		return nil, fmt.Errorf("mlsdb: unknown relation %q", leftRel)
+	}
+	rr, ok := st.schema.Relation(rightRel)
+	if !ok {
+		return nil, fmt.Errorf("mlsdb: unknown relation %q", rightRel)
+	}
+	if !lr.attrSet[leftAttr] {
+		return nil, fmt.Errorf("mlsdb: %q has no attribute %q", leftRel, leftAttr)
+	}
+	if !rr.attrSet[rightAttr] {
+		return nil, fmt.Errorf("mlsdb: %q has no attribute %q", rightRel, rightAttr)
+	}
+	lat := st.schema.Lattice()
+	leftRows, err := st.selectTuples(leftRel, subject)
+	if err != nil {
+		return nil, err
+	}
+	rightRows, err := st.selectTuples(rightRel, subject)
+	if err != nil {
+		return nil, err
+	}
+	var out []JoinedRow
+	for _, lt := range leftRows {
+		lv, ok := lt.row[leftAttr]
+		if !ok {
+			continue // join cell invisible or absent: tuple cannot pair
+		}
+		for _, rt := range rightRows {
+			rv, ok := rt.row[rightAttr]
+			if !ok || lv != rv {
+				continue
+			}
+			out = append(out, JoinedRow{
+				Left:  lt.row,
+				Right: rt.row,
+				Class: lat.Lub(lt.class, rt.class),
+			})
+		}
+	}
+	return out, nil
+}
+
+// visibleTuple pairs a masked row with its writing tuple's class.
+type visibleTuple struct {
+	row   Row
+	class lattice.Level
+}
+
+// selectTuples is Select plus the tuple classes, shared by Join.
+func (st *Store) selectTuples(rel string, subject lattice.Level) ([]visibleTuple, error) {
+	r, _ := st.schema.Relation(rel)
+	lat := st.schema.Lattice()
+	visible := func(a string, t Tuple) bool {
+		lvl, _ := st.labeling.Level(rel, a)
+		return lat.Dominates(subject, lvl) && lat.Dominates(subject, t.Class)
+	}
+	var out []visibleTuple
+	for _, t := range st.tables[rel] {
+		keyVisible := true
+		for _, k := range r.Key {
+			if !visible(k, t) {
+				keyVisible = false
+				break
+			}
+		}
+		if !keyVisible {
+			continue
+		}
+		row := make(Row)
+		for _, a := range r.Attrs {
+			if v, ok := t.Values[a]; ok && visible(a, t) {
+				row[a] = v
+			}
+		}
+		out = append(out, visibleTuple{row: row, class: t.Class})
+	}
+	return out, nil
+}
+
+// Levels returns the distinct access classes present among rel's stored
+// tuples, sorted by their formatted names — useful for audits.
+func (st *Store) Levels(rel string) ([]lattice.Level, error) {
+	if _, ok := st.schema.Relation(rel); !ok {
+		return nil, fmt.Errorf("mlsdb: unknown relation %q", rel)
+	}
+	lat := st.schema.Lattice()
+	seen := make(map[lattice.Level]bool)
+	var out []lattice.Level
+	for _, t := range st.tables[rel] {
+		if !seen[t.Class] {
+			seen[t.Class] = true
+			out = append(out, t.Class)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return lat.FormatLevel(out[i]) < lat.FormatLevel(out[j])
+	})
+	return out, nil
+}

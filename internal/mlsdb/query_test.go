@@ -1,0 +1,190 @@
+package mlsdb
+
+import (
+	"testing"
+
+	"minup/internal/core"
+	"minup/internal/lattice"
+)
+
+// querySetup builds a two-relation labeled store: departments (public) and
+// employees with a Secret salary.
+func querySetup(t *testing.T) (*Store, *lattice.Chain) {
+	t.Helper()
+	lat := lattice.MustChain("c", "Public", "Secret")
+	s := NewSchema(lat)
+	s.MustAddRelation("dept", []string{"dept_id", "name"}, []string{"dept_id"})
+	s.MustAddRelation("emp", []string{"emp_id", "dept", "salary"}, []string{"emp_id"})
+	if err := s.AddForeignKey("emp", []string{"dept"}, "dept"); err != nil {
+		t.Fatal(err)
+	}
+	secret, _ := lat.ParseLevel("Secret")
+	set, err := s.Constraints([]Requirement{{Rel: "emp", Attr: "salary", Level: secret}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.MustSolve(set, core.Options{})
+	lab, err := s.ApplyAssignment(set, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore(s, lab)
+	pub, _ := lat.ParseLevel("Public")
+	mustInsert := func(rel string, subj lattice.Level, vals map[string]string) {
+		t.Helper()
+		if err := st.Insert(rel, subj, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustInsert("dept", pub, map[string]string{"dept_id": "d1", "name": "eng"})
+	mustInsert("dept", pub, map[string]string{"dept_id": "d2", "name": "ops"})
+	mustInsert("emp", secret, map[string]string{"emp_id": "e1", "dept": "d1", "salary": "100"})
+	mustInsert("emp", secret, map[string]string{"emp_id": "e2", "dept": "d2", "salary": "200"})
+	return st, lat
+}
+
+func TestSelectWhere(t *testing.T) {
+	st, lat := querySetup(t)
+	secret, _ := lat.ParseLevel("Secret")
+	pub, _ := lat.ParseLevel("Public")
+
+	rows, err := st.SelectWhere("emp", secret, nil, func(r Row) bool {
+		return r["salary"] == "100"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["emp_id"] != "e1" {
+		t.Fatalf("rows = %v", rows)
+	}
+
+	// The covert-channel property: a public subject's predicate never
+	// observes the salary cell, so salary-based filtering cannot leak.
+	sawSalary := false
+	rows, err = st.SelectWhere("emp", pub, nil, func(r Row) bool {
+		if _, ok := r["salary"]; ok {
+			sawSalary = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawSalary {
+		t.Fatal("predicate observed a cell above the subject's level")
+	}
+	// The emp tuples were written at Secret, so a public subject sees no
+	// rows at all here.
+	if len(rows) != 0 {
+		t.Fatalf("public subject sees %d secret-written rows", len(rows))
+	}
+
+	// nil predicate = plain select.
+	rows, err = st.SelectWhere("dept", pub, nil, nil)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("dept rows = %v err=%v", rows, err)
+	}
+
+	if _, err := st.SelectWhere("zz", pub, nil, nil); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	st, lat := querySetup(t)
+	secret, _ := lat.ParseLevel("Secret")
+	pub, _ := lat.ParseLevel("Public")
+
+	joined, err := st.Join("emp", "dept", "dept", "dept_id", secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined) != 2 {
+		t.Fatalf("join rows = %d, want 2", len(joined))
+	}
+	for _, j := range joined {
+		if j.Left["dept"] != j.Right["dept_id"] {
+			t.Errorf("join key mismatch: %v vs %v", j.Left, j.Right)
+		}
+		// The combined class is the lub of a Secret emp tuple and a
+		// Public dept tuple: Secret.
+		if j.Class != secret {
+			t.Errorf("join class = %s", lat.FormatLevel(j.Class))
+		}
+	}
+
+	// A public subject cannot produce any join pairs (emp side hidden).
+	joined, err = st.Join("emp", "dept", "dept", "dept_id", pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined) != 0 {
+		t.Fatalf("public join rows = %d", len(joined))
+	}
+
+	for _, bad := range [][4]string{
+		{"zz", "dept", "dept", "dept_id"},
+		{"emp", "dept", "zz", "dept_id"},
+		{"emp", "zz", "dept", "dept_id"},
+		{"emp", "dept", "dept", "zz"},
+	} {
+		if _, err := st.Join(bad[0], bad[1], bad[2], bad[3], secret); err == nil {
+			t.Errorf("bad join %v accepted", bad)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	st, lat := querySetup(t)
+	secret, _ := lat.ParseLevel("Secret")
+	pub, _ := lat.ParseLevel("Public")
+
+	// A public subject cannot delete (or even detect) the secret tuple.
+	found, err := st.Delete("emp", pub, map[string]string{"emp_id": "e1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("cross-class delete succeeded")
+	}
+	if st.TupleCount("emp") != 2 {
+		t.Fatal("tuple count changed")
+	}
+
+	// The owning class deletes normally.
+	found, err = st.Delete("emp", secret, map[string]string{"emp_id": "e1"})
+	if err != nil || !found {
+		t.Fatalf("same-class delete: found=%v err=%v", found, err)
+	}
+	if st.TupleCount("emp") != 1 {
+		t.Fatalf("tuples = %d", st.TupleCount("emp"))
+	}
+	// Idempotence: a second delete reports not found.
+	found, _ = st.Delete("emp", secret, map[string]string{"emp_id": "e1"})
+	if found {
+		t.Fatal("double delete reported found")
+	}
+
+	// Validation.
+	if _, err := st.Delete("zz", secret, map[string]string{"emp_id": "x"}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if _, err := st.Delete("emp", secret, map[string]string{}); err == nil {
+		t.Error("missing key accepted")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	st, lat := querySetup(t)
+	levels, err := st.Levels("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, _ := lat.ParseLevel("Secret")
+	if len(levels) != 1 || levels[0] != secret {
+		t.Fatalf("levels = %v", levels)
+	}
+	if _, err := st.Levels("zz"); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}

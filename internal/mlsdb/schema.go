@@ -1,0 +1,395 @@
+// Package mlsdb is the multilevel relational database substrate the paper
+// frames its problem in (§1–2): relational schemas with primary keys,
+// foreign keys, and data dependencies; automatic generation of the
+// classification constraints those structures induce (the paper's
+// integrity constraints plus FD-based inference channels and association
+// constraints); application of a computed classification to the schema;
+// and a small labeled storage engine with read-down query filtering and
+// polyinstantiation, used to demonstrate end to end that a minimal
+// labeling closes the inference channels (experiment E10).
+package mlsdb
+
+import (
+	"fmt"
+
+	"minup/internal/constraint"
+	"minup/internal/lattice"
+)
+
+// Schema is a relational schema: a set of relations over a single security
+// lattice. Build with NewSchema and the Add* methods, then call
+// Constraints to derive the classification-constraint instance.
+type Schema struct {
+	lat       lattice.Lattice
+	relations []*Relation
+	byName    map[string]*Relation
+}
+
+// Relation is one relation schema.
+type Relation struct {
+	Name       string
+	Attrs      []string
+	Key        []string     // primary key attribute names
+	FDs        []FD         // functional dependencies X → Y
+	MVDs       []MVD        // multivalued dependencies X ↠ Y
+	ForeignKey []ForeignKey // references to other relations
+
+	attrSet map[string]bool
+}
+
+// FD is a functional dependency: the determinant attributes functionally
+// determine the dependents. Knowing the determinant values reveals the
+// dependent values, so the combined classification of the determinant must
+// dominate each dependent's classification (the inference-channel
+// constraints of Su–Ozsoyoglu style analyses).
+type FD struct {
+	Determinant []string
+	Dependent   []string
+}
+
+// MVD is a multivalued dependency X ↠ Y: within each X-group the Y values
+// appear in all combinations with the remaining attributes, so seeing X
+// and the rest of the tuple reveals the association with Y. We encode the
+// induced requirement conservatively like an FD from X to Y.
+type MVD struct {
+	Determinant []string
+	Dependent   []string
+}
+
+// ForeignKey declares that Attrs (in this relation) reference the primary
+// key of Ref.
+type ForeignKey struct {
+	Attrs []string
+	Ref   string
+}
+
+// NewSchema returns an empty schema over the lattice.
+func NewSchema(lat lattice.Lattice) *Schema {
+	return &Schema{lat: lat, byName: make(map[string]*Relation)}
+}
+
+// Lattice returns the schema's security lattice.
+func (s *Schema) Lattice() lattice.Lattice { return s.lat }
+
+// Relations returns the relations in declaration order.
+func (s *Schema) Relations() []*Relation { return s.relations }
+
+// Relation looks a relation up by name.
+func (s *Schema) Relation(name string) (*Relation, bool) {
+	r, ok := s.byName[name]
+	return r, ok
+}
+
+// AddRelation declares a relation with its attributes and primary key.
+func (s *Schema) AddRelation(name string, attrs []string, key []string) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("mlsdb: empty relation name")
+	}
+	if _, dup := s.byName[name]; dup {
+		return nil, fmt.Errorf("mlsdb: duplicate relation %q", name)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("mlsdb: relation %q has no attributes", name)
+	}
+	r := &Relation{Name: name, attrSet: make(map[string]bool, len(attrs))}
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("mlsdb: relation %q has an empty attribute name", name)
+		}
+		if r.attrSet[a] {
+			return nil, fmt.Errorf("mlsdb: relation %q duplicates attribute %q", name, a)
+		}
+		r.attrSet[a] = true
+		r.Attrs = append(r.Attrs, a)
+	}
+	if len(key) == 0 {
+		return nil, fmt.Errorf("mlsdb: relation %q needs a primary key", name)
+	}
+	for _, k := range key {
+		if !r.attrSet[k] {
+			return nil, fmt.Errorf("mlsdb: relation %q key attribute %q not declared", name, k)
+		}
+	}
+	r.Key = append(r.Key, key...)
+	s.relations = append(s.relations, r)
+	s.byName[name] = r
+	return r, nil
+}
+
+// MustAddRelation is AddRelation that panics on error, for fixtures.
+func (s *Schema) MustAddRelation(name string, attrs []string, key []string) *Relation {
+	r, err := s.AddRelation(name, attrs, key)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// AddFD declares a functional dependency on a relation.
+func (s *Schema) AddFD(rel string, determinant, dependent []string) error {
+	r, ok := s.byName[rel]
+	if !ok {
+		return fmt.Errorf("mlsdb: unknown relation %q", rel)
+	}
+	if len(determinant) == 0 || len(dependent) == 0 {
+		return fmt.Errorf("mlsdb: FD on %q needs both sides", rel)
+	}
+	for _, a := range append(append([]string(nil), determinant...), dependent...) {
+		if !r.attrSet[a] {
+			return fmt.Errorf("mlsdb: FD on %q mentions unknown attribute %q", rel, a)
+		}
+	}
+	r.FDs = append(r.FDs, FD{Determinant: determinant, Dependent: dependent})
+	return nil
+}
+
+// AddMVD declares a multivalued dependency on a relation.
+func (s *Schema) AddMVD(rel string, determinant, dependent []string) error {
+	r, ok := s.byName[rel]
+	if !ok {
+		return fmt.Errorf("mlsdb: unknown relation %q", rel)
+	}
+	if len(determinant) == 0 || len(dependent) == 0 {
+		return fmt.Errorf("mlsdb: MVD on %q needs both sides", rel)
+	}
+	for _, a := range append(append([]string(nil), determinant...), dependent...) {
+		if !r.attrSet[a] {
+			return fmt.Errorf("mlsdb: MVD on %q mentions unknown attribute %q", rel, a)
+		}
+	}
+	r.MVDs = append(r.MVDs, MVD{Determinant: determinant, Dependent: dependent})
+	return nil
+}
+
+// AddForeignKey declares that rel.attrs references the primary key of ref.
+// The attribute counts must match ref's key.
+func (s *Schema) AddForeignKey(rel string, attrs []string, ref string) error {
+	r, ok := s.byName[rel]
+	if !ok {
+		return fmt.Errorf("mlsdb: unknown relation %q", rel)
+	}
+	target, ok := s.byName[ref]
+	if !ok {
+		return fmt.Errorf("mlsdb: foreign key on %q references unknown relation %q", rel, ref)
+	}
+	if len(attrs) != len(target.Key) {
+		return fmt.Errorf("mlsdb: foreign key on %q has %d attributes; %q's key has %d",
+			rel, len(attrs), ref, len(target.Key))
+	}
+	for _, a := range attrs {
+		if !r.attrSet[a] {
+			return fmt.Errorf("mlsdb: foreign key on %q mentions unknown attribute %q", rel, a)
+		}
+	}
+	r.ForeignKey = append(r.ForeignKey, ForeignKey{Attrs: attrs, Ref: ref})
+	return nil
+}
+
+// QualifiedName returns the constraint-attribute name for rel.attr.
+func QualifiedName(rel, attr string) string { return rel + "." + attr }
+
+// Requirement is an explicit classification requirement: a basic
+// constraint λ(rel.attr) ≽ Level, or with Upper set, Level ≽ λ(rel.attr).
+type Requirement struct {
+	Rel, Attr string
+	Level     lattice.Level
+	Upper     bool
+}
+
+// Association is an explicit association constraint: the combined
+// classification of the listed attributes must dominate Level (e.g. names
+// and salaries may each be public while the pair is Secret).
+type Association struct {
+	Rel   string
+	Attrs []string
+	Level lattice.Level
+}
+
+// Constraints derives the full classification-constraint instance for the
+// schema: one constraint attribute per relation attribute (named
+// "rel.attr"), plus
+//
+//   - primary-key uniformity: all key attributes of a relation mutually
+//     dominate each other (forcing equal classification), and every
+//     non-key attribute dominates the key (the paper's primary key
+//     integrity constraint);
+//   - referential integrity: each foreign-key attribute dominates the
+//     referenced key attribute;
+//   - inference channels: for every FD and MVD X→Y, lub{λ(X)} ≽ λ(A) for
+//     each dependent A;
+//   - the caller's explicit requirements and associations.
+func (s *Schema) Constraints(reqs []Requirement, assocs []Association) (*constraint.Set, error) {
+	set := constraint.NewSet(s.lat)
+	attr := func(rel, a string) (constraint.Attr, error) {
+		return set.AddAttr(QualifiedName(rel, a))
+	}
+	// Declare all attributes first, in schema order.
+	for _, r := range s.relations {
+		for _, a := range r.Attrs {
+			if _, err := attr(r.Name, a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, r := range s.relations {
+		// Primary-key uniformity: a cycle k1 ≽ k2 ≽ … ≽ kn ≽ k1.
+		if len(r.Key) > 1 {
+			for i := range r.Key {
+				ki, _ := attr(r.Name, r.Key[i])
+				kj, _ := attr(r.Name, r.Key[(i+1)%len(r.Key)])
+				if err := set.Add([]constraint.Attr{ki}, constraint.AttrRHS(kj)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Non-key attributes dominate the key.
+		key0, _ := attr(r.Name, r.Key[0])
+		for _, a := range r.Attrs {
+			if a == r.Key[0] {
+				continue
+			}
+			isKey := false
+			for _, k := range r.Key {
+				if a == k {
+					isKey = true
+					break
+				}
+			}
+			if isKey {
+				continue
+			}
+			av, _ := attr(r.Name, a)
+			if err := set.Add([]constraint.Attr{av}, constraint.AttrRHS(key0)); err != nil {
+				return nil, err
+			}
+		}
+		// Referential integrity.
+		for _, fk := range r.ForeignKey {
+			target := s.byName[fk.Ref]
+			for i, a := range fk.Attrs {
+				from, _ := attr(r.Name, a)
+				to, _ := attr(target.Name, target.Key[i])
+				if _, err := set.AddIgnoreTrivial([]constraint.Attr{from}, constraint.AttrRHS(to)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Inference channels from FDs and MVDs.
+		addDep := func(det, dep []string) error {
+			lhs := make([]constraint.Attr, 0, len(det))
+			for _, d := range det {
+				dv, _ := attr(r.Name, d)
+				lhs = append(lhs, dv)
+			}
+			for _, d := range dep {
+				dv, _ := attr(r.Name, d)
+				if _, err := set.AddIgnoreTrivial(lhs, constraint.AttrRHS(dv)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, fd := range r.FDs {
+			if err := addDep(fd.Determinant, fd.Dependent); err != nil {
+				return nil, err
+			}
+		}
+		for _, mvd := range r.MVDs {
+			if err := addDep(mvd.Determinant, mvd.Dependent); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Explicit requirements and associations.
+	for _, rq := range reqs {
+		r, ok := s.byName[rq.Rel]
+		if !ok || !r.attrSet[rq.Attr] {
+			return nil, fmt.Errorf("mlsdb: requirement on unknown attribute %s.%s", rq.Rel, rq.Attr)
+		}
+		av, _ := attr(rq.Rel, rq.Attr)
+		if rq.Upper {
+			if err := set.AddUpper(av, rq.Level); err != nil {
+				return nil, err
+			}
+		} else if err := set.Add([]constraint.Attr{av}, constraint.LevelRHS(rq.Level)); err != nil {
+			return nil, err
+		}
+	}
+	for _, as := range assocs {
+		r, ok := s.byName[as.Rel]
+		if !ok {
+			return nil, fmt.Errorf("mlsdb: association on unknown relation %q", as.Rel)
+		}
+		lhs := make([]constraint.Attr, 0, len(as.Attrs))
+		for _, a := range as.Attrs {
+			if !r.attrSet[a] {
+				return nil, fmt.Errorf("mlsdb: association on unknown attribute %s.%s", as.Rel, a)
+			}
+			av, _ := attr(as.Rel, a)
+			lhs = append(lhs, av)
+		}
+		if err := set.Add(lhs, constraint.LevelRHS(as.Level)); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+// Labeling maps each relation attribute to its computed security level.
+type Labeling struct {
+	lat    lattice.Lattice
+	levels map[string]lattice.Level // key: QualifiedName
+}
+
+// ApplyAssignment converts a solved constraint assignment into a schema
+// labeling.
+func (s *Schema) ApplyAssignment(set *constraint.Set, m constraint.Assignment) (*Labeling, error) {
+	lab := &Labeling{lat: s.lat, levels: make(map[string]lattice.Level)}
+	for _, r := range s.relations {
+		for _, a := range r.Attrs {
+			name := QualifiedName(r.Name, a)
+			ca, ok := set.AttrByName(name)
+			if !ok {
+				return nil, fmt.Errorf("mlsdb: constraint set lacks attribute %s", name)
+			}
+			lab.levels[name] = m[ca]
+		}
+	}
+	return lab, nil
+}
+
+// Level returns the classification of rel.attr.
+func (l *Labeling) Level(rel, attr string) (lattice.Level, bool) {
+	lvl, ok := l.levels[QualifiedName(rel, attr)]
+	return lvl, ok
+}
+
+// CheckInferenceClosed audits a labeling against the schema's dependencies:
+// for every FD/MVD X→A, a subject cleared for all of X must be cleared for
+// A, i.e. lub{λ(X)} ≽ λ(A). It returns descriptions of any open channels.
+func (s *Schema) CheckInferenceClosed(l *Labeling) []string {
+	var open []string
+	for _, r := range s.relations {
+		check := func(kind string, det, dep []string) {
+			lub := s.lat.Bottom()
+			for _, d := range det {
+				lvl, _ := l.Level(r.Name, d)
+				lub = s.lat.Lub(lub, lvl)
+			}
+			for _, d := range dep {
+				lvl, _ := l.Level(r.Name, d)
+				if !s.lat.Dominates(lub, lvl) {
+					open = append(open, fmt.Sprintf("%s %v->%s on %s leaks %s",
+						kind, det, d, r.Name, s.lat.FormatLevel(lvl)))
+				}
+			}
+		}
+		for _, fd := range r.FDs {
+			check("FD", fd.Determinant, fd.Dependent)
+		}
+		for _, mvd := range r.MVDs {
+			check("MVD", mvd.Determinant, mvd.Dependent)
+		}
+	}
+	return open
+}

@@ -1,0 +1,197 @@
+package mlsdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"minup/internal/lattice"
+)
+
+// Store is a small in-memory multilevel storage engine over a labeled
+// schema. Every cell carries the classification of its attribute (from the
+// Labeling); a tuple's classification is the lub of its cells. Reads are
+// mandatory-access-controlled: a subject sees a cell only if cleared for
+// it (read down), and sees a tuple at all only if cleared for its key.
+// Inserts at distinct access classes with the same key polyinstantiate:
+// both tuples coexist, distinguished by their tuple classification, as in
+// the SeaView/Jajodia–Sandhu multilevel relational models the paper builds
+// on.
+type Store struct {
+	schema   *Schema
+	labeling *Labeling
+	tables   map[string][]Tuple
+}
+
+// Tuple is one stored row: attribute values plus the access class the
+// writer held at insert time (which, by the ⋆-property, must dominate
+// every cell it writes).
+type Tuple struct {
+	Values map[string]string
+	Class  lattice.Level // the writer's access class
+}
+
+// NewStore creates an empty store over a schema and a labeling computed
+// for it.
+func NewStore(schema *Schema, labeling *Labeling) *Store {
+	return &Store{schema: schema, labeling: labeling, tables: make(map[string][]Tuple)}
+}
+
+// Insert writes a tuple into rel on behalf of a subject at the given
+// access class. Mandatory write control requires the subject's class to
+// dominate the classification of every attribute it supplies (no write
+// down of high data into low fields — and no blind writes above the
+// subject either, keeping the example engine simple). Re-inserting an
+// existing key at an incomparable or different class polyinstantiates;
+// re-inserting at the same class replaces.
+func (st *Store) Insert(rel string, subject lattice.Level, values map[string]string) error {
+	r, ok := st.schema.Relation(rel)
+	if !ok {
+		return fmt.Errorf("mlsdb: unknown relation %q", rel)
+	}
+	lat := st.schema.Lattice()
+	for _, k := range r.Key {
+		if _, ok := values[k]; !ok {
+			return fmt.Errorf("mlsdb: insert into %q missing key attribute %q", rel, k)
+		}
+	}
+	copied := make(map[string]string, len(values))
+	for a, v := range values {
+		if !r.attrSet[a] {
+			return fmt.Errorf("mlsdb: insert into %q mentions unknown attribute %q", rel, a)
+		}
+		lvl, _ := st.labeling.Level(rel, a)
+		if !lat.Dominates(subject, lvl) {
+			return fmt.Errorf("mlsdb: subject %s cannot write %s.%s classified %s",
+				lat.FormatLevel(subject), rel, a, lat.FormatLevel(lvl))
+		}
+		copied[a] = v
+	}
+	rows := st.tables[rel]
+	for i, t := range rows {
+		if t.Class == subject && sameKey(r, t.Values, copied) {
+			rows[i] = Tuple{Values: copied, Class: subject}
+			return nil
+		}
+	}
+	st.tables[rel] = append(rows, Tuple{Values: copied, Class: subject})
+	return nil
+}
+
+func sameKey(r *Relation, a, b map[string]string) bool {
+	for _, k := range r.Key {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Row is one query result: visible attribute values (masked cells are
+// absent from the map).
+type Row map[string]string
+
+// Select returns the tuples of rel visible to a subject, applying
+// read-down filtering cell by cell: a cell is visible iff the subject's
+// class dominates both the attribute's classification and the writing
+// tuple's class; a tuple is visible at all iff its key cells are. attrs
+// selects the projection (nil means all attributes).
+func (st *Store) Select(rel string, subject lattice.Level, attrs []string) ([]Row, error) {
+	r, ok := st.schema.Relation(rel)
+	if !ok {
+		return nil, fmt.Errorf("mlsdb: unknown relation %q", rel)
+	}
+	if attrs == nil {
+		attrs = r.Attrs
+	}
+	for _, a := range attrs {
+		if !r.attrSet[a] {
+			return nil, fmt.Errorf("mlsdb: select on %q mentions unknown attribute %q", rel, a)
+		}
+	}
+	lat := st.schema.Lattice()
+	visible := func(a string, t Tuple) bool {
+		lvl, _ := st.labeling.Level(rel, a)
+		return lat.Dominates(subject, lvl) && lat.Dominates(subject, t.Class)
+	}
+	var out []Row
+	for _, t := range st.tables[rel] {
+		keyVisible := true
+		for _, k := range r.Key {
+			if !visible(k, t) {
+				keyVisible = false
+				break
+			}
+		}
+		if !keyVisible {
+			continue
+		}
+		row := make(Row)
+		for _, a := range attrs {
+			if v, ok := t.Values[a]; ok && visible(a, t) {
+				row[a] = v
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Polyinstantiated returns the keys of rel that exist at more than one
+// access class.
+func (st *Store) Polyinstantiated(rel string) ([]string, error) {
+	r, ok := st.schema.Relation(rel)
+	if !ok {
+		return nil, fmt.Errorf("mlsdb: unknown relation %q", rel)
+	}
+	count := make(map[string]int)
+	for _, t := range st.tables[rel] {
+		count[keyString(r, t.Values)]++
+	}
+	var out []string
+	for k, c := range count {
+		if c > 1 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func keyString(r *Relation, values map[string]string) string {
+	parts := make([]string, len(r.Key))
+	for i, k := range r.Key {
+		parts[i] = values[k]
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// TupleCount returns the number of stored tuples in rel (including
+// polyinstantiated variants).
+func (st *Store) TupleCount(rel string) int { return len(st.tables[rel]) }
+
+// Delete removes the tuple of rel with the given key values written at
+// exactly the subject's access class. Mandatory integrity forbids deleting
+// across classes: a subject can neither destroy higher data (integrity)
+// nor lower data (that act would signal downward — the classic covert
+// channel). Deleting a key that exists only at other classes reports
+// found=false, indistinguishable from the key not existing at all.
+func (st *Store) Delete(rel string, subject lattice.Level, key map[string]string) (found bool, err error) {
+	r, ok := st.schema.Relation(rel)
+	if !ok {
+		return false, fmt.Errorf("mlsdb: unknown relation %q", rel)
+	}
+	for _, k := range r.Key {
+		if _, ok := key[k]; !ok {
+			return false, fmt.Errorf("mlsdb: delete from %q missing key attribute %q", rel, k)
+		}
+	}
+	rows := st.tables[rel]
+	for i, t := range rows {
+		if t.Class == subject && sameKey(r, t.Values, key) {
+			st.tables[rel] = append(rows[:i], rows[i+1:]...)
+			return true, nil
+		}
+	}
+	return false, nil
+}

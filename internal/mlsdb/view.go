@@ -1,0 +1,130 @@
+package mlsdb
+
+import (
+	"fmt"
+
+	"minup/internal/constraint"
+)
+
+// Views: the setting of Qian's view-based access control [13], which the
+// paper positions itself against. A view is a derived relation
+// (projection over a join of base relations); exposing a view column
+// exposes the base columns it is computed from, so every view column's
+// classification must dominate its sources — and, because a join row
+// associates its join columns, a joined view's columns must additionally
+// dominate the join attributes that link them. GenerateViewConstraints
+// appends these constraints to a Set already populated by
+// Schema.Constraints, after which one Solve labels base attributes and
+// view columns together, minimally.
+
+// ViewColumn is one output column of a view, drawn from a base relation.
+type ViewColumn struct {
+	// Name is the column's name in the view.
+	Name string
+	// Rel and Attr identify the base attribute the column exposes.
+	Rel, Attr string
+}
+
+// ViewJoin is an equi-join condition between two base relations of a view.
+type ViewJoin struct {
+	LeftRel, LeftAttr   string
+	RightRel, RightAttr string
+}
+
+// View is a derived relation: a projection (Columns) over one or more
+// base relations related by equi-joins.
+type View struct {
+	Name    string
+	Columns []ViewColumn
+	Joins   []ViewJoin
+}
+
+// GenerateViewConstraints declares one constraint attribute per view
+// column (named "view.column") in set and adds:
+//
+//   - source dominance: λ(view.col) ≽ λ(rel.attr) for the exposed base
+//     attribute;
+//   - join association: for each join condition touching a column's base
+//     relation, λ(view.col) ≽ λ(join attr) on that side — a visible view
+//     row reveals that its join keys matched.
+//
+// The set must already contain the base schema's attributes (call
+// Schema.Constraints first).
+func (s *Schema) GenerateViewConstraints(set *constraint.Set, views []View) error {
+	for _, v := range views {
+		if v.Name == "" {
+			return fmt.Errorf("mlsdb: view with empty name")
+		}
+		if len(v.Columns) == 0 {
+			return fmt.Errorf("mlsdb: view %q has no columns", v.Name)
+		}
+		// Validate joins and index them by relation.
+		joinAttrs := make(map[string][]string) // rel -> join attrs on that side
+		for _, j := range v.Joins {
+			for _, side := range []struct{ rel, attr string }{
+				{j.LeftRel, j.LeftAttr}, {j.RightRel, j.RightAttr},
+			} {
+				r, ok := s.Relation(side.rel)
+				if !ok {
+					return fmt.Errorf("mlsdb: view %q joins unknown relation %q", v.Name, side.rel)
+				}
+				if !r.attrSet[side.attr] {
+					return fmt.Errorf("mlsdb: view %q joins unknown attribute %s.%s", v.Name, side.rel, side.attr)
+				}
+				joinAttrs[side.rel] = append(joinAttrs[side.rel], side.attr)
+			}
+		}
+		seen := make(map[string]bool, len(v.Columns))
+		for _, col := range v.Columns {
+			if col.Name == "" {
+				return fmt.Errorf("mlsdb: view %q has a column with no name", v.Name)
+			}
+			if seen[col.Name] {
+				return fmt.Errorf("mlsdb: view %q duplicates column %q", v.Name, col.Name)
+			}
+			seen[col.Name] = true
+			r, ok := s.Relation(col.Rel)
+			if !ok {
+				return fmt.Errorf("mlsdb: view %q column %q references unknown relation %q", v.Name, col.Name, col.Rel)
+			}
+			if !r.attrSet[col.Attr] {
+				return fmt.Errorf("mlsdb: view %q column %q references unknown attribute %s.%s", v.Name, col.Name, col.Rel, col.Attr)
+			}
+			colAttr, err := set.AddAttr(QualifiedName(v.Name, col.Name))
+			if err != nil {
+				return err
+			}
+			src, ok := set.AttrByName(QualifiedName(col.Rel, col.Attr))
+			if !ok {
+				return fmt.Errorf("mlsdb: constraint set lacks base attribute %s.%s (generate schema constraints first)", col.Rel, col.Attr)
+			}
+			if err := set.Add([]constraint.Attr{colAttr}, constraint.AttrRHS(src)); err != nil {
+				return err
+			}
+			for _, ja := range joinAttrs[col.Rel] {
+				jAttr, ok := set.AttrByName(QualifiedName(col.Rel, ja))
+				if !ok {
+					return fmt.Errorf("mlsdb: constraint set lacks join attribute %s.%s", col.Rel, ja)
+				}
+				if _, err := set.AddIgnoreTrivial([]constraint.Attr{colAttr}, constraint.AttrRHS(jAttr)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ViewLabeling extracts the computed levels of a view's columns from a
+// solved assignment.
+func ViewLabeling(set *constraint.Set, m constraint.Assignment, v View) (map[string]constraint.Attr, error) {
+	out := make(map[string]constraint.Attr, len(v.Columns))
+	for _, col := range v.Columns {
+		a, ok := set.AttrByName(QualifiedName(v.Name, col.Name))
+		if !ok {
+			return nil, fmt.Errorf("mlsdb: view column %s.%s not in constraint set", v.Name, col.Name)
+		}
+		out[col.Name] = a
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package mlsdb
+
+import (
+	"testing"
+
+	"minup/internal/baseline"
+	"minup/internal/constraint"
+	"minup/internal/core"
+	"minup/internal/lattice"
+)
+
+// viewSetup builds the hospital-style base schema with a secret diagnosis
+// and a joined view over patient and doctor.
+func viewSetup(t *testing.T) (*Schema, *lattice.Chain, []View, lattice.Level) {
+	t.Helper()
+	lat := lattice.MustChain("c", "Public", "Staff", "Secret")
+	s := NewSchema(lat)
+	s.MustAddRelation("patient", []string{"patient_id", "doctor", "diagnosis"}, []string{"patient_id"})
+	s.MustAddRelation("doctor", []string{"doctor_id", "name"}, []string{"doctor_id"})
+	if err := s.AddForeignKey("patient", []string{"doctor"}, "doctor"); err != nil {
+		t.Fatal(err)
+	}
+	secret, _ := lat.ParseLevel("Secret")
+	views := []View{{
+		Name: "caseload",
+		Columns: []ViewColumn{
+			{Name: "doc_name", Rel: "doctor", Attr: "name"},
+			{Name: "diag", Rel: "patient", Attr: "diagnosis"},
+		},
+		Joins: []ViewJoin{{
+			LeftRel: "patient", LeftAttr: "doctor",
+			RightRel: "doctor", RightAttr: "doctor_id",
+		}},
+	}}
+	return s, lat, views, secret
+}
+
+func TestViewConstraints(t *testing.T) {
+	s, lat, views, secret := viewSetup(t)
+	set, err := s.Constraints([]Requirement{
+		{Rel: "patient", Attr: "diagnosis", Level: secret},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GenerateViewConstraints(set, views); err != nil {
+		t.Fatal(err)
+	}
+	res := core.MustSolve(set, core.Options{})
+
+	cols, err := ViewLabeling(set, res.Assignment, views[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The diag column must inherit Secret from its source.
+	if got := res.Assignment[cols["diag"]]; got != secret {
+		t.Errorf("caseload.diag = %s, want Secret", lat.FormatLevel(got))
+	}
+	// doc_name's source is Public, but the view column must dominate the
+	// join attributes on the doctor side (doctor_id).
+	docID, _ := set.AttrByName("doctor.doctor_id")
+	if !lat.Dominates(res.Assignment[cols["doc_name"]], res.Assignment[docID]) {
+		t.Error("doc_name does not dominate its join key")
+	}
+	// Minimality of the combined labeling.
+	min, err := baseline.IsMinimal(set, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !min {
+		t.Errorf("view labeling not minimal: %s", set.FormatAssignment(res.Assignment))
+	}
+
+	// The view column dominates the base: the view cannot under-classify.
+	diagBase, _ := set.AttrByName("patient.diagnosis")
+	if !lat.Dominates(res.Assignment[cols["diag"]], res.Assignment[diagBase]) {
+		t.Error("view column below its source")
+	}
+}
+
+func TestViewJoinAssociationRaises(t *testing.T) {
+	// If the join key itself is sensitive, every view column must rise to
+	// cover it — the association effect of a join.
+	s, lat, views, _ := viewSetup(t)
+	staff, _ := lat.ParseLevel("Staff")
+	set, err := s.Constraints([]Requirement{
+		{Rel: "patient", Attr: "doctor", Level: staff}, // sensitive link
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GenerateViewConstraints(set, views); err != nil {
+		t.Fatal(err)
+	}
+	res := core.MustSolve(set, core.Options{})
+	cols, _ := ViewLabeling(set, res.Assignment, views[0])
+	for name, a := range cols {
+		if name == "diag" { // patient-side column: join attr patient.doctor is Staff
+			if !lat.Dominates(res.Assignment[a], staff) {
+				t.Errorf("column %s = %s, must cover the Staff join key",
+					name, lat.FormatLevel(res.Assignment[a]))
+			}
+		}
+	}
+}
+
+func TestViewValidation(t *testing.T) {
+	s, _, _, _ := viewSetup(t)
+	set, err := s.Constraints(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bad := range []View{
+		{Name: "", Columns: []ViewColumn{{Name: "x", Rel: "patient", Attr: "doctor"}}},
+		{Name: "v"},
+		{Name: "v", Columns: []ViewColumn{{Name: "", Rel: "patient", Attr: "doctor"}}},
+		{Name: "v", Columns: []ViewColumn{
+			{Name: "x", Rel: "patient", Attr: "doctor"},
+			{Name: "x", Rel: "patient", Attr: "doctor"}}},
+		{Name: "v", Columns: []ViewColumn{{Name: "x", Rel: "zz", Attr: "doctor"}}},
+		{Name: "v", Columns: []ViewColumn{{Name: "x", Rel: "patient", Attr: "zz"}}},
+		{Name: "v", Columns: []ViewColumn{{Name: "x", Rel: "patient", Attr: "doctor"}},
+			Joins: []ViewJoin{{LeftRel: "zz", LeftAttr: "a", RightRel: "doctor", RightAttr: "doctor_id"}}},
+		{Name: "v", Columns: []ViewColumn{{Name: "x", Rel: "patient", Attr: "doctor"}},
+			Joins: []ViewJoin{{LeftRel: "patient", LeftAttr: "zz", RightRel: "doctor", RightAttr: "doctor_id"}}},
+	} {
+		if err := s.GenerateViewConstraints(set, []View{bad}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+
+	// Base attributes must pre-exist in the set: a fresh set lacking the
+	// schema's attributes is rejected.
+	freshSet := constraint.NewSet(s.Lattice())
+	if err := s.GenerateViewConstraints(freshSet, []View{{
+		Name:    "v",
+		Columns: []ViewColumn{{Name: "x", Rel: "patient", Attr: "doctor"}},
+	}}); err == nil {
+		t.Error("missing base attributes accepted")
+	}
+}
+
+func TestViewLabelingMissingColumn(t *testing.T) {
+	s, _, views, _ := viewSetup(t)
+	set, err := s.Constraints(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not generated: lookup must fail.
+	res := core.MustSolve(set, core.Options{})
+	if _, err := ViewLabeling(set, res.Assignment, views[0]); err == nil {
+		t.Error("missing view columns accepted")
+	}
+}

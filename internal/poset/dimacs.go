@@ -1,0 +1,101 @@
+package poset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format: a header line
+// "p cnf <vars> <clauses>", clauses as whitespace-separated literals
+// terminated by 0 (1-based, negative for negated), and comment lines
+// starting with 'c'. Clauses may span lines. The declared clause count is
+// checked against the clauses actually read.
+func ParseDIMACS(r io.Reader) (numVars int, clauses []Clause, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	declaredClauses := -1
+	var current Clause
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return 0, nil, fmt.Errorf("dimacs line %d: malformed header %q", lineno, line)
+			}
+			if numVars, err = strconv.Atoi(fields[2]); err != nil || numVars < 1 {
+				return 0, nil, fmt.Errorf("dimacs line %d: bad variable count %q", lineno, fields[2])
+			}
+			if declaredClauses, err = strconv.Atoi(fields[3]); err != nil || declaredClauses < 0 {
+				return 0, nil, fmt.Errorf("dimacs line %d: bad clause count %q", lineno, fields[3])
+			}
+			continue
+		}
+		if declaredClauses < 0 {
+			return 0, nil, fmt.Errorf("dimacs line %d: clause before header", lineno)
+		}
+		for _, tok := range strings.Fields(line) {
+			lit, err := strconv.Atoi(tok)
+			if err != nil {
+				return 0, nil, fmt.Errorf("dimacs line %d: bad literal %q", lineno, tok)
+			}
+			switch {
+			case lit == 0:
+				if len(current) == 0 {
+					return 0, nil, fmt.Errorf("dimacs line %d: empty clause", lineno)
+				}
+				clauses = append(clauses, current)
+				current = nil
+			case lit > 0:
+				if lit > numVars {
+					return 0, nil, fmt.Errorf("dimacs line %d: literal %d out of range", lineno, lit)
+				}
+				current = append(current, lit-1)
+			default:
+				if -lit > numVars {
+					return 0, nil, fmt.Errorf("dimacs line %d: literal %d out of range", lineno, lit)
+				}
+				current = append(current, ^(-lit - 1))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, err
+	}
+	if len(current) != 0 {
+		return 0, nil, fmt.Errorf("dimacs: trailing clause without terminating 0")
+	}
+	if declaredClauses < 0 {
+		return 0, nil, fmt.Errorf("dimacs: missing header")
+	}
+	if len(clauses) != declaredClauses {
+		return 0, nil, fmt.Errorf("dimacs: header declares %d clauses, read %d", declaredClauses, len(clauses))
+	}
+	return numVars, clauses, nil
+}
+
+// WriteDIMACS renders a CNF formula in DIMACS format.
+func WriteDIMACS(w io.Writer, numVars int, clauses []Clause) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p cnf %d %d\n", numVars, len(clauses))
+	for _, cl := range clauses {
+		for _, lit := range cl {
+			v, pos := litVar(lit)
+			if pos {
+				fmt.Fprintf(&b, "%d ", v+1)
+			} else {
+				fmt.Fprintf(&b, "-%d ", v+1)
+			}
+		}
+		b.WriteString("0\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,84 @@
+package poset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACS(t *testing.T) {
+	src := `
+c example formula
+p cnf 3 2
+1 2 0
+2 -3 0
+`
+	numVars, clauses, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numVars != 3 || len(clauses) != 2 {
+		t.Fatalf("shape: %d vars, %d clauses", numVars, len(clauses))
+	}
+	if clauses[0][0] != 0 || clauses[0][1] != 1 {
+		t.Errorf("clause 0 = %v", clauses[0])
+	}
+	if clauses[1][1] != ^2 {
+		t.Errorf("clause 1 = %v (want negated var 2)", clauses[1])
+	}
+}
+
+func TestParseDIMACSMultiline(t *testing.T) {
+	src := "p cnf 4 1\n1 2\n3 -4 0\n"
+	_, clauses, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clauses) != 1 || len(clauses[0]) != 4 {
+		t.Fatalf("clauses = %v", clauses)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                   // no header
+		"p cnf x 1\n1 0\n",   // bad var count
+		"p cnf 2 z\n1 0\n",   // bad clause count
+		"p dnf 2 1\n1 0\n",   // wrong format tag
+		"1 0\np cnf 2 1\n",   // clause before header
+		"p cnf 2 1\n1 q 0\n", // bad literal
+		"p cnf 2 1\n3 0\n",   // out-of-range literal
+		"p cnf 2 1\n-3 0\n",  // out-of-range negative
+		"p cnf 2 1\n0\n",     // empty clause
+		"p cnf 2 2\n1 0\n",   // clause count mismatch
+		"p cnf 2 1\n1 2\n",   // unterminated clause
+	} {
+		if _, _, err := ParseDIMACS(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseDIMACS accepted %q", bad)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	clauses := []Clause{{0, ^1, 2}, {^0, 1}, {2}}
+	var sb strings.Builder
+	if err := WriteDIMACS(&sb, 3, clauses); err != nil {
+		t.Fatal(err)
+	}
+	numVars, back, err := ParseDIMACS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numVars != 3 || len(back) != len(clauses) {
+		t.Fatalf("round trip shape: %d vars, %d clauses", numVars, len(back))
+	}
+	for i := range clauses {
+		if len(back[i]) != len(clauses[i]) {
+			t.Fatalf("clause %d length", i)
+		}
+		for j := range clauses[i] {
+			if back[i][j] != clauses[i][j] {
+				t.Fatalf("clause %d literal %d: %d != %d", i, j, back[i][j], clauses[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package poset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS checks the DIMACS parser never panics and that accepted
+// formulas are well-formed (literals in range, header honest).
+func FuzzParseDIMACS(f *testing.F) {
+	for _, seed := range []string{
+		"p cnf 3 2\n1 2 0\n2 -3 0\n",
+		"c comment\np cnf 1 1\n1 0\n",
+		"p cnf 2 1\n1 2\n-1 0\n",
+		"p cnf 0 0\n",
+		"p cnf 2 1\n0\n",
+		"garbage",
+		"p cnf 9999 1\n9999 0\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		numVars, clauses, err := ParseDIMACS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, cl := range clauses {
+			if len(cl) == 0 {
+				t.Fatalf("accepted empty clause from %q", input)
+			}
+			for _, lit := range cl {
+				v, _ := litVar(lit)
+				if v < 0 || v >= numVars {
+					t.Fatalf("accepted out-of-range literal from %q", input)
+				}
+			}
+		}
+		// Accepted formulas must round-trip.
+		var sb strings.Builder
+		if err := WriteDIMACS(&sb, numVars, clauses); err != nil {
+			t.Fatal(err)
+		}
+		nv2, cl2, err := ParseDIMACS(strings.NewReader(sb.String()))
+		if err != nil || nv2 != numVars || len(cl2) != len(clauses) {
+			t.Fatalf("round trip failed for %q: %v", input, err)
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package poset
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPoset builds a random DAG poset over n elements (edges only from
+// lower to higher index, read as higher-index covers lower-index).
+func randomPoset(rng *rand.Rand, n int) *Poset {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("e%02d", i)
+	}
+	covers := make(map[string][]string)
+	for hi := 1; hi < n; hi++ {
+		for lo := 0; lo < hi; lo++ {
+			if rng.Intn(3) == 0 {
+				covers[names[hi]] = append(covers[names[hi]], names[lo])
+			}
+		}
+	}
+	return MustFromCovers("rand", names, covers)
+}
+
+// TestPosetOrderLaws property-tests reflexivity, antisymmetry, and
+// transitivity of GE on random posets.
+func TestPosetOrderLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPoset(rng, 2+rng.Intn(12))
+		n := p.Size()
+		for a := 0; a < n; a++ {
+			if !p.GE(Elem(a), Elem(a)) {
+				return false
+			}
+			for b := 0; b < n; b++ {
+				if a != b && p.GE(Elem(a), Elem(b)) && p.GE(Elem(b), Elem(a)) {
+					return false
+				}
+				for c := 0; c < n; c++ {
+					if p.GE(Elem(a), Elem(b)) && p.GE(Elem(b), Elem(c)) && !p.GE(Elem(a), Elem(c)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBoundsConsistency property-tests that MinimalUpperBounds and
+// MaximalLowerBounds return bounds that actually bound and are
+// minimal/maximal.
+func TestBoundsConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPoset(rng, 2+rng.Intn(10))
+		n := p.Size()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				mubs := p.MinimalUpperBounds(Elem(a), Elem(b))
+				for _, u := range mubs {
+					if !p.GE(u, Elem(a)) || !p.GE(u, Elem(b)) {
+						return false
+					}
+					for _, v := range mubs {
+						if u != v && (p.GE(u, v) || p.GE(v, u)) {
+							return false // must be an antichain
+						}
+					}
+				}
+				mlbs := p.MaximalLowerBounds(Elem(a), Elem(b))
+				for _, u := range mlbs {
+					if !p.GE(Elem(a), u) || !p.GE(Elem(b), u) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveAgainstBruteForce differentially tests the forward-checking
+// solver against exhaustive assignment enumeration on tiny random
+// instances with all constraint forms.
+func TestSolveAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPoset(rng, 2+rng.Intn(6))
+		in := NewInstance(p)
+		nAttrs := 1 + rng.Intn(3)
+		for i := 0; i < nAttrs; i++ {
+			in.AddAttr(fmt.Sprintf("w%d", i))
+		}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			switch rng.Intn(4) {
+			case 0:
+				in.AddLowerElem([]int{rng.Intn(nAttrs)}, Elem(rng.Intn(p.Size())))
+			case 1:
+				in.AddUpper(rng.Intn(nAttrs), Elem(rng.Intn(p.Size())))
+			case 2:
+				a, b := rng.Intn(nAttrs), rng.Intn(nAttrs)
+				if a != b {
+					in.AddLowerAttr([]int{a}, b)
+				}
+			case 3:
+				if nAttrs >= 2 {
+					a, b := rng.Intn(nAttrs), rng.Intn(nAttrs)
+					if a != b {
+						in.AddLowerElem([]int{a, b}, Elem(rng.Intn(p.Size())))
+					}
+				}
+			}
+		}
+		m, _, err := in.Solve(0)
+		if err != nil {
+			return false
+		}
+		// Brute-force: does any assignment satisfy?
+		total := 1
+		for i := 0; i < nAttrs; i++ {
+			total *= p.Size()
+		}
+		bruteSat := false
+		cur := make([]Elem, nAttrs)
+		for code := 0; code < total && !bruteSat; code++ {
+			c := code
+			for i := 0; i < nAttrs; i++ {
+				cur[i] = Elem(c % p.Size())
+				c /= p.Size()
+			}
+			if in.Satisfies(cur) {
+				bruteSat = true
+			}
+		}
+		if (m != nil) != bruteSat {
+			t.Logf("seed %d: solver=%v brute=%v", seed, m != nil, bruteSat)
+			return false
+		}
+		if m != nil && !in.Satisfies(m) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReductionPosetShape property-tests structural invariants of the
+// Theorem 6.1 construction on random formulas: height one, the expected
+// element count, and clause elements dominated by exactly one Ci plus the
+// matching polarity elements.
+func TestReductionPosetShape(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(4)
+		nClauses := 1 + rng.Intn(5)
+		var clauses []Clause
+		for i := 0; i < nClauses; i++ {
+			perm := rng.Perm(nVars)
+			cl := Clause{}
+			for j := 0; j < 3; j++ {
+				v := perm[j]
+				if rng.Intn(2) == 1 {
+					cl = append(cl, ^v)
+				} else {
+					cl = append(cl, v)
+				}
+			}
+			clauses = append(clauses, cl)
+		}
+		r, err := Reduce(nVars, clauses)
+		if err != nil {
+			return false
+		}
+		p := r.Instance.P
+		if p.Size() != 3*nVars+8*nClauses {
+			return false // 1 Ci + 7 satisfying assignments per 3-clause
+		}
+		// Height one: nothing below a covered element.
+		for e := 0; e < p.Size(); e++ {
+			for _, c := range p.Covers(Elem(e)) {
+				if len(p.Covers(c)) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+package poset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the Theorem 6.1 reduction from SAT to min-poset,
+// including the partial order of Figure 4(a). For a CNF formula it builds:
+//
+// Elements:
+//   - per variable j: "Pj" (undecided), "Pj+" (true), "Pj-" (false);
+//   - per clause i: "Ci", plus one element per truth assignment T of the
+//     clause's variables that satisfies the clause (2^k−1 of them for a
+//     k-literal clause), named "Ci_" followed by the variables with
+//     overbars rendered as a trailing "'" for negated values, e.g.
+//     "C0_P Q'" — we use a compact bit string instead: "C0_t f t".
+//
+// Order (height one):
+//   - Pj+ ≥ Pj and Pj- ≥ Pj                        (R_prop)
+//   - Ci ≥ Ci_T for every satisfying T              (R_clause)
+//   - Pj+ ≥ Ci_T whenever T assigns variable j true (R_true)
+//   - Pj- ≥ Ci_T whenever T assigns j false         (R_false)
+//
+// Attributes: wp_j and wu_j per variable, wc_i per clause.
+// Constraints: Ci ≥ wc_i and wp_j ≥ wc_i for each variable j of clause i
+// (C_clause); wu_j ≥ wp_j and wu_j ≥ Pj (C_prop).
+//
+// The instance is satisfiable iff the formula is; a truth assignment is
+// read back from a solution as: variable j is true iff Pj+ dominates the
+// level assigned to wp_j.
+
+// Reduction carries the constructed instance together with the bookkeeping
+// needed to translate solutions back to truth assignments.
+type Reduction struct {
+	Instance *Reduced
+	numVars  int
+}
+
+// Reduced is a min-poset instance produced by the reduction, with the
+// attribute indices of the gadgets exposed.
+type Reduced struct {
+	*Instance
+	WP []int // wp_j per variable
+	WU []int // wu_j per variable
+	WC []int // wc_i per clause
+	// PPlus[j] is the element Pj+.
+	PPlus []Elem
+}
+
+// Reduce builds the Theorem 6.1 min-poset instance for a CNF formula.
+// Clauses must be non-empty and mention each variable at most once.
+func Reduce(numVars int, clauses []Clause) (*Reduction, error) {
+	if numVars < 1 {
+		return nil, fmt.Errorf("poset: reduction needs at least one variable")
+	}
+	var names []string
+	covers := make(map[string][]string)
+	pName := func(j int) string { return fmt.Sprintf("P%d", j) }
+	pPlus := func(j int) string { return fmt.Sprintf("P%d+", j) }
+	pMinus := func(j int) string { return fmt.Sprintf("P%d-", j) }
+	cName := func(i int) string { return fmt.Sprintf("C%d", i) }
+	ctName := func(i int, t uint) string { return fmt.Sprintf("C%d_%0*b", i, len(clauses[i]), t) }
+
+	for j := 0; j < numVars; j++ {
+		names = append(names, pName(j), pPlus(j), pMinus(j))
+		covers[pPlus(j)] = append(covers[pPlus(j)], pName(j))
+		covers[pMinus(j)] = append(covers[pMinus(j)], pName(j))
+	}
+	for i, cl := range clauses {
+		if len(cl) == 0 {
+			return nil, fmt.Errorf("poset: clause %d is empty", i)
+		}
+		if len(cl) > 20 {
+			return nil, fmt.Errorf("poset: clause %d too wide (%d literals)", i, len(cl))
+		}
+		seen := make(map[int]bool)
+		for _, lit := range cl {
+			v, _ := litVar(lit)
+			if v < 0 || v >= numVars {
+				return nil, fmt.Errorf("poset: clause %d mentions undeclared variable %d", i, v)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("poset: clause %d repeats variable %d", i, v)
+			}
+			seen[v] = true
+		}
+		names = append(names, cName(i))
+		// One element per satisfying truth assignment of the clause's own
+		// variables; bit b of t is the value of the b-th literal's
+		// variable.
+		for t := uint(0); t < 1<<len(cl); t++ {
+			satisfied := false
+			for b, lit := range cl {
+				_, pos := litVar(lit)
+				if (t>>uint(b))&1 == 1 == pos {
+					satisfied = true
+					break
+				}
+			}
+			if !satisfied {
+				continue
+			}
+			nm := ctName(i, t)
+			names = append(names, nm)
+			covers[cName(i)] = append(covers[cName(i)], nm)
+			for b, lit := range cl {
+				v, _ := litVar(lit)
+				if (t>>uint(b))&1 == 1 {
+					covers[pPlus(v)] = append(covers[pPlus(v)], nm)
+				} else {
+					covers[pMinus(v)] = append(covers[pMinus(v)], nm)
+				}
+			}
+		}
+	}
+
+	p, err := FromCovers("thm6.1-reduction", names, covers)
+	if err != nil {
+		return nil, err
+	}
+	red := &Reduced{Instance: NewInstance(p)}
+	for j := 0; j < numVars; j++ {
+		red.WP = append(red.WP, red.AddAttr("wp"+fmt.Sprint(j)))
+		red.WU = append(red.WU, red.AddAttr("wu"+fmt.Sprint(j)))
+		e, _ := p.ElemByName(pPlus(j))
+		red.PPlus = append(red.PPlus, e)
+	}
+	for i := range clauses {
+		red.WC = append(red.WC, red.AddAttr("wc"+fmt.Sprint(i)))
+	}
+	for i, cl := range clauses {
+		ci, _ := p.ElemByName(cName(i))
+		red.AddUpper(red.WC[i], ci)
+		for _, lit := range cl {
+			v, _ := litVar(lit)
+			red.AddLowerAttr([]int{red.WP[v]}, red.WC[i])
+		}
+	}
+	for j := 0; j < numVars; j++ {
+		red.AddLowerAttr([]int{red.WU[j]}, red.WP[j])
+		pj, _ := p.ElemByName(pName(j))
+		red.AddLowerElem([]int{red.WU[j]}, pj)
+	}
+	return &Reduction{Instance: red, numVars: numVars}, nil
+}
+
+// Extract reads a truth assignment back from a min-poset solution:
+// variable j is true iff Pj+ dominates the level of wp_j.
+func (r *Reduction) Extract(m []Elem) []bool {
+	out := make([]bool, r.numVars)
+	for j := 0; j < r.numVars; j++ {
+		out[j] = r.Instance.P.GE(r.Instance.PPlus[j], m[r.Instance.WP[j]])
+	}
+	return out
+}
+
+// Embed maps a truth assignment to a satisfying min-poset solution (the
+// easy direction of the equivalence): wp_j = wu_j = Pj±, and wc_i = Ci_T
+// where T is the assignment restricted to clause i.
+func (r *Reduction) Embed(assignment []bool, clauses []Clause) ([]Elem, error) {
+	p := r.Instance.P
+	m := make([]Elem, len(r.Instance.AttrNames))
+	for j := 0; j < r.numVars; j++ {
+		name := fmt.Sprintf("P%d-", j)
+		if assignment[j] {
+			name = fmt.Sprintf("P%d+", j)
+		}
+		e, ok := p.ElemByName(name)
+		if !ok {
+			return nil, fmt.Errorf("poset: missing element %s", name)
+		}
+		m[r.Instance.WP[j]] = e
+		m[r.Instance.WU[j]] = e
+	}
+	for i, cl := range clauses {
+		t := uint(0)
+		for b, lit := range cl {
+			v, _ := litVar(lit)
+			if assignment[v] {
+				t |= 1 << uint(b)
+			}
+		}
+		name := fmt.Sprintf("C%d_%0*b", i, len(cl), t)
+		e, ok := p.ElemByName(name)
+		if !ok {
+			return nil, fmt.Errorf("poset: assignment does not satisfy clause %d (no element %s)", i, name)
+		}
+		m[r.Instance.WC[i]] = e
+	}
+	return m, nil
+}
+
+// Figure4A returns the reduction instance for the paper's example formula
+// (P ∨ Q) ∧ (Q ∨ ¬R) over variables P=0, Q=1, R=2, whose partial order is
+// depicted in Figure 4(a).
+func Figure4A() (*Reduction, []Clause, error) {
+	clauses := []Clause{{0, 1}, {1, ^2}}
+	r, err := Reduce(3, clauses)
+	return r, clauses, err
+}
+
+// Figure4B returns the four-element poset of Figure 4(b): two upper
+// elements a and b, each dominating both lower elements c and d. It is the
+// smallest order that is not a partial lattice, and the fixed order for
+// which the Pratt–Tiuryn strengthening keeps min-poset NP-hard.
+func Figure4B() *Poset {
+	return MustFromCovers("figure-4b",
+		[]string{"a", "b", "c", "d"},
+		map[string][]string{"a": {"c", "d"}, "b": {"c", "d"}})
+}
+
+// FormatAssignment renders a min-poset assignment for humans.
+func (in *Instance) FormatAssignment(m []Elem) string {
+	parts := make([]string, len(m))
+	for i, e := range m {
+		parts[i] = in.AttrNames[i] + "=" + in.P.ElemName(e)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,124 @@
+package poset
+
+// This file contains a small DPLL SAT solver over CNF instances. It is the
+// substrate of the Theorem 6.1 experiments: the reduction maps SAT to
+// min-poset, and DPLL serves as the independent oracle that the reduction
+// preserves satisfiability in both directions.
+
+// Clause is one CNF clause: positive literal i is variable i (0-based),
+// negative is ^i (bitwise complement).
+type Clause []int
+
+// litVar returns the variable of a literal and whether it is positive.
+func litVar(lit int) (v int, positive bool) {
+	if lit < 0 {
+		return ^lit, false
+	}
+	return lit, true
+}
+
+// SolveSAT decides a CNF instance with DPLL (unit propagation plus
+// splitting) and returns a satisfying assignment when one exists.
+// Unconstrained variables default to false.
+func SolveSAT(numVars int, clauses []Clause) (assignment []bool, ok bool) {
+	assign := make([]int8, numVars) // 0 unassigned, 1 true, -1 false
+	if !dpll(assign, clauses) {
+		return nil, false
+	}
+	out := make([]bool, numVars)
+	for i, a := range assign {
+		out[i] = a == 1
+	}
+	return out, true
+}
+
+func dpll(assign []int8, clauses []Clause) bool {
+	// Unit propagation to fixpoint, recording assignments for rollback.
+	var trail []int
+	undo := func() {
+		for _, v := range trail {
+			assign[v] = 0
+		}
+	}
+	for {
+		progress := false
+		for _, cl := range clauses {
+			unassigned := 0
+			unassignedLit := 0
+			satisfied := false
+			for _, lit := range cl {
+				v, pos := litVar(lit)
+				switch {
+				case assign[v] == 0:
+					unassigned++
+					unassignedLit = lit
+				case (assign[v] == 1) == pos:
+					satisfied = true
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch unassigned {
+			case 0:
+				undo()
+				return false
+			case 1:
+				v, pos := litVar(unassignedLit)
+				if pos {
+					assign[v] = 1
+				} else {
+					assign[v] = -1
+				}
+				trail = append(trail, v)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Branch on the first unassigned variable.
+	branch := -1
+	for v, a := range assign {
+		if a == 0 {
+			branch = v
+			break
+		}
+	}
+	if branch == -1 {
+		// All variables assigned: the final propagation pass above checked
+		// every clause and found no conflict, so the formula is satisfied.
+		return true
+	}
+	for _, val := range []int8{1, -1} {
+		assign[branch] = val
+		if dpll(assign, clauses) {
+			return true
+		}
+	}
+	assign[branch] = 0
+	undo()
+	return false
+}
+
+// CheckSAT reports whether an assignment satisfies all clauses.
+func CheckSAT(assignment []bool, clauses []Clause) bool {
+	for _, cl := range clauses {
+		ok := false
+		for _, lit := range cl {
+			v, pos := litVar(lit)
+			if assignment[v] == pos {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

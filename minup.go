@@ -1,0 +1,317 @@
+// Package minup is a from-scratch Go implementation of
+//
+//	S. Dawson, S. De Capitani di Vimercati, P. Lincoln, P. Samarati:
+//	"Minimal Data Upgrading to Prevent Inference and Association Attacks",
+//	PODS 1999.
+//
+// It computes security classifications for database attributes from
+// classification constraints — explicit level requirements, inference and
+// association constraints, and the integrity constraints of multilevel
+// relational models — such that every constraint is satisfied and no
+// attribute is classified higher than necessary (a pointwise-minimal
+// classification), in low-order polynomial time: linear in the constraint
+// size for acyclic constraint sets and quadratic in the worst cyclic case
+// (Theorem 5.2 of the paper).
+//
+// # Quick start
+//
+//	lat := minup.MustChainLattice("mil", "U", "C", "S", "TS")
+//	set := minup.NewConstraintSet(lat)
+//	_ = set.ParseString(`
+//	    salary >= C
+//	    lub(name, salary) >= TS
+//	    rank >= salary
+//	`)
+//	res, _ := minup.Solve(set, minup.Options{})
+//	fmt.Println(set.FormatAssignment(res.Assignment))
+//	// name=TS rank=C salary=C
+//
+// The package is a thin façade over the implementation packages: security
+// lattices (explicit Hasse diagrams, chains, powersets, compartmented MLS
+// lattices with single-word encodings, products, and §6 semi-lattice
+// completion), classification constraints with a textual format,
+// Algorithm 3.1 itself with optional execution traces, §6 upper-bound
+// support with inconsistency detection, a multilevel relational schema
+// layer that generates constraints from keys, foreign keys, and data
+// dependencies, and the Theorem 6.1 min-poset machinery.
+package minup
+
+import (
+	"io"
+
+	"minup/internal/constraint"
+	"minup/internal/core"
+	"minup/internal/lattice"
+	"minup/internal/mac"
+	"minup/internal/mlsdb"
+	"minup/internal/poset"
+)
+
+// Lattice types.
+type (
+	// Lattice is a security lattice of access classes: a partial order
+	// with least-upper-bound and greatest-lower-bound operations.
+	Lattice = lattice.Lattice
+	// Level is an opaque handle for one access class of a specific
+	// Lattice.
+	Level = lattice.Level
+	// Enumerable is a lattice small enough to list exhaustively.
+	Enumerable = lattice.Enumerable
+	// ExplicitLattice is an arbitrary finite lattice given by its Hasse
+	// diagram, with closure-bitset encoded constant-time operations.
+	ExplicitLattice = lattice.Explicit
+	// ChainLattice is a totally ordered lattice.
+	ChainLattice = lattice.Chain
+	// PowersetLattice is the lattice of subsets of a small category
+	// universe.
+	PowersetLattice = lattice.Powerset
+	// MLSLattice is the compartmented military lattice of
+	// (classification, category set) pairs, encoded in a machine word.
+	MLSLattice = lattice.MLS
+	// ProductLattice is the component-wise product of two enumerable
+	// lattices.
+	ProductLattice = lattice.Product
+)
+
+// Constraint types.
+type (
+	// ConstraintSet is a set of classification constraints (Definition
+	// 2.1) plus optional §6 upper bounds, over one lattice.
+	ConstraintSet = constraint.Set
+	// Attr identifies an attribute within a ConstraintSet.
+	Attr = constraint.Attr
+	// Constraint is one lower-bound constraint lub{λ(lhs)} ≽ rhs.
+	Constraint = constraint.Constraint
+	// RHS is a constraint right-hand side: a level constant or an
+	// attribute.
+	RHS = constraint.RHS
+	// Assignment maps each attribute of a ConstraintSet to a level — the
+	// classification λ.
+	Assignment = constraint.Assignment
+)
+
+// Solver types.
+type (
+	// Options tunes Solve.
+	Options = core.Options
+	// Result is the outcome of Solve: the minimal classification, the
+	// priority structure, optional trace, and operation counts.
+	Result = core.Result
+	// Trace is a step-by-step record of the solver's execution, printable
+	// as the paper's Figure 2(b) table.
+	Trace = core.Trace
+	// InconsistencyError reports that upper- and lower-bound constraints
+	// clash (§6).
+	InconsistencyError = core.InconsistencyError
+)
+
+// Multilevel database types.
+type (
+	// Schema is a relational schema whose structure (keys, foreign keys,
+	// dependencies) generates classification constraints.
+	Schema = mlsdb.Schema
+	// Requirement is an explicit per-attribute classification requirement.
+	Requirement = mlsdb.Requirement
+	// Association is an explicit association constraint over several
+	// attributes of one relation.
+	Association = mlsdb.Association
+	// Labeling maps schema attributes to computed levels.
+	Labeling = mlsdb.Labeling
+	// Store is a labeled in-memory storage engine with read-down
+	// filtering and polyinstantiation.
+	Store = mlsdb.Store
+)
+
+// Poset types (Theorem 6.1 machinery).
+type (
+	// Poset is an arbitrary finite partial order.
+	Poset = poset.Poset
+	// MinPosetInstance is a min-poset problem instance over a Poset.
+	MinPosetInstance = poset.Instance
+)
+
+// NewChainLattice builds a totally ordered lattice from level names listed
+// bottom-up.
+func NewChainLattice(name string, bottomUp ...string) (*ChainLattice, error) {
+	return lattice.NewChain(name, bottomUp...)
+}
+
+// MustChainLattice is NewChainLattice that panics on error.
+func MustChainLattice(name string, bottomUp ...string) *ChainLattice {
+	return lattice.MustChain(name, bottomUp...)
+}
+
+// NewMLSLattice builds a compartmented lattice from classification names
+// (bottom-up) and category names.
+func NewMLSLattice(name string, levels, categories []string) (*MLSLattice, error) {
+	return lattice.NewMLS(name, levels, categories)
+}
+
+// NewPowersetLattice builds the subset lattice over category names.
+func NewPowersetLattice(name string, categories ...string) (*PowersetLattice, error) {
+	return lattice.NewPowerset(name, categories...)
+}
+
+// NewExplicitLattice builds an arbitrary finite lattice from its Hasse
+// diagram: covers maps each element to its immediate descendants, in the
+// left-to-right order lattice descents will follow.
+func NewExplicitLattice(name string, elements []string, covers map[string][]string) (*ExplicitLattice, error) {
+	return lattice.NewExplicit(name, elements, covers)
+}
+
+// CompleteSemiLattice builds a lattice from a cover relation that may lack
+// a top and/or bottom, injecting dummy extremes per §6 of the paper. Use
+// DiagnoseSemiLattice on the solve result to interpret attributes pinned
+// at a dummy level.
+func CompleteSemiLattice(name string, elements []string, covers map[string][]string) (*ExplicitLattice, error) {
+	l, _, err := lattice.CompleteToLattice(name, elements, covers)
+	return l, err
+}
+
+// ParseLattice reads a lattice description in the text format documented
+// at lattice.Parse (chain / mls / explicit / semilattice).
+func ParseLattice(r io.Reader) (Lattice, error) { return lattice.Parse(r) }
+
+// Figure1A returns the compartmented example lattice of the paper's
+// Figure 1(a).
+func Figure1A() *MLSLattice { return lattice.FigureOneA() }
+
+// Figure1B returns the seven-element example lattice of Figure 1(b), used
+// by the worked example of Figure 2.
+func Figure1B() *ExplicitLattice { return lattice.FigureOneB() }
+
+// AttrRHS returns a constraint right-hand side holding an attribute.
+func AttrRHS(a Attr) RHS { return constraint.AttrRHS(a) }
+
+// LevelRHS returns a constraint right-hand side holding a level constant.
+func LevelRHS(l Level) RHS { return constraint.LevelRHS(l) }
+
+// NewConstraintSet returns an empty constraint set over the lattice.
+// Populate it with AddAttr/Add/AddUpper or the textual ParseString /
+// ParseInto format.
+func NewConstraintSet(lat Lattice) *ConstraintSet { return constraint.NewSet(lat) }
+
+// NewSchema returns an empty multilevel relational schema over the
+// lattice.
+func NewSchema(lat Lattice) *Schema { return mlsdb.NewSchema(lat) }
+
+// NewStore creates an empty multilevel store over a schema and a labeling
+// computed for it.
+func NewStore(schema *Schema, labeling *Labeling) *Store {
+	return mlsdb.NewStore(schema, labeling)
+}
+
+// Solve computes a minimal classification for the constraint set with
+// Algorithm 3.1 of the paper. Lower-bound-only instances always succeed;
+// instances with upper bounds return *InconsistencyError when
+// unsatisfiable.
+func Solve(set *ConstraintSet, opt Options) (*Result, error) {
+	return core.Solve(set, opt)
+}
+
+// CheckSolvable reports nil when the constraint set has a solution (§6
+// preprocessing; lower-bound-only sets are always solvable).
+func CheckSolvable(set *ConstraintSet) error { return core.CheckSolvable(set) }
+
+// DeriveUpperBounds runs the §6 preprocessing pass alone, returning each
+// attribute's firm maximum level or an *InconsistencyError.
+func DeriveUpperBounds(set *ConstraintSet) (Assignment, error) {
+	return core.DeriveUpperBounds(set)
+}
+
+// Verification and explanation types.
+type (
+	// Witness is a strictly lower satisfying assignment, evidence that an
+	// assignment probed by ProbeMinimality is not minimal.
+	Witness = core.Witness
+	// Explanation reports the constraints that pin one attribute at its
+	// level.
+	Explanation = core.Explanation
+)
+
+// ProbeMinimality checks an arbitrary satisfying assignment for pointwise
+// minimality in polynomial time, by attempting every one-step lowering
+// with forward propagation — usable far beyond exhaustive search.
+func ProbeMinimality(set *ConstraintSet, m Assignment) (minimal bool, w *Witness, err error) {
+	return core.ProbeMinimality(set, m)
+}
+
+// Explain reports, for each level immediately below m[attr], one
+// constraint that breaks if the attribute is lowered there.
+func Explain(set *ConstraintSet, m Assignment, attr Attr) (*Explanation, error) {
+	return core.Explain(set, m, attr)
+}
+
+// FormatExplanation renders an Explanation for humans.
+func FormatExplanation(set *ConstraintSet, ex *Explanation) string {
+	return core.FormatExplanation(set, ex)
+}
+
+// Mandatory access-control types (the Bell–LaPadula substrate of §1).
+type (
+	// Monitor is a reference monitor enforcing no-read-up and
+	// no-write-down over one security lattice, with an audit log.
+	Monitor = mac.Monitor
+	// Subject is a cleared principal.
+	Subject = mac.Subject
+	// Session is a subject logged in at a level its clearance dominates.
+	Session = mac.Session
+	// FlowSim is a taint-tracking information-flow simulation over
+	// labeled objects, used to demonstrate that a labeling plus the
+	// monitor prevents leakage.
+	FlowSim = mac.FlowSim
+)
+
+// NewMonitor creates a reference monitor for the lattice.
+func NewMonitor(lat Lattice) *Monitor { return mac.NewMonitor(lat) }
+
+// NewFlowSim builds an information-flow simulation over labeled objects.
+func NewFlowSim(mon *Monitor, levels map[string]Level) *FlowSim {
+	return mac.NewFlowSim(mon, levels)
+}
+
+// Incremental repair types.
+type (
+	// RepairOptions tunes Repair.
+	RepairOptions = core.RepairOptions
+	// RepairStats reports how much work a Repair did.
+	RepairStats = core.RepairStats
+)
+
+// Repair extends a minimal solution after constraints were appended to the
+// set, recomputing only the attributes the additions can force upward.
+// base must satisfy the first baseCount constraints (typically a previous
+// Solve result before the additions).
+func Repair(set *ConstraintSet, baseCount int, base Assignment, opt RepairOptions) (Assignment, *RepairStats, error) {
+	return core.Repair(set, baseCount, base, opt)
+}
+
+// NewPoset builds an arbitrary finite partial order from its cover
+// relation; unlike lattices, posets need not have unique bounds, which is
+// where minimal classification turns NP-complete (Theorem 6.1).
+func NewPoset(name string, elements []string, covers map[string][]string) (*Poset, error) {
+	return poset.FromCovers(name, elements, covers)
+}
+
+// Figure4B returns the four-element non-lattice poset of the paper's
+// Figure 4(b).
+func Figure4B() *Poset { return poset.Figure4B() }
+
+// SATClause is one CNF clause for the Theorem 6.1 machinery: positive
+// literal i is variable i, negative is ^i.
+type SATClause = poset.Clause
+
+// SATReduction is the Theorem 6.1 construction mapping a CNF formula to a
+// min-poset instance.
+type SATReduction = poset.Reduction
+
+// ReduceSAT builds the Theorem 6.1 min-poset instance for a CNF formula.
+func ReduceSAT(numVars int, clauses []SATClause) (*SATReduction, error) {
+	return poset.Reduce(numVars, clauses)
+}
+
+// SolveSAT decides a CNF formula with the package's DPLL solver (the
+// reduction's oracle).
+func SolveSAT(numVars int, clauses []SATClause) (assignment []bool, ok bool) {
+	return poset.SolveSAT(numVars, clauses)
+}
