@@ -1,0 +1,33 @@
+# Developer entry points. `make ci` is what the CI workflow runs.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check ci bench bench-json
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints offending files; fail when the list is non-empty.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+ci: vet fmt-check race
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Machine-readable solver micro-benchmarks (fresh vs compiled paths).
+bench-json:
+	$(GO) run ./cmd/benchtab -solverjson BENCH_solver.json

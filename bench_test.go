@@ -16,6 +16,7 @@ package minup
 //	   BenchmarkMinlevelFastPath        footnote-4 ablation
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -447,6 +448,51 @@ S >= rank
 			b.Fatal(err)
 		}
 		if _, err := Solve(set, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// solveBenchSet builds the instance shared by BenchmarkSolveFresh and
+// BenchmarkSolveCompiled: a mid-sized cyclic set, the shape where repeated
+// solving of one policy is the realistic hot path.
+func solveBenchSet(b *testing.B) *ConstraintSet {
+	b.Helper()
+	lat := MustChainLattice("mil", "U", "C", "S", "TS")
+	set, err := workload.Constraints(lat, workload.ConstraintSpec{
+		Seed: 11, NumAttrs: 50, NumConstraints: 150, MaxLHS: 3,
+		LevelRHSFraction: 0.3, Cyclic: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+// BenchmarkSolveFresh measures the one-shot path: every iteration pays for
+// a throwaway compilation (graph, SCCs, priorities) before solving.
+func BenchmarkSolveFresh(b *testing.B) {
+	set := solveBenchSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(set, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveCompiled measures the compile/solve split: compilation is
+// paid once outside the loop and each iteration runs a pooled session
+// against the immutable snapshot.
+func BenchmarkSolveCompiled(b *testing.B) {
+	set := solveBenchSet(b)
+	compiled := Compile(set)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveContext(ctx, compiled, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,8 +6,14 @@
 //
 // Usage:
 //
-//	benchtab              # run every experiment
-//	benchtab -exp E3,E7   # run selected experiments
+//	benchtab                          # run every experiment
+//	benchtab -exp E3,E7               # run selected experiments
+//	benchtab -solverjson BENCH_solver.json  # solver micro-benchmarks as JSON
+//
+// -solverjson runs the compile/solve-split micro-benchmarks (one-shot
+// Solve vs Compile-once + SolveContext, over acyclic, cyclic, and
+// upper-bound instance shapes) and writes machine-readable results to the
+// named file instead of running the experiment tables.
 package main
 
 import (
@@ -22,10 +28,18 @@ import (
 func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and titles, then exit")
+	solverJSON := flag.String("solverjson", "", "write solver fresh-vs-compiled benchmark results as JSON to this file, then exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	if *solverJSON != "" {
+		if err := writeSolverBench(*solverJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"minup"
+	"minup/internal/lattice"
+	"minup/internal/workload"
+)
+
+// The -solverjson benchmarks measure the compile/solve split directly:
+// for each instance shape, "fresh" solves through the one-shot Solve path
+// (which compiles a throwaway snapshot per call) and "compiled" solves a
+// pre-compiled snapshot through SolveContext with pooled sessions. The
+// allocs_per_op gap between the two is the amortized cost Theorem 5.2
+// attributes to the one-time analysis.
+
+// solverBenchResult is one row of BENCH_solver.json.
+type solverBenchResult struct {
+	// Name is shape/path, e.g. "cyclic-scc/compiled".
+	Name string `json:"name"`
+	// S is the instance's total constraint size (Theorem 5.2's S).
+	S int `json:"S"`
+	// N is the number of benchmark iterations run.
+	N int `json:"iterations"`
+	// NsPerOp is wall time per solve in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp counts heap allocations per solve.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp counts heap bytes per solve.
+	BytesPerOp int64 `json:"bytes_per_op"`
+}
+
+func solverBenchShapes() map[string]workload.ConstraintSpec {
+	return map[string]workload.ConstraintSpec{
+		"acyclic": {
+			Seed: 1, NumAttrs: 60, NumConstraints: 180, MaxLHS: 3,
+			LevelRHSFraction: 0.3,
+		},
+		"cyclic-scc": {
+			Seed: 2, NumAttrs: 60, NumConstraints: 180, MaxLHS: 3,
+			LevelRHSFraction: 0.3, Cyclic: true, SingleSCC: true,
+		},
+		"upper-bounds": {
+			Seed: 3, NumAttrs: 60, NumConstraints: 120, MaxLHS: 2,
+			LevelRHSFraction: 0.5, UpperBoundFraction: 0.4,
+		},
+	}
+}
+
+// writeSolverBench runs the fresh-vs-compiled benchmark matrix and writes
+// the JSON rows to path.
+func writeSolverBench(path string) error {
+	lat := lattice.MustChain("bench", "U", "C", "S", "TS")
+	var rows []solverBenchResult
+	for _, shape := range []string{"acyclic", "cyclic-scc", "upper-bounds"} {
+		spec := solverBenchShapes()[shape]
+		ctx := context.Background()
+
+		// Upper-bound shapes can be inconsistent for an unlucky seed; scan
+		// seeds deterministically until the instance is solvable.
+		var set *minup.ConstraintSet
+		var err error
+		for {
+			set, err = workload.Constraints(lat, spec)
+			if err != nil {
+				return fmt.Errorf("generate %s: %w", shape, err)
+			}
+			if minup.CheckSolvable(set) == nil {
+				break
+			}
+			spec.Seed++
+			if spec.Seed > 1000 {
+				return fmt.Errorf("generate %s: no solvable instance in 1000 seeds", shape)
+			}
+		}
+		size := set.Stats().TotalSize
+		compiled := minup.Compile(set)
+		if _, err := minup.SolveContext(ctx, compiled, minup.Options{}); err != nil {
+			return fmt.Errorf("solve %s: %w", shape, err)
+		}
+
+		fresh := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// The set is frozen by Compile above; Solve only reads it.
+				if _, err := minup.Solve(set, minup.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, benchRow(shape+"/fresh", size, fresh))
+
+		comp := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := minup.SolveContext(ctx, compiled, minup.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, benchRow(shape+"/compiled", size, comp))
+	}
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchtab: wrote %d benchmark rows to %s\n", len(rows), path)
+	return nil
+}
+
+func benchRow(name string, size int, r testing.BenchmarkResult) solverBenchResult {
+	return solverBenchResult{
+		Name:        name,
+		S:           size,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}

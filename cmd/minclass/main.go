@@ -21,9 +21,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"minup"
 )
@@ -79,8 +83,16 @@ func main() {
 		}
 	}
 
-	res, err := minup.Solve(set, minup.Options{RecordTrace: *trace})
+	// Compile once, then solve / probe / explain against the immutable
+	// snapshot. Ctrl-C cancels the context and aborts a long solve cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	compiled := minup.Compile(set)
+	res, err := minup.SolveContext(ctx, compiled, minup.Options{RecordTrace: *trace})
 	if err != nil {
+		if errors.Is(err, minup.ErrCanceled) {
+			fatal(fmt.Errorf("interrupted: %w", err))
+		}
 		fatal(err)
 	}
 	if *trace {
@@ -91,7 +103,7 @@ func main() {
 		if v := set.Violations(res.Assignment); v != nil {
 			fatal(fmt.Errorf("result violates constraints: %v", v))
 		}
-		minimal, w, err := minup.ProbeMinimality(set, res.Assignment)
+		minimal, w, err := minup.ProbeMinimalityContext(ctx, compiled, res.Assignment)
 		if err != nil {
 			fatal(err)
 		}
@@ -107,7 +119,7 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown attribute %q", *explain))
 		}
-		ex, err := minup.Explain(set, res.Assignment, attr)
+		ex, err := minup.ExplainContext(ctx, compiled, res.Assignment, attr)
 		if err != nil {
 			fatal(err)
 		}

@@ -23,6 +23,8 @@
 package baseline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -34,10 +36,37 @@ import (
 // assignments returns an error instead of running forever.
 const EnumLimit = 20_000_000
 
+// ErrLimit reports that an exponential oracle refused to run because its
+// enumeration would exceed EnumLimit (or the caller-supplied vector
+// budget). Detect it with errors.Is.
+var (
+	ErrLimit = errors.New("baseline: enumeration limit exceeded")
+
+	// ErrCanceled reports that a Context variant stopped because its
+	// context was canceled; the wrapped cause also satisfies
+	// errors.Is(err, context.Canceled) / context.DeadlineExceeded.
+	ErrCanceled = errors.New("baseline: canceled")
+
+	// ErrUnsatisfiable reports that exhaustive search proved the
+	// constraints admit no solution.
+	ErrUnsatisfiable = errors.New("baseline: no satisfying assignment")
+)
+
+// cancelStride is how many enumeration steps pass between context polls in
+// the exponential oracles.
+const cancelStride = 8192
+
 // BruteForce enumerates every assignment over the (enumerable) lattice and
 // returns all pointwise-minimal satisfying assignments. The search space is
 // |L|^|A|; callers must keep instances tiny.
 func BruteForce(s *constraint.Set) ([]constraint.Assignment, error) {
+	return BruteForceContext(context.Background(), s)
+}
+
+// BruteForceContext is BruteForce with cancellation: the walk polls the
+// context periodically and aborts with an error satisfying
+// errors.Is(err, ErrCanceled).
+func BruteForceContext(ctx context.Context, s *constraint.Set) ([]constraint.Assignment, error) {
 	lat, ok := s.Lattice().(lattice.Enumerable)
 	if !ok {
 		return nil, fmt.Errorf("baseline: brute force requires an enumerable lattice, have %T", s.Lattice())
@@ -45,14 +74,24 @@ func BruteForce(s *constraint.Set) ([]constraint.Assignment, error) {
 	elems := lat.Elements()
 	n := s.NumAttrs()
 	if total := math.Pow(float64(len(elems)), float64(n)); total > EnumLimit {
-		return nil, fmt.Errorf("baseline: %d^%d assignments exceeds enumeration limit", len(elems), n)
+		return nil, fmt.Errorf("baseline: %d^%d assignments: %w", len(elems), n, ErrLimit)
 	}
 
 	var sols []constraint.Assignment
 	cur := make(constraint.Assignment, n)
+	steps := 0
+	var walkErr error
 	var walk func(i int)
 	walk = func(i int) {
+		if walkErr != nil {
+			return
+		}
 		if i == n {
+			steps++
+			if steps%cancelStride == 0 && ctx.Err() != nil {
+				walkErr = fmt.Errorf("baseline: %w: %w", ErrCanceled, context.Cause(ctx))
+				return
+			}
 			if s.Satisfies(cur) {
 				sols = append(sols, cur.Clone())
 			}
@@ -64,6 +103,9 @@ func BruteForce(s *constraint.Set) ([]constraint.Assignment, error) {
 		}
 	}
 	walk(0)
+	if walkErr != nil {
+		return nil, walkErr
+	}
 
 	// Keep the minimal ones.
 	var minimal []constraint.Assignment
@@ -88,6 +130,11 @@ func BruteForce(s *constraint.Set) ([]constraint.Assignment, error) {
 // exponential but far cheaper than full brute force and usable on slightly
 // larger instances.
 func IsMinimal(s *constraint.Set, m constraint.Assignment) (bool, error) {
+	return IsMinimalContext(context.Background(), s, m)
+}
+
+// IsMinimalContext is IsMinimal with cancellation.
+func IsMinimalContext(ctx context.Context, s *constraint.Set, m constraint.Assignment) (bool, error) {
 	if !s.Satisfies(m) {
 		return false, nil
 	}
@@ -106,17 +153,24 @@ func IsMinimal(s *constraint.Set, m constraint.Assignment) (bool, error) {
 		}
 		total *= float64(len(down[i]))
 		if total > EnumLimit {
-			return false, fmt.Errorf("baseline: down-set enumeration exceeds limit")
+			return false, fmt.Errorf("baseline: down-set enumeration: %w", ErrLimit)
 		}
 	}
 	cur := make(constraint.Assignment, n)
 	var found bool
+	steps := 0
+	var walkErr error
 	var walk func(i int)
 	walk = func(i int) {
-		if found {
+		if found || walkErr != nil {
 			return
 		}
 		if i == n {
+			steps++
+			if steps%cancelStride == 0 && ctx.Err() != nil {
+				walkErr = fmt.Errorf("baseline: %w: %w", ErrCanceled, context.Cause(ctx))
+				return
+			}
 			if !cur.Equal(m) && s.Satisfies(cur) {
 				found = true
 			}
@@ -128,6 +182,9 @@ func IsMinimal(s *constraint.Set, m constraint.Assignment) (bool, error) {
 		}
 	}
 	walk(0)
+	if walkErr != nil {
+		return false, walkErr
+	}
 	return !found, nil
 }
 
@@ -140,6 +197,12 @@ func IsMinimal(s *constraint.Set, m constraint.Assignment) (bool, error) {
 // strictly above Algorithm 3.1's answer; experiment E5 measures by how
 // much. Upper-bound constraints are not supported.
 func Qian(s *constraint.Set) (constraint.Assignment, error) {
+	return QianContext(context.Background(), s)
+}
+
+// QianContext is Qian with cancellation: the worklist polls the context
+// periodically.
+func QianContext(ctx context.Context, s *constraint.Set) (constraint.Assignment, error) {
 	if len(s.UpperBounds()) > 0 {
 		return nil, fmt.Errorf("baseline: Qian propagation does not support upper bounds")
 	}
@@ -164,7 +227,12 @@ func Qian(s *constraint.Set) (constraint.Assignment, error) {
 	for ci := range cons {
 		push(ci)
 	}
+	steps := 0
 	for len(queue) > 0 {
+		steps++
+		if steps%cancelStride == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("baseline: %w: %w", ErrCanceled, context.Cause(ctx))
+		}
 		ci := queue[0]
 		queue = queue[1:]
 		inQueue[ci] = false
@@ -205,6 +273,12 @@ func Qian(s *constraint.Set) (constraint.Assignment, error) {
 // right-hand side rather than the complement of its peers, so the result
 // can overclassify relative to Algorithm 3.1; on total orders it is exact.
 func Backtracking(s *constraint.Set, maxVectors int) (constraint.Assignment, int, error) {
+	return BacktrackingContext(context.Background(), s, maxVectors)
+}
+
+// BacktrackingContext is Backtracking with cancellation: the context is
+// polled once per choice vector.
+func BacktrackingContext(ctx context.Context, s *constraint.Set, maxVectors int) (constraint.Assignment, int, error) {
 	if len(s.UpperBounds()) > 0 {
 		return nil, 0, fmt.Errorf("baseline: backtracking solver does not support upper bounds")
 	}
@@ -219,7 +293,7 @@ func Backtracking(s *constraint.Set, maxVectors int) (constraint.Assignment, int
 	for _, ci := range complex {
 		vectors *= len(s.Constraints()[ci].LHS)
 		if vectors > maxVectors {
-			return nil, vectors, fmt.Errorf("baseline: %d choice vectors exceeds limit %d", vectors, maxVectors)
+			return nil, vectors, fmt.Errorf("baseline: %d choice vectors exceeds limit %d: %w", vectors, maxVectors, ErrLimit)
 		}
 	}
 
@@ -227,6 +301,9 @@ func Backtracking(s *constraint.Set, maxVectors int) (constraint.Assignment, int
 	var best constraint.Assignment
 	explored := 0
 	for {
+		if explored%64 == 0 && ctx.Err() != nil {
+			return nil, explored, fmt.Errorf("baseline: %w: %w", ErrCanceled, context.Cause(ctx))
+		}
 		explored++
 		m := leastFixpoint(s, complex, choice)
 		if best == nil || (best.Dominates(lat, m) && !best.Equal(m)) {
@@ -304,12 +381,17 @@ func CountUpgraded(s *constraint.Set, m constraint.Assignment) int {
 // determined by exhaustive enumeration (the NP-hard optimal-upgrading
 // problem of [16,17]; tiny instances only).
 func CheapestUpgrade(s *constraint.Set, cost CostFunc) (constraint.Assignment, error) {
-	minimal, err := BruteForce(s)
+	return CheapestUpgradeContext(context.Background(), s, cost)
+}
+
+// CheapestUpgradeContext is CheapestUpgrade with cancellation.
+func CheapestUpgradeContext(ctx context.Context, s *constraint.Set, cost CostFunc) (constraint.Assignment, error) {
+	minimal, err := BruteForceContext(ctx, s)
 	if err != nil {
 		return nil, err
 	}
 	if len(minimal) == 0 {
-		return nil, fmt.Errorf("baseline: no satisfying assignment")
+		return nil, fmt.Errorf("baseline: %w", ErrUnsatisfiable)
 	}
 	best := minimal[0]
 	bestCost := cost(s, best)

@@ -1,0 +1,207 @@
+package constraint
+
+import (
+	"errors"
+	"fmt"
+
+	"minup/internal/graph"
+	"minup/internal/lattice"
+)
+
+// ErrFrozen is returned by Set mutators (AddAttr, Add, AddUpper) after the
+// set has been frozen by Compile. A frozen set is guaranteed to agree with
+// every Compiled snapshot taken from it, so sharing the snapshot across
+// goroutines is safe. Use errors.Is(err, ErrFrozen) to detect it.
+var ErrFrozen = errors.New("constraint: set is frozen by Compile")
+
+// Compiled is an immutable snapshot of a constraint Set: the attribute
+// table, the constraint and upper-bound slices, the dependency digraph, its
+// SCC condensation with the §4 priority numbering, the Constr[A] /
+// into-constraint adjacency, and (when §6 upper bounds are present) the
+// derived firm per-attribute bounds. All of this is the one-time "compile"
+// cost of Theorem 5.2's complexity argument; a Compiled value is safe for
+// concurrent use by any number of solver sessions.
+//
+// Obtain one with Set.Compile (which freezes the source set so it can never
+// drift from the snapshot) or Set.Snapshot (which leaves the source
+// mutable — later mutations are NOT reflected in the snapshot, and mutating
+// the set concurrently with solves of the snapshot is a data race).
+type Compiled struct {
+	src         *Set // private frozen copy of the source set
+	g           *graph.Digraph
+	pr          *graph.PriorityResult
+	onLHS       [][]int
+	into        [][]int
+	acyclic     bool
+	totalSize   int
+	ub          Assignment // §6 firm bounds; nil when the set has no upper bounds
+	ubConflicts []string   // non-nil when the upper bounds are inconsistent
+}
+
+// Compile freezes the set and returns its immutable compiled form. After
+// Compile, AddAttr/Add/AddUpper return ErrFrozen, so the snapshot can never
+// silently go stale. Compile is idempotent; repeated calls recompute the
+// snapshot (identical content) but freeze only once.
+func (s *Set) Compile() *Compiled {
+	s.frozen = true
+	return s.snapshot()
+}
+
+// Snapshot returns an immutable compiled form without freezing the set.
+// The snapshot reflects the set as of the call; constraints or bounds added
+// afterwards are not visible to it. Intended for one-shot solves and for
+// internal compatibility shims — callers that share a snapshot between
+// goroutines while continuing to mutate the set get undefined behavior;
+// use Compile for that.
+func (s *Set) Snapshot() *Compiled { return s.snapshot() }
+
+// Frozen reports whether the set has been frozen by Compile.
+func (s *Set) Frozen() bool { return s.frozen }
+
+func (s *Set) snapshot() *Compiled {
+	// The copy shares the backing arrays: Set mutators only append (never
+	// overwrite), so the elements visible through these slice headers are
+	// immutable even if the source set later grows and reallocates.
+	src := &Set{
+		lat:    s.lat,
+		names:  s.names,
+		index:  s.index,
+		cons:   s.cons,
+		upper:  s.upper,
+		frozen: true,
+	}
+	c := &Compiled{
+		src:       src,
+		g:         src.Graph(),
+		onLHS:     src.ConstraintsOn(),
+		into:      src.ConstraintsInto(),
+		totalSize: src.TotalSize(),
+	}
+	c.pr = graph.PrioritySCC(c.g)
+	c.acyclic = graph.IsAcyclic(c.g)
+	if len(src.upper) > 0 {
+		c.ub, c.ubConflicts = upperBoundFixpoint(src)
+	}
+	return c
+}
+
+// Set returns a read-only view of the compiled constraints with the full
+// Set query API (AttrName, Format, Violations, ...). The view is frozen:
+// mutators return ErrFrozen.
+func (c *Compiled) Set() *Set { return c.src }
+
+// Lattice returns the security lattice the constraints are stated over.
+func (c *Compiled) Lattice() lattice.Lattice { return c.src.lat }
+
+// NumAttrs returns the number of attributes in the snapshot.
+func (c *Compiled) NumAttrs() int { return len(c.src.names) }
+
+// Constraints returns the lower-bound constraints. Callers must not modify
+// the returned slice.
+func (c *Compiled) Constraints() []Constraint { return c.src.cons }
+
+// UpperBounds returns the §6 upper-bound constraints. Callers must not
+// modify the returned slice.
+func (c *Compiled) UpperBounds() []UpperBound { return c.src.upper }
+
+// HasUpperBounds reports whether the snapshot carries §6 upper bounds.
+func (c *Compiled) HasUpperBounds() bool { return len(c.src.upper) > 0 }
+
+// Graph returns the precomputed attribute dependency graph. The graph is
+// immutable and shared; callers must not add edges.
+func (c *Compiled) Graph() *graph.Digraph { return c.g }
+
+// Priorities returns the precomputed §4 priority structure. The result is
+// immutable and shared across all solves of this snapshot.
+func (c *Compiled) Priorities() *graph.PriorityResult { return c.pr }
+
+// ConstraintsOn returns the precomputed Constr[A] adjacency (constraint
+// indices with A on the left-hand side). Shared and immutable.
+func (c *Compiled) ConstraintsOn() [][]int { return c.onLHS }
+
+// ConstraintsInto returns the precomputed per-attribute indices of the
+// constraints whose right-hand side is that attribute. Shared and immutable.
+func (c *Compiled) ConstraintsInto() [][]int { return c.into }
+
+// Acyclic reports whether the compiled constraint graph is a DAG.
+func (c *Compiled) Acyclic() bool { return c.acyclic }
+
+// TotalSize returns the paper's S = Σ(|lhs|+1) for the snapshot.
+func (c *Compiled) TotalSize() int { return c.totalSize }
+
+// UpperBoundFixpoint returns the §6 preprocessing result computed at
+// compile time: the firm maximum level of every attribute and, when the
+// bounds are inconsistent, human-readable conflict descriptions. Both
+// return values are nil when the set has no upper bounds. The returned
+// assignment is shared and must be treated as read-only.
+func (c *Compiled) UpperBoundFixpoint() (Assignment, []string) { return c.ub, c.ubConflicts }
+
+// upperBoundFixpoint performs the §6 preprocessing phase: every attribute
+// starts at ⊤; explicit upper bounds are glb-merged onto their attributes
+// and pushed forward through the constraint graph (a complex constraint
+// propagates the lub of its left-hand side). An inconsistency is detected
+// when the bound arriving at a level constant fails to dominate it. On
+// success the returned assignment labels each attribute at its maximum
+// allowed level, and that assignment satisfies every lower-bound
+// constraint — the starting point for the modified BigLoop.
+//
+// The fixpoint is computed with a worklist over constraints; each
+// attribute's bound strictly decreases on every update, so the pass
+// terminates after at most H updates per attribute, O(S·H·c) in the worst
+// case and O(S·c) when bounds settle in one pass as the paper assumes.
+func upperBoundFixpoint(s *Set) (Assignment, []string) {
+	lat := s.lat
+	n := len(s.names)
+	ub := make(Assignment, n)
+	for i := range ub {
+		ub[i] = lat.Top()
+	}
+	for _, u := range s.upper {
+		ub[u.Attr] = lat.Glb(ub[u.Attr], u.Level)
+	}
+
+	cons := s.cons
+	onLHS := s.ConstraintsOn()
+
+	// Worklist of constraint indices whose lhs bound may have tightened.
+	inQueue := make([]bool, len(cons))
+	queue := make([]int, 0, len(cons))
+	push := func(ci int) {
+		if !inQueue[ci] {
+			inQueue[ci] = true
+			queue = append(queue, ci)
+		}
+	}
+	for ci := range cons {
+		push(ci)
+	}
+
+	var conflicts []string
+	for len(queue) > 0 {
+		ci := queue[0]
+		queue = queue[1:]
+		inQueue[ci] = false
+		c := cons[ci]
+		bound := lat.Bottom()
+		for _, a := range c.LHS {
+			bound = lat.Lub(bound, ub[a])
+		}
+		if c.RHS.IsLevel {
+			if !lat.Dominates(bound, c.RHS.Level) {
+				conflicts = append(conflicts, fmt.Sprintf(
+					"upper bounds cap lub of lhs at %s, below required %s in %q",
+					lat.FormatLevel(bound), lat.FormatLevel(c.RHS.Level), s.Format(c)))
+			}
+			continue
+		}
+		rhs := c.RHS.Attr
+		merged := lat.Glb(ub[rhs], bound)
+		if merged != ub[rhs] {
+			ub[rhs] = merged
+			for _, dep := range onLHS[rhs] {
+				push(dep)
+			}
+		}
+	}
+	return ub, conflicts
+}

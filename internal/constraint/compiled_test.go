@@ -1,0 +1,155 @@
+package constraint
+
+import (
+	"errors"
+	"testing"
+
+	"minup/internal/lattice"
+)
+
+// Regression tests for the freeze semantics of Compile. Before the
+// compile/solve split, callers could mutate a Set after deriving results
+// from it and silently keep using stale graph/priority data; Compile now
+// rejects mutation with ErrFrozen, and the non-freezing Snapshot documents
+// that a snapshot never sees later mutation.
+
+func compiledTestSet(t *testing.T) (*Set, lattice.Lattice) {
+	t.Helper()
+	lat := lattice.MustChain("c", "U", "C", "S", "TS")
+	s := NewSet(lat)
+	a, b := s.MustAttr("a"), s.MustAttr("b")
+	lvl, err := lat.ParseLevel("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustAdd([]Attr{a}, LevelRHS(lvl))
+	s.MustAdd([]Attr{b}, AttrRHS(a))
+	return s, lat
+}
+
+func TestCompileFreezesSet(t *testing.T) {
+	s, lat := compiledTestSet(t)
+	if s.Frozen() {
+		t.Fatal("set frozen before Compile")
+	}
+	c := s.Compile()
+	if c == nil {
+		t.Fatal("Compile returned nil")
+	}
+	if !s.Frozen() {
+		t.Fatal("set not frozen after Compile")
+	}
+
+	a := s.MustAttr("a") // lookup of an existing attr stays allowed
+	lvl, _ := lat.ParseLevel("C")
+
+	if err := s.Add([]Attr{a}, LevelRHS(lvl)); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("Add after Compile: want ErrFrozen, got %v", err)
+	}
+	if err := s.AddUpper(a, lvl); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("AddUpper after Compile: want ErrFrozen, got %v", err)
+	}
+	if _, err := s.AddAttr("fresh"); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("AddAttr after Compile: want ErrFrozen, got %v", err)
+	}
+
+	// The rejected mutations must not have leaked into set or snapshot.
+	if got := len(s.Constraints()); got != 2 {
+		t.Fatalf("frozen set has %d constraints, want 2", got)
+	}
+	if got := s.NumAttrs(); got != 2 {
+		t.Fatalf("frozen set has %d attrs, want 2", got)
+	}
+	if got := len(c.Constraints()); got != 2 {
+		t.Fatalf("snapshot has %d constraints, want 2", got)
+	}
+}
+
+func TestCompileIdempotentAttrLookupAllowed(t *testing.T) {
+	s, _ := compiledTestSet(t)
+	s.Compile()
+	// AddAttr of an existing name is a pure lookup and must keep working
+	// on a frozen set.
+	a, err := s.AddAttr("a")
+	if err != nil {
+		t.Fatalf("AddAttr of existing name on frozen set: %v", err)
+	}
+	if name := s.AttrName(a); name != "a" {
+		t.Fatalf("lookup returned %q", name)
+	}
+}
+
+func TestSnapshotDoesNotFreeze(t *testing.T) {
+	s, lat := compiledTestSet(t)
+	snap := s.Snapshot()
+	if s.Frozen() {
+		t.Fatal("Snapshot froze the set")
+	}
+
+	// The set stays mutable...
+	a := s.MustAttr("a")
+	ts, _ := lat.ParseLevel("TS")
+	if err := s.Add([]Attr{a}, LevelRHS(ts)); err != nil {
+		t.Fatalf("Add after Snapshot: %v", err)
+	}
+	// ...and the snapshot is pinned at compile time: it must not see the
+	// new constraint (this staleness is exactly why Compile freezes).
+	if got := len(snap.Constraints()); got != 2 {
+		t.Fatalf("snapshot grew to %d constraints after source mutation", got)
+	}
+	if got := len(s.Constraints()); got != 3 {
+		t.Fatalf("source set has %d constraints, want 3", got)
+	}
+
+	// A fresh snapshot sees the addition.
+	if got := len(s.Snapshot().Constraints()); got != 3 {
+		t.Fatalf("fresh snapshot has %d constraints, want 3", got)
+	}
+}
+
+func TestCompileCachesStructure(t *testing.T) {
+	s, _ := compiledTestSet(t)
+	c := s.Compile()
+	if c.Graph() == nil || c.Priorities() == nil {
+		t.Fatal("compiled snapshot missing graph or priorities")
+	}
+	if !c.Acyclic() {
+		t.Fatal("acyclic instance reported cyclic")
+	}
+	if c.NumAttrs() != 2 {
+		t.Fatalf("NumAttrs = %d, want 2", c.NumAttrs())
+	}
+	if c.TotalSize() != s.TotalSize() {
+		t.Fatalf("TotalSize %d != set's %d", c.TotalSize(), s.TotalSize())
+	}
+	if c.HasUpperBounds() {
+		t.Fatal("no upper bounds were added")
+	}
+	if on := c.ConstraintsOn(); len(on) != 2 {
+		t.Fatalf("ConstraintsOn has %d rows, want 2", len(on))
+	}
+}
+
+func TestCompileUpperBoundFixpointCached(t *testing.T) {
+	lat := lattice.MustChain("c", "U", "C", "S", "TS")
+	s := NewSet(lat)
+	a, b := s.MustAttr("a"), s.MustAttr("b")
+	cLvl, _ := lat.ParseLevel("C")
+	sLvl, _ := lat.ParseLevel("S")
+	s.MustAdd([]Attr{a}, AttrRHS(b))
+	s.MustAddUpper(a, sLvl)
+	s.MustAddUpper(b, cLvl)
+	c := s.Compile()
+	ub, conflicts := c.UpperBoundFixpoint()
+	if conflicts != nil {
+		t.Fatalf("unexpected conflicts: %v", conflicts)
+	}
+	if ub == nil {
+		t.Fatal("no fixpoint cached for a set with upper bounds")
+	}
+	// a >= b with b capped at C tightens nothing on a (a's own cap S
+	// stands), but b's firm bound must be C.
+	if got := lat.FormatLevel(ub[b]); got != "C" {
+		t.Fatalf("firm bound of b = %s, want C", got)
+	}
+}

@@ -65,12 +65,15 @@ type UpperBound struct {
 // security lattice, lower-bound constraints, and optional upper bounds.
 // The zero value is not usable; construct with NewSet. A Set is not safe
 // for concurrent mutation; once fully built it may be shared read-only.
+// Compile freezes the set (mutators return ErrFrozen) and yields an
+// immutable Compiled snapshot safe for concurrent solving.
 type Set struct {
-	lat   lattice.Lattice
-	names []string
-	index map[string]Attr
-	cons  []Constraint
-	upper []UpperBound
+	lat    lattice.Lattice
+	names  []string
+	index  map[string]Attr
+	cons   []Constraint
+	upper  []UpperBound
+	frozen bool
 }
 
 // NewSet returns an empty constraint set over the given lattice.
@@ -99,6 +102,9 @@ func (s *Set) UpperBounds() []UpperBound { return s.upper }
 func (s *Set) AddAttr(name string) (Attr, error) {
 	if a, ok := s.index[name]; ok {
 		return a, nil
+	}
+	if s.frozen {
+		return 0, fmt.Errorf("%w: cannot declare attribute %q", ErrFrozen, name)
 	}
 	if name == "" {
 		return 0, fmt.Errorf("constraint: empty attribute name")
@@ -156,6 +162,9 @@ func (s *Set) checkAttr(a Attr) {
 // attribute also appears on the left is trivially satisfied and therefore
 // rejected here (use AddIgnoreTrivial to drop such constraints silently).
 func (s *Set) Add(lhs []Attr, rhs RHS) error {
+	if s.frozen {
+		return fmt.Errorf("%w: cannot add constraint", ErrFrozen)
+	}
 	if len(lhs) == 0 {
 		return fmt.Errorf("constraint: empty left-hand side")
 	}
@@ -209,6 +218,9 @@ func (s *Set) MustAdd(lhs []Attr, rhs RHS) {
 
 // AddUpper appends a §6 upper-bound constraint l ≽ λ(A).
 func (s *Set) AddUpper(a Attr, l lattice.Level) error {
+	if s.frozen {
+		return fmt.Errorf("%w: cannot add upper bound", ErrFrozen)
+	}
 	s.checkAttr(a)
 	if !s.lat.Contains(l) {
 		return fmt.Errorf("constraint: upper-bound level not in lattice %q", s.lat.Name())

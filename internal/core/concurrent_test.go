@@ -1,0 +1,205 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"minup/internal/constraint"
+	"minup/internal/lattice"
+	"minup/internal/workload"
+)
+
+// These tests exercise the tentpole guarantee of the compile/solve split:
+// one *constraint.Compiled may serve any number of concurrent solver
+// sessions, and every concurrent solve returns exactly the assignment the
+// sequential path computes. Run with -race.
+
+func concurrentSpec(seed int64, cyclic bool) workload.ConstraintSpec {
+	return workload.ConstraintSpec{
+		Seed:             seed,
+		NumAttrs:         40,
+		NumConstraints:   120,
+		MaxLHS:           3,
+		LevelRHSFraction: 0.3,
+		Cyclic:           cyclic,
+		SingleSCC:        cyclic,
+	}
+}
+
+func TestConcurrentSolveSharedCompiled(t *testing.T) {
+	lat := lattice.MustChain("c", "U", "C", "S", "TS")
+	for _, cyclic := range []bool{false, true} {
+		s := workload.MustConstraints(lat, concurrentSpec(7, cyclic))
+		c := s.Compile()
+		want, err := SolveContext(context.Background(), c, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const goroutines = 16
+		const solvesEach = 8
+		var wg sync.WaitGroup
+		errs := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < solvesEach; i++ {
+					res, err := SolveContext(context.Background(), c, Options{})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !res.Assignment.Equal(want.Assignment) {
+						errs <- fmt.Errorf("cyclic=%v: concurrent solve diverged from sequential:\nwant %s\ngot  %s",
+							cyclic, s.FormatAssignment(want.Assignment), s.FormatAssignment(res.Assignment))
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConcurrentSolveDistinctSets(t *testing.T) {
+	// Goroutines each compile and solve their own set, sharing only the
+	// session pool; results must match each set's sequential solve.
+	lat := lattice.MustChain("c", "U", "C", "S", "TS")
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s := workload.MustConstraints(lat, concurrentSpec(seed, seed%2 == 0))
+			c := s.Compile()
+			want, err := SolveContext(context.Background(), c, Options{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 4; i++ {
+				res, err := SolveContext(context.Background(), c, Options{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Assignment.Equal(want.Assignment) {
+					errs <- fmt.Errorf("seed %d: repeat solve diverged", seed)
+					return
+				}
+			}
+		}(int64(100 + g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// ringSet builds one big simple-constraint ring (a single SCC), the §3.2
+// worst case, large enough that a full solve performs many thousands of
+// operations.
+func ringSet(t *testing.T, n int) *constraint.Set {
+	t.Helper()
+	lat := lattice.MustChain("c", "U", "C", "S", "TS")
+	s := constraint.NewSet(lat)
+	attrs := make([]constraint.Attr, n)
+	for i := range attrs {
+		attrs[i] = s.MustAttr(fmt.Sprintf("a%05d", i))
+	}
+	for i := range attrs {
+		s.MustAdd([]constraint.Attr{attrs[i]}, constraint.AttrRHS(attrs[(i+1)%n]))
+	}
+	ts, err := lat.ParseLevel("TS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustAdd([]constraint.Attr{attrs[0]}, constraint.LevelRHS(ts))
+	return s
+}
+
+func TestSolveContextAlreadyCanceled(t *testing.T) {
+	c := ringSet(t, 5000).Compile()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := SolveContext(ctx, c, Options{})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("canceled solve took %v; want prompt return", elapsed)
+	}
+}
+
+// countdownCtx is a context whose Err() starts returning context.Canceled
+// after a fixed number of Err() calls, giving a deterministic mid-solve
+// cancellation point independent of wall-clock timing.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestSolveContextMidSolveCancel(t *testing.T) {
+	c := ringSet(t, 5000).Compile()
+	// The entry check spends one Err() call; the countdown then trips on a
+	// later in-solve poll, well before the ring's O(n²)-ish worklist runs dry.
+	ctx := &countdownCtx{Context: context.Background()}
+	ctx.remaining.Store(3)
+	_, err := SolveContext(ctx, c, Options{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled from mid-solve poll, got %v", err)
+	}
+}
+
+func TestRepairContextCanceled(t *testing.T) {
+	s := ringSet(t, 2000)
+	base := MustSolve(s, Options{}).Assignment
+	n := len(s.Constraints())
+	lat := s.Lattice()
+	ts, _ := lat.ParseLevel("TS")
+	a, _ := s.AttrByName("a01000")
+	s.MustAdd([]constraint.Attr{a}, constraint.LevelRHS(ts))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := RepairContext(ctx, s, n, base, RepairOptions{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestProbeMinimalityContextCanceled(t *testing.T) {
+	s := ringSet(t, 2000)
+	c := s.Snapshot()
+	m := MustSolve(s, Options{}).Assignment
+	ctx := &countdownCtx{Context: context.Background()}
+	ctx.remaining.Store(2)
+	_, _, err := ProbeMinimalityContext(ctx, c, m)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Typed error taxonomy of the solver layer. All errors returned by the
+// context-aware entry points (SolveContext, RepairContext,
+// DeriveUpperBoundsContext, ...) wrap one of these sentinels, so callers
+// dispatch with errors.Is instead of matching message strings.
+var (
+	// ErrUnsolvable reports that the constraint set admits no solution.
+	// *InconsistencyError (the §6 diagnosis carrying the conflicting
+	// constraints) unwraps to it.
+	ErrUnsolvable = errors.New("core: constraints are unsolvable")
+
+	// ErrCanceled reports that a solve was abandoned because its context
+	// was canceled or timed out. Errors wrapping it also wrap the
+	// context's own error, so errors.Is(err, context.Canceled) (or
+	// DeadlineExceeded) works too.
+	ErrCanceled = errors.New("core: solve canceled")
+
+	// ErrNotCompiled reports that a context-aware entry point was handed a
+	// nil *constraint.Compiled.
+	ErrNotCompiled = errors.New("core: constraint set not compiled")
+)
+
+// canceled wraps the context's cause into the taxonomy.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"minup/internal/constraint"
@@ -22,6 +23,10 @@ import (
 // a globally lower choice may exist, so callers needing certified global
 // minimality set VerifyMinimal, which probes the result and falls back to
 // a full solve if a witness is found.
+//
+// Repair inherently works on a mutable Set (its whole point is absorbing
+// mutation), so it takes the Set, compiles a fresh snapshot per call, and
+// runs in a pooled session.
 
 // RepairOptions tunes Repair.
 type RepairOptions struct {
@@ -50,7 +55,17 @@ type RepairStats struct {
 // always fall back to a full solve (the preprocessing pass must see every
 // constraint).
 func Repair(s *constraint.Set, baseCount int, base constraint.Assignment, opt RepairOptions) (constraint.Assignment, *RepairStats, error) {
+	return RepairContext(context.Background(), s, baseCount, base, opt)
+}
+
+// RepairContext is Repair with cancellation: the context is polled during
+// the partial solve and any fallback full solve, and a canceled context
+// yields an error satisfying errors.Is(err, ErrCanceled).
+func RepairContext(ctx context.Context, s *constraint.Set, baseCount int, base constraint.Assignment, opt RepairOptions) (constraint.Assignment, *RepairStats, error) {
 	stats := &RepairStats{}
+	if ctx.Err() != nil {
+		return nil, stats, canceled(ctx)
+	}
 	cons := s.Constraints()
 	if baseCount < 0 || baseCount > len(cons) {
 		return nil, stats, fmt.Errorf("core: baseCount %d out of range [0,%d]", baseCount, len(cons))
@@ -58,29 +73,30 @@ func Repair(s *constraint.Set, baseCount int, base constraint.Assignment, opt Re
 	if len(base) != s.NumAttrs() {
 		return nil, stats, fmt.Errorf("core: base assignment covers %d of %d attributes", len(base), s.NumAttrs())
 	}
-	if len(s.UpperBounds()) > 0 {
+	c := s.Snapshot()
+	if c.HasUpperBounds() {
 		stats.FellBack = true
-		res, err := Solve(s, Options{})
+		res, err := SolveContext(ctx, c, Options{})
 		if err != nil {
 			return nil, stats, err
 		}
 		return res.Assignment, stats, nil
 	}
-	for _, c := range cons[:baseCount] {
-		if !s.SatisfiedBy(base, c) {
-			return nil, stats, fmt.Errorf("core: base assignment violates prefix constraint %s", s.Format(c))
+	for _, cn := range cons[:baseCount] {
+		if !s.SatisfiedBy(base, cn) {
+			return nil, stats, fmt.Errorf("core: base assignment violates prefix constraint %s", s.Format(cn))
 		}
 	}
 
 	// Seed: left-hand sides of violated new constraints.
 	lat := s.Lattice()
 	seed := make(map[constraint.Attr]bool)
-	for _, c := range cons[baseCount:] {
-		if s.SatisfiedBy(base, c) {
+	for _, cn := range cons[baseCount:] {
+		if s.SatisfiedBy(base, cn) {
 			continue
 		}
 		stats.ViolatedConstraints++
-		for _, a := range c.LHS {
+		for _, a := range cn.LHS {
 			seed[a] = true
 		}
 	}
@@ -91,7 +107,7 @@ func Repair(s *constraint.Set, baseCount int, base constraint.Assignment, opt Re
 	// Affected = attributes that reach a seed attribute in the constraint
 	// graph (raising a seed can violate constraints whose rhs it is,
 	// pushing the raise to their lhs — i.e. backward along edges).
-	g := s.Graph()
+	g := c.Graph()
 	affected := make([]bool, s.NumAttrs())
 	stack := make([]int, 0, len(seed))
 	for a := range seed {
@@ -116,13 +132,12 @@ func Repair(s *constraint.Set, baseCount int, base constraint.Assignment, opt Re
 
 	// Partial solve: unaffected attributes are frozen done at their base
 	// levels; affected ones restart at ⊤ and run through BigLoop in
-	// (restricted) priority order. The solver's own priority structure is
+	// (restricted) priority order. The compiled priority structure is
 	// reused — restricted to the affected attributes it is a valid
 	// evaluation order for the sub-instance.
-	sv := newSolver(s, Options{})
+	sv := acquireSession(ctx, c, Options{})
+	defer sv.release()
 	sv.lambda = base.Clone()
-	sv.done = make([]bool, s.NumAttrs())
-	sv.unlabeled = make([]int, len(cons))
 	for a := 0; a < s.NumAttrs(); a++ {
 		if affected[a] {
 			sv.lambda[a] = lat.Top()
@@ -130,12 +145,12 @@ func Repair(s *constraint.Set, baseCount int, base constraint.Assignment, opt Re
 			sv.done[a] = true
 		}
 	}
-	for ci, c := range cons {
-		if c.Simple() {
+	for ci, cn := range cons {
+		if cn.Simple() {
 			continue
 		}
 		n := 0
-		for _, a := range c.LHS {
+		for _, a := range cn.LHS {
 			if affected[a] {
 				n++
 			}
@@ -143,9 +158,14 @@ func Repair(s *constraint.Set, baseCount int, base constraint.Assignment, opt Re
 		sv.unlabeled[ci] = n
 	}
 	for p := sv.pr.Max; p >= 1; p-- {
+		if sv.ctx.Err() != nil {
+			return nil, stats, canceled(sv.ctx)
+		}
 		for _, node := range sv.pr.Sets[p] {
 			if affected[node] {
-				sv.processAttr(constraint.Attr(node))
+				if err := sv.processAttr(constraint.Attr(node)); err != nil {
+					return nil, stats, err
+				}
 			}
 		}
 	}
@@ -154,13 +174,13 @@ func Repair(s *constraint.Set, baseCount int, base constraint.Assignment, opt Re
 		return nil, stats, fmt.Errorf("core: internal error: repair produced violations (%s)", v[0])
 	}
 	if opt.VerifyMinimal {
-		minimal, _, err := ProbeMinimality(s, sv.lambda)
+		minimal, _, err := ProbeMinimalityContext(ctx, c, sv.lambda)
 		if err != nil {
 			return nil, stats, err
 		}
 		if !minimal {
 			stats.FellBack = true
-			res, err := Solve(s, Options{})
+			res, err := SolveContext(ctx, c, Options{})
 			if err != nil {
 				return nil, stats, err
 			}

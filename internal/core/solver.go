@@ -17,14 +17,29 @@
 //     lowerings (Tolower) or failing if a constraint with a definitively
 //     labeled right-hand side would break.
 //
-// Section 6's upper-bound constraints are handled by the preprocessing
-// pass in upperbound.go, which derives a firm upper bound for every
-// attribute and detects inconsistencies; BigLoop then starts from those
-// bounds instead of ⊤ and solves every complex constraint eagerly.
+// Section 6's upper-bound constraints are handled at compile time
+// (constraint.Compiled derives a firm upper bound for every attribute and
+// detects inconsistencies); BigLoop then starts from those bounds instead
+// of ⊤ and solves every complex constraint eagerly.
+//
+// # Compile/solve split
+//
+// The graph, SCC condensation, priority numbering, and adjacency indexes
+// are the one-time cost the complexity argument of Theorem 5.2 amortizes
+// over solving. They live in an immutable constraint.Compiled produced by
+// Set.Compile; SolveContext runs Algorithm 3.1 against such a snapshot.
+// All per-solve mutable state (the assignment, done flags, worklists, and
+// Try scratch maps) lives in a session recycled through a sync.Pool, so
+// repeated solves of the same compiled set are allocation-light and any
+// number of goroutines may solve the same snapshot concurrently. The
+// one-shot Solve(set, opt) remains as a compatibility shim that compiles a
+// snapshot and solves it.
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"minup/internal/constraint"
 	"minup/internal/graph"
@@ -66,14 +81,16 @@ type Stats struct {
 
 // Result is the outcome of a solve.
 type Result struct {
-	// Assignment is the computed minimal classification λ.
+	// Assignment is the computed minimal classification λ. It is owned by
+	// the caller.
 	Assignment constraint.Assignment
 	// Priorities is the §4 priority structure used for the evaluation
-	// order (one set per strongly connected component).
+	// order (one set per strongly connected component). It is shared with
+	// the compiled set and must be treated as read-only.
 	Priorities *graph.PriorityResult
 	// UpperBounds is the firm per-attribute bound derived by the §6
 	// preprocessing pass; nil when the instance has no upper-bound
-	// constraints.
+	// constraints. Shared with the compiled set; read-only.
 	UpperBounds constraint.Assignment
 	// Trace is the recorded execution trace, nil unless requested.
 	Trace *Trace
@@ -86,25 +103,49 @@ type Result struct {
 // consistent and never yield an error; instances with §6 upper-bound
 // constraints may be inconsistent, in which case an *InconsistencyError is
 // returned.
+//
+// Solve is the one-shot compatibility path: it compiles a snapshot of the
+// set and solves it, paying the graph/SCC construction on every call.
+// Callers solving the same constraints repeatedly (or concurrently) should
+// use Set.Compile once and SolveContext per request.
 func Solve(s *constraint.Set, opt Options) (*Result, error) {
-	sv := newSolver(s, opt)
-	if len(s.UpperBounds()) > 0 {
-		ub, err := deriveUpperBounds(s)
-		if err != nil {
-			return nil, err
+	return SolveContext(context.Background(), s.Snapshot(), opt)
+}
+
+// SolveContext computes a minimal classification for a compiled constraint
+// set. The compiled snapshot is read-only and may be shared by any number
+// of concurrent SolveContext calls. The context is polled periodically
+// (including inside the forward-lowering loops of large cyclic instances);
+// on cancellation the solve stops promptly with an error satisfying
+// errors.Is(err, ErrCanceled). Inconsistent §6 instances return an
+// *InconsistencyError, which satisfies errors.Is(err, ErrUnsolvable).
+func SolveContext(ctx context.Context, c *constraint.Compiled, opt Options) (*Result, error) {
+	if c == nil {
+		return nil, ErrNotCompiled
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(ctx)
+	}
+	sv := acquireSession(ctx, c, opt)
+	defer sv.release()
+	if c.HasUpperBounds() {
+		ub, conflicts := c.UpperBoundFixpoint()
+		if conflicts != nil {
+			return nil, &InconsistencyError{Conflicts: conflicts}
 		}
 		sv.start = ub
 		sv.eagerMinlevel = true
 	}
-	sv.run()
-	res := &Result{
+	if err := sv.run(); err != nil {
+		return nil, err
+	}
+	return &Result{
 		Assignment:  sv.lambda,
 		Priorities:  sv.pr,
 		UpperBounds: sv.start,
 		Trace:       sv.trace,
 		Stats:       sv.stats,
-	}
-	return res, nil
+	}, nil
 }
 
 // MustSolve is Solve that panics on error, for fixtures built from
@@ -117,18 +158,26 @@ func MustSolve(s *constraint.Set, opt Options) *Result {
 	return r
 }
 
-// solver carries the mutable state of one run of Algorithm 3.1.
-type solver struct {
-	set *constraint.Set
+// session carries the mutable state of one run of Algorithm 3.1 against a
+// compiled constraint set. Sessions are recycled through sessionPool:
+// scratch buffers (done flags, unlabeled counters, Try worklists and maps)
+// keep their capacity across solves, so a hot server solving the same
+// compiled set allocates little more than the result assignment per
+// request. A session is used by one goroutine at a time; concurrency comes
+// from acquiring one session per in-flight solve.
+type session struct {
+	c   *constraint.Compiled
+	set *constraint.Set // read-only view, for formatting and traces
 	lat lattice.Lattice
 	opt Options
+	ctx context.Context
 
 	cons    []constraint.Constraint
 	constr  [][]int // Constr[A]: constraint indices with A on the lhs
 	pr      *graph.PriorityResult
 	minComp lattice.ComplementMinimizer // non-nil when the fast path applies
 
-	lambda    constraint.Assignment // λ
+	lambda    constraint.Assignment // λ; freshly allocated, handed to the Result
 	done      []bool
 	unlabeled []int                 // per complex constraint
 	start     constraint.Assignment // initial levels (nil = all ⊤)
@@ -142,38 +191,121 @@ type solver struct {
 	// lastFailure is the index of the constraint whose violation made the
 	// most recent try call fail, or -1. Used by Explain.
 	lastFailure int
+	// ops counts units of work since the session started, for periodic
+	// cancellation polling.
+	ops int
 
-	// Scratch buffers reused across Try calls.
+	// Scratch buffers reused across Try calls and across solves.
 	tocheck map[constraint.Attr]lattice.Level
 	tolower map[constraint.Attr]lattice.Level
 	queue   []constraint.Attr
+	inSet   map[constraint.Attr]bool // collapseSet scratch
 }
 
-func newSolver(s *constraint.Set, opt Options) *solver {
-	sv := &solver{
-		set:     s,
-		lat:     s.Lattice(),
-		opt:     opt,
-		cons:    s.Constraints(),
-		constr:  s.ConstraintsOn(),
-		pr:      s.Priorities(),
-		tocheck: make(map[constraint.Attr]lattice.Level),
-		tolower: make(map[constraint.Attr]lattice.Level),
-	}
+var sessionPool = sync.Pool{
+	New: func() any {
+		return &session{
+			tocheck: make(map[constraint.Attr]lattice.Level),
+			tolower: make(map[constraint.Attr]lattice.Level),
+			inSet:   make(map[constraint.Attr]bool),
+		}
+	},
+}
+
+// acquireSession checks a session out of the pool and points it at the
+// compiled set, resizing (not reallocating, when capacity allows) its
+// scratch buffers.
+func acquireSession(ctx context.Context, c *constraint.Compiled, opt Options) *session {
+	sv := sessionPool.Get().(*session)
+	sv.c = c
+	sv.set = c.Set()
+	sv.lat = c.Lattice()
+	sv.opt = opt
+	sv.ctx = ctx
+	sv.cons = c.Constraints()
+	sv.constr = c.ConstraintsOn()
+	sv.pr = c.Priorities()
+	sv.minComp = nil
 	if !opt.DisableMinComplement {
 		if mc, ok := sv.lat.(lattice.ComplementMinimizer); ok {
 			sv.minComp = mc
 		}
 	}
+	sv.lambda = nil
+	sv.start = nil
+	sv.eagerMinlevel = false
+	sv.trace = nil
 	if opt.RecordTrace {
-		sv.trace = &Trace{set: s}
+		sv.trace = &Trace{set: sv.set}
 	}
+	sv.stats = Stats{}
+	sv.lastFailure = -1
+	sv.ops = 0
+	sv.done = resizeBools(sv.done, c.NumAttrs())
+	sv.unlabeled = resizeInts(sv.unlabeled, len(sv.cons))
+	clear(sv.tocheck)
+	clear(sv.tolower)
+	sv.queue = sv.queue[:0]
+	clear(sv.inSet)
 	return sv
 }
 
+// release drops the session's references to the compiled set (so the pool
+// does not pin it) and returns the session to the pool.
+func (sv *session) release() {
+	sv.c = nil
+	sv.set = nil
+	sv.lat = nil
+	sv.ctx = nil
+	sv.opt = Options{}
+	sv.cons = nil
+	sv.constr = nil
+	sv.pr = nil
+	sv.minComp = nil
+	sv.lambda = nil
+	sv.start = nil
+	sv.trace = nil
+	sessionPool.Put(sv)
+}
+
+func resizeBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	clear(b)
+	return b
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// pollInterval is how many units of work pass between cancellation checks.
+// Small enough that even the quadratic cyclic worst case notices a cancel
+// within microseconds, large enough to keep ctx.Err off the hot path.
+const pollInterval = 1024
+
+// poll checks for cancellation every pollInterval units of work.
+func (sv *session) poll() error {
+	sv.ops++
+	if sv.ops%pollInterval != 0 {
+		return nil
+	}
+	if sv.ctx.Err() != nil {
+		return canceled(sv.ctx)
+	}
+	return nil
+}
+
 // run executes Main's initialization plus BigLoop.
-func (sv *solver) run() {
-	n := sv.set.NumAttrs()
+func (sv *session) run() error {
+	n := sv.c.NumAttrs()
 	sv.lambda = make(constraint.Assignment, n)
 	for i := range sv.lambda {
 		if sv.start != nil {
@@ -182,8 +314,6 @@ func (sv *solver) run() {
 			sv.lambda[i] = sv.lat.Top()
 		}
 	}
-	sv.done = make([]bool, n)
-	sv.unlabeled = make([]int, len(sv.cons))
 	for i, c := range sv.cons {
 		if !c.Simple() {
 			sv.unlabeled[i] = len(c.LHS)
@@ -192,19 +322,31 @@ func (sv *solver) run() {
 	if sv.trace != nil {
 		sv.trace.record(-1, "initial", false, sv.lambda)
 	}
-	sv.bigloop()
+	return sv.bigloop()
 }
 
 // bigloop is the BigLoop procedure of Figure 3.
-func (sv *solver) bigloop() {
+func (sv *session) bigloop() error {
 	for p := sv.pr.Max; p >= 1; p-- {
-		if sv.opt.CollapseSimpleCycles && sv.collapseSet(sv.pr.Sets[p]) {
-			continue
+		if sv.ctx.Err() != nil {
+			return canceled(sv.ctx)
+		}
+		if sv.opt.CollapseSimpleCycles {
+			handled, err := sv.collapseSet(sv.pr.Sets[p])
+			if err != nil {
+				return err
+			}
+			if handled {
+				continue
+			}
 		}
 		for _, node := range sv.pr.Sets[p] {
-			sv.processAttr(constraint.Attr(node))
+			if err := sv.processAttr(constraint.Attr(node)); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // collapseSet applies the §3.2 simple-cycle optimization to one priority
@@ -213,14 +355,17 @@ func (sv *solver) bigloop() {
 // at ⊤ (upper bounds could break the all-equal argument, so eager mode is
 // excluded). All members are then pinned to the lub of the set's external
 // needs. Reports whether the set was handled.
-func (sv *solver) collapseSet(nodes []int) bool {
+func (sv *session) collapseSet(nodes []int) (bool, error) {
 	if len(nodes) < 2 || sv.eagerMinlevel {
-		return false
+		return false, nil
 	}
 	for _, node := range nodes {
+		if err := sv.poll(); err != nil {
+			return false, err
+		}
 		for _, ci := range sv.constr[constraint.Attr(node)] {
 			if !sv.cons[ci].Simple() {
-				return false
+				return false, nil
 			}
 		}
 	}
@@ -228,7 +373,8 @@ func (sv *solver) collapseSet(nodes []int) bool {
 	// the minimal common level is the lub of every member's external
 	// requirements (internal right-hand sides contribute the same level
 	// and are skipped).
-	inSet := make(map[constraint.Attr]bool, len(nodes))
+	inSet := sv.inSet
+	clear(inSet)
 	for _, node := range nodes {
 		inSet[constraint.Attr(node)] = true
 	}
@@ -252,12 +398,12 @@ func (sv *solver) collapseSet(nodes []int) bool {
 			sv.trace.record(a, "collapse", false, sv.lambda)
 		}
 	}
-	return true
+	return true, nil
 }
 
 // processAttr labels one attribute: the body of BigLoop's second-level
 // loop.
-func (sv *solver) processAttr(a constraint.Attr) {
+func (sv *session) processAttr(a constraint.Attr) error {
 	aDone := true
 	l := sv.lat.Bottom()
 	for _, ci := range sv.constr[a] {
@@ -290,7 +436,7 @@ func (sv *solver) processAttr(a constraint.Attr) {
 		if sv.trace != nil {
 			sv.trace.record(a, "assign", false, sv.lambda)
 		}
-		return
+		return nil
 	}
 	// Forward lowering through the cycle: try each maximal level between
 	// the lower bound l and the current level.
@@ -299,7 +445,10 @@ func (sv *solver) processAttr(a constraint.Attr) {
 	for len(dset) > 0 {
 		cand := dset[0]
 		dset = dset[1:]
-		lower, ok := sv.try(a, cand)
+		lower, ok, err := sv.try(a, cand)
+		if err != nil {
+			return err
+		}
 		sv.stats.TryCalls++
 		if !ok {
 			sv.stats.TryFailures++
@@ -321,12 +470,13 @@ func (sv *solver) processAttr(a constraint.Attr) {
 	if sv.trace != nil {
 		sv.trace.record(a, "done", false, sv.lambda)
 	}
+	return nil
 }
 
 // othersCover reports whether the lub of the left-hand-side attributes
 // other than a already dominates the right-hand side, i.e. the constraint
 // holds regardless of the level assigned to a.
-func (sv *solver) othersCover(a constraint.Attr, c constraint.Constraint) bool {
+func (sv *session) othersCover(a constraint.Attr, c constraint.Constraint) bool {
 	lubothers := sv.lat.Bottom()
 	for _, o := range c.LHS {
 		if o != a {
@@ -338,7 +488,7 @@ func (sv *solver) othersCover(a constraint.Attr, c constraint.Constraint) bool {
 
 // rhsDone reports whether a constraint's right-hand side is definitively
 // labeled (level constants always are).
-func (sv *solver) rhsDone(c constraint.Constraint) bool {
+func (sv *session) rhsDone(c constraint.Constraint) bool {
 	return c.RHS.IsLevel || sv.done[c.RHS.Attr]
 }
 
@@ -349,7 +499,7 @@ func (sv *solver) rhsDone(c constraint.Constraint) bool {
 // otherwise the procedure descends the lattice from a's current level,
 // stopping at the lowest level all of whose immediate descendants would
 // violate the constraint.
-func (sv *solver) minlevel(a constraint.Attr, c constraint.Constraint) lattice.Level {
+func (sv *session) minlevel(a constraint.Attr, c constraint.Constraint) lattice.Level {
 	sv.stats.MinlevelCalls++
 	lubothers := sv.lat.Bottom()
 	for _, o := range c.LHS {
@@ -383,8 +533,8 @@ func (sv *solver) minlevel(a constraint.Attr, c constraint.Constraint) lattice.L
 // (including a→l itself) that together with the current λ still satisfy
 // all constraints, or ok=false if lowering a to l transitively violates a
 // constraint whose right-hand side is already definitively labeled. λ is
-// not modified.
-func (sv *solver) try(a constraint.Attr, l lattice.Level) (map[constraint.Attr]lattice.Level, bool) {
+// not modified. A non-nil error reports cancellation.
+func (sv *session) try(a constraint.Attr, l lattice.Level) (map[constraint.Attr]lattice.Level, bool, error) {
 	sv.lastFailure = -1
 	tocheck := sv.tocheck
 	tolower := sv.tolower
@@ -408,6 +558,10 @@ func (sv *solver) try(a constraint.Attr, l lattice.Level) (map[constraint.Attr]l
 		for _, ci := range sv.constr[cur] {
 			c := sv.cons[ci]
 			sv.stats.TrySteps++
+			if err := sv.poll(); err != nil {
+				sv.queue = queue[:0]
+				return nil, false, err
+			}
 			// Level of the lhs under the tentative lowerings: Tolower
 			// entries override λ.
 			level := sv.lat.Bottom()
@@ -423,7 +577,7 @@ func (sv *solver) try(a constraint.Attr, l lattice.Level) (map[constraint.Attr]l
 				if !sv.lat.Dominates(level, rhsLvl) {
 					sv.lastFailure = ci
 					sv.queue = queue[:0]
-					return nil, false
+					return nil, false, nil
 				}
 				continue
 			}
@@ -457,5 +611,5 @@ func (sv *solver) try(a constraint.Attr, l lattice.Level) (map[constraint.Attr]l
 	for k, v := range tolower {
 		out[k] = v
 	}
-	return out, true
+	return out, true, nil
 }

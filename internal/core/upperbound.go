@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,9 +9,16 @@ import (
 	"minup/internal/lattice"
 )
 
+// The §6 preprocessing pass itself (the firm-bound fixpoint) runs at
+// compile time — see constraint.Compiled and upperBoundFixpoint in the
+// constraint package — so that repeated solves of one compiled set never
+// repeat it. This file exposes the result and layers the inconsistency
+// diagnosis on top.
+
 // InconsistencyError reports that a constraint set mixing §6 upper-bound
 // constraints with lower-bound constraints admits no solution. Conflicts
-// lists human-readable descriptions of the constraints that clash.
+// lists human-readable descriptions of the constraints that clash. It
+// satisfies errors.Is(err, ErrUnsolvable).
 type InconsistencyError struct {
 	Conflicts []string
 }
@@ -19,84 +27,42 @@ func (e *InconsistencyError) Error() string {
 	return fmt.Sprintf("core: constraints are inconsistent: %s", strings.Join(e.Conflicts, "; "))
 }
 
-// deriveUpperBounds performs the §6 preprocessing phase: every attribute
-// starts at ⊤; explicit upper bounds are glb-merged onto their attributes
-// and pushed forward through the constraint graph (a complex constraint
-// propagates the lub of its left-hand side). An inconsistency is detected
-// when the bound arriving at a level constant fails to dominate it. On
-// success the returned assignment labels each attribute at its maximum
-// allowed level, and that assignment satisfies every lower-bound
-// constraint — the starting point for the modified BigLoop.
-//
-// The fixpoint is computed with a worklist over constraints; each
-// attribute's bound strictly decreases on every update, so the pass
-// terminates after at most H updates per attribute, O(S·H·c) in the worst
-// case and O(S·c) when bounds settle in one pass as the paper assumes.
-func deriveUpperBounds(s *constraint.Set) (constraint.Assignment, error) {
-	lat := s.Lattice()
-	n := s.NumAttrs()
-	ub := make(constraint.Assignment, n)
-	for i := range ub {
-		ub[i] = lat.Top()
-	}
-	for _, u := range s.UpperBounds() {
-		ub[u.Attr] = lat.Glb(ub[u.Attr], u.Level)
-	}
+// Unwrap ties the diagnosis into the typed error taxonomy.
+func (e *InconsistencyError) Unwrap() error { return ErrUnsolvable }
 
-	cons := s.Constraints()
-	onLHS := s.ConstraintsOn()
-
-	// Worklist of constraint indices whose lhs bound may have tightened.
-	inQueue := make([]bool, len(cons))
-	queue := make([]int, 0, len(cons))
-	push := func(ci int) {
-		if !inQueue[ci] {
-			inQueue[ci] = true
-			queue = append(queue, ci)
-		}
+// DeriveUpperBoundsContext returns the §6 preprocessing result for a
+// compiled set: the firm maximum level of every attribute, or an
+// *InconsistencyError. Sets without upper bounds report every attribute
+// bounded by ⊤. The fixpoint itself was computed at compile time; the
+// context is only consulted for prompt cancellation.
+func DeriveUpperBoundsContext(ctx context.Context, c *constraint.Compiled) (constraint.Assignment, error) {
+	if c == nil {
+		return nil, ErrNotCompiled
 	}
-	for ci := range cons {
-		push(ci)
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(ctx)
 	}
-
-	var conflicts []string
-	for len(queue) > 0 {
-		ci := queue[0]
-		queue = queue[1:]
-		inQueue[ci] = false
-		c := cons[ci]
-		bound := lat.Bottom()
-		for _, a := range c.LHS {
-			bound = lat.Lub(bound, ub[a])
-		}
-		if c.RHS.IsLevel {
-			if !lat.Dominates(bound, c.RHS.Level) {
-				conflicts = append(conflicts, fmt.Sprintf(
-					"upper bounds cap lub of lhs at %s, below required %s in %q",
-					lat.FormatLevel(bound), lat.FormatLevel(c.RHS.Level), s.Format(c)))
-			}
-			continue
-		}
-		rhs := c.RHS.Attr
-		merged := lat.Glb(ub[rhs], bound)
-		if merged != ub[rhs] {
-			ub[rhs] = merged
-			for _, dep := range onLHS[rhs] {
-				push(dep)
-			}
-		}
-	}
+	ub, conflicts := c.UpperBoundFixpoint()
 	if conflicts != nil {
 		return nil, &InconsistencyError{Conflicts: conflicts}
+	}
+	if ub == nil {
+		// No upper bounds: every attribute may sit at ⊤.
+		lat := c.Lattice()
+		ub = make(constraint.Assignment, c.NumAttrs())
+		for i := range ub {
+			ub[i] = lat.Top()
+		}
 	}
 	return ub, nil
 }
 
 // DeriveUpperBounds exposes the §6 preprocessing pass for inspection and
 // testing: the firm maximum level of every attribute, or an
-// *InconsistencyError.
+// *InconsistencyError. One-shot compatibility path; compiles a snapshot
+// per call.
 func DeriveUpperBounds(s *constraint.Set) (constraint.Assignment, error) {
-	return deriveUpperBounds(s)
+	return DeriveUpperBoundsContext(context.Background(), s.Snapshot())
 }
 
 // CheckSolvable reports nil when the constraint set has a solution.
@@ -106,8 +72,20 @@ func CheckSolvable(s *constraint.Set) error {
 	if len(s.UpperBounds()) == 0 {
 		return nil
 	}
-	_, err := deriveUpperBounds(s)
+	_, err := DeriveUpperBounds(s)
 	return err
+}
+
+// CheckSolvableCompiled is CheckSolvable against a compiled snapshot; it
+// performs no work beyond reading the compile-time fixpoint.
+func CheckSolvableCompiled(c *constraint.Compiled) error {
+	if c == nil {
+		return ErrNotCompiled
+	}
+	if _, conflicts := c.UpperBoundFixpoint(); conflicts != nil {
+		return &InconsistencyError{Conflicts: conflicts}
+	}
+	return nil
 }
 
 // SemiLatticeDiagnosis interprets a solve over a lattice completed from a

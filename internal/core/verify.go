@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"minup/internal/constraint"
@@ -20,6 +21,9 @@ import (
 //     constraints pin it at its level: for each immediate descendant of
 //     its level, the constraint that breaks when the attribute is lowered
 //     there (with propagation).
+//
+// Both run in pooled sessions against a compiled snapshot; the Context
+// variants poll for cancellation between probes.
 
 // Witness is a strictly lower satisfying assignment found by
 // ProbeMinimality, as evidence of non-minimality.
@@ -44,13 +48,27 @@ type Witness struct {
 // The assignment must satisfy the constraint set; otherwise an error is
 // returned.
 func ProbeMinimality(s *constraint.Set, m constraint.Assignment) (minimal bool, w *Witness, err error) {
+	return ProbeMinimalityContext(context.Background(), s.Snapshot(), m)
+}
+
+// ProbeMinimalityContext is ProbeMinimality against a compiled snapshot,
+// with periodic cancellation checks.
+func ProbeMinimalityContext(ctx context.Context, c *constraint.Compiled, m constraint.Assignment) (minimal bool, w *Witness, err error) {
+	if c == nil {
+		return false, nil, ErrNotCompiled
+	}
+	s := c.Set()
 	if v := s.Violations(m); v != nil {
 		return false, nil, fmt.Errorf("core: assignment does not satisfy the constraints: %s", v[0])
 	}
-	sv := probeSolver(s, m)
+	sv := acquireProbe(ctx, c, m)
+	defer sv.release()
 	for _, a := range s.Attrs() {
 		for _, cand := range sv.lat.Covers(m[a]) {
-			lower, ok := sv.try(a, cand)
+			lower, ok, err := sv.try(a, cand)
+			if err != nil {
+				return false, nil, err
+			}
 			if !ok {
 				continue
 			}
@@ -67,13 +85,12 @@ func ProbeMinimality(s *constraint.Set, m constraint.Assignment) (minimal bool, 
 	return true, nil, nil
 }
 
-// probeSolver builds a solver positioned at an arbitrary assignment with
+// acquireProbe builds a session positioned at an arbitrary assignment with
 // every attribute un-done, so Try propagates lowerings freely and fails
 // only against level constants.
-func probeSolver(s *constraint.Set, m constraint.Assignment) *solver {
-	sv := newSolver(s, Options{})
+func acquireProbe(ctx context.Context, c *constraint.Compiled, m constraint.Assignment) *session {
+	sv := acquireSession(ctx, c, Options{})
 	sv.lambda = m.Clone()
-	sv.done = make([]bool, s.NumAttrs())
 	return sv
 }
 
@@ -107,13 +124,26 @@ type Explanation struct {
 // descendants may have no binding constraint, which is reported as an
 // error identifying the lowerable direction.
 func Explain(s *constraint.Set, m constraint.Assignment, attr constraint.Attr) (*Explanation, error) {
+	return ExplainContext(context.Background(), s.Snapshot(), m, attr)
+}
+
+// ExplainContext is Explain against a compiled snapshot.
+func ExplainContext(ctx context.Context, c *constraint.Compiled, m constraint.Assignment, attr constraint.Attr) (*Explanation, error) {
+	if c == nil {
+		return nil, ErrNotCompiled
+	}
+	s := c.Set()
 	if v := s.Violations(m); v != nil {
 		return nil, fmt.Errorf("core: assignment does not satisfy the constraints: %s", v[0])
 	}
-	sv := probeSolver(s, m)
+	sv := acquireProbe(ctx, c, m)
+	defer sv.release()
 	ex := &Explanation{Attr: attr, Level: m[attr]}
 	for _, cand := range sv.lat.Covers(m[attr]) {
-		_, ok := sv.try(attr, cand)
+		_, ok, err := sv.try(attr, cand)
+		if err != nil {
+			return nil, err
+		}
 		if ok {
 			return nil, fmt.Errorf("core: %s can be lowered to %s — assignment is not minimal",
 				s.AttrName(attr), sv.lat.FormatLevel(cand))

@@ -1,0 +1,16 @@
+package mlsdb
+
+import "errors"
+
+// Typed schema-resolution errors, matchable with errors.Is. Name-lookup
+// failures across the schema, labeling, query, and store layers wrap these
+// so callers can distinguish "no such relation/attribute" from structural
+// schema errors without parsing message text.
+var (
+	// ErrUnknownRelation reports a reference to a relation the schema does
+	// not declare.
+	ErrUnknownRelation = errors.New("unknown relation")
+	// ErrUnknownAttr reports a reference to an attribute its relation does
+	// not declare.
+	ErrUnknownAttr = errors.New("unknown attribute")
+)

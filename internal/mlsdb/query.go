@@ -56,17 +56,17 @@ type JoinedRow struct {
 func (st *Store) Join(leftRel, leftAttr, rightRel, rightAttr string, subject lattice.Level) ([]JoinedRow, error) {
 	lr, ok := st.schema.Relation(leftRel)
 	if !ok {
-		return nil, fmt.Errorf("mlsdb: unknown relation %q", leftRel)
+		return nil, fmt.Errorf("mlsdb: %w %q", ErrUnknownRelation, leftRel)
 	}
 	rr, ok := st.schema.Relation(rightRel)
 	if !ok {
-		return nil, fmt.Errorf("mlsdb: unknown relation %q", rightRel)
+		return nil, fmt.Errorf("mlsdb: %w %q", ErrUnknownRelation, rightRel)
 	}
 	if !lr.attrSet[leftAttr] {
-		return nil, fmt.Errorf("mlsdb: %q has no attribute %q", leftRel, leftAttr)
+		return nil, fmt.Errorf("mlsdb: %q has no attribute %q: %w", leftRel, leftAttr, ErrUnknownAttr)
 	}
 	if !rr.attrSet[rightAttr] {
-		return nil, fmt.Errorf("mlsdb: %q has no attribute %q", rightRel, rightAttr)
+		return nil, fmt.Errorf("mlsdb: %q has no attribute %q: %w", rightRel, rightAttr, ErrUnknownAttr)
 	}
 	lat := st.schema.Lattice()
 	leftRows, err := st.selectTuples(leftRel, subject)
@@ -139,7 +139,7 @@ func (st *Store) selectTuples(rel string, subject lattice.Level) ([]visibleTuple
 // tuples, sorted by their formatted names — useful for audits.
 func (st *Store) Levels(rel string) ([]lattice.Level, error) {
 	if _, ok := st.schema.Relation(rel); !ok {
-		return nil, fmt.Errorf("mlsdb: unknown relation %q", rel)
+		return nil, fmt.Errorf("mlsdb: %w %q", ErrUnknownRelation, rel)
 	}
 	lat := st.schema.Lattice()
 	seen := make(map[lattice.Level]bool)

@@ -129,14 +129,14 @@ func (s *Schema) MustAddRelation(name string, attrs []string, key []string) *Rel
 func (s *Schema) AddFD(rel string, determinant, dependent []string) error {
 	r, ok := s.byName[rel]
 	if !ok {
-		return fmt.Errorf("mlsdb: unknown relation %q", rel)
+		return fmt.Errorf("mlsdb: %w %q", ErrUnknownRelation, rel)
 	}
 	if len(determinant) == 0 || len(dependent) == 0 {
 		return fmt.Errorf("mlsdb: FD on %q needs both sides", rel)
 	}
 	for _, a := range append(append([]string(nil), determinant...), dependent...) {
 		if !r.attrSet[a] {
-			return fmt.Errorf("mlsdb: FD on %q mentions unknown attribute %q", rel, a)
+			return fmt.Errorf("mlsdb: FD on %q mentions %w %q", rel, ErrUnknownAttr, a)
 		}
 	}
 	r.FDs = append(r.FDs, FD{Determinant: determinant, Dependent: dependent})
@@ -147,14 +147,14 @@ func (s *Schema) AddFD(rel string, determinant, dependent []string) error {
 func (s *Schema) AddMVD(rel string, determinant, dependent []string) error {
 	r, ok := s.byName[rel]
 	if !ok {
-		return fmt.Errorf("mlsdb: unknown relation %q", rel)
+		return fmt.Errorf("mlsdb: %w %q", ErrUnknownRelation, rel)
 	}
 	if len(determinant) == 0 || len(dependent) == 0 {
 		return fmt.Errorf("mlsdb: MVD on %q needs both sides", rel)
 	}
 	for _, a := range append(append([]string(nil), determinant...), dependent...) {
 		if !r.attrSet[a] {
-			return fmt.Errorf("mlsdb: MVD on %q mentions unknown attribute %q", rel, a)
+			return fmt.Errorf("mlsdb: MVD on %q mentions %w %q", rel, ErrUnknownAttr, a)
 		}
 	}
 	r.MVDs = append(r.MVDs, MVD{Determinant: determinant, Dependent: dependent})
@@ -166,11 +166,11 @@ func (s *Schema) AddMVD(rel string, determinant, dependent []string) error {
 func (s *Schema) AddForeignKey(rel string, attrs []string, ref string) error {
 	r, ok := s.byName[rel]
 	if !ok {
-		return fmt.Errorf("mlsdb: unknown relation %q", rel)
+		return fmt.Errorf("mlsdb: %w %q", ErrUnknownRelation, rel)
 	}
 	target, ok := s.byName[ref]
 	if !ok {
-		return fmt.Errorf("mlsdb: foreign key on %q references unknown relation %q", rel, ref)
+		return fmt.Errorf("mlsdb: foreign key on %q references %w %q", rel, ErrUnknownRelation, ref)
 	}
 	if len(attrs) != len(target.Key) {
 		return fmt.Errorf("mlsdb: foreign key on %q has %d attributes; %q's key has %d",
@@ -178,7 +178,7 @@ func (s *Schema) AddForeignKey(rel string, attrs []string, ref string) error {
 	}
 	for _, a := range attrs {
 		if !r.attrSet[a] {
-			return fmt.Errorf("mlsdb: foreign key on %q mentions unknown attribute %q", rel, a)
+			return fmt.Errorf("mlsdb: foreign key on %q mentions %w %q", rel, ErrUnknownAttr, a)
 		}
 	}
 	r.ForeignKey = append(r.ForeignKey, ForeignKey{Attrs: attrs, Ref: ref})
@@ -304,7 +304,7 @@ func (s *Schema) Constraints(reqs []Requirement, assocs []Association) (*constra
 	for _, rq := range reqs {
 		r, ok := s.byName[rq.Rel]
 		if !ok || !r.attrSet[rq.Attr] {
-			return nil, fmt.Errorf("mlsdb: requirement on unknown attribute %s.%s", rq.Rel, rq.Attr)
+			return nil, fmt.Errorf("mlsdb: requirement on %w %s.%s", ErrUnknownAttr, rq.Rel, rq.Attr)
 		}
 		av, _ := attr(rq.Rel, rq.Attr)
 		if rq.Upper {
@@ -318,12 +318,12 @@ func (s *Schema) Constraints(reqs []Requirement, assocs []Association) (*constra
 	for _, as := range assocs {
 		r, ok := s.byName[as.Rel]
 		if !ok {
-			return nil, fmt.Errorf("mlsdb: association on unknown relation %q", as.Rel)
+			return nil, fmt.Errorf("mlsdb: association on %w %q", ErrUnknownRelation, as.Rel)
 		}
 		lhs := make([]constraint.Attr, 0, len(as.Attrs))
 		for _, a := range as.Attrs {
 			if !r.attrSet[a] {
-				return nil, fmt.Errorf("mlsdb: association on unknown attribute %s.%s", as.Rel, a)
+				return nil, fmt.Errorf("mlsdb: association on %w %s.%s", ErrUnknownAttr, as.Rel, a)
 			}
 			av, _ := attr(as.Rel, a)
 			lhs = append(lhs, av)

@@ -47,7 +47,7 @@ func NewStore(schema *Schema, labeling *Labeling) *Store {
 func (st *Store) Insert(rel string, subject lattice.Level, values map[string]string) error {
 	r, ok := st.schema.Relation(rel)
 	if !ok {
-		return fmt.Errorf("mlsdb: unknown relation %q", rel)
+		return fmt.Errorf("mlsdb: %w %q", ErrUnknownRelation, rel)
 	}
 	lat := st.schema.Lattice()
 	for _, k := range r.Key {
@@ -58,7 +58,7 @@ func (st *Store) Insert(rel string, subject lattice.Level, values map[string]str
 	copied := make(map[string]string, len(values))
 	for a, v := range values {
 		if !r.attrSet[a] {
-			return fmt.Errorf("mlsdb: insert into %q mentions unknown attribute %q", rel, a)
+			return fmt.Errorf("mlsdb: insert into %q mentions %w %q", rel, ErrUnknownAttr, a)
 		}
 		lvl, _ := st.labeling.Level(rel, a)
 		if !lat.Dominates(subject, lvl) {
@@ -99,14 +99,14 @@ type Row map[string]string
 func (st *Store) Select(rel string, subject lattice.Level, attrs []string) ([]Row, error) {
 	r, ok := st.schema.Relation(rel)
 	if !ok {
-		return nil, fmt.Errorf("mlsdb: unknown relation %q", rel)
+		return nil, fmt.Errorf("mlsdb: %w %q", ErrUnknownRelation, rel)
 	}
 	if attrs == nil {
 		attrs = r.Attrs
 	}
 	for _, a := range attrs {
 		if !r.attrSet[a] {
-			return nil, fmt.Errorf("mlsdb: select on %q mentions unknown attribute %q", rel, a)
+			return nil, fmt.Errorf("mlsdb: select on %q mentions %w %q", rel, ErrUnknownAttr, a)
 		}
 	}
 	lat := st.schema.Lattice()
@@ -142,7 +142,7 @@ func (st *Store) Select(rel string, subject lattice.Level, attrs []string) ([]Ro
 func (st *Store) Polyinstantiated(rel string) ([]string, error) {
 	r, ok := st.schema.Relation(rel)
 	if !ok {
-		return nil, fmt.Errorf("mlsdb: unknown relation %q", rel)
+		return nil, fmt.Errorf("mlsdb: %w %q", ErrUnknownRelation, rel)
 	}
 	count := make(map[string]int)
 	for _, t := range st.tables[rel] {
@@ -179,7 +179,7 @@ func (st *Store) TupleCount(rel string) int { return len(st.tables[rel]) }
 func (st *Store) Delete(rel string, subject lattice.Level, key map[string]string) (found bool, err error) {
 	r, ok := st.schema.Relation(rel)
 	if !ok {
-		return false, fmt.Errorf("mlsdb: unknown relation %q", rel)
+		return false, fmt.Errorf("mlsdb: %w %q", ErrUnknownRelation, rel)
 	}
 	for _, k := range r.Key {
 		if _, ok := key[k]; !ok {

@@ -66,10 +66,10 @@ func (s *Schema) GenerateViewConstraints(set *constraint.Set, views []View) erro
 			} {
 				r, ok := s.Relation(side.rel)
 				if !ok {
-					return fmt.Errorf("mlsdb: view %q joins unknown relation %q", v.Name, side.rel)
+					return fmt.Errorf("mlsdb: view %q joins %w %q", v.Name, ErrUnknownRelation, side.rel)
 				}
 				if !r.attrSet[side.attr] {
-					return fmt.Errorf("mlsdb: view %q joins unknown attribute %s.%s", v.Name, side.rel, side.attr)
+					return fmt.Errorf("mlsdb: view %q joins %w %s.%s", v.Name, ErrUnknownAttr, side.rel, side.attr)
 				}
 				joinAttrs[side.rel] = append(joinAttrs[side.rel], side.attr)
 			}
@@ -85,10 +85,10 @@ func (s *Schema) GenerateViewConstraints(set *constraint.Set, views []View) erro
 			seen[col.Name] = true
 			r, ok := s.Relation(col.Rel)
 			if !ok {
-				return fmt.Errorf("mlsdb: view %q column %q references unknown relation %q", v.Name, col.Name, col.Rel)
+				return fmt.Errorf("mlsdb: view %q column %q references %w %q", v.Name, col.Name, ErrUnknownRelation, col.Rel)
 			}
 			if !r.attrSet[col.Attr] {
-				return fmt.Errorf("mlsdb: view %q column %q references unknown attribute %s.%s", v.Name, col.Name, col.Rel, col.Attr)
+				return fmt.Errorf("mlsdb: view %q column %q references %w %s.%s", v.Name, col.Name, ErrUnknownAttr, col.Rel, col.Attr)
 			}
 			colAttr, err := set.AddAttr(QualifiedName(v.Name, col.Name))
 			if err != nil {

@@ -11,6 +11,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -46,6 +47,13 @@ type ConstraintSpec struct {
 
 // Constraints generates a random constraint set over the lattice.
 func Constraints(lat lattice.Lattice, spec ConstraintSpec) (*constraint.Set, error) {
+	return ConstraintsContext(context.Background(), lat, spec)
+}
+
+// ConstraintsContext is Constraints with cancellation: generation of large
+// instances polls the context and aborts with its error when canceled
+// (errors.Is(err, context.Canceled) / DeadlineExceeded).
+func ConstraintsContext(ctx context.Context, lat lattice.Lattice, spec ConstraintSpec) (*constraint.Set, error) {
 	if spec.NumAttrs < 2 {
 		return nil, fmt.Errorf("workload: need at least 2 attributes, have %d", spec.NumAttrs)
 	}
@@ -75,7 +83,10 @@ func Constraints(lat lattice.Lattice, spec ConstraintSpec) (*constraint.Set, err
 		}
 	}
 
-	for len(s.Constraints()) < spec.NumConstraints {
+	for gen := 0; len(s.Constraints()) < spec.NumConstraints; gen++ {
+		if gen%4096 == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("workload: generation canceled: %w", context.Cause(ctx))
+		}
 		width := 1 + rng.Intn(spec.MaxLHS)
 		if width > spec.NumAttrs-1 {
 			width = spec.NumAttrs - 1

@@ -22,9 +22,35 @@
 //	    lub(name, salary) >= TS
 //	    rank >= salary
 //	`)
-//	res, _ := minup.Solve(set, minup.Options{})
+//	compiled := minup.Compile(set)
+//	res, _ := minup.SolveContext(context.Background(), compiled, minup.Options{})
 //	fmt.Println(set.FormatAssignment(res.Assignment))
 //	// name=TS rank=C salary=C
+//
+// Compile performs the one-time analysis of the constraint set (constraint
+// graph, strongly connected components, evaluation priorities, §6
+// upper-bound fixpoint) and freezes the set; SolveContext then answers any
+// number of solve requests against the immutable snapshot. The one-shot
+// Solve(set, opt) remains as a convenience for throwaway instances — it
+// compiles a fresh snapshot on every call, so hot paths that solve the
+// same set repeatedly (or concurrently) should prefer Compile +
+// SolveContext and will see both lower latency and far fewer allocations.
+//
+// # Concurrency
+//
+// A *CompiledSet is immutable and safe for unlimited concurrent use: any
+// number of goroutines may call SolveContext, RepairContext,
+// ProbeMinimalityContext, ExplainContext, and DeriveUpperBoundsContext
+// against the same compiled snapshot simultaneously. All per-solve state
+// lives in pooled solver sessions; results share only read-only compiled
+// data (Result.Priorities, Result.UpperBounds).
+//
+// A *ConstraintSet is NOT safe for concurrent mutation: guard it
+// externally, or call Compile, after which further mutation is rejected
+// with ErrFrozen and the frozen set is safe to read from any goroutine.
+// Lattices are immutable after construction and safe to share. The MAC
+// reference monitor (Monitor) carries its own internal mutex and may be
+// used from multiple goroutines directly.
 //
 // The package is a thin façade over the implementation packages: security
 // lattices (explicit Hasse diagrams, chains, powersets, compartmented MLS
@@ -37,6 +63,7 @@
 package minup
 
 import (
+	"context"
 	"io"
 
 	"minup/internal/constraint"
@@ -88,6 +115,24 @@ type (
 	// Assignment maps each attribute of a ConstraintSet to a level — the
 	// classification λ.
 	Assignment = constraint.Assignment
+	// CompiledSet is an immutable compiled snapshot of a ConstraintSet —
+	// graph, SCC condensation, priorities, and §6 fixpoint precomputed —
+	// safe for concurrent use by any number of solver sessions.
+	CompiledSet = constraint.Compiled
+)
+
+// Typed errors. Match with errors.Is.
+var (
+	// ErrUnsolvable reports that a constraint set admits no solution
+	// (wrapped by *InconsistencyError).
+	ErrUnsolvable = core.ErrUnsolvable
+	// ErrCanceled reports that a Context variant stopped early because its
+	// context was canceled or timed out.
+	ErrCanceled = core.ErrCanceled
+	// ErrNotCompiled reports a nil *CompiledSet.
+	ErrNotCompiled = core.ErrNotCompiled
+	// ErrFrozen reports mutation of a ConstraintSet after Compile.
+	ErrFrozen = constraint.ErrFrozen
 )
 
 // Solver types.
@@ -201,12 +246,33 @@ func NewStore(schema *Schema, labeling *Labeling) *Store {
 	return mlsdb.NewStore(schema, labeling)
 }
 
+// Compile freezes the constraint set and returns an immutable compiled
+// snapshot: constraint graph, SCC condensation, evaluation priorities, and
+// the §6 upper-bound fixpoint, computed once. After Compile, mutators on
+// the set return ErrFrozen. The snapshot is safe for concurrent use.
+func Compile(set *ConstraintSet) *CompiledSet {
+	return set.Compile()
+}
+
 // Solve computes a minimal classification for the constraint set with
 // Algorithm 3.1 of the paper. Lower-bound-only instances always succeed;
 // instances with upper bounds return *InconsistencyError when
 // unsatisfiable.
+//
+// Solve compiles a throwaway snapshot on every call and cannot be
+// canceled. Hot paths solving one set repeatedly — and any concurrent use
+// — should migrate to Compile + SolveContext, which amortizes the
+// compilation and recycles solver state across calls.
 func Solve(set *ConstraintSet, opt Options) (*Result, error) {
 	return core.Solve(set, opt)
+}
+
+// SolveContext solves a compiled set. It may be called concurrently from
+// any number of goroutines on the same *CompiledSet. A canceled context
+// aborts the solve promptly with an error satisfying
+// errors.Is(err, ErrCanceled).
+func SolveContext(ctx context.Context, compiled *CompiledSet, opt Options) (*Result, error) {
+	return core.SolveContext(ctx, compiled, opt)
 }
 
 // CheckSolvable reports nil when the constraint set has a solution (§6
@@ -217,6 +283,13 @@ func CheckSolvable(set *ConstraintSet) error { return core.CheckSolvable(set) }
 // attribute's firm maximum level or an *InconsistencyError.
 func DeriveUpperBounds(set *ConstraintSet) (Assignment, error) {
 	return core.DeriveUpperBounds(set)
+}
+
+// DeriveUpperBoundsContext returns the §6 preprocessing result cached in a
+// compiled set: the firm maximum level of every attribute, or an
+// *InconsistencyError.
+func DeriveUpperBoundsContext(ctx context.Context, compiled *CompiledSet) (Assignment, error) {
+	return core.DeriveUpperBoundsContext(ctx, compiled)
 }
 
 // Verification and explanation types.
@@ -236,10 +309,22 @@ func ProbeMinimality(set *ConstraintSet, m Assignment) (minimal bool, w *Witness
 	return core.ProbeMinimality(set, m)
 }
 
+// ProbeMinimalityContext is ProbeMinimality against a compiled snapshot,
+// with periodic cancellation checks. Safe for concurrent use.
+func ProbeMinimalityContext(ctx context.Context, compiled *CompiledSet, m Assignment) (minimal bool, w *Witness, err error) {
+	return core.ProbeMinimalityContext(ctx, compiled, m)
+}
+
 // Explain reports, for each level immediately below m[attr], one
 // constraint that breaks if the attribute is lowered there.
 func Explain(set *ConstraintSet, m Assignment, attr Attr) (*Explanation, error) {
 	return core.Explain(set, m, attr)
+}
+
+// ExplainContext is Explain against a compiled snapshot. Safe for
+// concurrent use.
+func ExplainContext(ctx context.Context, compiled *CompiledSet, m Assignment, attr Attr) (*Explanation, error) {
+	return core.ExplainContext(ctx, compiled, m, attr)
 }
 
 // FormatExplanation renders an Explanation for humans.
@@ -284,6 +369,12 @@ type (
 // Solve result before the additions).
 func Repair(set *ConstraintSet, baseCount int, base Assignment, opt RepairOptions) (Assignment, *RepairStats, error) {
 	return core.Repair(set, baseCount, base, opt)
+}
+
+// RepairContext is Repair with cancellation: the partial solve and any
+// fallback full solve poll the context.
+func RepairContext(ctx context.Context, set *ConstraintSet, baseCount int, base Assignment, opt RepairOptions) (Assignment, *RepairStats, error) {
+	return core.RepairContext(ctx, set, baseCount, base, opt)
 }
 
 // NewPoset builds an arbitrary finite partial order from its cover
