@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-json
+.PHONY: all build test race vet fmt-check ci bench bench-json bench-stats
 
 all: build
 
@@ -31,3 +31,8 @@ bench:
 # Machine-readable solver micro-benchmarks (fresh vs compiled paths).
 bench-json:
 	$(GO) run ./cmd/benchtab -solverjson BENCH_solver.json
+
+# bench-json plus the per-instance solver stats matrix (tries, collapses,
+# lattice ops, durations, qian baseline rows). CI uploads the result.
+bench-stats:
+	$(GO) run ./cmd/benchtab -solverjson BENCH_solver.json -stats

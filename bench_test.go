@@ -484,7 +484,9 @@ func BenchmarkSolveFresh(b *testing.B) {
 
 // BenchmarkSolveCompiled measures the compile/solve split: compilation is
 // paid once outside the loop and each iteration runs a pooled session
-// against the immutable snapshot.
+// against the immutable snapshot. Its allocs/op is the zero-cost-telemetry
+// guard: with no sink installed it must not move when the instrumentation
+// changes.
 func BenchmarkSolveCompiled(b *testing.B) {
 	set := solveBenchSet(b)
 	compiled := Compile(set)
@@ -493,6 +495,45 @@ func BenchmarkSolveCompiled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := SolveContext(ctx, compiled, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveCompiledStats measures the fully observed compiled path —
+// lattice op counting, a counting event sink, and registry aggregation all
+// enabled — the upper bound a telemetry-heavy deployment pays relative to
+// BenchmarkSolveCompiled.
+func BenchmarkSolveCompiledStats(b *testing.B) {
+	set := solveBenchSet(b)
+	compiled := Compile(set)
+	reg := NewMetricsRegistry()
+	opt := Options{
+		Sink:              NewCountingSink(reg, "bench.events"),
+		CollectLatticeOps: true,
+		Metrics:           reg,
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveContext(ctx, compiled, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveCompiledTrace measures the delta-based trace: per-step
+// deltas instead of full assignment clones keep tracing linear in the
+// number of level changes.
+func BenchmarkSolveCompiledTrace(b *testing.B) {
+	set := solveBenchSet(b)
+	compiled := Compile(set)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveContext(ctx, compiled, Options{RecordTrace: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

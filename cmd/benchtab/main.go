@@ -9,11 +9,15 @@
 //	benchtab                          # run every experiment
 //	benchtab -exp E3,E7               # run selected experiments
 //	benchtab -solverjson BENCH_solver.json  # solver micro-benchmarks as JSON
+//	benchtab -solverjson BENCH_solver.json -stats  # + per-instance stats matrix
 //
 // -solverjson runs the compile/solve-split micro-benchmarks (one-shot
 // Solve vs Compile-once + SolveContext, over acyclic, cyclic, and
 // upper-bound instance shapes) and writes machine-readable results to the
-// named file instead of running the experiment tables.
+// named file instead of running the experiment tables. Adding -stats
+// attaches each instance's solver operation counts (tries, collapses,
+// lattice ops, duration) to its rows and emits qian baseline rows, so the
+// JSON trajectories can correlate wall time with Try counts across shapes.
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and titles, then exit")
 	solverJSON := flag.String("solverjson", "", "write solver fresh-vs-compiled benchmark results as JSON to this file, then exit")
+	withStats := flag.Bool("stats", false, "with -solverjson: include per-instance solver operation counts and qian baseline rows")
 	flag.Parse()
 
 	if *list {
@@ -36,7 +41,7 @@ func main() {
 		return
 	}
 	if *solverJSON != "" {
-		if err := writeSolverBench(*solverJSON); err != nil {
+		if err := writeSolverBench(*solverJSON, *withStats); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}

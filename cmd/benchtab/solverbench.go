@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"minup"
+	"minup/internal/baseline"
 	"minup/internal/lattice"
 	"minup/internal/workload"
 )
@@ -33,6 +34,53 @@ type solverBenchResult struct {
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	// BytesPerOp counts heap bytes per solve.
 	BytesPerOp int64 `json:"bytes_per_op"`
+	// Stats is one instrumented solve's operation counts for this
+	// instance (present with -stats), correlating wall time with Try
+	// counts across shapes.
+	Stats *solveStatsRow `json:"stats,omitempty"`
+	// BaselineStats is the work of one baseline run (qian rows).
+	BaselineStats *baselineStatsRow `json:"baseline_stats,omitempty"`
+}
+
+// solveStatsRow is the JSON shape of one solve's core.Stats.
+type solveStatsRow struct {
+	Tries          int    `json:"tries"`
+	FailedTries    int    `json:"failed_tries"`
+	Collapses      int    `json:"collapses"`
+	AttrsProcessed int    `json:"attrs_processed"`
+	MinlevelCalls  int    `json:"minlevel_calls"`
+	TrySteps       int    `json:"try_steps"`
+	DescentSteps   int    `json:"descent_steps"`
+	LatticeLub     uint64 `json:"lattice_lub"`
+	LatticeGlb     uint64 `json:"lattice_glb"`
+	LatticeDom     uint64 `json:"lattice_dominates"`
+	LatticeCovers  uint64 `json:"lattice_covers"`
+	DurationUS     int64  `json:"duration_us"`
+}
+
+func newSolveStatsRow(st minup.SolveStats) *solveStatsRow {
+	return &solveStatsRow{
+		Tries:          st.Tries,
+		FailedTries:    st.FailedTries,
+		Collapses:      st.Collapses,
+		AttrsProcessed: st.AttrsProcessed,
+		MinlevelCalls:  st.MinlevelCalls,
+		TrySteps:       st.TrySteps,
+		DescentSteps:   st.DescentSteps,
+		LatticeLub:     st.LatticeOps.Lub,
+		LatticeGlb:     st.LatticeOps.Glb,
+		LatticeDom:     st.LatticeOps.Dominates,
+		LatticeCovers:  st.LatticeOps.Covers,
+		DurationUS:     st.Duration.Microseconds(),
+	}
+}
+
+// baselineStatsRow is the JSON shape of one baseline.Stats.
+type baselineStatsRow struct {
+	Steps      int   `json:"steps"`
+	Upgrades   int   `json:"upgrades"`
+	Vectors    int   `json:"vectors"`
+	DurationUS int64 `json:"duration_us"`
 }
 
 func solverBenchShapes() map[string]workload.ConstraintSpec {
@@ -53,8 +101,11 @@ func solverBenchShapes() map[string]workload.ConstraintSpec {
 }
 
 // writeSolverBench runs the fresh-vs-compiled benchmark matrix and writes
-// the JSON rows to path.
-func writeSolverBench(path string) error {
+// the JSON rows to path. With stats enabled, each row additionally carries
+// the operation counts of one instrumented solve of its instance, and a
+// qian baseline row is emitted per lower-bound-only shape for
+// apples-to-apples comparison.
+func writeSolverBench(path string, withStats bool) error {
 	lat := lattice.MustChain("bench", "U", "C", "S", "TS")
 	var rows []solverBenchResult
 	for _, shape := range []string{"acyclic", "cyclic-scc", "upper-bounds"} {
@@ -80,8 +131,13 @@ func writeSolverBench(path string) error {
 		}
 		size := set.Stats().TotalSize
 		compiled := minup.Compile(set)
-		if _, err := minup.SolveContext(ctx, compiled, minup.Options{}); err != nil {
+		res, err := minup.SolveContext(ctx, compiled, minup.Options{CollectLatticeOps: withStats})
+		if err != nil {
 			return fmt.Errorf("solve %s: %w", shape, err)
+		}
+		var stats *solveStatsRow
+		if withStats {
+			stats = newSolveStatsRow(res.Stats)
 		}
 
 		fresh := testing.Benchmark(func(b *testing.B) {
@@ -93,7 +149,9 @@ func writeSolverBench(path string) error {
 				}
 			}
 		})
-		rows = append(rows, benchRow(shape+"/fresh", size, fresh))
+		freshRow := benchRow(shape+"/fresh", size, fresh)
+		freshRow.Stats = stats
+		rows = append(rows, freshRow)
 
 		comp := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -103,7 +161,33 @@ func writeSolverBench(path string) error {
 				}
 			}
 		})
-		rows = append(rows, benchRow(shape+"/compiled", size, comp))
+		compRow := benchRow(shape+"/compiled", size, comp)
+		compRow.Stats = stats
+		rows = append(rows, compRow)
+
+		// Qian's propagation does not support §6 upper bounds.
+		if withStats && len(set.UpperBounds()) == 0 {
+			qst := &baseline.Stats{}
+			if _, err := baseline.QianWithStats(ctx, set, qst); err != nil {
+				return fmt.Errorf("qian %s: %w", shape, err)
+			}
+			qb := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := baseline.QianContext(ctx, set); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			qrow := benchRow(shape+"/qian", size, qb)
+			qrow.BaselineStats = &baselineStatsRow{
+				Steps:      qst.Steps,
+				Upgrades:   qst.Upgrades,
+				Vectors:    qst.Vectors,
+				DurationUS: qst.Duration.Microseconds(),
+			}
+			rows = append(rows, qrow)
+		}
 	}
 
 	out, err := json.MarshalIndent(rows, "", "  ")

@@ -39,7 +39,7 @@ func main() {
 	check := flag.Bool("check", false, "re-verify the result against all constraints and probe minimality")
 	explain := flag.String("explain", "", "explain why the named attribute has its level")
 	dotPath := flag.String("dot", "", "write the constraint graph in Graphviz DOT format to this file")
-	stats := flag.Bool("stats", false, "print constraint-set shape statistics")
+	stats := flag.Bool("stats", false, "print constraint-set shape and solver operation statistics to stderr")
 	flag.Parse()
 	if *latticePath == "" || *consPath == "" {
 		flag.Usage()
@@ -88,7 +88,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	compiled := minup.Compile(set)
-	res, err := minup.SolveContext(ctx, compiled, minup.Options{RecordTrace: *trace})
+	res, err := minup.SolveContext(ctx, compiled, minup.Options{
+		RecordTrace:       *trace,
+		CollectLatticeOps: *stats,
+	})
 	if err != nil {
 		if errors.Is(err, minup.ErrCanceled) {
 			fatal(fmt.Errorf("interrupted: %w", err))
@@ -97,6 +100,19 @@ func main() {
 	}
 	if *trace {
 		fmt.Println(res.Trace.Table())
+	}
+	if *stats {
+		st := res.Stats
+		cs := compiled.CompileStats()
+		fmt.Fprintf(os.Stderr,
+			"minclass: compile: sccs=%d total_size=%d ub_pops=%d ub_tightenings=%d duration=%s\n",
+			cs.SCCs, cs.TotalSize, cs.UBPops, cs.UBTightenings, cs.Duration)
+		fmt.Fprintf(os.Stderr,
+			"minclass: solve: tries=%d failed_tries=%d collapses=%d attrs_processed=%d minlevel_calls=%d try_steps=%d descent_steps=%d lattice{lub=%d glb=%d dominates=%d covers=%d} duration=%s\n",
+			st.Tries, st.FailedTries, st.Collapses, st.AttrsProcessed,
+			st.MinlevelCalls, st.TrySteps, st.DescentSteps,
+			st.LatticeOps.Lub, st.LatticeOps.Glb, st.LatticeOps.Dominates,
+			st.LatticeOps.Covers, st.Duration)
 	}
 	fmt.Println(set.FormatAssignment(res.Assignment))
 	if *check {

@@ -1,0 +1,199 @@
+// Command minupd serves minimal-classification solves of one compiled
+// constraint set over HTTP, with a separate debug listener exposing the
+// solver's cumulative telemetry — the ROADMAP's production-shape deployment
+// of the compile-once / solve-many split.
+//
+// Usage:
+//
+//	minupd -lattice lat.txt -constraints cons.txt \
+//	       [-addr :8080] [-debug-addr 127.0.0.1:6060]
+//
+// The service listener answers:
+//
+//	GET /solve            solve the compiled instance; JSON assignment +
+//	                      per-solve stats (add ?lattice_ops=1 to count
+//	                      lattice operations for this request)
+//	GET /metrics          the metrics registry snapshot as JSON
+//	GET /healthz          liveness check
+//
+// Every solve records into a shared metrics registry under the "solve.*"
+// names (counts, tries, pool hit/miss, duration histogram). The debug
+// listener serves the standard runtime surface: /debug/vars (expvar,
+// including the registry published as "minup") and /debug/pprof/* for CPU
+// and heap profiles — see the "profiling a solve" recipe in EXPERIMENTS.md.
+// Bind it to localhost (the default) in production-like settings.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"minup"
+)
+
+func main() {
+	latticePath := flag.String("lattice", "", "path to the lattice description file")
+	consPath := flag.String("constraints", "", "path to the constraint file")
+	addr := flag.String("addr", ":8080", "service listen address")
+	debugAddr := flag.String("debug-addr", "127.0.0.1:6060", "debug listen address for /debug/vars and /debug/pprof (empty to disable)")
+	flag.Parse()
+	if *latticePath == "" || *consPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	lf, err := os.Open(*latticePath)
+	if err != nil {
+		fatal(err)
+	}
+	lat, err := minup.ParseLattice(lf)
+	lf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	set := minup.NewConstraintSet(lat)
+	cf, err := os.Open(*consPath)
+	if err != nil {
+		fatal(err)
+	}
+	err = set.ParseInto(cf)
+	cf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	compiled := minup.Compile(set)
+	if err := minup.CheckSolvable(set); err != nil {
+		fatal(fmt.Errorf("instance is unsolvable: %w", err))
+	}
+	reg := minup.NewMetricsRegistry()
+	reg.Publish("minup")
+
+	srv := &server{set: set, compiled: compiled, reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", srv.handleSolve)
+	mux.HandleFunc("/metrics", srv.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *debugAddr != "" {
+		// expvar and net/http/pprof register on the default mux; serving it
+		// on a dedicated listener keeps the runtime surface off the service
+		// port.
+		go func() {
+			dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux}
+			fmt.Fprintf(os.Stderr, "minupd: debug listener on %s (/debug/vars, /debug/pprof)\n", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "minupd: debug listener: %v\n", err)
+			}
+		}()
+	}
+
+	main := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		main.Shutdown(shCtx)
+	}()
+	cs := compiled.CompileStats()
+	fmt.Fprintf(os.Stderr, "minupd: serving %d attrs, %d constraints (S=%d, %d SCCs, compiled in %s) on %s\n",
+		cs.Attrs, cs.Constraints, cs.TotalSize, cs.SCCs, cs.Duration, *addr)
+	if err := main.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+type server struct {
+	set      *minup.ConstraintSet
+	compiled *minup.CompiledSet
+	reg      *minup.MetricsRegistry
+}
+
+// solveResponse is the JSON answer of /solve.
+type solveResponse struct {
+	Assignment map[string]string `json:"assignment"`
+	Stats      solveStats        `json:"stats"`
+}
+
+type solveStats struct {
+	Tries          int    `json:"tries"`
+	FailedTries    int    `json:"failed_tries"`
+	Collapses      int    `json:"collapses"`
+	AttrsProcessed int    `json:"attrs_processed"`
+	MinlevelCalls  int    `json:"minlevel_calls"`
+	TrySteps       int    `json:"try_steps"`
+	DescentSteps   int    `json:"descent_steps"`
+	LatticeLub     uint64 `json:"lattice_lub,omitempty"`
+	LatticeGlb     uint64 `json:"lattice_glb,omitempty"`
+	LatticeDom     uint64 `json:"lattice_dominates,omitempty"`
+	LatticeCovers  uint64 `json:"lattice_covers,omitempty"`
+	PoolHit        bool   `json:"pool_hit"`
+	DurationUS     int64  `json:"duration_us"`
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	opt := minup.Options{
+		Metrics:           s.reg,
+		CollectLatticeOps: r.URL.Query().Get("lattice_ops") == "1",
+	}
+	res, err := minup.SolveContext(r.Context(), s.compiled, opt)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, minup.ErrCanceled) {
+			status = http.StatusRequestTimeout
+		} else if errors.Is(err, minup.ErrUnsolvable) {
+			status = http.StatusUnprocessableEntity
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	lat := s.set.Lattice()
+	out := solveResponse{Assignment: make(map[string]string, len(res.Assignment))}
+	for _, a := range s.set.Attrs() {
+		out.Assignment[s.set.AttrName(a)] = lat.FormatLevel(res.Assignment[a])
+	}
+	st := res.Stats
+	out.Stats = solveStats{
+		Tries:          st.Tries,
+		FailedTries:    st.FailedTries,
+		Collapses:      st.Collapses,
+		AttrsProcessed: st.AttrsProcessed,
+		MinlevelCalls:  st.MinlevelCalls,
+		TrySteps:       st.TrySteps,
+		DescentSteps:   st.DescentSteps,
+		LatticeLub:     st.LatticeOps.Lub,
+		LatticeGlb:     st.LatticeOps.Glb,
+		LatticeDom:     st.LatticeOps.Dominates,
+		LatticeCovers:  st.LatticeOps.Covers,
+		PoolHit:        st.PoolHit,
+		DurationUS:     st.Duration.Microseconds(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.WriteJSON(w)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minupd:", err)
+	os.Exit(1)
+}

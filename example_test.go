@@ -22,7 +22,7 @@ func ExampleSolve_trace() {
 		panic(err)
 	}
 	fmt.Println(set.FormatAssignment(res.Assignment))
-	fmt.Println(len(res.Trace.Steps) > 0)
+	fmt.Println(res.Trace.Len() > 0)
 	// Output:
 	// a=L3 b=L6
 	// true

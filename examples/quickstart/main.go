@@ -51,5 +51,5 @@ U >= unit
 		log.Fatalf("internal error: violations %v", v)
 	}
 	fmt.Printf("all %d constraints satisfied; %d Try calls, %d Minlevel calls\n",
-		len(set.Constraints()), res.Stats.TryCalls, res.Stats.MinlevelCalls)
+		len(set.Constraints()), res.Stats.Tries, res.Stats.MinlevelCalls)
 }

@@ -27,10 +27,34 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"minup/internal/constraint"
 	"minup/internal/lattice"
 )
+
+// Stats reports the work performed by one baseline run, the counterpart of
+// the solver's core.Stats for the comparison algorithms (experiments E5/E6
+// and cmd/benchtab's stats matrix).
+type Stats struct {
+	// Steps counts the algorithm's basic iterations: worklist pops for
+	// Qian, fixpoint sweeps for Backtracking, satisfiability checks for
+	// the enumeration oracles.
+	Steps int
+	// Upgrades counts attribute level raises performed.
+	Upgrades int
+	// Vectors counts complete assignments or choice vectors examined by
+	// the exponential oracles.
+	Vectors int
+	// Duration is the wall time of the run.
+	Duration time.Duration
+}
+
+// timed starts the run's clock and returns the stop function to defer.
+func (st *Stats) timed() func() {
+	start := time.Now()
+	return func() { st.Duration = time.Since(start) }
+}
 
 // EnumLimit guards the exponential oracles: enumerating more than this many
 // assignments returns an error instead of running forever.
@@ -67,6 +91,14 @@ func BruteForce(s *constraint.Set) ([]constraint.Assignment, error) {
 // context periodically and aborts with an error satisfying
 // errors.Is(err, ErrCanceled).
 func BruteForceContext(ctx context.Context, s *constraint.Set) ([]constraint.Assignment, error) {
+	return BruteForceWithStats(ctx, s, &Stats{})
+}
+
+// BruteForceWithStats is BruteForceContext recording its work into st:
+// Vectors counts assignments enumerated, Steps counts satisfiability
+// checks (equal here), and Duration the wall time.
+func BruteForceWithStats(ctx context.Context, s *constraint.Set, st *Stats) ([]constraint.Assignment, error) {
+	defer st.timed()()
 	lat, ok := s.Lattice().(lattice.Enumerable)
 	if !ok {
 		return nil, fmt.Errorf("baseline: brute force requires an enumerable lattice, have %T", s.Lattice())
@@ -88,6 +120,8 @@ func BruteForceContext(ctx context.Context, s *constraint.Set) ([]constraint.Ass
 		}
 		if i == n {
 			steps++
+			st.Vectors++
+			st.Steps++
 			if steps%cancelStride == 0 && ctx.Err() != nil {
 				walkErr = fmt.Errorf("baseline: %w: %w", ErrCanceled, context.Cause(ctx))
 				return
@@ -135,6 +169,13 @@ func IsMinimal(s *constraint.Set, m constraint.Assignment) (bool, error) {
 
 // IsMinimalContext is IsMinimal with cancellation.
 func IsMinimalContext(ctx context.Context, s *constraint.Set, m constraint.Assignment) (bool, error) {
+	return IsMinimalWithStats(ctx, s, m, &Stats{})
+}
+
+// IsMinimalWithStats is IsMinimalContext recording its down-set enumeration
+// into st.
+func IsMinimalWithStats(ctx context.Context, s *constraint.Set, m constraint.Assignment, st *Stats) (bool, error) {
+	defer st.timed()()
 	if !s.Satisfies(m) {
 		return false, nil
 	}
@@ -167,6 +208,8 @@ func IsMinimalContext(ctx context.Context, s *constraint.Set, m constraint.Assig
 		}
 		if i == n {
 			steps++
+			st.Vectors++
+			st.Steps++
 			if steps%cancelStride == 0 && ctx.Err() != nil {
 				walkErr = fmt.Errorf("baseline: %w: %w", ErrCanceled, context.Cause(ctx))
 				return
@@ -203,6 +246,13 @@ func Qian(s *constraint.Set) (constraint.Assignment, error) {
 // QianContext is Qian with cancellation: the worklist polls the context
 // periodically.
 func QianContext(ctx context.Context, s *constraint.Set) (constraint.Assignment, error) {
+	return QianWithStats(ctx, s, &Stats{})
+}
+
+// QianWithStats is QianContext recording its work into st: Steps counts
+// worklist pops and Upgrades counts attribute raises.
+func QianWithStats(ctx context.Context, s *constraint.Set, st *Stats) (constraint.Assignment, error) {
+	defer st.timed()()
 	if len(s.UpperBounds()) > 0 {
 		return nil, fmt.Errorf("baseline: Qian propagation does not support upper bounds")
 	}
@@ -230,6 +280,7 @@ func QianContext(ctx context.Context, s *constraint.Set) (constraint.Assignment,
 	steps := 0
 	for len(queue) > 0 {
 		steps++
+		st.Steps++
 		if steps%cancelStride == 0 && ctx.Err() != nil {
 			return nil, fmt.Errorf("baseline: %w: %w", ErrCanceled, context.Cause(ctx))
 		}
@@ -247,6 +298,7 @@ func QianContext(ctx context.Context, s *constraint.Set) (constraint.Assignment,
 				continue
 			}
 			m[a] = up
+			st.Upgrades++
 			// Re-examine constraints where a appears on either side.
 			for _, dep := range onLHS[a] {
 				push(dep)
@@ -279,6 +331,14 @@ func Backtracking(s *constraint.Set, maxVectors int) (constraint.Assignment, int
 // BacktrackingContext is Backtracking with cancellation: the context is
 // polled once per choice vector.
 func BacktrackingContext(ctx context.Context, s *constraint.Set, maxVectors int) (constraint.Assignment, int, error) {
+	return BacktrackingWithStats(ctx, s, maxVectors, &Stats{})
+}
+
+// BacktrackingWithStats is BacktrackingContext recording its work into st:
+// Vectors counts choice vectors explored, Steps counts fixpoint sweeps,
+// and Upgrades counts attribute raises across all fixpoints.
+func BacktrackingWithStats(ctx context.Context, s *constraint.Set, maxVectors int, st *Stats) (constraint.Assignment, int, error) {
+	defer st.timed()()
 	if len(s.UpperBounds()) > 0 {
 		return nil, 0, fmt.Errorf("baseline: backtracking solver does not support upper bounds")
 	}
@@ -305,7 +365,8 @@ func BacktrackingContext(ctx context.Context, s *constraint.Set, maxVectors int)
 			return nil, explored, fmt.Errorf("baseline: %w: %w", ErrCanceled, context.Cause(ctx))
 		}
 		explored++
-		m := leastFixpoint(s, complex, choice)
+		st.Vectors++
+		m := leastFixpoint(s, complex, choice, st)
 		if best == nil || (best.Dominates(lat, m) && !best.Equal(m)) {
 			best = m
 		}
@@ -328,7 +389,7 @@ func BacktrackingContext(ctx context.Context, s *constraint.Set, maxVectors int)
 // leastFixpoint computes the least assignment in which every simple
 // constraint is satisfied by upgrading its lhs attribute and every complex
 // constraint by upgrading its chosen carrier.
-func leastFixpoint(s *constraint.Set, complex []int, choice []int) constraint.Assignment {
+func leastFixpoint(s *constraint.Set, complex []int, choice []int, st *Stats) constraint.Assignment {
 	lat := s.Lattice()
 	carrier := make(map[int]constraint.Attr, len(complex))
 	for i, ci := range complex {
@@ -341,6 +402,7 @@ func leastFixpoint(s *constraint.Set, complex []int, choice []int) constraint.As
 	}
 	for changed := true; changed; {
 		changed = false
+		st.Steps++
 		for ci, c := range s.Constraints() {
 			rhs := s.RHSLevel(m, c.RHS)
 			if lat.Dominates(s.LubLHS(m, c.LHS), rhs) {
@@ -353,6 +415,7 @@ func leastFixpoint(s *constraint.Set, complex []int, choice []int) constraint.As
 			up := lat.Lub(m[target], rhs)
 			if up != m[target] {
 				m[target] = up
+				st.Upgrades++
 				changed = true
 			}
 		}
@@ -386,7 +449,17 @@ func CheapestUpgrade(s *constraint.Set, cost CostFunc) (constraint.Assignment, e
 
 // CheapestUpgradeContext is CheapestUpgrade with cancellation.
 func CheapestUpgradeContext(ctx context.Context, s *constraint.Set, cost CostFunc) (constraint.Assignment, error) {
-	minimal, err := BruteForceContext(ctx, s)
+	return CheapestUpgradeWithStats(ctx, s, cost, &Stats{})
+}
+
+// CheapestUpgradeWithStats is CheapestUpgradeContext recording the
+// underlying brute-force enumeration into st.
+func CheapestUpgradeWithStats(ctx context.Context, s *constraint.Set, cost CostFunc, st *Stats) (constraint.Assignment, error) {
+	defer st.timed()()
+	inner := &Stats{}
+	minimal, err := BruteForceWithStats(ctx, s, inner)
+	st.Steps += inner.Steps
+	st.Vectors += inner.Vectors
 	if err != nil {
 		return nil, err
 	}

@@ -3,9 +3,11 @@ package constraint
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"minup/internal/graph"
 	"minup/internal/lattice"
+	"minup/internal/obs"
 )
 
 // ErrFrozen is returned by Set mutators (AddAttr, Add, AddUpper) after the
@@ -36,6 +38,26 @@ type Compiled struct {
 	totalSize   int
 	ub          Assignment // §6 firm bounds; nil when the set has no upper bounds
 	ubConflicts []string   // non-nil when the upper bounds are inconsistent
+	cstats      CompileStats
+	sink        obs.EventSink // default event sink for solves of this snapshot
+}
+
+// CompileStats reports the one-time work performed by Compile/Snapshot —
+// the amortized cost of Theorem 5.2's complexity argument — plus the §6
+// fixpoint's operation counts, the compile-side counterpart of the solver's
+// per-solve Result.Stats.
+type CompileStats struct {
+	// Attrs, Constraints, UpperBoundCons describe the snapshot's shape.
+	Attrs, Constraints, UpperBoundCons int
+	// TotalSize is the paper's S = Σ(|lhs|+1).
+	TotalSize int
+	// SCCs is the number of strongly connected components (priority sets).
+	SCCs int
+	// UBPops counts §6 fixpoint worklist pops; UBTightenings counts the
+	// bound updates they caused. Both are zero without upper bounds.
+	UBPops, UBTightenings int
+	// Duration is the wall time of the compilation.
+	Duration time.Duration
 }
 
 // Compile freezes the set and returns its immutable compiled form. After
@@ -59,6 +81,7 @@ func (s *Set) Snapshot() *Compiled { return s.snapshot() }
 func (s *Set) Frozen() bool { return s.frozen }
 
 func (s *Set) snapshot() *Compiled {
+	start := time.Now()
 	// The copy shares the backing arrays: Set mutators only append (never
 	// overwrite), so the elements visible through these slice headers are
 	// immutable even if the source set later grows and reallocates.
@@ -80,10 +103,36 @@ func (s *Set) snapshot() *Compiled {
 	c.pr = graph.PrioritySCC(c.g)
 	c.acyclic = graph.IsAcyclic(c.g)
 	if len(src.upper) > 0 {
-		c.ub, c.ubConflicts = upperBoundFixpoint(src)
+		c.ub, c.ubConflicts = upperBoundFixpoint(src, &c.cstats)
 	}
+	c.cstats.Attrs = len(src.names)
+	c.cstats.Constraints = len(src.cons)
+	c.cstats.UpperBoundCons = len(src.upper)
+	c.cstats.TotalSize = c.totalSize
+	c.cstats.SCCs = c.pr.Max
+	c.cstats.Duration = time.Since(start)
 	return c
 }
+
+// CompileStats returns the operation counts and wall time of the one-time
+// compilation that produced this snapshot, including the §6 upper-bound
+// fixpoint's work (the instrumentation behind DeriveUpperBounds).
+func (c *Compiled) CompileStats() CompileStats { return c.cstats }
+
+// WithSink returns a view of the snapshot carrying sink as its default
+// event sink: every solve run against the view streams its solver events
+// (assign / try / try-failed / lower / collapse / done) into sink unless
+// the per-solve options install their own. The view shares all compiled
+// data with c; since one view may serve many concurrent solves, the sink
+// must be safe for concurrent use.
+func (c *Compiled) WithSink(sink obs.EventSink) *Compiled {
+	cc := *c
+	cc.sink = sink
+	return &cc
+}
+
+// EventSink returns the default event sink attached by WithSink, or nil.
+func (c *Compiled) EventSink() obs.EventSink { return c.sink }
 
 // Set returns a read-only view of the compiled constraints with the full
 // Set query API (AttrName, Format, Violations, ...). The view is frozen:
@@ -149,7 +198,8 @@ func (c *Compiled) UpperBoundFixpoint() (Assignment, []string) { return c.ub, c.
 // attribute's bound strictly decreases on every update, so the pass
 // terminates after at most H updates per attribute, O(S·H·c) in the worst
 // case and O(S·c) when bounds settle in one pass as the paper assumes.
-func upperBoundFixpoint(s *Set) (Assignment, []string) {
+// Worklist pops and bound tightenings are counted into st when non-nil.
+func upperBoundFixpoint(s *Set, st *CompileStats) (Assignment, []string) {
 	lat := s.lat
 	n := len(s.names)
 	ub := make(Assignment, n)
@@ -181,6 +231,9 @@ func upperBoundFixpoint(s *Set) (Assignment, []string) {
 		ci := queue[0]
 		queue = queue[1:]
 		inQueue[ci] = false
+		if st != nil {
+			st.UBPops++
+		}
 		c := cons[ci]
 		bound := lat.Bottom()
 		for _, a := range c.LHS {
@@ -198,6 +251,9 @@ func upperBoundFixpoint(s *Set) (Assignment, []string) {
 		merged := lat.Glb(ub[rhs], bound)
 		if merged != ub[rhs] {
 			ub[rhs] = merged
+			if st != nil {
+				st.UBTightenings++
+			}
 			for _, dep := range onLHS[rhs] {
 				push(dep)
 			}

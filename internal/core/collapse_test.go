@@ -31,10 +31,10 @@ func TestCollapseRing(t *testing.T) {
 		t.Fatalf("collapse changed the result:\nplain %s\nfast  %s",
 			s.FormatAssignment(plain.Assignment), s.FormatAssignment(fast.Assignment))
 	}
-	if fast.Stats.TryCalls != 0 {
-		t.Errorf("collapse still made %d Try calls", fast.Stats.TryCalls)
+	if fast.Stats.Tries != 0 {
+		t.Errorf("collapse still made %d Try calls", fast.Stats.Tries)
 	}
-	if plain.Stats.TryCalls == 0 {
+	if plain.Stats.Tries == 0 {
 		t.Errorf("plain path made no Try calls; ring not exercising the cycle machinery")
 	}
 	for _, a := range attrs {
@@ -61,9 +61,9 @@ func TestCollapseIneligible(t *testing.T) {
 	// sits on the complex left-hand side {F,I} — its level comes from
 	// Minlevel, not from the cycle alone. The optimization must leave the
 	// instance entirely to the general machinery.
-	if fast.Stats.TryCalls != plain.Stats.TryCalls {
+	if fast.Stats.Tries != plain.Stats.Tries {
 		t.Errorf("collapse altered Try behavior on an ineligible instance: %d vs %d",
-			fast.Stats.TryCalls, plain.Stats.TryCalls)
+			fast.Stats.Tries, plain.Stats.Tries)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"minup/internal/constraint"
 )
@@ -46,6 +47,13 @@ type RepairStats struct {
 	// FellBack reports that a full solve was performed (verification
 	// found a lower solution, or the instance has upper bounds).
 	FellBack bool
+	// Solve carries the operation counts of the solving work the repair
+	// performed: the partial solve over the affected region, or the full
+	// solve when the repair fell back.
+	Solve Stats
+	// Duration is the wall time of the whole repair, including snapshot
+	// compilation, violation scanning, and any fallback solve.
+	Duration time.Duration
 }
 
 // Repair extends a minimal solution after constraints were appended to the
@@ -63,6 +71,8 @@ func Repair(s *constraint.Set, baseCount int, base constraint.Assignment, opt Re
 // yields an error satisfying errors.Is(err, ErrCanceled).
 func RepairContext(ctx context.Context, s *constraint.Set, baseCount int, base constraint.Assignment, opt RepairOptions) (constraint.Assignment, *RepairStats, error) {
 	stats := &RepairStats{}
+	start := time.Now()
+	defer func() { stats.Duration = time.Since(start) }()
 	if ctx.Err() != nil {
 		return nil, stats, canceled(ctx)
 	}
@@ -80,6 +90,7 @@ func RepairContext(ctx context.Context, s *constraint.Set, baseCount int, base c
 		if err != nil {
 			return nil, stats, err
 		}
+		stats.Solve = res.Stats
 		return res.Assignment, stats, nil
 	}
 	for _, cn := range cons[:baseCount] {
@@ -170,6 +181,7 @@ func RepairContext(ctx context.Context, s *constraint.Set, baseCount int, base c
 		}
 	}
 
+	stats.Solve = sv.stats
 	if v := s.Violations(sv.lambda); v != nil {
 		return nil, stats, fmt.Errorf("core: internal error: repair produced violations (%s)", v[0])
 	}
@@ -184,6 +196,7 @@ func RepairContext(ctx context.Context, s *constraint.Set, baseCount int, base c
 			if err != nil {
 				return nil, stats, err
 			}
+			stats.Solve = res.Stats
 			return res.Assignment, stats, nil
 		}
 	}

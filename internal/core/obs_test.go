@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"minup/internal/constraint"
+	"minup/internal/obs"
+)
+
+// TestStatsMatchTrace cross-checks the telemetry counters against the
+// trace on the paper's Figure 2 instance: Stats.Tries and
+// Stats.FailedTries must equal the counts derived from Trace.Tries().
+func TestStatsMatchTrace(t *testing.T) {
+	f := constraint.NewFigure2()
+	res := MustSolve(f.Set, Options{RecordTrace: true})
+	tries := res.Trace.Tries()
+	failed := 0
+	for _, s := range tries {
+		if strings.HasSuffix(s, " F") {
+			failed++
+		}
+	}
+	if res.Stats.Tries != len(tries) {
+		t.Errorf("Stats.Tries = %d, trace has %d try rows", res.Stats.Tries, len(tries))
+	}
+	if res.Stats.FailedTries != failed {
+		t.Errorf("Stats.FailedTries = %d, trace has %d failed rows", res.Stats.FailedTries, failed)
+	}
+	if res.Stats.AttrsProcessed != f.Set.NumAttrs() {
+		t.Errorf("AttrsProcessed = %d, want %d", res.Stats.AttrsProcessed, f.Set.NumAttrs())
+	}
+}
+
+// TestEventStreamMatchesStats feeds the event stream into a counting sink
+// and checks it is consistent with the per-solve stats block.
+func TestEventStreamMatchesStats(t *testing.T) {
+	f := constraint.NewFigure2()
+	reg := obs.NewRegistry()
+	sink := obs.NewCountingSink(reg, "ev")
+	res := MustSolve(f.Set, Options{Sink: sink})
+
+	try := reg.Counter("ev.try").Value()
+	tryFailed := reg.Counter("ev.try_failed").Value()
+	if int(try+tryFailed) != res.Stats.Tries {
+		t.Errorf("try events %d + failed %d != Stats.Tries %d", try, tryFailed, res.Stats.Tries)
+	}
+	if int(tryFailed) != res.Stats.FailedTries {
+		t.Errorf("try_failed events = %d, Stats.FailedTries = %d", tryFailed, res.Stats.FailedTries)
+	}
+	assign := reg.Counter("ev.assign").Value()
+	done := reg.Counter("ev.done").Value()
+	collapse := reg.Counter("ev.collapse").Value()
+	if int(assign+done+collapse) != res.Stats.AttrsProcessed {
+		t.Errorf("assign %d + done %d + collapse %d != AttrsProcessed %d",
+			assign, done, collapse, res.Stats.AttrsProcessed)
+	}
+	// Every successful try lowers at least the tried attribute.
+	lower := reg.Counter("ev.lower").Value()
+	if lower < try {
+		t.Errorf("lower events %d < successful tries %d", lower, try)
+	}
+}
+
+// TestEventCarriesSCC checks events carry the §4 priority (SCC id) of
+// their attribute.
+func TestEventCarriesSCC(t *testing.T) {
+	f := constraint.NewFigure2()
+	compiled := f.Set.Compile()
+	pr := compiled.Priorities()
+	bad := 0
+	sink := obs.SinkFunc(func(e obs.Event) {
+		if e.Attr < 0 || int(e.SCC) != pr.Priority[e.Attr] {
+			bad++
+		}
+	})
+	if _, err := SolveContext(context.Background(), compiled, Options{Sink: sink}); err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Errorf("%d events carried a wrong SCC id", bad)
+	}
+}
+
+// TestCompiledWithSink checks the snapshot-attached default sink: solves of
+// the WithSink view stream events, solves of the base snapshot do not, and
+// the view shares the compiled data.
+func TestCompiledWithSink(t *testing.T) {
+	f := constraint.NewFigure2()
+	base := f.Set.Compile()
+	var events int
+	view := base.WithSink(obs.SinkFunc(func(obs.Event) { events++ }))
+	if view.Priorities() != base.Priorities() {
+		t.Error("WithSink view does not share compiled data")
+	}
+
+	if _, err := SolveContext(context.Background(), base, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if events != 0 {
+		t.Fatalf("solve of base snapshot emitted %d events", events)
+	}
+	res, err := SolveContext(context.Background(), view, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Error("solve of WithSink view emitted no events")
+	}
+	if events < res.Stats.Tries+res.Stats.AttrsProcessed {
+		t.Errorf("only %d events for %d tries + %d attrs", events, res.Stats.Tries, res.Stats.AttrsProcessed)
+	}
+}
+
+// TestCollectLatticeOps checks the op counters are populated exactly when
+// requested.
+func TestCollectLatticeOps(t *testing.T) {
+	f := constraint.NewFigure2()
+	plain := MustSolve(f.Set, Options{})
+	if plain.Stats.LatticeOps.Total() != 0 {
+		t.Errorf("lattice ops counted without CollectLatticeOps: %+v", plain.Stats.LatticeOps)
+	}
+	counted := MustSolve(f.Set, Options{CollectLatticeOps: true})
+	if counted.Stats.LatticeOps.Lub == 0 || counted.Stats.LatticeOps.Dominates == 0 {
+		t.Errorf("lattice ops not counted: %+v", counted.Stats.LatticeOps)
+	}
+	// Instrumentation must not change the result.
+	if !plain.Assignment.Equal(counted.Assignment) {
+		t.Error("CollectLatticeOps changed the solution")
+	}
+}
+
+// TestSolveDurationAndPool sanity-checks the wall-time and pool fields.
+func TestSolveDurationAndPool(t *testing.T) {
+	f := constraint.NewFigure2()
+	compiled := f.Set.Compile()
+	// Prime the pool, then a same-goroutine re-solve must hit it.
+	if _, err := SolveContext(context.Background(), compiled, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveContext(context.Background(), compiled, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.PoolHit {
+		t.Error("second sequential solve did not reuse a pooled session")
+	}
+	if res.Stats.Duration <= 0 {
+		t.Errorf("Duration = %v, want > 0", res.Stats.Duration)
+	}
+}
+
+// TestConcurrentMetricsAggregate runs many concurrent solves of one
+// compiled snapshot recording into a shared registry and checks the
+// aggregate counters are exact: the solve is deterministic, so every
+// counter must equal solves × the single-solve value. Run under -race this
+// also proves the registry path is data-race free.
+func TestConcurrentMetricsAggregate(t *testing.T) {
+	f := constraint.NewFigure2()
+	compiled := f.Set.Compile()
+	one, err := SolveContext(context.Background(), compiled, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := SolveContext(context.Background(), compiled, Options{Metrics: reg}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	const total = workers * per
+	checks := map[string]uint64{
+		MetricSolveCount:          total,
+		MetricSolveErrors:         0,
+		MetricSolveTries:          uint64(total * one.Stats.Tries),
+		MetricSolveFailedTries:    uint64(total * one.Stats.FailedTries),
+		MetricSolveAttrsProcessed: uint64(total * one.Stats.AttrsProcessed),
+		MetricSolveMinlevelCalls:  uint64(total * one.Stats.MinlevelCalls),
+		MetricSolveTrySteps:       uint64(total * one.Stats.TrySteps),
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	hit := reg.Counter(MetricSolvePoolHit).Value()
+	miss := reg.Counter(MetricSolvePoolMiss).Value()
+	if hit+miss != total {
+		t.Errorf("pool hit %d + miss %d != %d solves", hit, miss, total)
+	}
+	if got := reg.Histogram(MetricSolveDurationUS, obs.DurationBucketsUS).Count(); got != total {
+		t.Errorf("duration histogram count = %d, want %d", got, total)
+	}
+}
+
+// TestTraceStepsReconstruction checks the lazily materialized Steps agree
+// with Table/Final on the Figure 2 instance.
+func TestTraceStepsReconstruction(t *testing.T) {
+	f := constraint.NewFigure2()
+	res := MustSolve(f.Set, Options{RecordTrace: true})
+	steps := res.Trace.Steps()
+	if len(steps) != res.Trace.Len() {
+		t.Fatalf("Steps() returned %d rows, Len() = %d", len(steps), res.Trace.Len())
+	}
+	if steps[0].Action != "initial" || steps[0].Attr != -1 {
+		t.Errorf("first step = %+v, want the initial row", steps[0])
+	}
+	last := steps[len(steps)-1]
+	if !last.After.Equal(res.Trace.Final()) {
+		t.Error("last step's After differs from Final()")
+	}
+	if !last.After.Equal(res.Assignment) {
+		t.Error("last step's After differs from the result assignment")
+	}
+	failed := 0
+	for _, s := range steps {
+		if s.Failed {
+			failed++
+			if !strings.HasPrefix(s.Action, "try(") {
+				t.Errorf("failed step with action %q", s.Action)
+			}
+		}
+	}
+	if failed != res.Stats.FailedTries {
+		t.Errorf("%d failed steps, Stats.FailedTries = %d", failed, res.Stats.FailedTries)
+	}
+}

@@ -34,23 +34,36 @@
 // number of goroutines may solve the same snapshot concurrently. The
 // one-shot Solve(set, opt) remains as a compatibility shim that compiles a
 // snapshot and solves it.
+//
+// # Observability
+//
+// Every step of the algorithm can be observed without changing its
+// behavior. Result.Stats always carries the per-solve operation counts
+// (they are plain field increments, always on). Richer telemetry is
+// strictly opt-in and zero-cost when off: an obs.EventSink — installed via
+// Options.Sink, Options.RecordTrace, or Compiled.WithSink — receives one
+// value-typed event per step (a single nil check on the hot path when no
+// sink is installed); Options.CollectLatticeOps wraps the lattice in a
+// counting forwarder (no wrapper at all otherwise); Options.Metrics
+// aggregates each solve's Stats into a shared obs.Registry after the run.
 package core
 
 import (
 	"context"
-	"fmt"
 	"sync"
+	"time"
 
 	"minup/internal/constraint"
 	"minup/internal/graph"
 	"minup/internal/lattice"
+	"minup/internal/obs"
 )
 
 // Options tunes the solver. The zero value is ready to use.
 type Options struct {
 	// RecordTrace captures a step-by-step execution trace (the Figure 2(b)
-	// table). Tracing snapshots the full assignment at every step, so it
-	// should be off for large instances.
+	// table). The trace stores per-step deltas, so its memory cost is
+	// linear in the number of level changes, not steps×attributes.
 	RecordTrace bool
 
 	// DisableMinComplement turns off the footnote-4 closed form for
@@ -67,16 +80,50 @@ type Options struct {
 	// components from quadratic to linear (ablation benchmark
 	// BenchmarkSimpleCycleCollapse).
 	CollapseSimpleCycles bool
+
+	// Sink receives the solver's event stream (assign / try / try-failed /
+	// lower / collapse / done). It is combined with the trace and with any
+	// sink attached to the compiled snapshot by WithSink. When no sink is
+	// installed from any source, event emission costs one nil check per
+	// step.
+	Sink obs.EventSink
+
+	// CollectLatticeOps counts the primitive lattice operations (lub, glb,
+	// dominance, covers) performed by the solve into Result.Stats.
+	// LatticeOps. Off by default: counting routes every operation through
+	// a forwarding wrapper.
+	CollectLatticeOps bool
+
+	// Metrics, when non-nil, aggregates the solve's Stats (and its
+	// success/failure) into the registry after the run under the
+	// "solve.*" metric names. The registry may be shared by any number of
+	// concurrent solves.
+	Metrics *obs.Registry
 }
 
 // Stats reports operation counts from one solve, used by the complexity
-// experiments (E2/E3) to confirm the bounds of Theorem 5.2.
+// experiments (E2/E3) to confirm the bounds of Theorem 5.2 and surfaced by
+// the telemetry layer (cmd/minclass -stats, cmd/benchtab -stats,
+// cmd/minupd).
 type Stats struct {
-	TryCalls      int // invocations of Try
-	TryFailures   int // Try invocations that returned failure
-	MinlevelCalls int // invocations of Minlevel
-	TrySteps      int // constraint checks performed inside Try
-	DescentSteps  int // lattice covers expansions in Minlevel/BigLoop
+	Tries          int // invocations of Try
+	FailedTries    int // Try invocations that returned failure
+	MinlevelCalls  int // invocations of Minlevel
+	TrySteps       int // constraint checks performed inside Try
+	DescentSteps   int // lattice covers expansions in Minlevel/BigLoop
+	Collapses      int // attributes pinned by the §3.2 simple-cycle collapse
+	AttrsProcessed int // attributes labeled (assign, forward lowering, or collapse)
+
+	// LatticeOps counts primitive lattice operations; populated only when
+	// Options.CollectLatticeOps is set.
+	LatticeOps lattice.OpCounts
+
+	// PoolHit reports whether the solve reused a pooled session (true) or
+	// paid the first-use session allocation (false).
+	PoolHit bool
+
+	// Duration is the wall time of the solve, excluding compilation.
+	Duration time.Duration
 }
 
 // Result is the outcome of a solve.
@@ -126,17 +173,27 @@ func SolveContext(ctx context.Context, c *constraint.Compiled, opt Options) (*Re
 	if err := ctx.Err(); err != nil {
 		return nil, canceled(ctx)
 	}
+	start := time.Now()
 	sv := acquireSession(ctx, c, opt)
 	defer sv.release()
+	var err error
 	if c.HasUpperBounds() {
 		ub, conflicts := c.UpperBoundFixpoint()
 		if conflicts != nil {
-			return nil, &InconsistencyError{Conflicts: conflicts}
+			err = &InconsistencyError{Conflicts: conflicts}
+		} else {
+			sv.start = ub
+			sv.eagerMinlevel = true
 		}
-		sv.start = ub
-		sv.eagerMinlevel = true
 	}
-	if err := sv.run(); err != nil {
+	if err == nil {
+		err = sv.run()
+	}
+	sv.stats.Duration = time.Since(start)
+	if opt.Metrics != nil {
+		sv.stats.Record(opt.Metrics, err)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return &Result{
@@ -187,7 +244,17 @@ type session struct {
 	eagerMinlevel bool
 
 	trace *Trace
-	stats Stats
+	// sink is the combined event sink (trace, compiled-set sink, and
+	// Options.Sink); nil when no observer is installed, which is the
+	// zero-cost path.
+	sink obs.EventSink
+	// counted is the lattice op-counting wrapper, embedded in the session
+	// so enabling CollectLatticeOps performs no per-solve allocation.
+	counted lattice.Counted
+	stats   Stats
+	// reused distinguishes a recycled session (pool hit) from one freshly
+	// allocated by the pool's New.
+	reused bool
 	// lastFailure is the index of the constraint whose violation made the
 	// most recent try call fail, or -1. Used by Explain.
 	lastFailure int
@@ -212,11 +279,28 @@ var sessionPool = sync.Pool{
 	},
 }
 
+// combineSinks fans two optional sinks into one, avoiding the tee wrapper
+// unless both are present.
+func combineSinks(a, b obs.EventSink) obs.EventSink {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if t, ok := a.(obs.TeeSink); ok {
+		return append(t, b)
+	}
+	return obs.TeeSink{a, b}
+}
+
 // acquireSession checks a session out of the pool and points it at the
 // compiled set, resizing (not reallocating, when capacity allows) its
 // scratch buffers.
 func acquireSession(ctx context.Context, c *constraint.Compiled, opt Options) *session {
 	sv := sessionPool.Get().(*session)
+	hit := sv.reused
+	sv.reused = true
 	sv.c = c
 	sv.set = c.Set()
 	sv.lat = c.Lattice()
@@ -231,14 +315,25 @@ func acquireSession(ctx context.Context, c *constraint.Compiled, opt Options) *s
 			sv.minComp = mc
 		}
 	}
+	sv.stats = Stats{PoolHit: hit}
+	if opt.CollectLatticeOps {
+		// The closed-form minimizer is resolved from the base lattice
+		// above, so wrapping here counts descent operations without hiding
+		// the fast path.
+		sv.counted = lattice.Counted{L: sv.lat, C: &sv.stats.LatticeOps}
+		sv.lat = &sv.counted
+	}
 	sv.lambda = nil
 	sv.start = nil
 	sv.eagerMinlevel = false
 	sv.trace = nil
+	sv.sink = nil
 	if opt.RecordTrace {
 		sv.trace = &Trace{set: sv.set}
+		sv.sink = sv.trace
 	}
-	sv.stats = Stats{}
+	sv.sink = combineSinks(sv.sink, c.EventSink())
+	sv.sink = combineSinks(sv.sink, opt.Sink)
 	sv.lastFailure = -1
 	sv.ops = 0
 	sv.done = resizeBools(sv.done, c.NumAttrs())
@@ -265,6 +360,8 @@ func (sv *session) release() {
 	sv.lambda = nil
 	sv.start = nil
 	sv.trace = nil
+	sv.sink = nil
+	sv.counted = lattice.Counted{}
 	sessionPool.Put(sv)
 }
 
@@ -303,6 +400,16 @@ func (sv *session) poll() error {
 	return nil
 }
 
+// emit streams one event to the installed sink. Callers guard with a
+// sv.sink != nil check so the uninstrumented path pays only that check.
+func (sv *session) emit(kind obs.EventKind, a constraint.Attr, l lattice.Level) {
+	scc := int32(-1)
+	if a >= 0 {
+		scc = int32(sv.pr.Priority[a])
+	}
+	sv.sink.Event(obs.Event{Kind: kind, Attr: int32(a), Level: uint64(l), SCC: scc})
+}
+
 // run executes Main's initialization plus BigLoop.
 func (sv *session) run() error {
 	n := sv.c.NumAttrs()
@@ -320,7 +427,7 @@ func (sv *session) run() error {
 		}
 	}
 	if sv.trace != nil {
-		sv.trace.record(-1, "initial", false, sv.lambda)
+		sv.trace.begin(sv.lambda)
 	}
 	return sv.bigloop()
 }
@@ -392,10 +499,12 @@ func (sv *session) collapseSet(nodes []int) (bool, error) {
 		a := constraint.Attr(node)
 		sv.lambda[a] = l
 		sv.done[a] = true
+		sv.stats.Collapses++
+		sv.stats.AttrsProcessed++
 		// No unlabeled counters to maintain: eligibility guarantees no
 		// member sits on a complex left-hand side.
-		if sv.trace != nil {
-			sv.trace.record(a, "collapse", false, sv.lambda)
+		if sv.sink != nil {
+			sv.emit(obs.EventCollapse, a, l)
 		}
 	}
 	return true, nil
@@ -404,6 +513,7 @@ func (sv *session) collapseSet(nodes []int) (bool, error) {
 // processAttr labels one attribute: the body of BigLoop's second-level
 // loop.
 func (sv *session) processAttr(a constraint.Attr) error {
+	sv.stats.AttrsProcessed++
 	aDone := true
 	l := sv.lat.Bottom()
 	for _, ci := range sv.constr[a] {
@@ -433,8 +543,8 @@ func (sv *session) processAttr(a constraint.Attr) error {
 	if aDone {
 		sv.lambda[a] = l
 		sv.done[a] = true
-		if sv.trace != nil {
-			sv.trace.record(a, "assign", false, sv.lambda)
+		if sv.sink != nil {
+			sv.emit(obs.EventAssign, a, l)
 		}
 		return nil
 	}
@@ -449,26 +559,34 @@ func (sv *session) processAttr(a constraint.Attr) error {
 		if err != nil {
 			return err
 		}
-		sv.stats.TryCalls++
+		sv.stats.Tries++
 		if !ok {
-			sv.stats.TryFailures++
-			if sv.trace != nil {
-				sv.trace.record(a, fmt.Sprintf("try(%s,%s)", sv.set.AttrName(a), sv.lat.FormatLevel(cand)), true, sv.lambda)
+			sv.stats.FailedTries++
+			if sv.sink != nil {
+				sv.emit(obs.EventTryFailed, a, cand)
 			}
 			continue
 		}
-		for attr, lvl := range lower {
-			sv.lambda[attr] = lvl
-		}
-		if sv.trace != nil {
-			sv.trace.record(a, fmt.Sprintf("try(%s,%s)", sv.set.AttrName(a), sv.lat.FormatLevel(cand)), false, sv.lambda)
+		if sv.sink == nil {
+			for attr, lvl := range lower {
+				sv.lambda[attr] = lvl
+			}
+		} else {
+			// The try row first, then one lower event per propagated
+			// change (including a itself) so sinks see the deltas that
+			// belong to it.
+			sv.emit(obs.EventTry, a, cand)
+			for attr, lvl := range lower {
+				sv.lambda[attr] = lvl
+				sv.emit(obs.EventLower, attr, lvl)
+			}
 		}
 		dset = lattice.CoversAbove(sv.lat, sv.lambda[a], l)
 		sv.stats.DescentSteps += len(dset)
 	}
 	sv.done[a] = true
-	if sv.trace != nil {
-		sv.trace.record(a, "done", false, sv.lambda)
+	if sv.sink != nil {
+		sv.emit(obs.EventDone, a, sv.lambda[a])
 	}
 	return nil
 }

@@ -398,7 +398,7 @@ func TestComplexIntersectingLHS(t *testing.T) {
 func TestStats(t *testing.T) {
 	f := constraint.NewFigure2()
 	res := MustSolve(f.Set, Options{})
-	if res.Stats.TryCalls != 7 || res.Stats.TryFailures != 2 {
+	if res.Stats.Tries != 7 || res.Stats.FailedTries != 2 {
 		t.Errorf("stats = %+v, want 7 tries / 2 failures", res.Stats)
 	}
 	if res.Stats.MinlevelCalls != 2 { // I and D

@@ -1,0 +1,58 @@
+package core
+
+import "minup/internal/obs"
+
+// Canonical registry metric names recorded by Stats.Record. Exported as
+// constants so the serve layer and tests refer to one spelling.
+const (
+	MetricSolveCount          = "solve.count"
+	MetricSolveErrors         = "solve.errors"
+	MetricSolveTries          = "solve.tries"
+	MetricSolveFailedTries    = "solve.failed_tries"
+	MetricSolveCollapses      = "solve.collapses"
+	MetricSolveAttrsProcessed = "solve.attrs_processed"
+	MetricSolveMinlevelCalls  = "solve.minlevel_calls"
+	MetricSolveTrySteps       = "solve.try_steps"
+	MetricSolveDescentSteps   = "solve.descent_steps"
+	MetricSolveLatticeLub     = "solve.lattice.lub"
+	MetricSolveLatticeGlb     = "solve.lattice.glb"
+	MetricSolveLatticeDom     = "solve.lattice.dominates"
+	MetricSolveLatticeCovers  = "solve.lattice.covers"
+	MetricSolvePoolHit        = "solve.pool.hit"
+	MetricSolvePoolMiss       = "solve.pool.miss"
+	MetricSolveDurationUS     = "solve.duration_us"
+	MetricSolveTriesPerSolve  = "solve.tries_per_solve"
+)
+
+// Record aggregates one solve's stats into the registry under the
+// canonical "solve.*" names: cumulative counters for the operation counts,
+// a duration histogram in microseconds, and a per-solve tries histogram.
+// err is the solve's outcome (non-nil bumps solve.errors). Safe for
+// concurrent use — the registry's metrics are atomics.
+func (s *Stats) Record(r *obs.Registry, err error) {
+	if r == nil {
+		return
+	}
+	r.Counter(MetricSolveCount).Inc()
+	if err != nil {
+		r.Counter(MetricSolveErrors).Inc()
+	}
+	r.Counter(MetricSolveTries).Add(uint64(s.Tries))
+	r.Counter(MetricSolveFailedTries).Add(uint64(s.FailedTries))
+	r.Counter(MetricSolveCollapses).Add(uint64(s.Collapses))
+	r.Counter(MetricSolveAttrsProcessed).Add(uint64(s.AttrsProcessed))
+	r.Counter(MetricSolveMinlevelCalls).Add(uint64(s.MinlevelCalls))
+	r.Counter(MetricSolveTrySteps).Add(uint64(s.TrySteps))
+	r.Counter(MetricSolveDescentSteps).Add(uint64(s.DescentSteps))
+	r.Counter(MetricSolveLatticeLub).Add(s.LatticeOps.Lub)
+	r.Counter(MetricSolveLatticeGlb).Add(s.LatticeOps.Glb)
+	r.Counter(MetricSolveLatticeDom).Add(s.LatticeOps.Dominates)
+	r.Counter(MetricSolveLatticeCovers).Add(s.LatticeOps.Covers)
+	if s.PoolHit {
+		r.Counter(MetricSolvePoolHit).Inc()
+	} else {
+		r.Counter(MetricSolvePoolMiss).Inc()
+	}
+	r.Histogram(MetricSolveDurationUS, obs.DurationBucketsUS).Observe(uint64(s.Duration.Microseconds()))
+	r.Histogram(MetricSolveTriesPerSolve, obs.SizeBuckets).Observe(uint64(s.Tries))
+}

@@ -5,23 +5,55 @@ import (
 	"strings"
 
 	"minup/internal/constraint"
+	"minup/internal/lattice"
+	"minup/internal/obs"
 )
 
 // Trace records the solver's execution step by step, enough to reprint the
 // classification-process table of Figure 2(b): one row per action (direct
 // assignment, Try call, completion), with the full assignment after the
 // action and a failure marker for failed Try calls.
+//
+// Trace is an obs.EventSink: the solver streams its step events into it and
+// the trace stores only the per-step deltas (attribute, old level, new
+// level) plus one clone of the initial assignment, so memory is linear in
+// the number of level changes instead of the steps×attributes quadratic
+// cost of snapshotting the assignment at every step. The full per-step
+// assignments of Table(), Final(), and Steps() are reconstructed lazily by
+// replaying the deltas.
 type Trace struct {
-	set   *constraint.Set
-	Steps []Step
+	set     *constraint.Set
+	initial constraint.Assignment // clone of the assignment before step one
+	current constraint.Assignment // running assignment, advanced per delta
+	steps   []traceStep
 }
 
-// Step is one recorded solver action.
+// traceKindInitial marks the synthetic first row; it never appears in the
+// solver's event stream.
+const traceKindInitial = obs.EventKind(0xff)
+
+// traceStep is one recorded row: its kind, the attribute acted on, the
+// level named by the action (the tried/assigned level), and the level
+// changes the action caused.
+type traceStep struct {
+	kind   obs.EventKind
+	attr   constraint.Attr
+	level  lattice.Level
+	deltas []traceDelta
+}
+
+// traceDelta is one attribute level change within a step.
+type traceDelta struct {
+	attr     constraint.Attr
+	old, new lattice.Level
+}
+
+// Step is one materialized solver action, as produced by Steps.
 type Step struct {
 	// Attr is the attribute being processed (-1 for the initial snapshot).
 	Attr constraint.Attr
-	// Action describes the step: "initial", "assign", "done", or
-	// "try(A,l)".
+	// Action describes the step: "initial", "assign", "collapse", "done",
+	// or "try(A,l)".
 	Action string
 	// Failed marks a Try call that returned failure (the paper's "F").
 	Failed bool
@@ -29,22 +61,91 @@ type Step struct {
 	After constraint.Assignment
 }
 
-func (t *Trace) record(a constraint.Attr, action string, failed bool, after constraint.Assignment) {
-	t.Steps = append(t.Steps, Step{Attr: a, Action: action, Failed: failed, After: after.Clone()})
+// begin records the initial assignment (one clone) and the "initial" row.
+func (t *Trace) begin(m constraint.Assignment) {
+	t.initial = m.Clone()
+	t.current = m.Clone()
+	t.steps = append(t.steps, traceStep{kind: traceKindInitial, attr: -1})
+}
+
+// Event implements obs.EventSink: assign/try/try-failed/collapse/done
+// events open a new row; lower events append their delta to the row of the
+// try that caused them.
+func (t *Trace) Event(e obs.Event) {
+	a := constraint.Attr(e.Attr)
+	l := lattice.Level(e.Level)
+	switch e.Kind {
+	case obs.EventLower:
+		if len(t.steps) == 0 {
+			return // defensive: lower outside any step
+		}
+		t.applyDelta(&t.steps[len(t.steps)-1], a, l)
+	case obs.EventAssign, obs.EventCollapse:
+		t.steps = append(t.steps, traceStep{kind: e.Kind, attr: a, level: l})
+		t.applyDelta(&t.steps[len(t.steps)-1], a, l)
+	case obs.EventTry, obs.EventTryFailed, obs.EventDone:
+		t.steps = append(t.steps, traceStep{kind: e.Kind, attr: a, level: l})
+	}
+}
+
+func (t *Trace) applyDelta(st *traceStep, a constraint.Attr, l lattice.Level) {
+	st.deltas = append(st.deltas, traceDelta{attr: a, old: t.current[a], new: l})
+	t.current[a] = l
+}
+
+// label renders a step's row label in the style of Figure 2(b).
+func (t *Trace) label(st traceStep) string {
+	switch st.kind {
+	case traceKindInitial:
+		return "initial"
+	case obs.EventAssign:
+		return t.set.AttrName(st.attr) + " assign"
+	case obs.EventCollapse:
+		return t.set.AttrName(st.attr) + " collapse"
+	case obs.EventDone:
+		return t.set.AttrName(st.attr) + " done"
+	case obs.EventTry:
+		return fmt.Sprintf("try(%s,%s)", t.set.AttrName(st.attr), t.set.Lattice().FormatLevel(st.level))
+	case obs.EventTryFailed:
+		return fmt.Sprintf("try(%s,%s) F", t.set.AttrName(st.attr), t.set.Lattice().FormatLevel(st.level))
+	}
+	return "unknown"
+}
+
+// Len returns the number of recorded steps, including the initial row.
+func (t *Trace) Len() int { return len(t.steps) }
+
+// Steps materializes the trace as one Step per row, each carrying a full
+// assignment clone — the eager representation earlier versions stored.
+// Cost is steps×attributes; prefer Table()/Tries()/Final() on large runs.
+func (t *Trace) Steps() []Step {
+	out := make([]Step, 0, len(t.steps))
+	cur := t.initial.Clone()
+	for _, st := range t.steps {
+		for _, d := range st.deltas {
+			cur[d.attr] = d.new
+		}
+		action := t.label(st)
+		failed := st.kind == obs.EventTryFailed
+		if failed {
+			action = strings.TrimSuffix(action, " F")
+		} else if st.kind != traceKindInitial && st.kind != obs.EventTry {
+			// Match the historical Action strings: bare verbs for
+			// assign/collapse/done, the full "try(A,l)" for tries.
+			action = strings.TrimPrefix(action, t.set.AttrName(st.attr)+" ")
+		}
+		out = append(out, Step{Attr: st.attr, Action: action, Failed: failed, After: cur.Clone()})
+	}
+	return out
 }
 
 // Tries returns the Try-call steps in order, formatted as in the paper,
 // e.g. "try(B,L5)" and "try(F,L2) F".
 func (t *Trace) Tries() []string {
 	var out []string
-	for _, s := range t.Steps {
-		if !strings.HasPrefix(s.Action, "try(") {
-			continue
-		}
-		if s.Failed {
-			out = append(out, s.Action+" F")
-		} else {
-			out = append(out, s.Action)
+	for _, st := range t.steps {
+		if st.kind == obs.EventTry || st.kind == obs.EventTryFailed {
+			out = append(out, t.label(st))
 		}
 	}
 	return out
@@ -53,6 +154,7 @@ func (t *Trace) Tries() []string {
 // Table renders the trace as a text table in the style of Figure 2(b):
 // one column per attribute (in declaration order), one row per step, the
 // level of every attribute after each step, and "F" marking failed tries.
+// The per-step assignments are reconstructed by replaying the deltas.
 func (t *Trace) Table() string {
 	s := t.set
 	lat := s.Lattice()
@@ -64,18 +166,15 @@ func (t *Trace) Table() string {
 		header = append(header, s.AttrName(a))
 	}
 	rows := [][]string{header}
-	for _, st := range t.Steps {
-		label := st.Action
-		if st.Attr >= 0 && !strings.HasPrefix(st.Action, "try(") {
-			label = s.AttrName(st.Attr) + " " + st.Action
-		}
-		if st.Failed {
-			label += " F"
+	cur := t.initial.Clone()
+	for _, st := range t.steps {
+		for _, d := range st.deltas {
+			cur[d.attr] = d.new
 		}
 		row := make([]string, 0, len(attrs)+1)
-		row = append(row, label)
+		row = append(row, t.label(st))
 		for _, a := range attrs {
-			row = append(row, lat.FormatLevel(st.After[a]))
+			row = append(row, lat.FormatLevel(cur[a]))
 		}
 		rows = append(rows, row)
 	}
@@ -115,8 +214,8 @@ func (t *Trace) Table() string {
 
 // Final returns the assignment after the last step.
 func (t *Trace) Final() constraint.Assignment {
-	if len(t.Steps) == 0 {
+	if len(t.steps) == 0 {
 		return nil
 	}
-	return t.Steps[len(t.Steps)-1].After
+	return t.current.Clone()
 }

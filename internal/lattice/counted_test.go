@@ -1,0 +1,58 @@
+package lattice
+
+import "testing"
+
+func TestInstrumentNilIsIdentity(t *testing.T) {
+	l := MustChain("c", "L", "M", "H")
+	if got := Instrument(l, nil); got != Lattice(l) {
+		t.Errorf("Instrument(l, nil) = %T, want the lattice unchanged", got)
+	}
+}
+
+func TestCountedForwardsAndCounts(t *testing.T) {
+	l := MustChain("c", "L", "M", "H")
+	var c OpCounts
+	w := Instrument(l, &c)
+	if w == Lattice(l) {
+		t.Fatal("Instrument with counts returned the bare lattice")
+	}
+
+	m, _ := l.ParseLevel("M")
+	h, _ := l.ParseLevel("H")
+	if got := w.Lub(m, h); got != h {
+		t.Errorf("Lub = %v, want %v", got, h)
+	}
+	if got := w.Glb(m, h); got != m {
+		t.Errorf("Glb = %v, want %v", got, m)
+	}
+	if !w.Dominates(h, m) {
+		t.Error("Dominates(h, m) = false")
+	}
+	if len(w.Covers(h)) != 1 {
+		t.Errorf("Covers(h) = %v", w.Covers(h))
+	}
+	// Uncounted forwards.
+	if w.Top() != l.Top() || w.Bottom() != l.Bottom() {
+		t.Error("Top/Bottom not forwarded")
+	}
+	if w.Name() != l.Name() || w.Height() != l.Height() {
+		t.Error("Name/Height not forwarded")
+	}
+	if !w.Contains(m) || w.FormatLevel(m) != "M" {
+		t.Error("Contains/FormatLevel not forwarded")
+	}
+	if _, err := w.ParseLevel("H"); err != nil {
+		t.Errorf("ParseLevel: %v", err)
+	}
+	if len(w.CoveredBy(m)) != 1 {
+		t.Errorf("CoveredBy(m) = %v", w.CoveredBy(m))
+	}
+
+	want := OpCounts{Lub: 1, Glb: 1, Dominates: 1, Covers: 1}
+	if c != want {
+		t.Errorf("counts = %+v, want %+v", c, want)
+	}
+	if c.Total() != 4 {
+		t.Errorf("Total = %d, want 4", c.Total())
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+// EventKind classifies one solver step.
+type EventKind uint8
+
+const (
+	// EventAssign reports an attribute labeled directly by back-propagation
+	// (the lub of its definitively labeled constraints).
+	EventAssign EventKind = iota
+	// EventTry reports a successful Try call: the attribute was lowered to
+	// the event's level. The individual lowerings the call propagated
+	// through the cycle follow as EventLower events.
+	EventTry
+	// EventTryFailed reports a Try call rejected because a constraint with
+	// a definitively labeled right-hand side would break (the paper's "F"
+	// marker). No assignment change follows.
+	EventTryFailed
+	// EventLower reports one attribute lowered as part of the immediately
+	// preceding EventTry's propagation (including the tried attribute
+	// itself).
+	EventLower
+	// EventCollapse reports an attribute pinned by the §3.2 simple-cycle
+	// collapse.
+	EventCollapse
+	// EventDone reports an attribute's forward lowering completed (its
+	// level is final).
+	EventDone
+
+	numEventKinds = int(EventDone) + 1
+)
+
+// String returns the kind's canonical short name, used as the counter
+// suffix by CountingSink.
+func (k EventKind) String() string {
+	switch k {
+	case EventAssign:
+		return "assign"
+	case EventTry:
+		return "try"
+	case EventTryFailed:
+		return "try_failed"
+	case EventLower:
+		return "lower"
+	case EventCollapse:
+		return "collapse"
+	case EventDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Event is one solver step, passed to sinks by value so that streaming
+// events performs no allocation. Fields are plain integers: Attr is the
+// dense attribute index of the solve's constraint set, Level is the opaque
+// lattice level handle after the step, and SCC is the §4 priority (one per
+// strongly connected component) of the attribute, or -1 when no attribute
+// is involved.
+type Event struct {
+	Kind  EventKind
+	Attr  int32
+	Level uint64
+	SCC   int32
+}
+
+// EventSink receives the solver's event stream. Implementations must be
+// cheap — they run inside the solve loop — and must be safe for concurrent
+// use if the sink is attached to a compiled snapshot that is solved from
+// several goroutines. A sink must not block.
+type EventSink interface {
+	Event(Event)
+}
+
+// SinkFunc adapts a function to the EventSink interface.
+type SinkFunc func(Event)
+
+// Event calls f(e).
+func (f SinkFunc) Event(e Event) { f(e) }
+
+// CountingSink is an EventSink that tallies events by kind into registry
+// counters named <prefix>.<kind> (e.g. "solver.events.try_failed"). It
+// resolves the counters once at construction, so each event costs one
+// atomic add and no allocation; it is safe for concurrent use.
+type CountingSink struct {
+	byKind [numEventKinds]*Counter
+}
+
+// NewCountingSink registers one counter per event kind under prefix in r.
+func NewCountingSink(r *Registry, prefix string) *CountingSink {
+	s := &CountingSink{}
+	for k := 0; k < numEventKinds; k++ {
+		s.byKind[k] = r.Counter(prefix + "." + EventKind(k).String())
+	}
+	return s
+}
+
+// Event counts the event.
+func (s *CountingSink) Event(e Event) {
+	if int(e.Kind) < len(s.byKind) {
+		s.byKind[e.Kind].Inc()
+	}
+}
+
+// TeeSink fans one event stream out to several sinks, in order.
+type TeeSink []EventSink
+
+// Event forwards e to every sink.
+func (t TeeSink) Event(e Event) {
+	for _, s := range t {
+		s.Event(e)
+	}
+}

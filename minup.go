@@ -71,6 +71,7 @@ import (
 	"minup/internal/lattice"
 	"minup/internal/mac"
 	"minup/internal/mlsdb"
+	"minup/internal/obs"
 	"minup/internal/poset"
 )
 
@@ -149,6 +150,62 @@ type (
 	// clash (§6).
 	InconsistencyError = core.InconsistencyError
 )
+
+// Observability types. Telemetry is strictly opt-in: with no sink installed
+// and no registry configured, a solve pays one nil check per step.
+type (
+	// SolveStats is the per-solve operation-count block of Result.Stats:
+	// tries, failed tries, collapses, attributes processed, lattice op
+	// counts, session-pool hit/miss, and wall time.
+	SolveStats = core.Stats
+	// CompileStats reports the one-time work performed by Compile,
+	// including the §6 upper-bound fixpoint's operation counts.
+	CompileStats = constraint.CompileStats
+	// LatticeOpCounts tallies primitive lattice operations (lub, glb,
+	// dominance, covers); populated when Options.CollectLatticeOps is set.
+	LatticeOpCounts = lattice.OpCounts
+	// MetricsRegistry is a named collection of atomic counters and
+	// histograms that snapshots to a stable JSON shape; share one across
+	// concurrent solves via Options.Metrics.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is the point-in-time JSON shape of a MetricsRegistry.
+	MetricsSnapshot = obs.Snapshot
+	// SolveEvent is one solver step (kind, attribute, level, SCC id),
+	// streamed by value to an EventSink.
+	SolveEvent = obs.Event
+	// SolveEventKind classifies a SolveEvent.
+	SolveEventKind = obs.EventKind
+	// EventSink receives the solver's event stream; install one with
+	// Options.Sink or CompiledSet.WithSink.
+	EventSink = obs.EventSink
+	// SinkFunc adapts a function to the EventSink interface.
+	SinkFunc = obs.SinkFunc
+	// TeeSink fans one event stream out to several sinks.
+	TeeSink = obs.TeeSink
+	// CountingSink tallies events by kind into registry counters.
+	CountingSink = obs.CountingSink
+)
+
+// Solver event kinds, mirroring the steps of Algorithm 3.1.
+const (
+	EventAssign    = obs.EventAssign
+	EventTry       = obs.EventTry
+	EventTryFailed = obs.EventTryFailed
+	EventLower     = obs.EventLower
+	EventCollapse  = obs.EventCollapse
+	EventDone      = obs.EventDone
+)
+
+// NewMetricsRegistry returns an empty metrics registry. Pass it as
+// Options.Metrics to aggregate solve stats under the "solve.*" names, call
+// its Publish method to expose it through expvar, and WriteJSON to dump it.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewCountingSink registers one counter per event kind under prefix in r
+// and returns the sink; each event costs one atomic add.
+func NewCountingSink(r *MetricsRegistry, prefix string) *CountingSink {
+	return obs.NewCountingSink(r, prefix)
+}
 
 // Multilevel database types.
 type (

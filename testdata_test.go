@@ -1,0 +1,56 @@
+package minup_test
+
+import (
+	"os"
+	"testing"
+
+	"minup"
+	"minup/internal/constraint"
+)
+
+// TestTestdataFigure2 checks the checked-in text fixtures used by
+// cmd/minupd and the EXPERIMENTS.md profiling recipe stay in sync with
+// the programmatic constraint.NewFigure2 fixture: parsing them and
+// solving must reproduce the Figure 2(b) classification exactly.
+func TestTestdataFigure2(t *testing.T) {
+	lf, err := os.Open("testdata/lattice_fig1b.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	lat, err := minup.ParseLattice(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := minup.NewConstraintSet(lat)
+	cf, err := os.Open("testdata/constraints_fig2.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if err := set.ParseInto(cf); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := constraint.NewFigure2()
+	if got, want := set.NumAttrs(), ref.Set.NumAttrs(); got != want {
+		t.Fatalf("parsed %d attrs, fixture has %d", got, want)
+	}
+
+	res, err := minup.Solve(set, minup.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < set.NumAttrs(); a++ {
+		name := set.AttrName(constraint.Attr(a))
+		wantAttr, ok := ref.Set.AttrByName(name)
+		if !ok {
+			t.Fatalf("attribute %q not in programmatic fixture", name)
+		}
+		got := lat.FormatLevel(res.Assignment[a])
+		want := ref.Lattice.FormatLevel(ref.Want[wantAttr])
+		if got != want {
+			t.Errorf("λ(%s) = %s, want %s (Figure 2(b))", name, got, want)
+		}
+	}
+}
