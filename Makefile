@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-json bench-stats
+.PHONY: all build test race vet fmt-check ci bench bench-json bench-stats smoke
 
 all: build
 
@@ -36,3 +36,8 @@ bench-json:
 # lattice ops, durations, qian baseline rows). CI uploads the result.
 bench-stats:
 	$(GO) run ./cmd/benchtab -solverjson BENCH_solver.json -stats
+
+# End-to-end HTTP smoke of minupd on the Figure 2(a) fixtures; leaves a
+# sample Chrome trace at sample-trace.json.
+smoke:
+	sh scripts/smoke_minupd.sh

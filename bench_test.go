@@ -523,6 +523,26 @@ func BenchmarkSolveCompiledStats(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveCompiledTraced measures the span-instrumented path: a root
+// span travels in the context, so every solver event becomes a leaf span
+// under per-SCC children. The gap to BenchmarkSolveCompiled is the full
+// price of request-scoped tracing; the untraced number itself must not
+// move (see that benchmark's doc comment).
+func BenchmarkSolveCompiledTraced(b *testing.B) {
+	set := solveBenchSet(b)
+	compiled := Compile(set)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := NewTracer().Start("request")
+		ctx := ContextWithSpan(context.Background(), root)
+		if _, err := SolveContext(ctx, compiled, Options{}); err != nil {
+			b.Fatal(err)
+		}
+		root.End()
+	}
+}
+
 // BenchmarkSolveCompiledTrace measures the delta-based trace: per-step
 // deltas instead of full assignment clones keep tracing linear in the
 // number of level changes.

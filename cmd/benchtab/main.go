@@ -18,6 +18,8 @@
 // attaches each instance's solver operation counts (tries, collapses,
 // lattice ops, duration) to its rows and emits qian baseline rows, so the
 // JSON trajectories can correlate wall time with Try counts across shapes.
+// -trace-out profiles one instrumented compile+solve per shape and writes
+// the span trees as Chrome trace-event JSON for Perfetto.
 package main
 
 import (
@@ -34,11 +36,21 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and titles, then exit")
 	solverJSON := flag.String("solverjson", "", "write solver fresh-vs-compiled benchmark results as JSON to this file, then exit")
 	withStats := flag.Bool("stats", false, "with -solverjson: include per-instance solver operation counts and qian baseline rows")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON profile of one instrumented compile+solve per benchmark shape to this file, then exit (combinable with -solverjson)")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return
+	}
+	if *traceOut != "" {
+		if err := writeSolverTrace(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		if *solverJSON == "" {
+			return
+		}
 	}
 	if *solverJSON != "" {
 		if err := writeSolverBench(*solverJSON, *withStats); err != nil {

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"minup"
+	"minup/internal/lattice"
+	"minup/internal/workload"
+)
+
+// writeSolverTrace runs one fully instrumented compile+solve per benchmark
+// shape and writes the combined span trees as Chrome trace-event JSON
+// (loadable in Perfetto or chrome://tracing). Each shape gets its own root
+// span and its own trace track, so the three profiles stack side by side.
+func writeSolverTrace(path string) error {
+	lat := lattice.MustChain("bench", "U", "C", "S", "TS")
+	var roots []*minup.Span
+	for _, shape := range []string{"acyclic", "cyclic-scc", "upper-bounds"} {
+		spec := solverBenchShapes()[shape]
+
+		// Same solvable-seed scan as the benchmark matrix, so the traced
+		// instances match the benchmarked ones.
+		var set *minup.ConstraintSet
+		var err error
+		for {
+			set, err = workload.Constraints(lat, spec)
+			if err != nil {
+				return fmt.Errorf("generate %s: %w", shape, err)
+			}
+			if minup.CheckSolvable(set) == nil {
+				break
+			}
+			spec.Seed++
+			if spec.Seed > 1000 {
+				return fmt.Errorf("generate %s: no solvable instance in 1000 seeds", shape)
+			}
+		}
+
+		root := minup.NewTracer().Start(shape)
+		ctx := minup.ContextWithSpan(context.Background(), root)
+		compiled := set.CompileContext(ctx)
+		if _, err := minup.SolveContext(ctx, compiled, minup.Options{}); err != nil {
+			return fmt.Errorf("solve %s: %w", shape, err)
+		}
+		root.End()
+		roots = append(roots, root)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := minup.WriteChromeTrace(f, roots...); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchtab: wrote Chrome trace for %d shapes to %s (load in ui.perfetto.dev)\n", len(roots), path)
+	return nil
+}

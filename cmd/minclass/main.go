@@ -17,7 +17,10 @@
 //
 // With -trace the execution is printed as a Figure 2(b)-style table; with
 // -check the result is re-verified against every constraint before
-// printing.
+// printing. With -trace-out file.json the run (parse, compile with its
+// graph/SCC phases, solve with per-SCC descent spans) is profiled and
+// written as Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing — see the recipe in EXPERIMENTS.md.
 package main
 
 import (
@@ -40,12 +43,24 @@ func main() {
 	explain := flag.String("explain", "", "explain why the named attribute has its level")
 	dotPath := flag.String("dot", "", "write the constraint graph in Graphviz DOT format to this file")
 	stats := flag.Bool("stats", false, "print constraint-set shape and solver operation statistics to stderr")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON profile of this run (parse, compile, solve) to this file; load it in Perfetto or chrome://tracing")
 	flag.Parse()
 	if *latticePath == "" || *consPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	// With -trace-out the whole run (parse, compile, solve) is recorded
+	// under one root span and dumped as Chrome trace-event JSON on exit.
+	var troot *minup.Span
+	if *traceOut != "" {
+		troot = minup.NewTracer().Start("minclass")
+	}
+
+	var parseSpan *minup.Span
+	if troot != nil {
+		parseSpan = troot.Child("parse")
+	}
 	lf, err := os.Open(*latticePath)
 	if err != nil {
 		fatal(err)
@@ -65,6 +80,11 @@ func main() {
 	cf.Close()
 	if err != nil {
 		fatal(err)
+	}
+	if parseSpan != nil {
+		parseSpan.SetAttr("attrs", int64(set.NumAttrs()))
+		parseSpan.SetAttr("constraints", int64(len(set.Constraints())))
+		parseSpan.End()
 	}
 
 	if *stats {
@@ -87,7 +107,10 @@ func main() {
 	// snapshot. Ctrl-C cancels the context and aborts a long solve cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	compiled := minup.Compile(set)
+	if troot != nil {
+		ctx = minup.ContextWithSpan(ctx, troot)
+	}
+	compiled := set.CompileContext(ctx)
 	res, err := minup.SolveContext(ctx, compiled, minup.Options{
 		RecordTrace:       *trace,
 		CollectLatticeOps: *stats,
@@ -140,6 +163,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(minup.FormatExplanation(set, ex))
+	}
+	if troot != nil {
+		troot.End()
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := minup.WriteChromeTrace(tf, troot); err != nil {
+			fatal(err)
+		}
+		if err := tf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "minclass: wrote Chrome trace to %s (load in ui.perfetto.dev)\n", *traceOut)
 	}
 }
 

@@ -8,20 +8,28 @@
 //	minupd -lattice lat.txt -constraints cons.txt \
 //	       [-addr :8080] [-debug-addr 127.0.0.1:6060]
 //
-// The service listener answers:
+// The service listener answers (GET only; other methods get 405):
 //
 //	GET /solve            solve the compiled instance; JSON assignment +
 //	                      per-solve stats (add ?lattice_ops=1 to count
-//	                      lattice operations for this request)
-//	GET /metrics          the metrics registry snapshot as JSON
+//	                      lattice operations, ?trace=1 to run the solve
+//	                      under a tracer and report its trace ID)
+//	GET /metrics          the metrics registry snapshot as JSON; add
+//	                      ?format=prometheus for text exposition format
+//	GET /trace            run one fully instrumented solve and return its
+//	                      span tree (?format=json|chrome|flame)
 //	GET /healthz          liveness check
 //
-// Every solve records into a shared metrics registry under the "solve.*"
-// names (counts, tries, pool hit/miss, duration histogram). The debug
-// listener serves the standard runtime surface: /debug/vars (expvar,
-// including the registry published as "minup") and /debug/pprof/* for CPU
-// and heap profiles — see the "profiling a solve" recipe in EXPERIMENTS.md.
-// Bind it to localhost (the default) in production-like settings.
+// Every route runs behind a middleware stack: per-route latency histograms
+// ("http.<route>.duration_us"), status-class counters, an in-flight gauge,
+// request IDs (X-Request-Id echoed or generated), and one slog JSON access
+// log line per request carrying the request ID and — for instrumented
+// solves — the trace ID. Every solve records into a shared metrics registry
+// under the "solve.*" names. The debug listener serves the standard runtime
+// surface: /debug/vars (expvar, including the registry published as
+// "minup") and /debug/pprof/* for CPU and heap profiles — see the
+// "profiling a solve" recipe in EXPERIMENTS.md. Bind it to localhost (the
+// default) in production-like settings.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
@@ -77,14 +86,17 @@ func main() {
 	}
 	reg := minup.NewMetricsRegistry()
 	reg.Publish("minup")
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	srv := &server{set: set, compiled: compiled, reg: reg}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/solve", srv.handleSolve)
-	mux.HandleFunc("/metrics", srv.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.Handle("/solve", instrument("solve", reg, logger, srv.handleSolve))
+	mux.Handle("/metrics", instrument("metrics", reg, logger, srv.handleMetrics))
+	mux.Handle("/trace", instrument("trace", reg, logger, srv.handleTrace))
+	mux.Handle("/healthz", instrument("healthz", reg, logger, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
-	})
+	}))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -127,6 +139,7 @@ type server struct {
 type solveResponse struct {
 	Assignment map[string]string `json:"assignment"`
 	Stats      solveStats        `json:"stats"`
+	TraceID    string            `json:"trace_id,omitempty"`
 }
 
 type solveStats struct {
@@ -150,7 +163,22 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Metrics:           s.reg,
 		CollectLatticeOps: r.URL.Query().Get("lattice_ops") == "1",
 	}
-	res, err := minup.SolveContext(r.Context(), s.compiled, opt)
+	ctx := r.Context()
+	var root *minup.Span
+	var traceID string
+	if r.URL.Query().Get("trace") == "1" {
+		tr := minup.NewTracer()
+		root = tr.Start("request")
+		traceID = tr.TraceID()
+		ctx = minup.ContextWithSpan(ctx, root)
+		if ri := infoFrom(r.Context()); ri != nil {
+			ri.traceID = traceID
+		}
+	}
+	res, err := minup.SolveContext(ctx, s.compiled, opt)
+	if root != nil {
+		root.End()
+	}
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, minup.ErrCanceled) {
@@ -162,7 +190,10 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lat := s.set.Lattice()
-	out := solveResponse{Assignment: make(map[string]string, len(res.Assignment))}
+	out := solveResponse{
+		Assignment: make(map[string]string, len(res.Assignment)),
+		TraceID:    traceID,
+	}
 	for _, a := range s.set.Attrs() {
 		out.Assignment[s.set.AttrName(a)] = lat.FormatLevel(res.Assignment[a])
 	}
@@ -188,9 +219,58 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(out)
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// The pool gauge is sampled at scrape time: sessions are created on
+	// demand, so this tracks peak solve concurrency.
+	s.reg.Gauge("solve.pool.sessions").Set(minup.SessionsAllocated())
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	s.reg.WriteJSON(w)
+}
+
+// traceResponse is the JSON answer of /trace: one fully instrumented solve
+// and its reconstructed span tree.
+type traceResponse struct {
+	TraceID string         `json:"trace_id"`
+	Spans   minup.SpanNode `json:"spans"`
+}
+
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := minup.NewTracer()
+	root := tr.Start("request")
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.traceID = tr.TraceID()
+	}
+	ctx := minup.ContextWithSpan(r.Context(), root)
+	_, err := minup.SolveContext(ctx, s.compiled, minup.Options{Metrics: s.reg})
+	root.End()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, minup.ErrCanceled) {
+			status = http.StatusRequestTimeout
+		} else if errors.Is(err, minup.ErrUnsolvable) {
+			status = http.StatusUnprocessableEntity
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		minup.WriteChromeTrace(w, root)
+	case "flame":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		minup.WriteFlameSummary(w, root)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(traceResponse{TraceID: tr.TraceID(), Spans: root.Node(root.StartTime())})
+	}
 }
 
 func fatal(err error) {

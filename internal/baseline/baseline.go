@@ -31,6 +31,7 @@ import (
 
 	"minup/internal/constraint"
 	"minup/internal/lattice"
+	"minup/internal/obs"
 )
 
 // Stats reports the work performed by one baseline run, the counterpart of
@@ -253,6 +254,16 @@ func QianContext(ctx context.Context, s *constraint.Set) (constraint.Assignment,
 // worklist pops and Upgrades counts attribute raises.
 func QianWithStats(ctx context.Context, s *constraint.Set, st *Stats) (constraint.Assignment, error) {
 	defer st.timed()()
+	// Tracing: the baseline is instrumented like SolveContext so E5-style
+	// comparisons can be profiled side by side in one trace.
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		sp := parent.Child("qian")
+		defer func() {
+			sp.SetAttr("steps", int64(st.Steps))
+			sp.SetAttr("upgrades", int64(st.Upgrades))
+			sp.End()
+		}()
+	}
 	if len(s.UpperBounds()) > 0 {
 		return nil, fmt.Errorf("baseline: Qian propagation does not support upper bounds")
 	}

@@ -1,6 +1,7 @@
 package constraint
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -69,6 +70,16 @@ func (s *Set) Compile() *Compiled {
 	return s.snapshot()
 }
 
+// CompileContext is Compile with tracing: when ctx carries an obs span, the
+// compilation emits a "compile" child span with per-phase children ("graph"
+// for the dependency digraph and adjacency indexes, "scc" for the
+// condensation and priority numbering, "upper-bounds" for the §6 fixpoint).
+// With an uninstrumented context it is exactly Compile.
+func (s *Set) CompileContext(ctx context.Context) *Compiled {
+	s.frozen = true
+	return s.snapshotSpan(obs.SpanFromContext(ctx))
+}
+
 // Snapshot returns an immutable compiled form without freezing the set.
 // The snapshot reflects the set as of the call; constraints or bounds added
 // afterwards are not visible to it. Intended for one-shot solves and for
@@ -80,8 +91,16 @@ func (s *Set) Snapshot() *Compiled { return s.snapshot() }
 // Frozen reports whether the set has been frozen by Compile.
 func (s *Set) Frozen() bool { return s.frozen }
 
-func (s *Set) snapshot() *Compiled {
+func (s *Set) snapshot() *Compiled { return s.snapshotSpan(nil) }
+
+// snapshotSpan compiles the set, emitting a "compile" span with per-phase
+// children under parent when non-nil.
+func (s *Set) snapshotSpan(parent *obs.Span) *Compiled {
 	start := time.Now()
+	var sp, ph *obs.Span
+	if parent != nil {
+		sp = parent.Child("compile")
+	}
 	// The copy shares the backing arrays: Set mutators only append (never
 	// overwrite), so the elements visible through these slice headers are
 	// immutable even if the source set later grows and reallocates.
@@ -93,6 +112,9 @@ func (s *Set) snapshot() *Compiled {
 		upper:  s.upper,
 		frozen: true,
 	}
+	if sp != nil {
+		ph = sp.Child("graph")
+	}
 	c := &Compiled{
 		src:       src,
 		g:         src.Graph(),
@@ -100,10 +122,23 @@ func (s *Set) snapshot() *Compiled {
 		into:      src.ConstraintsInto(),
 		totalSize: src.TotalSize(),
 	}
+	if ph != nil {
+		ph.End()
+		ph = sp.Child("scc")
+	}
 	c.pr = graph.PrioritySCC(c.g)
 	c.acyclic = graph.IsAcyclic(c.g)
+	if ph != nil {
+		ph.End()
+	}
 	if len(src.upper) > 0 {
+		if sp != nil {
+			ph = sp.Child("upper-bounds")
+		}
 		c.ub, c.ubConflicts = upperBoundFixpoint(src, &c.cstats)
+		if ph != nil {
+			ph.End()
+		}
 	}
 	c.cstats.Attrs = len(src.names)
 	c.cstats.Constraints = len(src.cons)
@@ -111,6 +146,13 @@ func (s *Set) snapshot() *Compiled {
 	c.cstats.TotalSize = c.totalSize
 	c.cstats.SCCs = c.pr.Max
 	c.cstats.Duration = time.Since(start)
+	if sp != nil {
+		sp.SetAttr("attrs", int64(c.cstats.Attrs))
+		sp.SetAttr("constraints", int64(c.cstats.Constraints))
+		sp.SetAttr("sccs", int64(c.cstats.SCCs))
+		sp.SetAttr("total_size", int64(c.cstats.TotalSize))
+		sp.End()
+	}
 	return c
 }
 

@@ -35,13 +35,13 @@ func (s *Set) ParseInto(r io.Reader) error {
 		if rest, ok := strings.CutPrefix(line, "attrs "); ok {
 			for _, name := range strings.Fields(rest) {
 				if _, err := s.AddAttr(name); err != nil {
-					return fmt.Errorf("line %d: %v", lineno, err)
+					return fmt.Errorf("line %d: %w", lineno, err)
 				}
 			}
 			continue
 		}
 		if err := s.parseConstraintLine(line); err != nil {
-			return fmt.Errorf("line %d: %v", lineno, err)
+			return fmt.Errorf("line %d: %w", lineno, err)
 		}
 	}
 	return sc.Err()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"minup/internal/constraint"
+	"minup/internal/obs"
 )
 
 // Incremental repair: classification constraints evolve as policies are
@@ -73,6 +74,20 @@ func RepairContext(ctx context.Context, s *constraint.Set, baseCount int, base c
 	stats := &RepairStats{}
 	start := time.Now()
 	defer func() { stats.Duration = time.Since(start) }()
+	// Tracing: wrap the whole repair (violation scan, reachability, partial
+	// solve, fallback) in a "repair" span; inner solves nest under it.
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		sp := parent.Child("repair")
+		ctx = obs.ContextWithSpan(ctx, sp)
+		defer func() {
+			sp.SetAttr("violated_constraints", int64(stats.ViolatedConstraints))
+			sp.SetAttr("recomputed", int64(stats.Recomputed))
+			if stats.FellBack {
+				sp.SetAttrStr("fell_back", "true")
+			}
+			sp.End()
+		}()
+	}
 	if ctx.Err() != nil {
 		return nil, stats, canceled(ctx)
 	}
@@ -146,8 +161,20 @@ func RepairContext(ctx context.Context, s *constraint.Set, baseCount int, base c
 	// (restricted) priority order. The compiled priority structure is
 	// reused — restricted to the affected attributes it is a valid
 	// evaluation order for the sub-instance.
-	sv := acquireSession(ctx, c, Options{})
+	popt := Options{}
+	var psink *spanSink
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		psink = newSpanSink(sp.Child("partial-solve"), c)
+		popt.Sink = psink
+	}
+	sv := acquireSession(ctx, c, popt)
 	defer sv.release()
+	defer func() {
+		if psink != nil {
+			psink.close()
+			psink.root.End()
+		}
+	}()
 	sv.lambda = base.Clone()
 	for a := 0; a < s.NumAttrs(); a++ {
 		if affected[a] {
@@ -182,6 +209,9 @@ func RepairContext(ctx context.Context, s *constraint.Set, baseCount int, base c
 	}
 
 	stats.Solve = sv.stats
+	if psink != nil {
+		psink.annotate(&sv.stats, nil)
+	}
 	if v := s.Violations(sv.lambda); v != nil {
 		return nil, stats, fmt.Errorf("core: internal error: repair produced violations (%s)", v[0])
 	}

@@ -50,7 +50,9 @@ package core
 
 import (
 	"context"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"minup/internal/constraint"
@@ -173,6 +175,14 @@ func SolveContext(ctx context.Context, c *constraint.Compiled, opt Options) (*Re
 	if err := ctx.Err(); err != nil {
 		return nil, canceled(ctx)
 	}
+	// Tracing: when the context carries a span, reconstruct a solve span
+	// tree from the event stream. Uninstrumented contexts take the nil
+	// branch and pay nothing further.
+	var ssink *spanSink
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		ssink = newSpanSink(parent.Child("solve"), c)
+		opt.Sink = combineSinks(ssink, opt.Sink)
+	}
 	start := time.Now()
 	sv := acquireSession(ctx, c, opt)
 	defer sv.release()
@@ -190,6 +200,11 @@ func SolveContext(ctx context.Context, c *constraint.Compiled, opt Options) (*Re
 		err = sv.run()
 	}
 	sv.stats.Duration = time.Since(start)
+	if ssink != nil {
+		ssink.close()
+		ssink.annotate(&sv.stats, err)
+		ssink.root.End()
+	}
 	if opt.Metrics != nil {
 		sv.stats.Record(opt.Metrics, err)
 	}
@@ -267,10 +282,12 @@ type session struct {
 	tolower map[constraint.Attr]lattice.Level
 	queue   []constraint.Attr
 	inSet   map[constraint.Attr]bool // collapseSet scratch
+	emitBuf []constraint.Attr        // sorted-lower-event scratch (sink path only)
 }
 
 var sessionPool = sync.Pool{
 	New: func() any {
+		sessionsAllocated.Add(1)
 		return &session{
 			tocheck: make(map[constraint.Attr]lattice.Level),
 			tolower: make(map[constraint.Attr]lattice.Level),
@@ -278,6 +295,15 @@ var sessionPool = sync.Pool{
 		}
 	},
 }
+
+// sessionsAllocated counts sessions ever created by the pool (the GC may
+// have collected some since). Servers export it as a pool-size gauge.
+var sessionsAllocated atomic.Int64
+
+// SessionsAllocated reports how many solver sessions the process has
+// allocated through the pool — an upper bound on the pool's current size
+// and a proxy for peak solve concurrency.
+func SessionsAllocated() int64 { return sessionsAllocated.Load() }
 
 // combineSinks fans two optional sinks into one, avoiding the tee wrapper
 // unless both are present.
@@ -574,9 +600,16 @@ func (sv *session) processAttr(a constraint.Attr) error {
 		} else {
 			// The try row first, then one lower event per propagated
 			// change (including a itself) so sinks see the deltas that
-			// belong to it.
+			// belong to it. The map is iterated in sorted attribute order
+			// so instrumented runs (traces, goldens) are deterministic.
 			sv.emit(obs.EventTry, a, cand)
-			for attr, lvl := range lower {
+			sv.emitBuf = sv.emitBuf[:0]
+			for attr := range lower {
+				sv.emitBuf = append(sv.emitBuf, attr)
+			}
+			slices.Sort(sv.emitBuf)
+			for _, attr := range sv.emitBuf {
+				lvl := lower[attr]
 				sv.lambda[attr] = lvl
 				sv.emit(obs.EventLower, attr, lvl)
 			}
@@ -676,6 +709,12 @@ func (sv *session) try(a constraint.Attr, l lattice.Level) (map[constraint.Attr]
 		for _, ci := range sv.constr[cur] {
 			c := sv.cons[ci]
 			sv.stats.TrySteps++
+			if sv.sink != nil {
+				// One try_step event per constraint check — the unit the
+				// span sink turns into a "descent" leaf, so a traced
+				// solve's descent-span count equals Stats.TrySteps.
+				sv.emit(obs.EventTryStep, cur, curLvl)
+			}
 			if err := sv.poll(); err != nil {
 				sv.queue = queue[:0]
 				return nil, false, err

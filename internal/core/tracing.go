@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"minup/internal/constraint"
+	"minup/internal/lattice"
+	"minup/internal/obs"
+)
+
+// spanSink reconstructs a span tree from the solver's event stream. Solver
+// events report work *after* it happened, so every span is opened
+// retroactively at the previous event's timestamp and closed at the current
+// one: consecutive events partition the solve's wall time into leaf spans.
+//
+// The tree mirrors the paper's cost model (Theorem 5.2 is a product of
+// per-SCC work and lattice-op cost): one child of the solve span per
+// priority set ("scc <p>", in condensation order — BigLoop visits priority
+// sets in strictly descending order and Try propagation never leaves the
+// current set, so SCC event runs are contiguous), with the per-step leaves
+// nested inside. Each EventTryStep becomes a "descent" span, so the number
+// of descent spans in the tree equals Stats.TrySteps.
+//
+// A spanSink is used by one solve session at a time and needs no locking of
+// its own.
+type spanSink struct {
+	root *obs.Span // the solve span
+	set  *constraint.Set
+	lat  lattice.Lattice
+
+	scc     *obs.Span // open per-SCC span, nil before the first event
+	sccID   int32
+	last    time.Time // timestamp of the previous event
+	current *obs.Span // parent for leaf spans (scc, or root when SCC unknown)
+}
+
+func newSpanSink(root *obs.Span, c *constraint.Compiled) *spanSink {
+	return &spanSink{
+		root: root,
+		set:  c.Set(),
+		lat:  c.Lattice(),
+		last: root.StartTime(),
+	}
+}
+
+// Event turns one solver event into a leaf span [previous event, now].
+func (s *spanSink) Event(e obs.Event) {
+	now := s.root.Tracer().Now
+	var t time.Time
+	if now != nil {
+		t = now()
+	} else {
+		t = time.Now()
+	}
+	parent := s.root
+	if e.SCC >= 0 {
+		if s.scc == nil || e.SCC != s.sccID {
+			if s.scc != nil {
+				s.scc.EndAt(s.last)
+			}
+			s.scc = s.root.ChildAt(sccName(e.SCC), s.last)
+			s.sccID = e.SCC
+		}
+		parent = s.scc
+	}
+	leaf := parent.ChildAt(s.leafName(e), s.last)
+	if e.Attr >= 0 {
+		leaf.SetAttrStr("attr", s.set.AttrName(constraint.Attr(e.Attr)))
+	}
+	leaf.SetAttrStr("level", s.lat.FormatLevel(lattice.Level(e.Level)))
+	leaf.EndAt(t)
+	s.last = t
+}
+
+// close ends the open SCC span at the last event's timestamp. The solve
+// span itself is ended by SolveContext.
+func (s *spanSink) close() {
+	if s.scc != nil {
+		s.scc.EndAt(s.last)
+		s.scc = nil
+	}
+}
+
+func (s *spanSink) leafName(e obs.Event) string {
+	if e.Kind == obs.EventTryStep {
+		// The per-minlevel-descent unit: one constraint check inside Try.
+		return "descent"
+	}
+	return e.Kind.String()
+}
+
+func sccName(p int32) string {
+	return "scc " + strconv.Itoa(int(p))
+}
+
+// annotate records the solve's headline stats on the solve span.
+func (s *spanSink) annotate(st *Stats, err error) {
+	s.root.SetAttr("tries", int64(st.Tries))
+	s.root.SetAttr("failed_tries", int64(st.FailedTries))
+	s.root.SetAttr("try_steps", int64(st.TrySteps))
+	s.root.SetAttr("minlevel_calls", int64(st.MinlevelCalls))
+	s.root.SetAttr("attrs_processed", int64(st.AttrsProcessed))
+	s.root.SetAttr("collapses", int64(st.Collapses))
+	if err != nil {
+		s.root.SetAttrStr("error", err.Error())
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"minup/internal/constraint"
+	"minup/internal/obs"
+)
+
+// fakeClock advances one microsecond per call from a fixed epoch.
+func fakeClock() func() time.Time {
+	t := time.Unix(1_000_000, 0)
+	return func() time.Time {
+		t = t.Add(time.Microsecond)
+		return t
+	}
+}
+
+// solveFig2Traced runs one instrumented solve of the Figure 2(a) fixture
+// and returns the root request span and the solve result.
+func solveFig2Traced(t *testing.T, opt Options) (*obs.Span, *Result) {
+	t.Helper()
+	f := constraint.NewFigure2()
+	c := f.Set.Compile()
+	tr := &obs.Tracer{Now: fakeClock()}
+	root := tr.Start("request")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	res, err := SolveContext(ctx, c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	return root, res
+}
+
+func TestSolveSpanTreeFigure2(t *testing.T) {
+	root, res := solveFig2Traced(t, Options{})
+
+	// One root request span with exactly one solve child.
+	kids := root.Children()
+	if len(kids) != 1 || kids[0].Name() != "solve" {
+		names := make([]string, len(kids))
+		for i, k := range kids {
+			names[i] = k.Name()
+		}
+		t.Fatalf("request children = %v, want [solve]", names)
+	}
+	solve := kids[0]
+	if solve.Duration() <= 0 {
+		t.Fatalf("solve span not ended: duration %v", solve.Duration())
+	}
+
+	// One child per SCC, in condensation order: BigLoop walks priorities
+	// from Max down to 1, so the SCC spans must carry strictly descending
+	// priority numbers covering every priority set.
+	sccs := solve.Children()
+	if len(sccs) != res.Priorities.Max {
+		t.Fatalf("got %d SCC spans, want %d (one per priority set)", len(sccs), res.Priorities.Max)
+	}
+	prev := res.Priorities.Max + 1
+	for _, sp := range sccs {
+		name := sp.Name()
+		if !strings.HasPrefix(name, "scc ") {
+			t.Fatalf("solve child %q is not an SCC span", name)
+		}
+		p, err := strconv.Atoi(strings.TrimPrefix(name, "scc "))
+		if err != nil {
+			t.Fatalf("SCC span name %q: %v", name, err)
+		}
+		if p >= prev {
+			t.Fatalf("SCC spans out of condensation order: %d after %d", p, prev)
+		}
+		prev = p
+		if sp.EndTime().IsZero() {
+			t.Fatalf("SCC span %q left open", name)
+		}
+	}
+	if prev != 1 {
+		t.Fatalf("lowest SCC span is scc %d, want scc 1", prev)
+	}
+
+	// Nested descent spans: one per Try constraint check.
+	descents := 0
+	solve.Walk(func(s *obs.Span) {
+		if s.Name() == "descent" {
+			descents++
+			if s.ParentID() == solve.ID() {
+				t.Fatal("descent span attached directly to solve span, want nested under an SCC span")
+			}
+		}
+	})
+	if descents != res.Stats.TrySteps {
+		t.Fatalf("got %d descent spans, want Stats.TrySteps = %d", descents, res.Stats.TrySteps)
+	}
+	if descents == 0 {
+		t.Fatal("Figure 2 is cyclic; expected at least one descent span")
+	}
+
+	// The solve span carries the headline stats as attributes.
+	attrs := make(map[string]string)
+	for _, a := range solve.Attrs() {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["try_steps"] != strconv.Itoa(res.Stats.TrySteps) {
+		t.Fatalf("solve span try_steps attr %q, want %d", attrs["try_steps"], res.Stats.TrySteps)
+	}
+	if attrs["tries"] != strconv.Itoa(res.Stats.Tries) {
+		t.Fatalf("solve span tries attr %q, want %d", attrs["tries"], res.Stats.Tries)
+	}
+
+	// Leaf spans carry attribute names from the fixture.
+	sawAttr := false
+	solve.Walk(func(s *obs.Span) {
+		for _, a := range s.Attrs() {
+			if a.Key == "attr" && a.Value == "B" {
+				sawAttr = true
+			}
+		}
+	})
+	if !sawAttr {
+		t.Fatal("no leaf span carries attr=B")
+	}
+}
+
+// TestSolveSpanTreeMatchesEventStream cross-checks the span reconstruction
+// against a raw event count: every event becomes exactly one leaf span.
+func TestSolveSpanTreeMatchesEventStream(t *testing.T) {
+	events := 0
+	f := constraint.NewFigure2()
+	c := f.Set.Compile()
+	tr := &obs.Tracer{Now: fakeClock()}
+	root := tr.Start("request")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	_, err := SolveContext(ctx, c, Options{
+		Sink: obs.SinkFunc(func(obs.Event) { events++ }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	leaves := 0
+	root.Walk(func(s *obs.Span) {
+		if len(s.Children()) == 0 && s.Name() != "request" {
+			leaves++
+		}
+	})
+	if leaves != events {
+		t.Fatalf("span tree has %d leaves, event stream had %d events", leaves, events)
+	}
+}
+
+// TestUntracedContextAddsNoSpans pins the zero-cost contract at the API
+// level: solving with a plain context must not install the span sink.
+func TestUntracedContextAddsNoSpans(t *testing.T) {
+	f := constraint.NewFigure2()
+	c := f.Set.Compile()
+	res, err := SolveContext(context.Background(), c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Want.Equal(res.Assignment) {
+		t.Fatalf("assignment drifted: %s", f.Set.FormatAssignment(res.Assignment))
+	}
+}
+
+// TestRepairSpanTree verifies RepairContext nests its partial solve under a
+// repair span.
+func TestRepairSpanTree(t *testing.T) {
+	f := constraint.NewFigure2()
+	base := MustSolve(f.Set, Options{})
+
+	// Append a violated constraint: P is at L1, force it to B's level.
+	s2 := constraint.NewFigure2()
+	baseCount := len(s2.Set.Constraints())
+	lv, err := s2.Lattice.ParseLevel("L5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Set.MustAdd([]constraint.Attr{s2.P}, constraint.LevelRHS(lv))
+
+	tr := &obs.Tracer{Now: fakeClock()}
+	root := tr.Start("request")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	if _, _, err := RepairContext(ctx, s2.Set, baseCount, base.Assignment, RepairOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 1 || kids[0].Name() != "repair" {
+		t.Fatalf("request children = %v, want one repair span", kids)
+	}
+	repair := kids[0]
+	if repair.EndTime().IsZero() {
+		t.Fatal("repair span left open")
+	}
+	var sawPartial bool
+	for _, c := range repair.Children() {
+		if c.Name() == "partial-solve" {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		names := make([]string, 0, len(repair.Children()))
+		for _, c := range repair.Children() {
+			names = append(names, c.Name())
+		}
+		t.Fatalf("repair children %v missing partial-solve", names)
+	}
+	attrs := make(map[string]string)
+	for _, a := range repair.Attrs() {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["violated_constraints"] != "1" {
+		t.Fatalf("repair attrs %v, want violated_constraints=1", attrs)
+	}
+}
+
+// TestTryStepEventCountMatchesStats checks the new event kind against the
+// per-solve counter it mirrors.
+func TestTryStepEventCountMatchesStats(t *testing.T) {
+	f := constraint.NewFigure2()
+	c := f.Set.Compile()
+	steps := 0
+	res, err := SolveContext(context.Background(), c, Options{
+		Sink: obs.SinkFunc(func(e obs.Event) {
+			if e.Kind == obs.EventTryStep {
+				steps++
+			}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != res.Stats.TrySteps {
+		t.Fatalf("saw %d try_step events, Stats.TrySteps = %d", steps, res.Stats.TrySteps)
+	}
+}

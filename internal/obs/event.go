@@ -25,8 +25,13 @@ const (
 	// EventDone reports an attribute's forward lowering completed (its
 	// level is final).
 	EventDone
+	// EventTryStep reports one constraint check inside a Try call's
+	// minlevel descent — the finest-grained unit of solver work, matching
+	// Stats.TrySteps. Emitted only when a sink is attached, like every
+	// other kind.
+	EventTryStep
 
-	numEventKinds = int(EventDone) + 1
+	numEventKinds = int(EventTryStep) + 1
 )
 
 // String returns the kind's canonical short name, used as the counter
@@ -45,6 +50,8 @@ func (k EventKind) String() string {
 		return "collapse"
 	case EventDone:
 		return "done"
+	case EventTryStep:
+		return "try_step"
 	}
 	return "unknown"
 }

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events plus "M" metadata). Field order is fixed by the struct, so the
+// serialized form is deterministic.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  *int64            `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the span trees as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Each span
+// becomes one "X" complete event; timestamps are microseconds relative to
+// the earliest root span's start, so traces from a fake clock are stable.
+// Every root is placed on its own tid so sibling traces stack instead of
+// overlapping.
+func WriteChromeTrace(w io.Writer, roots ...*Span) error {
+	if len(roots) == 0 {
+		return fmt.Errorf("obs: WriteChromeTrace needs at least one span")
+	}
+	epoch := roots[0].StartTime()
+	for _, r := range roots[1:] {
+		if r.StartTime().Before(epoch) {
+			epoch = r.StartTime()
+		}
+	}
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name",
+		Ph:   "M",
+		PID:  1,
+		Args: map[string]string{"name": "minup"},
+	})
+	for tid, root := range roots {
+		traceID := root.Tracer().TraceID()
+		root.Walk(func(s *Span) {
+			end := s.EndTime()
+			if end.IsZero() {
+				end = s.StartTime() // open span exports as zero-width
+			}
+			dur := end.Sub(s.StartTime()).Microseconds()
+			args := map[string]string{
+				"span_id":  fmt.Sprintf("%d", s.ID()),
+				"trace_id": traceID,
+			}
+			if p := s.ParentID(); p != 0 {
+				args["parent_id"] = fmt.Sprintf("%d", p)
+			}
+			for _, a := range s.Attrs() {
+				args[a.Key] = a.Value
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: s.Name(),
+				Ph:   "X",
+				TS:   s.StartTime().Sub(epoch).Microseconds(),
+				Dur:  &dur,
+				PID:  1,
+				TID:  tid + 1,
+				Args: args,
+			})
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// flameRow is one aggregated line of the flame summary.
+type flameRow struct {
+	name  string
+	count int
+	total time.Duration
+}
+
+// WriteFlameSummary writes a human-readable inverted-tree summary of one
+// span tree: each line is a span (same-named siblings aggregated, with a
+// ×N multiplier), indented by depth, with total duration and percentage of
+// the root. Rows at each level are ordered by total duration descending,
+// then name.
+func WriteFlameSummary(w io.Writer, root *Span) error {
+	rootDur := root.Duration()
+	var emit func(depth int, spans []*Span) error
+	emit = func(depth int, spans []*Span) error {
+		// Aggregate same-named siblings, keeping one representative's
+		// children per name (merged across the group).
+		rows := make(map[string]*flameRow, len(spans))
+		kids := make(map[string][]*Span, len(spans))
+		order := make([]string, 0, len(spans))
+		for _, s := range spans {
+			r := rows[s.Name()]
+			if r == nil {
+				r = &flameRow{name: s.Name()}
+				rows[s.Name()] = r
+				order = append(order, s.Name())
+			}
+			r.count++
+			r.total += s.Duration()
+			kids[s.Name()] = append(kids[s.Name()], s.Children()...)
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			a, b := rows[order[i]], rows[order[j]]
+			if a.total != b.total {
+				return a.total > b.total
+			}
+			return a.name < b.name
+		})
+		for _, name := range order {
+			r := rows[name]
+			label := r.name
+			if r.count > 1 {
+				label = fmt.Sprintf("%s ×%d", r.name, r.count)
+			}
+			pct := 100.0
+			if rootDur > 0 {
+				pct = 100 * float64(r.total) / float64(rootDur)
+			}
+			if _, err := fmt.Fprintf(w, "%s%-*s %12s %6.1f%%\n",
+				strings.Repeat("  ", depth), 40-2*depth, label,
+				r.total.Round(time.Microsecond), pct); err != nil {
+				return err
+			}
+			if err := emit(depth+1, kids[name]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return emit(0, []*Span{root})
+}

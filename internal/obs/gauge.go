@@ -1,0 +1,29 @@
+package obs
+
+import "sync/atomic"
+
+// Gauge is an instantaneous signed value (in-flight requests, pool sizes,
+// queue depths). Unlike Counter it can go down and can be set outright. The
+// zero value is ready to use; all methods are single atomic operations and
+// safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Sub subtracts n.
+func (g *Gauge) Sub(n int64) { g.v.Add(-n) }
+
+// Set replaces the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sanitizeMetricName maps a registry name to a legal Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's dotted names ("solve.duration_us")
+// become underscore-separated ("solve_duration_us"); any other illegal rune
+// also becomes an underscore, and a leading digit gets one prepended.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the text exposition format:
+// backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative `_bucket{le="..."}` series plus `_sum` and `_count`. Output
+// is sorted by sanitized metric name, so it is deterministic for a given
+// set of metric values. Registry bucket counts are per-bucket; this writer
+// cumulates them, and the implicit overflow bucket becomes le="+Inf".
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+
+	type sample struct {
+		typ  string // "counter", "gauge", "histogram"
+		emit func(io.Writer, string) error
+	}
+	byName := make(map[string]sample, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+
+	for name, v := range s.Counters {
+		v := v
+		byName[sanitizeMetricName(name)] = sample{
+			typ: "counter",
+			emit: func(w io.Writer, n string) error {
+				_, err := fmt.Fprintf(w, "%s %d\n", n, v)
+				return err
+			},
+		}
+	}
+	for name, v := range s.Gauges {
+		v := v
+		byName[sanitizeMetricName(name)] = sample{
+			typ: "gauge",
+			emit: func(w io.Writer, n string) error {
+				_, err := fmt.Fprintf(w, "%s %d\n", n, v)
+				return err
+			},
+		}
+	}
+	for name, h := range s.Histograms {
+		h := h
+		byName[sanitizeMetricName(name)] = sample{
+			typ: "histogram",
+			emit: func(w io.Writer, n string) error {
+				var cum uint64
+				for i, bound := range h.Bounds {
+					cum += h.Counts[i]
+					le := escapeLabelValue(strconv.FormatUint(bound, 10))
+					if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", n, le, cum); err != nil {
+						return err
+					}
+				}
+				cum += h.Counts[len(h.Bounds)] // implicit overflow bucket
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum); err != nil {
+					return err
+				}
+				_, err := fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+				return err
+			},
+		}
+	}
+
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sm := byName[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, sm.typ); err != nil {
+			return err
+		}
+		if err := sm.emit(w, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func buildPromRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("solve.count").Add(7)
+	r.Counter("solve.errors").Add(1)
+	r.Gauge("http.in_flight").Set(3)
+	r.Gauge("solve.pool.sessions").Set(-2) // gauges may go negative
+	h := r.Histogram("solve.duration_us", []uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	// A name needing sanitization: dots and a dash become underscores.
+	r.Counter("weird-name.with dots").Inc()
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildPromRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("WritePrometheus drifted from %s (re-run with -update):\ngot:\n%swant:\n%s",
+			golden, buf.String(), want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := buildPromRegistry()
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two writes of the same registry differ")
+	}
+}
+
+// promSample is one parsed text-format sample.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromText is a sanity-level parser for the subset of the text
+// exposition format the writer emits: # TYPE comments and
+// name{label="value"} value samples. It verifies the round trip, not full
+// spec compliance.
+func parsePromText(t *testing.T, in string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(in))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				t.Fatalf("malformed comment %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample %q", line)
+		}
+		value, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		s := promSample{labels: map[string]string{}, value: value}
+		nameAndLabels := line[:sp]
+		if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
+			s.name = nameAndLabels[:i]
+			body := strings.TrimSuffix(nameAndLabels[i+1:], "}")
+			for _, pair := range strings.Split(body, ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok {
+					t.Fatalf("bad label pair %q in %q", pair, line)
+				}
+				unq, err := strconv.Unquote(v)
+				if err != nil {
+					t.Fatalf("bad label value %s in %q: %v", v, line, err)
+				}
+				s.labels[k] = unq
+			}
+		} else {
+			s.name = nameAndLabels
+		}
+		for _, r := range s.name {
+			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+				r >= '0' && r <= '9' || r == '_' || r == ':') {
+				t.Fatalf("illegal rune %q in metric name %q", r, s.name)
+			}
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return types, samples
+}
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildPromRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parsePromText(t, buf.String())
+
+	if got := types["solve_count"]; got != "counter" {
+		t.Fatalf("solve_count type %q", got)
+	}
+	if got := types["http_in_flight"]; got != "gauge" {
+		t.Fatalf("http_in_flight type %q", got)
+	}
+	if got := types["solve_duration_us"]; got != "histogram" {
+		t.Fatalf("solve_duration_us type %q", got)
+	}
+	if _, ok := types["weird_name_with_dots"]; !ok {
+		t.Fatalf("sanitized name missing from types %v", types)
+	}
+
+	byKey := func(name, le string) (promSample, bool) {
+		for _, s := range samples {
+			if s.name == name && s.labels["le"] == le {
+				return s, true
+			}
+		}
+		return promSample{}, false
+	}
+	if s, ok := byKey("solve_count", ""); !ok || s.value != 7 {
+		t.Fatalf("solve_count sample %+v ok=%v", s, ok)
+	}
+	if s, ok := byKey("solve_pool_sessions", ""); !ok || s.value != -2 {
+		t.Fatalf("solve_pool_sessions sample %+v ok=%v", s, ok)
+	}
+
+	// Histogram series: buckets are cumulative, capped by +Inf == _count.
+	wantBuckets := map[string]float64{"10": 2, "100": 3, "1000": 4, "+Inf": 5}
+	var prev float64
+	for _, le := range []string{"10", "100", "1000", "+Inf"} {
+		s, ok := byKey("solve_duration_us_bucket", le)
+		if !ok {
+			t.Fatalf("missing bucket le=%s", le)
+		}
+		if s.value != wantBuckets[le] {
+			t.Fatalf("bucket le=%s = %v, want %v", le, s.value, wantBuckets[le])
+		}
+		if s.value < prev {
+			t.Fatalf("buckets not cumulative at le=%s", le)
+		}
+		prev = s.value
+	}
+	if s, ok := byKey("solve_duration_us_sum", ""); !ok || s.value != 5+5+50+500+5000 {
+		t.Fatalf("_sum sample %+v ok=%v", s, ok)
+	}
+	if s, ok := byKey("solve_duration_us_count", ""); !ok || s.value != 5 {
+		t.Fatalf("_count sample %+v ok=%v", s, ok)
+	}
+
+	// Stable ordering: names must appear sorted.
+	var names []string
+	for _, s := range samples {
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(s.name, "_bucket"), "_sum"), "_count")
+		if len(names) == 0 || names[len(names)-1] != base {
+			names = append(names, base)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("metric order not sorted: %v", names)
+		}
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"solve.count":    "solve_count",
+		"http.in_flight": "http_in_flight",
+		"9lives":         "_9lives",
+		"a b-c":          "a_b_c",
+		"":               "_",
+		"ok:name_1":      "ok:name_1",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	in := "a\\b\"c\nd"
+	want := `a\\b\"c\nd`
+	if got := escapeLabelValue(in); got != want {
+		t.Errorf("escapeLabelValue = %q, want %q", got, want)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Add(5)
+	g.Dec()
+	g.Sub(2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge value %d, want 3", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Fatalf("gauge value %d, want -7", got)
+	}
+}
+
+func TestRegistryGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	if r.Gauge("g") != g {
+		t.Fatal("second lookup returned a different gauge")
+	}
+	g.Set(9)
+	s := r.Snapshot()
+	if s.Gauges["g"] != 9 {
+		t.Fatalf("snapshot gauges %v", s.Gauges)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"gauges"`) {
+		t.Fatalf("snapshot JSON missing gauges key:\n%s", buf.String())
+	}
+}
+
+func TestEventTryStepString(t *testing.T) {
+	if got := EventTryStep.String(); got != "try_step" {
+		t.Fatalf("EventTryStep.String() = %q", got)
+	}
+	if got := fmt.Sprint(numEventKinds); got != "7" {
+		t.Fatalf("numEventKinds = %s, want 7", got)
+	}
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a Now func that starts at a fixed epoch and advances
+// one microsecond per call, making every span boundary distinct and
+// deterministic.
+func fakeClock() func() time.Time {
+	t := time.Unix(1_000_000, 0)
+	return func() time.Time {
+		t = t.Add(time.Microsecond)
+		return t
+	}
+}
+
+func TestSpanTreeBasics(t *testing.T) {
+	tr := &Tracer{Now: fakeClock()}
+	root := tr.Start("root")
+	if root.ID() == 0 || root.ParentID() != 0 {
+		t.Fatalf("root span ids: id=%d parent=%d", root.ID(), root.ParentID())
+	}
+	a := root.Child("a")
+	b := root.Child("b")
+	if a.ParentID() != root.ID() || b.ParentID() != root.ID() {
+		t.Fatalf("child parents: a=%d b=%d want %d", a.ParentID(), b.ParentID(), root.ID())
+	}
+	if a.ID() == b.ID() {
+		t.Fatalf("sibling spans share id %d", a.ID())
+	}
+	a.SetAttr("n", 42)
+	a.End()
+	b.End()
+	root.End()
+	if root.Duration() <= 0 {
+		t.Fatalf("root duration %v not positive", root.Duration())
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0] != a || kids[1] != b {
+		t.Fatalf("children not in creation order: %v", kids)
+	}
+	attrs := a.Attrs()
+	if len(attrs) != 1 || attrs[0] != (SpanAttr{Key: "n", Value: "42"}) {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	var names []string
+	root.Walk(func(s *Span) { names = append(names, s.Name()) })
+	if got := strings.Join(names, ","); got != "root,a,b" {
+		t.Fatalf("walk order %q", got)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := &Tracer{Now: fakeClock()}
+	sp := tr.Start("s")
+	sp.End()
+	end := sp.EndTime()
+	sp.End()
+	if sp.EndTime() != end {
+		t.Fatal("second End moved the end time")
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	ctx := context.Background()
+	if sp := SpanFromContext(ctx); sp != nil {
+		t.Fatalf("uninstrumented context yields span %v", sp)
+	}
+	tr := &Tracer{Now: fakeClock()}
+	root := tr.Start("root")
+	ctx = ContextWithSpan(ctx, root)
+	if sp := SpanFromContext(ctx); sp != root {
+		t.Fatalf("got %v, want root", sp)
+	}
+}
+
+func TestTracerConcurrentChildren(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c := root.Child("c")
+				c.SetAttr("j", int64(j))
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	kids := root.Children()
+	if len(kids) != 800 {
+		t.Fatalf("got %d children, want 800", len(kids))
+	}
+	seen := make(map[uint64]bool, len(kids))
+	for _, c := range kids {
+		if seen[c.ID()] {
+			t.Fatalf("duplicate span id %d", c.ID())
+		}
+		seen[c.ID()] = true
+	}
+}
+
+func TestNewTracerDistinctTraceIDs(t *testing.T) {
+	a, b := NewTracer(), NewTracer()
+	if a.TraceID() == b.TraceID() {
+		t.Fatalf("two NewTracer calls share trace id %s", a.TraceID())
+	}
+	if len(a.TraceID()) != 16 {
+		t.Fatalf("trace id %q not 16 hex chars", a.TraceID())
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := &Tracer{Now: fakeClock()}
+	root := tr.Start("solve")
+	scc := root.Child("scc 2")
+	leaf := scc.Child("assign")
+	leaf.SetAttrStr("attr", "B")
+	leaf.End()
+	scc.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   int64             `json:"ts"`
+			Dur  int64             `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("exporter output is not JSON: %v\n%s", err, buf.String())
+	}
+	// 1 metadata + 3 spans.
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4:\n%s", len(out.TraceEvents), buf.String())
+	}
+	if out.TraceEvents[0].Ph != "M" {
+		t.Fatalf("first event is %q, want metadata", out.TraceEvents[0].Ph)
+	}
+	rootEv := out.TraceEvents[1]
+	if rootEv.Name != "solve" || rootEv.Ph != "X" || rootEv.TS != 0 {
+		t.Fatalf("root event %+v", rootEv)
+	}
+	leafEv := out.TraceEvents[3]
+	if leafEv.Args["attr"] != "B" || leafEv.Args["parent_id"] == "" {
+		t.Fatalf("leaf args %v", leafEv.Args)
+	}
+	for _, ev := range out.TraceEvents[1:] {
+		if ev.Args["trace_id"] != tr.TraceID() {
+			t.Fatalf("event %q trace_id %q, want %q", ev.Name, ev.Args["trace_id"], tr.TraceID())
+		}
+	}
+}
+
+func TestWriteChromeTraceMultipleRoots(t *testing.T) {
+	clock := fakeClock()
+	tr := &Tracer{Now: clock}
+	a := tr.Start("a")
+	a.End()
+	b := tr.Start("b")
+	b.End()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	// Roots land on distinct tids so the tracks stack.
+	if !strings.Contains(buf.String(), `"tid": 1`) || !strings.Contains(buf.String(), `"tid": 2`) {
+		t.Fatalf("roots share a tid:\n%s", buf.String())
+	}
+	if err := WriteChromeTrace(&buf); err == nil {
+		t.Fatal("WriteChromeTrace with no spans did not fail")
+	}
+}
+
+func TestWriteFlameSummary(t *testing.T) {
+	tr := &Tracer{Now: fakeClock()}
+	root := tr.Start("solve")
+	for i := 0; i < 3; i++ {
+		c := root.Child("scc 1")
+		c.Child("descent").End()
+		c.End()
+	}
+	root.End()
+	var buf bytes.Buffer
+	if err := WriteFlameSummary(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "solve") {
+		t.Fatalf("summary missing root:\n%s", out)
+	}
+	if !strings.Contains(out, "scc 1 ×3") {
+		t.Fatalf("summary did not aggregate same-named siblings:\n%s", out)
+	}
+	if !strings.Contains(out, "descent ×3") {
+		t.Fatalf("summary did not merge grandchildren across siblings:\n%s", out)
+	}
+	if !strings.Contains(out, "100.0%") {
+		t.Fatalf("summary missing root percentage:\n%s", out)
+	}
+}
+
+func TestSpanNode(t *testing.T) {
+	tr := &Tracer{Now: fakeClock()}
+	root := tr.Start("r")
+	c := root.Child("c")
+	c.SetAttrStr("k", "v")
+	c.End()
+	root.End()
+	n := root.Node(root.StartTime())
+	if n.StartUS != 0 || n.Name != "r" || len(n.Children) != 1 {
+		t.Fatalf("node %+v", n)
+	}
+	if n.DurationUS <= 0 {
+		t.Fatalf("root duration_us %d", n.DurationUS)
+	}
+	child := n.Children[0]
+	if child.ParentID != n.ID || child.Attrs[0].Value != "v" {
+		t.Fatalf("child node %+v", child)
+	}
+	if _, err := json.Marshal(n); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -184,6 +184,18 @@ type (
 	TeeSink = obs.TeeSink
 	// CountingSink tallies events by kind into registry counters.
 	CountingSink = obs.CountingSink
+	// MetricsGauge is an instantaneous signed value (in-flight requests,
+	// pool sizes); obtain one with MetricsRegistry.Gauge.
+	MetricsGauge = obs.Gauge
+	// Tracer mints trace spans. The zero value is deterministic (for
+	// tests); NewTracer seeds the trace ID with entropy.
+	Tracer = obs.Tracer
+	// Span is one timed region of a trace; spans form a tree.
+	Span = obs.Span
+	// SpanAttr is one key/value annotation on a Span.
+	SpanAttr = obs.SpanAttr
+	// SpanNode is the serializable JSON tree shape of a finished Span.
+	SpanNode = obs.SpanNode
 )
 
 // Solver event kinds, mirroring the steps of Algorithm 3.1.
@@ -194,6 +206,7 @@ const (
 	EventLower     = obs.EventLower
 	EventCollapse  = obs.EventCollapse
 	EventDone      = obs.EventDone
+	EventTryStep   = obs.EventTryStep
 )
 
 // NewMetricsRegistry returns an empty metrics registry. Pass it as
@@ -205,6 +218,46 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // and returns the sink; each event costs one atomic add.
 func NewCountingSink(r *MetricsRegistry, prefix string) *CountingSink {
 	return obs.NewCountingSink(r, prefix)
+}
+
+// Default histogram bucket bounds shared by the solver's canonical metrics.
+var (
+	// DurationBucketsUS spans 1µs–10s for latency histograms.
+	DurationBucketsUS = obs.DurationBucketsUS
+	// SizeBuckets spans 1–100k for operation-count histograms.
+	SizeBuckets = obs.SizeBuckets
+)
+
+// SessionsAllocated reports how many pooled solver sessions the process has
+// ever allocated — an upper bound on the session pool's current size and a
+// proxy for peak solve concurrency. Servers export it as a gauge.
+func SessionsAllocated() int64 { return core.SessionsAllocated() }
+
+// NewTracer returns a tracer with a random trace ID. Start a root span,
+// attach it to a context with ContextWithSpan, and pass that context to
+// CompileContext / SolveContext / RepairContext to collect a span tree.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// ContextWithSpan returns a context carrying sp as the active span; solver
+// entry points attach their spans as children of it.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return obs.ContextWithSpan(ctx, sp)
+}
+
+// SpanFromContext returns the active span, or nil for an uninstrumented
+// context.
+func SpanFromContext(ctx context.Context) *Span { return obs.SpanFromContext(ctx) }
+
+// WriteChromeTrace serializes span trees as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, roots ...*Span) error {
+	return obs.WriteChromeTrace(w, roots...)
+}
+
+// WriteFlameSummary writes a human-readable flame-style summary of one span
+// tree (same-named siblings aggregated, sorted by total duration).
+func WriteFlameSummary(w io.Writer, root *Span) error {
+	return obs.WriteFlameSummary(w, root)
 }
 
 // Multilevel database types.

@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Smoke-test the minupd HTTP service end to end against the checked-in
+# Figure 2(a) fixtures: build, start, poll /healthz, then assert that
+# /solve, /metrics?format=prometheus, and /trace?format=chrome all answer
+# 200 with non-empty bodies. The Chrome trace is left at
+# sample-trace.json for CI to upload as an artifact.
+#
+# Usage: scripts/smoke_minupd.sh [addr]   (default 127.0.0.1:18080)
+set -eu
+
+addr="${1:-127.0.0.1:18080}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+go build -o /tmp/minupd ./cmd/minupd
+
+/tmp/minupd \
+  -lattice testdata/lattice_fig1b.txt \
+  -constraints testdata/constraints_fig2.txt \
+  -addr "$addr" -debug-addr "" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT INT TERM
+
+# Poll /healthz until the server is up (max ~5s).
+i=0
+until curl -fsS "http://$addr/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "smoke: minupd did not become healthy at $addr" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+echo "smoke: /healthz ok"
+
+fetch() {
+  # fetch <url> <outfile>: assert HTTP 200 and a non-empty body.
+  code="$(curl -sS -o "$2" -w '%{http_code}' "$1")"
+  if [ "$code" != "200" ]; then
+    echo "smoke: GET $1 returned $code" >&2
+    cat "$2" >&2 || true
+    exit 1
+  fi
+  if [ ! -s "$2" ]; then
+    echo "smoke: GET $1 returned an empty body" >&2
+    exit 1
+  fi
+}
+
+fetch "http://$addr/solve?trace=1" /tmp/smoke-solve.json
+grep -q '"assignment"' /tmp/smoke-solve.json
+grep -q '"trace_id"' /tmp/smoke-solve.json
+echo "smoke: /solve?trace=1 ok"
+
+fetch "http://$addr/metrics?format=prometheus" /tmp/smoke-metrics.txt
+grep -q '^# TYPE solve_count counter' /tmp/smoke-metrics.txt
+grep -q '^solve_duration_us_bucket{le="+Inf"}' /tmp/smoke-metrics.txt
+grep -q '^http_in_flight ' /tmp/smoke-metrics.txt
+echo "smoke: /metrics?format=prometheus ok"
+
+fetch "http://$addr/trace?format=chrome" sample-trace.json
+grep -q '"traceEvents"' sample-trace.json
+echo "smoke: /trace?format=chrome ok (sample-trace.json)"
+
+fetch "http://$addr/trace" /tmp/smoke-trace.json
+grep -q '"spans"' /tmp/smoke-trace.json
+echo "smoke: /trace ok"
+
+echo "smoke: all checks passed"

@@ -1,0 +1,121 @@
+package minup_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"testing"
+	"time"
+
+	"minup"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// tickClock advances one microsecond per call from a fixed epoch, so every
+// span boundary in a traced solve is distinct and reproducible.
+func tickClock() func() time.Time {
+	t := time.Unix(1_000_000, 0)
+	return func() time.Time {
+		t = t.Add(time.Microsecond)
+		return t
+	}
+}
+
+// TestChromeTraceGoldenFigure2 validates the full tracing pipeline end to
+// end on the checked-in Figure 2(a) fixture: parse, compile (with phase
+// spans), one instrumented solve, Chrome trace-event export. The tracer's
+// clock and IDs are deterministic (zero-value Tracer, fake clock), and the
+// solver itself is deterministic on this instance, so the exported JSON is
+// byte-for-byte reproducible and checked against a golden file.
+func TestChromeTraceGoldenFigure2(t *testing.T) {
+	lf, err := os.Open("testdata/lattice_fig1b.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	lat, err := minup.ParseLattice(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := minup.NewConstraintSet(lat)
+	cf, err := os.Open("testdata/constraints_fig2.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if err := set.ParseInto(cf); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := &minup.Tracer{Now: tickClock()}
+	root := tr.Start("request")
+	ctx := minup.ContextWithSpan(context.Background(), root)
+	compiled := set.CompileContext(ctx)
+	if _, err := minup.SolveContext(ctx, compiled, minup.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	var buf bytes.Buffer
+	if err := minup.WriteChromeTrace(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/fig2_trace.golden.json"
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome trace drifted from %s (re-run with -update).\ngot %d bytes, want %d bytes\ngot:\n%.2000s",
+			golden, buf.Len(), len(want), buf.String())
+	}
+}
+
+// TestFlameSummaryFigure2 smoke-tests the flame exporter over the same
+// instrumented solve (content is covered by the obs unit tests; this pins
+// the integration).
+func TestFlameSummaryFigure2(t *testing.T) {
+	lf, err := os.Open("testdata/lattice_fig1b.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	lat, err := minup.ParseLattice(lf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := minup.NewConstraintSet(lat)
+	cf, err := os.Open("testdata/constraints_fig2.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if err := set.ParseInto(cf); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := &minup.Tracer{Now: tickClock()}
+	root := tr.Start("request")
+	ctx := minup.ContextWithSpan(context.Background(), root)
+	if _, err := minup.SolveContext(ctx, set.CompileContext(ctx), minup.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	var buf bytes.Buffer
+	if err := minup.WriteFlameSummary(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"request", "compile", "solve", "descent"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("flame summary missing %q:\n%s", want, buf.String())
+		}
+	}
+}
