@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-json bench-stats smoke
+.PHONY: all build test race vet fmt-check ci bench bench-json bench-stats smoke chaos fuzz-smoke
 
 all: build
 
@@ -41,3 +41,19 @@ bench-stats:
 # sample Chrome trace at sample-trace.json.
 smoke:
 	sh scripts/smoke_minupd.sh
+
+# Fault-injection and resilience suites under the race detector: the
+# concurrent chaos storm, panic isolation, admission/shedding, degraded
+# serving, and graceful-shutdown drain.
+chaos:
+	$(GO) test -race -run 'Chaos|Panic|Fault|Injected|Degrad|Shed|Drain|Shutdown|Ready|Gate' \
+		./internal/fault ./internal/core ./cmd/minupd
+
+# Short fuzz of every fuzz target (go fuzzes one target per invocation).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/lattice
+	$(GO) test -run '^$$' -fuzz '^FuzzMLSParseLevel$$' -fuzztime $(FUZZTIME) ./internal/lattice
+	$(GO) test -run '^$$' -fuzz '^FuzzParseString$$' -fuzztime $(FUZZTIME) ./internal/constraint
+	$(GO) test -run '^$$' -fuzz '^FuzzParseDIMACS$$' -fuzztime $(FUZZTIME) ./internal/poset
+	$(GO) test -run '^$$' -fuzz '^FuzzSolve$$' -fuzztime $(FUZZTIME) ./internal/core

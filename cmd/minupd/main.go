@@ -6,30 +6,65 @@
 // Usage:
 //
 //	minupd -lattice lat.txt -constraints cons.txt \
-//	       [-addr :8080] [-debug-addr 127.0.0.1:6060]
+//	       [-addr :8080] [-debug-addr 127.0.0.1:6060] \
+//	       [-max-inflight 64] [-max-queue 128] [-queue-wait 100ms] \
+//	       [-solve-timeout 2s] [-degrade] [-fault spec] [-fault-seed n]
 //
 // The service listener answers (GET only; other methods get 405):
 //
 //	GET /solve            solve the compiled instance; JSON assignment +
 //	                      per-solve stats (add ?lattice_ops=1 to count
 //	                      lattice operations, ?trace=1 to run the solve
-//	                      under a tracer and report its trace ID)
+//	                      under a tracer and report its trace ID, and
+//	                      ?timeout_ms=N to tighten the solve deadline —
+//	                      clamped to [1ms, -solve-timeout])
 //	GET /metrics          the metrics registry snapshot as JSON; add
 //	                      ?format=prometheus for text exposition format
 //	GET /trace            run one fully instrumented solve and return its
 //	                      span tree (?format=json|chrome|flame)
-//	GET /healthz          liveness check
+//	GET /healthz          liveness check (process is up)
+//	GET /readyz           readiness check: 503 while draining after
+//	                      SIGTERM/SIGINT or while the admission queue is
+//	                      past its soft overload threshold
+//
+// # Overload behavior
+//
+// /solve and /trace run behind a bounded-concurrency admission gate: at
+// most -max-inflight requests solve at once, up to -max-queue more wait up
+// to -queue-wait for a slot, and everything beyond that is shed with 503 +
+// Retry-After (counted as http.shed). Every admitted solve runs under a
+// deadline (-solve-timeout, tightened per request with ?timeout_ms=).
+//
+// When a minimal solve cannot be served — its deadline expired, or the
+// gate is already past its soft overload threshold at admission — the
+// server degrades instead of failing: it answers with the Qian-baseline
+// least fixpoint (§4 of the paper), which satisfies every secrecy,
+// inference, and association constraint by construction and merely
+// over-classifies. Degraded responses carry "degraded": true, the reason,
+// and the over-classification cost (upgraded-attribute delta vs. the last
+// minimal solve); each is counted under solve.degraded. Disable with
+// -degrade=false to get plain 504/503 errors instead.
+//
+// Solver panics never kill the process: the solver converts them to typed
+// internal errors (returned as 500, counted as solve.panics), and a
+// recovery middleware backstops the handlers themselves (http.panics).
+//
+// The -fault flag (chaos testing only; see internal/fault) arms a
+// deterministic fault injector at the solver's named fault points, e.g.
+// -fault 'solve.step:delay:%1:5ms' to slow every solver step.
 //
 // Every route runs behind a middleware stack: per-route latency histograms
 // ("http.<route>.duration_us"), status-class counters, an in-flight gauge,
-// request IDs (X-Request-Id echoed or generated), and one slog JSON access
-// log line per request carrying the request ID and — for instrumented
-// solves — the trace ID. Every solve records into a shared metrics registry
-// under the "solve.*" names. The debug listener serves the standard runtime
-// surface: /debug/vars (expvar, including the registry published as
-// "minup") and /debug/pprof/* for CPU and heap profiles — see the
-// "profiling a solve" recipe in EXPERIMENTS.md. Bind it to localhost (the
-// default) in production-like settings.
+// request IDs (X-Request-Id echoed or generated), panic recovery, and one
+// slog JSON access log line per request carrying the request ID and — for
+// instrumented solves — the trace ID. Every solve records into a shared
+// metrics registry under the "solve.*" names. The debug listener serves
+// the standard runtime surface: /debug/vars (expvar, including the
+// registry published as "minup") and /debug/pprof/* for CPU and heap
+// profiles — see the "profiling a solve" recipe in EXPERIMENTS.md. Bind it
+// to localhost (the default) in production-like settings. On SIGTERM the
+// server flips /readyz to not-ready, then drains both listeners: in-flight
+// requests complete, new ones are refused.
 package main
 
 import (
@@ -43,17 +78,48 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"minup"
 )
 
+// config carries the serving-policy knobs from flags to newServer, so
+// tests construct servers with the same wiring main uses.
+type config struct {
+	maxInflight  int
+	maxQueue     int
+	queueWait    time.Duration
+	solveTimeout time.Duration
+	degrade      bool
+	fault        *minup.FaultInjector
+}
+
+func defaultConfig() config {
+	return config{
+		maxInflight:  64,
+		maxQueue:     128,
+		queueWait:    100 * time.Millisecond,
+		solveTimeout: 2 * time.Second,
+		degrade:      true,
+	}
+}
+
 func main() {
 	latticePath := flag.String("lattice", "", "path to the lattice description file")
 	consPath := flag.String("constraints", "", "path to the constraint file")
 	addr := flag.String("addr", ":8080", "service listen address")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:6060", "debug listen address for /debug/vars and /debug/pprof (empty to disable)")
+	def := defaultConfig()
+	maxInflight := flag.Int("max-inflight", def.maxInflight, "max concurrent /solve and /trace requests before queueing")
+	maxQueue := flag.Int("max-queue", def.maxQueue, "max requests waiting for a solve slot; beyond this, shed with 503")
+	queueWait := flag.Duration("queue-wait", def.queueWait, "max time a queued request waits for a slot before being shed")
+	solveTimeout := flag.Duration("solve-timeout", def.solveTimeout, "per-request solve budget (ceiling for ?timeout_ms=)")
+	degrade := flag.Bool("degrade", def.degrade, "serve the Qian-baseline assignment when a minimal solve misses its deadline or the server is overloaded")
+	faultSpec := flag.String("fault", "", "chaos-testing fault spec, e.g. 'solve.step:delay:%1:5ms;pool.get:panic:3' (see internal/fault)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
 	flag.Parse()
 	if *latticePath == "" || *consPath == "" {
 		flag.Usage()
@@ -84,29 +150,48 @@ func main() {
 	if err := minup.CheckSolvable(set); err != nil {
 		fatal(fmt.Errorf("instance is unsolvable: %w", err))
 	}
+	cfg := config{
+		maxInflight:  *maxInflight,
+		maxQueue:     *maxQueue,
+		queueWait:    *queueWait,
+		solveTimeout: *solveTimeout,
+		degrade:      *degrade,
+	}
+	if *faultSpec != "" {
+		cfg.fault, err = minup.ParseFaultSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "minupd: CHAOS fault injection armed: %s\n", *faultSpec)
+	}
 	reg := minup.NewMetricsRegistry()
 	reg.Publish("minup")
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
-	srv := &server{set: set, compiled: compiled, reg: reg}
-	mux := http.NewServeMux()
-	mux.Handle("/solve", instrument("solve", reg, logger, srv.handleSolve))
-	mux.Handle("/metrics", instrument("metrics", reg, logger, srv.handleMetrics))
-	mux.Handle("/trace", instrument("trace", reg, logger, srv.handleTrace))
-	mux.Handle("/healthz", instrument("healthz", reg, logger, func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	}))
+	srv := newServer(set, compiled, reg, cfg)
+	mux := srv.routes(logger)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Both listeners get protocol-level timeouts so a stalled or malicious
+	// peer cannot hold a connection goroutine forever. The debug listener's
+	// write timeout is generous because /debug/pprof/profile streams for
+	// ?seconds= (default 30).
+	var dbg *http.Server
 	if *debugAddr != "" {
 		// expvar and net/http/pprof register on the default mux; serving it
 		// on a dedicated listener keeps the runtime surface off the service
 		// port.
+		dbg = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
-			dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux}
 			fmt.Fprintf(os.Stderr, "minupd: debug listener on %s (/debug/vars, /debug/pprof)\n", *debugAddr)
 			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "minupd: debug listener: %v\n", err)
@@ -114,16 +199,31 @@ func main() {
 		}()
 	}
 
-	main := &http.Server{Addr: *addr, Handler: mux}
+	main := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		<-ctx.Done()
+		// Flip readiness first: load balancers stop routing here while
+		// in-flight solves finish, then both listeners drain on one clock.
+		srv.draining.Store(true)
+		logger.Info("draining", slog.String("reason", "signal"))
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		if dbg != nil {
+			dbg.Shutdown(shCtx)
+		}
 		main.Shutdown(shCtx)
 	}()
 	cs := compiled.CompileStats()
-	fmt.Fprintf(os.Stderr, "minupd: serving %d attrs, %d constraints (S=%d, %d SCCs, compiled in %s) on %s\n",
-		cs.Attrs, cs.Constraints, cs.TotalSize, cs.SCCs, cs.Duration, *addr)
+	fmt.Fprintf(os.Stderr, "minupd: serving %d attrs, %d constraints (S=%d, %d SCCs, compiled in %s) on %s (max-inflight=%d queue=%d solve-timeout=%s degrade=%v)\n",
+		cs.Attrs, cs.Constraints, cs.TotalSize, cs.SCCs, cs.Duration, *addr,
+		cfg.maxInflight, cfg.maxQueue, cfg.solveTimeout, cfg.degrade)
 	if err := main.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
@@ -133,6 +233,56 @@ type server struct {
 	set      *minup.ConstraintSet
 	compiled *minup.CompiledSet
 	reg      *minup.MetricsRegistry
+	cfg      config
+	gate     *gate
+	draining atomic.Bool
+	// lastMinimalUpgraded is CountUpgraded of the most recent successful
+	// minimal solve, or -1 before the first; degraded responses report the
+	// baseline's over-classification cost as a delta against it.
+	lastMinimalUpgraded atomic.Int64
+}
+
+// newServer wires a server the way main does, so tests share the exact
+// production admission/degradation path.
+func newServer(set *minup.ConstraintSet, compiled *minup.CompiledSet, reg *minup.MetricsRegistry, cfg config) *server {
+	s := &server{set: set, compiled: compiled, reg: reg, cfg: cfg}
+	s.gate = newGate(cfg.maxInflight, cfg.maxQueue, cfg.queueWait, &s.draining, reg)
+	s.lastMinimalUpgraded.Store(-1)
+	// Register the degradation counters eagerly so a scrape sees the
+	// series before the first overload.
+	reg.Counter("solve.degraded")
+	s.reg.Counter("http.panics")
+	return s
+}
+
+// routes builds the service mux with the full middleware stack.
+func (s *server) routes(logger *slog.Logger) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/solve", instrument("solve", s.reg, logger, s.handleSolve))
+	mux.Handle("/metrics", instrument("metrics", s.reg, logger, s.handleMetrics))
+	mux.Handle("/trace", instrument("trace", s.reg, logger, s.handleTrace))
+	mux.Handle("/healthz", instrument("healthz", s.reg, logger, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	}))
+	mux.Handle("/readyz", instrument("readyz", s.reg, logger, s.handleReady))
+	return mux
+}
+
+// handleReady is the readiness probe, distinct from /healthz liveness: a
+// live process stops being ready while draining after a signal or while
+// the admission queue is past its soft overload threshold, so load
+// balancers route around it without restarting it.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case s.gate.overloaded():
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintf(w, "ready (inflight %d)\n", s.gate.inflight())
+	}
 }
 
 // solveResponse is the JSON answer of /solve.
@@ -140,6 +290,17 @@ type solveResponse struct {
 	Assignment map[string]string `json:"assignment"`
 	Stats      solveStats        `json:"stats"`
 	TraceID    string            `json:"trace_id,omitempty"`
+
+	// Degraded marks an answer produced by the Qian baseline instead of
+	// the minimal solver: still satisfying every constraint, but
+	// over-classified. DegradeReason is "deadline" or "overload".
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradeReason string `json:"degrade_reason,omitempty"`
+	// UpgradedAttrs is the number of attributes classified above lattice
+	// bottom in a degraded answer; UpgradeDelta is the over-classification
+	// cost vs. the last successful minimal solve (absent before one).
+	UpgradedAttrs int  `json:"upgraded_attrs,omitempty"`
+	UpgradeDelta  *int `json:"upgrade_delta,omitempty"`
 }
 
 type solveStats struct {
@@ -158,12 +319,53 @@ type solveStats struct {
 	DurationUS     int64  `json:"duration_us"`
 }
 
+// solveBudget resolves the request's solve deadline: the -solve-timeout
+// flag, tightened by ?timeout_ms= and clamped to [1ms, flag] so a client
+// can only shrink its own budget, never grow it past the server's policy.
+func (s *server) solveBudget(r *http.Request) time.Duration {
+	budget := s.cfg.solveTimeout
+	if q := r.URL.Query().Get("timeout_ms"); q != "" {
+		if ms, err := strconv.ParseInt(q, 10, 64); err == nil {
+			d := time.Duration(ms) * time.Millisecond
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			if d > s.cfg.solveTimeout {
+				d = s.cfg.solveTimeout
+			}
+			budget = d
+		}
+	}
+	return budget
+}
+
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	release, err := s.gate.acquire(r.Context())
+	if err != nil {
+		if r.Context().Err() != nil {
+			http.Error(w, "client gone while queued", http.StatusRequestTimeout)
+			return
+		}
+		writeShed(w, err)
+		return
+	}
+	defer release()
+	budget := s.solveBudget(r)
+
+	// Soft overload: the queue behind us is filling. Serve the secure
+	// baseline immediately instead of burning a full solve budget.
+	if s.cfg.degrade && s.gate.overloaded() {
+		s.serveDegraded(w, r, "overload", budget)
+		return
+	}
+
 	opt := minup.Options{
 		Metrics:           s.reg,
 		CollectLatticeOps: r.URL.Query().Get("lattice_ops") == "1",
+		Fault:             s.cfg.fault,
 	}
-	ctx := r.Context()
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
 	var root *minup.Span
 	var traceID string
 	if r.URL.Query().Get("trace") == "1" {
@@ -180,13 +382,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		root.End()
 	}
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, minup.ErrCanceled) {
-			status = http.StatusRequestTimeout
-		} else if errors.Is(err, minup.ErrUnsolvable) {
-			status = http.StatusUnprocessableEntity
-		}
-		http.Error(w, err.Error(), status)
+		s.solveError(w, r, err, budget)
 		return
 	}
 	lat := s.set.Lattice()
@@ -213,16 +409,91 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		PoolHit:        st.PoolHit,
 		DurationUS:     st.Duration.Microseconds(),
 	}
+	s.lastMinimalUpgraded.Store(int64(minup.CountUpgraded(s.set, res.Assignment)))
+	writeJSON(w, out)
+}
+
+// solveError maps a failed minimal solve to a response. A deadline miss
+// degrades to the baseline when enabled; everything else maps to a typed
+// status.
+func (s *server) solveError(w http.ResponseWriter, r *http.Request, err error, budget time.Duration) {
+	switch {
+	case errors.Is(err, minup.ErrCanceled) || errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() != nil {
+			// The client went away; nobody is reading a degraded answer.
+			http.Error(w, err.Error(), http.StatusRequestTimeout)
+			return
+		}
+		if s.cfg.degrade {
+			s.serveDegraded(w, r, "deadline", budget)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, minup.ErrUnsolvable):
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	case errors.Is(err, minup.ErrInternal):
+		// The stack is in the log (the solver logs it at recovery); the
+		// client gets an opaque 500.
+		http.Error(w, "internal solver error", http.StatusInternalServerError)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// serveDegraded answers with the Qian-baseline least fixpoint: satisfying
+// — hence safe to serve — but over-classified. The baseline runs on a
+// fresh budget detached from the (possibly already expired) solve
+// deadline, though still abandoned if the client disconnects.
+func (s *server) serveDegraded(w http.ResponseWriter, r *http.Request, reason string, budget time.Duration) {
+	start := time.Now()
+	qctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), budget)
+	defer cancel()
+	m, err := minup.QianBaseline(qctx, s.set)
+	if err != nil {
+		// No minimal answer and no baseline either — shed honestly.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "degraded solve failed: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if err := minup.Verify(s.set, m); err != nil {
+		// Defense in depth: never serve an unverified fallback.
+		http.Error(w, "degraded solve produced an invalid assignment: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.reg.Counter("solve.degraded").Inc()
+	s.reg.Counter("solve.degraded." + reason).Inc()
+	lat := s.set.Lattice()
+	out := solveResponse{
+		Assignment:    make(map[string]string, len(m)),
+		Degraded:      true,
+		DegradeReason: reason,
+		UpgradedAttrs: minup.CountUpgraded(s.set, m),
+	}
+	for _, a := range s.set.Attrs() {
+		out.Assignment[s.set.AttrName(a)] = lat.FormatLevel(m[a])
+	}
+	if last := s.lastMinimalUpgraded.Load(); last >= 0 {
+		delta := out.UpgradedAttrs - int(last)
+		out.UpgradeDelta = &delta
+		s.reg.Gauge("solve.degraded.upgrade_delta").Set(int64(delta))
+	}
+	out.Stats.DurationUS = time.Since(start).Microseconds()
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(out)
+	enc.Encode(v)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// The pool gauge is sampled at scrape time: sessions are created on
-	// demand, so this tracks peak solve concurrency.
+	// demand, so this tracks peak solve concurrency. The panic gauge
+	// counts solver sessions discarded by the recovery guard.
 	s.reg.Gauge("solve.pool.sessions").Set(minup.SessionsAllocated())
+	s.reg.Gauge("solve.panics_recovered").Set(minup.PanicsRecovered())
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.reg.WritePrometheus(w)
@@ -240,18 +511,30 @@ type traceResponse struct {
 }
 
 func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	release, err := s.gate.acquire(r.Context())
+	if err != nil {
+		if r.Context().Err() != nil {
+			http.Error(w, "client gone while queued", http.StatusRequestTimeout)
+			return
+		}
+		writeShed(w, err)
+		return
+	}
+	defer release()
 	tr := minup.NewTracer()
 	root := tr.Start("request")
 	if ri := infoFrom(r.Context()); ri != nil {
 		ri.traceID = tr.TraceID()
 	}
-	ctx := minup.ContextWithSpan(r.Context(), root)
-	_, err := minup.SolveContext(ctx, s.compiled, minup.Options{Metrics: s.reg})
+	ctx, cancel := context.WithTimeout(r.Context(), s.solveBudget(r))
+	defer cancel()
+	ctx = minup.ContextWithSpan(ctx, root)
+	_, err = minup.SolveContext(ctx, s.compiled, minup.Options{Metrics: s.reg, Fault: s.cfg.fault})
 	root.End()
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, minup.ErrCanceled) {
-			status = http.StatusRequestTimeout
+			status = http.StatusGatewayTimeout
 		} else if errors.Is(err, minup.ErrUnsolvable) {
 			status = http.StatusUnprocessableEntity
 		}

@@ -2,7 +2,6 @@ package main
 
 import (
 	"encoding/json"
-	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
@@ -14,26 +13,21 @@ import (
 )
 
 // newTestServer builds a server over the Figure 2(a) fixture with the full
-// middleware stack, mirroring main().
+// middleware stack and default serving policy, mirroring main().
 func newTestServer(t *testing.T) (*server, http.Handler, *strings.Builder) {
 	t.Helper()
+	return newTestServerCfg(t, defaultConfig())
+}
+
+// newTestServerCfg is newTestServer with an explicit serving policy, for
+// the admission/degradation tests.
+func newTestServerCfg(t *testing.T, cfg config) (*server, http.Handler, *strings.Builder) {
+	t.Helper()
 	f := constraint.NewFigure2()
-	srv := &server{
-		set:      f.Set,
-		compiled: f.Set.Compile(),
-		reg:      minup.NewMetricsRegistry(),
-	}
+	srv := newServer(f.Set, f.Set.Compile(), minup.NewMetricsRegistry(), cfg)
 	logBuf := &strings.Builder{}
 	logger := slog.New(slog.NewJSONHandler(logBuf, nil))
-	mux := http.NewServeMux()
-	mux.Handle("/solve", instrument("solve", srv.reg, logger, srv.handleSolve))
-	mux.Handle("/metrics", instrument("metrics", srv.reg, logger, srv.handleMetrics))
-	mux.Handle("/trace", instrument("trace", srv.reg, logger, srv.handleTrace))
-	mux.Handle("/healthz", instrument("healthz", srv.reg, logger, func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
-	}))
-	return srv, mux, logBuf
+	return srv, srv.routes(logger), logBuf
 }
 
 func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
@@ -87,7 +81,7 @@ func TestSolveEndpointTraced(t *testing.T) {
 
 func TestMethodNotAllowed(t *testing.T) {
 	_, h, _ := newTestServer(t)
-	for _, path := range []string{"/solve", "/metrics", "/healthz", "/trace"} {
+	for _, path := range []string{"/solve", "/metrics", "/healthz", "/readyz", "/trace"} {
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, strings.NewReader("{}")))
 		if rec.Code != http.StatusMethodNotAllowed {

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"minup"
@@ -75,10 +76,15 @@ func statusClass(code int) string {
 
 // instrument wraps one route with the minupd middleware stack: GET-only
 // method gating (405 + Allow), request IDs (X-Request-Id echoed or
-// generated), an in-flight gauge, a per-route latency histogram, per-route
-// status-class counters, and one structured access-log line per request
-// carrying the request ID and — when the handler ran an instrumented solve
-// — the trace ID.
+// generated), panic recovery (a panicking handler answers 500 and bumps
+// http.panics instead of killing the connection goroutine unlogged), an
+// in-flight gauge, a per-route latency histogram, per-route status-class
+// counters, and one structured access-log line per request carrying the
+// request ID and — when the handler ran an instrumented solve — the trace
+// ID.
+//
+// The bookkeeping runs in a defer so a panicking request is still counted,
+// timed, and logged like any other before the recovery answers it.
 //
 // The histogram and the 2xx counter are registered eagerly at wrap time so
 // a Prometheus scrape sees the route's series before its first request.
@@ -101,24 +107,41 @@ func instrument(route string, reg *minup.MetricsRegistry, logger *slog.Logger, n
 		sw := &statusWriter{ResponseWriter: w}
 		inFlight.Inc()
 		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				reg.Counter("http.panics").Inc()
+				logger.Error("handler panic",
+					slog.String("path", r.URL.Path),
+					slog.String("request_id", ri.id),
+					slog.Any("panic", rec),
+					slog.String("stack", string(debug.Stack())),
+				)
+				if sw.status == 0 {
+					// Nothing written yet; the client can still get a clean
+					// 500. Otherwise the truncated response has to speak for
+					// itself.
+					http.Error(sw, "internal server error", http.StatusInternalServerError)
+				}
+			}
+			dur := time.Since(start)
+			inFlight.Dec()
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			hist.Observe(uint64(dur.Microseconds()))
+			reg.Counter("http." + route + ".status." + statusClass(sw.status)).Inc()
+			attrs := []any{
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int64("duration_us", dur.Microseconds()),
+				slog.String("request_id", ri.id),
+			}
+			if ri.traceID != "" {
+				attrs = append(attrs, slog.String("trace_id", ri.traceID))
+			}
+			logger.Info("request", attrs...)
+		}()
 		next(sw, r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, ri)))
-		dur := time.Since(start)
-		inFlight.Dec()
-		if sw.status == 0 {
-			sw.status = http.StatusOK
-		}
-		hist.Observe(uint64(dur.Microseconds()))
-		reg.Counter("http." + route + ".status." + statusClass(sw.status)).Inc()
-		attrs := []any{
-			slog.String("method", r.Method),
-			slog.String("path", r.URL.Path),
-			slog.Int("status", sw.status),
-			slog.Int64("duration_us", dur.Microseconds()),
-			slog.String("request_id", ri.id),
-		}
-		if ri.traceID != "" {
-			attrs = append(attrs, slog.String("trace_id", ri.traceID))
-		}
-		logger.Info("request", attrs...)
 	})
 }

@@ -25,7 +25,33 @@ var (
 	// ErrNotCompiled reports that a context-aware entry point was handed a
 	// nil *constraint.Compiled.
 	ErrNotCompiled = errors.New("core: constraint set not compiled")
+
+	// ErrInternal reports that the solver panicked mid-solve and the panic
+	// was converted into an error by SolveContext's recovery guard. The
+	// concrete error is an *InternalError carrying the recovered value and
+	// the stack; the panicking session is discarded instead of returning to
+	// the pool, so later solves are unaffected.
+	ErrInternal = errors.New("core: internal solver failure")
 )
+
+// InternalError is a solver panic converted to an error: the recovered
+// value plus the goroutine stack captured at recovery. It unwraps to
+// ErrInternal. Serving layers should log the stack and return an opaque
+// 5xx; the stack is diagnostic detail, not client material.
+type InternalError struct {
+	// Recovered is the value the solver panicked with.
+	Recovered any
+	// Stack is the panicking goroutine's stack, as captured by
+	// runtime/debug.Stack at the recovery point.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("core: solver panic: %v", e.Recovered)
+}
+
+// Unwrap makes errors.Is(err, ErrInternal) hold.
+func (e *InternalError) Unwrap() error { return ErrInternal }
 
 // canceled wraps the context's cause into the taxonomy.
 func canceled(ctx context.Context) error {

@@ -50,12 +50,15 @@ package core
 
 import (
 	"context"
+	"log/slog"
+	"runtime/debug"
 	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"minup/internal/constraint"
+	"minup/internal/fault"
 	"minup/internal/graph"
 	"minup/internal/lattice"
 	"minup/internal/obs"
@@ -101,6 +104,14 @@ type Options struct {
 	// "solve.*" metric names. The registry may be shared by any number of
 	// concurrent solves.
 	Metrics *obs.Registry
+
+	// Fault, when non-nil, arms the solver's named fault points
+	// ("pool.get", "solve.step", "solve.try", and the lattice wrapper's
+	// "lattice.*" points) for chaos testing: the injector may delay,
+	// cancel, or panic at scheduled hits. Nil — the production value —
+	// keeps every fault point a single nil check, preserving the
+	// allocation-free hot path guarded by BenchmarkSolveCompiled.
+	Fault *fault.Injector
 }
 
 // Stats reports operation counts from one solve, used by the complexity
@@ -168,25 +179,51 @@ func Solve(s *constraint.Set, opt Options) (*Result, error) {
 // on cancellation the solve stops promptly with an error satisfying
 // errors.Is(err, ErrCanceled). Inconsistent §6 instances return an
 // *InconsistencyError, which satisfies errors.Is(err, ErrUnsolvable).
-func SolveContext(ctx context.Context, c *constraint.Compiled, opt Options) (*Result, error) {
+func SolveContext(ctx context.Context, c *constraint.Compiled, opt Options) (res *Result, err error) {
 	if c == nil {
 		return nil, ErrNotCompiled
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, canceled(ctx)
 	}
+	// Panic isolation: a panicking solve must not take the process (or the
+	// session pool) down with it. The guard converts the panic into a
+	// typed *InternalError and drops the session on the floor — its
+	// invariants are unknown, so returning it to the pool could corrupt a
+	// later solve. Non-panic exits release the session normally.
+	var sv *session
+	var ssink *spanSink
+	defer func() {
+		r := recover()
+		if r == nil {
+			if sv != nil {
+				sv.release()
+			}
+			return
+		}
+		ie := &InternalError{Recovered: r, Stack: debug.Stack()}
+		logPanic(ie)
+		panicsRecovered.Add(1)
+		if opt.Metrics != nil {
+			opt.Metrics.Counter(MetricSolvePanics).Inc()
+		}
+		if ssink != nil {
+			ssink.root.End()
+		}
+		res, err = nil, ie
+	}()
+	if ferr := opt.Fault.Hit("pool.get"); ferr != nil {
+		return nil, ferr
+	}
 	// Tracing: when the context carries a span, reconstruct a solve span
 	// tree from the event stream. Uninstrumented contexts take the nil
 	// branch and pay nothing further.
-	var ssink *spanSink
 	if parent := obs.SpanFromContext(ctx); parent != nil {
 		ssink = newSpanSink(parent.Child("solve"), c)
 		opt.Sink = combineSinks(ssink, opt.Sink)
 	}
 	start := time.Now()
-	sv := acquireSession(ctx, c, opt)
-	defer sv.release()
-	var err error
+	sv = acquireSession(ctx, c, opt)
 	if c.HasUpperBounds() {
 		ub, conflicts := c.UpperBoundFixpoint()
 		if conflicts != nil {
@@ -270,6 +307,9 @@ type session struct {
 	// reused distinguishes a recycled session (pool hit) from one freshly
 	// allocated by the pool's New.
 	reused bool
+	// fault is the armed injector, nil in production. Hooks fire behind
+	// sv.fault != nil checks so the zero-value path pays one comparison.
+	fault *fault.Injector
 	// lastFailure is the index of the constraint whose violation made the
 	// most recent try call fail, or -1. Used by Explain.
 	lastFailure int
@@ -304,6 +344,33 @@ var sessionsAllocated atomic.Int64
 // allocated through the pool — an upper bound on the pool's current size
 // and a proxy for peak solve concurrency.
 func SessionsAllocated() int64 { return sessionsAllocated.Load() }
+
+// panicsRecovered counts solver panics converted to *InternalError by the
+// SolveContext recovery guard. Each one also discarded a pooled session.
+var panicsRecovered atomic.Int64
+
+// PanicsRecovered reports how many solver panics the process has recovered
+// from. Servers export it as a gauge next to the pool size.
+func PanicsRecovered() int64 { return panicsRecovered.Load() }
+
+// panicLogOnce gates the full-stack log line: the first recovered panic
+// logs its stack (the actionable diagnostic), later ones log one line
+// without the stack so a crash-looping fault cannot flood the log.
+var panicLogOnce sync.Once
+
+// logPanic reports a recovered solver panic through the process logger.
+func logPanic(ie *InternalError) {
+	logged := false
+	panicLogOnce.Do(func() {
+		logged = true
+		slog.Error("solver panic recovered; session discarded",
+			"panic", ie.Recovered, "stack", string(ie.Stack))
+	})
+	if !logged {
+		slog.Error("solver panic recovered; session discarded (stack suppressed, logged once per process)",
+			"panic", ie.Recovered)
+	}
+}
 
 // combineSinks fans two optional sinks into one, avoiding the tee wrapper
 // unless both are present.
@@ -342,11 +409,13 @@ func acquireSession(ctx context.Context, c *constraint.Compiled, opt Options) *s
 		}
 	}
 	sv.stats = Stats{PoolHit: hit}
-	if opt.CollectLatticeOps {
+	sv.fault = opt.Fault
+	if opt.CollectLatticeOps || opt.Fault != nil {
 		// The closed-form minimizer is resolved from the base lattice
 		// above, so wrapping here counts descent operations without hiding
-		// the fast path.
-		sv.counted = lattice.Counted{L: sv.lat, C: &sv.stats.LatticeOps}
+		// the fast path. An armed injector also wraps, so its "lattice.*"
+		// fault points see every primitive operation.
+		sv.counted = lattice.Counted{L: sv.lat, C: &sv.stats.LatticeOps, F: opt.Fault}
 		sv.lat = &sv.counted
 	}
 	sv.lambda = nil
@@ -387,6 +456,7 @@ func (sv *session) release() {
 	sv.start = nil
 	sv.trace = nil
 	sv.sink = nil
+	sv.fault = nil
 	sv.counted = lattice.Counted{}
 	sessionPool.Put(sv)
 }
@@ -539,6 +609,11 @@ func (sv *session) collapseSet(nodes []int) (bool, error) {
 // processAttr labels one attribute: the body of BigLoop's second-level
 // loop.
 func (sv *session) processAttr(a constraint.Attr) error {
+	if sv.fault != nil {
+		if err := sv.fault.Hit("solve.step"); err != nil {
+			return err
+		}
+	}
 	sv.stats.AttrsProcessed++
 	aDone := true
 	l := sv.lat.Bottom()
@@ -686,6 +761,11 @@ func (sv *session) minlevel(a constraint.Attr, c constraint.Constraint) lattice.
 // constraint whose right-hand side is already definitively labeled. λ is
 // not modified. A non-nil error reports cancellation.
 func (sv *session) try(a constraint.Attr, l lattice.Level) (map[constraint.Attr]lattice.Level, bool, error) {
+	if sv.fault != nil {
+		if err := sv.fault.Hit("solve.try"); err != nil {
+			return nil, false, err
+		}
+	}
 	sv.lastFailure = -1
 	tocheck := sv.tocheck
 	tolower := sv.tolower

@@ -22,6 +22,11 @@ const (
 	MetricSolvePoolMiss       = "solve.pool.miss"
 	MetricSolveDurationUS     = "solve.duration_us"
 	MetricSolveTriesPerSolve  = "solve.tries_per_solve"
+	// MetricSolvePanics counts solver panics recovered by SolveContext's
+	// guard (each also discarded a pooled session). Incremented by the
+	// guard itself, not by Stats.Record: a panicking solve has no
+	// trustworthy stats to record.
+	MetricSolvePanics = "solve.panics"
 )
 
 // Record aggregates one solve's stats into the registry under the

@@ -25,6 +25,23 @@ import (
 // Both run in pooled sessions against a compiled snapshot; the Context
 // variants poll for cancellation between probes.
 
+// Verify checks that an assignment satisfies every constraint of the set,
+// returning nil on success and an error naming the violations otherwise.
+// It is the cheap (one pass over the constraints) guard the serving layer
+// runs before returning any assignment it did not obtain from the minimal
+// solver — in particular the Qian-baseline answers served under overload
+// degradation, which are over-classified by construction but must still be
+// constraint-clean.
+func Verify(s *constraint.Set, m constraint.Assignment) error {
+	if len(m) != s.NumAttrs() {
+		return fmt.Errorf("core: assignment has %d levels for %d attributes", len(m), s.NumAttrs())
+	}
+	if v := s.Violations(m); v != nil {
+		return fmt.Errorf("core: assignment violates %d constraint(s), first: %s", len(v), v[0])
+	}
+	return nil
+}
+
 // Witness is a strictly lower satisfying assignment found by
 // ProbeMinimality, as evidence of non-minimality.
 type Witness struct {

@@ -1,0 +1,320 @@
+// Package fault is a deterministic, seedable fault injector for chaos
+// testing the solver and the serving layer. Production code exposes named
+// fault points ("solve.step", "pool.get", "lattice.lub", ...) behind no-op
+// hooks: with no injector installed the hook is a single nil check, so the
+// hot path stays allocation-free and effectively cost-free. Tests install
+// an Injector carrying rules that delay, cancel, or panic at chosen hits of
+// chosen points, and the chaos suites assert the system degrades safely —
+// typed errors, no deadlocks, no corrupted pooled state.
+//
+// Rules fire deterministically: one-shot on the Nth hit of a point, on
+// every Nth hit, or probabilistically from a PRNG seeded at construction
+// (so a given seed always injects the same schedule). Hit counting is
+// global per point across all goroutines sharing the injector, which is
+// exactly what concurrent chaos tests want: "the 40th lattice lub anywhere
+// in the process panics".
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Action is what a rule does when it fires.
+type Action uint8
+
+const (
+	// Delay sleeps for the rule's duration, simulating a slow dependency
+	// (a slow lattice operation, a stalled pool). Valid at every point.
+	Delay Action = iota
+	// Cancel makes the fault point return an error wrapping ErrInjected,
+	// simulating a mid-operation cancellation. Only meaningful at points
+	// with an error path (solver steps); at value-returning points (the
+	// lattice wrapper) a Cancel rule panics instead, which the solver's
+	// recovery guard converts to a typed internal error.
+	Cancel
+	// Panic panics with a *PanicError, simulating a solver bug. The core
+	// recovery guard is expected to catch it.
+	Panic
+)
+
+// String names the action as it appears in specs.
+func (a Action) String() string {
+	switch a {
+	case Delay:
+		return "delay"
+	case Cancel:
+		return "cancel"
+	case Panic:
+		return "panic"
+	}
+	return fmt.Sprintf("action(%d)", a)
+}
+
+// ErrInjected is the sentinel all injected cancellations wrap. Detect with
+// errors.Is.
+var ErrInjected = errors.New("fault: injected cancellation")
+
+// PanicError is the value thrown by Panic rules, so recovery guards (and
+// tests) can tell an injected panic from a genuine bug.
+type PanicError struct {
+	Point string // fault point that fired
+	Hit   uint64 // 1-based hit count at which it fired
+	Msg   string // extra context (e.g. "cancel rule at value-returning point")
+}
+
+func (e *PanicError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("fault: injected panic at %s (hit %d): %s", e.Point, e.Hit, e.Msg)
+	}
+	return fmt.Sprintf("fault: injected panic at %s (hit %d)", e.Point, e.Hit)
+}
+
+// Rule arms one fault at one point. Exactly one of Nth, Every, Prob selects
+// when it fires: Nth > 0 fires once at the Nth hit (1-based); Every > 0
+// fires at every multiple of Every; Prob > 0 fires each hit with that
+// probability, drawn from the injector's seeded PRNG.
+type Rule struct {
+	Point string
+	Act   Action
+	Nth   uint64
+	Every uint64
+	Prob  float64
+	Dur   time.Duration // Delay only
+}
+
+func (r Rule) validate() error {
+	if r.Point == "" {
+		return errors.New("fault: rule without a point")
+	}
+	selectors := 0
+	if r.Nth > 0 {
+		selectors++
+	}
+	if r.Every > 0 {
+		selectors++
+	}
+	if r.Prob > 0 {
+		selectors++
+	}
+	if selectors != 1 {
+		return fmt.Errorf("fault: rule for %s must set exactly one of Nth, Every, Prob", r.Point)
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("fault: rule for %s has probability %v outside [0,1]", r.Point, r.Prob)
+	}
+	if r.Act == Delay && r.Dur <= 0 {
+		return fmt.Errorf("fault: delay rule for %s needs a positive duration", r.Point)
+	}
+	if r.Act != Delay && r.Dur != 0 {
+		return fmt.Errorf("fault: %s rule for %s must not carry a duration", r.Act, r.Point)
+	}
+	return nil
+}
+
+// Injector holds armed rules and per-point hit counters. The zero value is
+// unusable; construct with New. A nil *Injector is a valid no-op: every
+// method short-circuits, which is what production hooks rely on. All
+// methods are safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rules map[string][]Rule
+	hits  map[string]uint64
+	rng   uint64 // xorshift64* state; deterministic per seed
+}
+
+// New returns an empty injector whose probabilistic rules draw from a PRNG
+// seeded with seed (a zero seed is replaced so the generator never sticks).
+func New(seed int64) *Injector {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &Injector{
+		rules: make(map[string][]Rule),
+		hits:  make(map[string]uint64),
+		rng:   s,
+	}
+}
+
+// Add arms one rule, validating it first.
+func (i *Injector) Add(r Rule) error {
+	if err := r.validate(); err != nil {
+		return err
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules[r.Point] = append(i.rules[r.Point], r)
+	return nil
+}
+
+// MustAdd is Add that panics on an invalid rule, for test setup.
+func (i *Injector) MustAdd(r Rule) {
+	if err := i.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// Hits reports how many times the point has been hit so far.
+func (i *Injector) Hits(point string) uint64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.hits[point]
+}
+
+// next draws from the xorshift64* generator. Caller holds the mutex.
+func (i *Injector) next() uint64 {
+	x := i.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	i.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Hit records one hit of the point and fires any rule whose schedule
+// matches. A Delay rule sleeps and returns nil; a Cancel rule returns an
+// error wrapping ErrInjected; a Panic rule panics with *PanicError. Safe on
+// a nil receiver (no-op) — production hooks guard with one nil check and
+// never reach here.
+func (i *Injector) Hit(point string) error {
+	if i == nil {
+		return nil
+	}
+	act, n, dur, fired := i.match(point)
+	if !fired {
+		return nil
+	}
+	switch act {
+	case Delay:
+		time.Sleep(dur)
+		return nil
+	case Cancel:
+		return fmt.Errorf("%w at %s (hit %d)", ErrInjected, point, n)
+	default:
+		panic(&PanicError{Point: point, Hit: n})
+	}
+}
+
+// HitValue is Hit for value-returning call sites that have no error path
+// (the lattice wrapper): Delay and Panic behave as in Hit, while a Cancel
+// rule — impossible to honor without an error return — panics with an
+// explanatory *PanicError, which the solver's recovery guard converts to a
+// typed internal error.
+func (i *Injector) HitValue(point string) {
+	if i == nil {
+		return
+	}
+	act, n, dur, fired := i.match(point)
+	if !fired {
+		return
+	}
+	switch act {
+	case Delay:
+		time.Sleep(dur)
+	case Cancel:
+		panic(&PanicError{Point: point, Hit: n, Msg: "cancel rule at value-returning point"})
+	default:
+		panic(&PanicError{Point: point, Hit: n})
+	}
+}
+
+// match advances the point's hit counter and reports the first matching
+// rule, if any.
+func (i *Injector) match(point string) (act Action, hit uint64, dur time.Duration, fired bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.hits[point]++
+	n := i.hits[point]
+	for _, r := range i.rules[point] {
+		switch {
+		case r.Nth > 0 && n == r.Nth:
+			fired = true
+		case r.Every > 0 && n%r.Every == 0:
+			fired = true
+		case r.Prob > 0 && float64(i.next()>>11)/(1<<53) < r.Prob:
+			fired = true
+		}
+		if fired {
+			return r.Act, n, r.Dur, true
+		}
+	}
+	return 0, n, 0, false
+}
+
+// ParseSpec builds an injector from a textual rule list, the form taken by
+// command-line flags (minupd -fault). Rules are separated by ';':
+//
+//	rule   := point ':' action ':' when [':' duration]
+//	action := "delay" | "cancel" | "panic"
+//	when   := N      exactly the Nth hit (1-based)
+//	        | '%' N  every Nth hit
+//	        | '~' F  each hit with probability F in (0,1], seeded
+//
+// Examples:
+//
+//	solve.step:delay:%1:5ms        every solver step sleeps 5ms
+//	pool.get:panic:3               the 3rd session checkout panics
+//	lattice.lub:delay:~0.01:1ms    1% of lubs sleep 1ms
+//	solve.try:cancel:10            the 10th Try is canceled
+//
+// An empty spec yields an empty (armed-with-nothing) injector.
+func ParseSpec(spec string, seed int64) (*Injector, error) {
+	inj := New(seed)
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		parts := strings.Split(raw, ":")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("fault: rule %q: want point:action:when[:duration]", raw)
+		}
+		r := Rule{Point: parts[0]}
+		switch parts[1] {
+		case "delay":
+			r.Act = Delay
+		case "cancel":
+			r.Act = Cancel
+		case "panic":
+			r.Act = Panic
+		default:
+			return nil, fmt.Errorf("fault: rule %q: unknown action %q", raw, parts[1])
+		}
+		when := parts[2]
+		var err error
+		switch {
+		case strings.HasPrefix(when, "%"):
+			r.Every, err = strconv.ParseUint(when[1:], 10, 64)
+		case strings.HasPrefix(when, "~"):
+			r.Prob, err = strconv.ParseFloat(when[1:], 64)
+		default:
+			r.Nth, err = strconv.ParseUint(when, 10, 64)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: rule %q: bad schedule %q: %v", raw, when, err)
+		}
+		if r.Act == Delay {
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("fault: rule %q: delay needs a duration", raw)
+			}
+			r.Dur, err = time.ParseDuration(parts[3])
+			if err != nil {
+				return nil, fmt.Errorf("fault: rule %q: bad duration: %v", raw, err)
+			}
+		} else if len(parts) != 3 {
+			return nil, fmt.Errorf("fault: rule %q: %s takes no duration", raw, parts[1])
+		}
+		if err := inj.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return inj, nil
+}

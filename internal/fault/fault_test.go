@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var inj *Injector
+	if err := inj.Hit("anything"); err != nil {
+		t.Fatalf("nil injector Hit = %v", err)
+	}
+	inj.HitValue("anything")
+	if inj.Hits("anything") != 0 {
+		t.Fatal("nil injector counted hits")
+	}
+}
+
+func TestNthFiresExactlyOnce(t *testing.T) {
+	inj := New(1)
+	inj.MustAdd(Rule{Point: "p", Act: Cancel, Nth: 3})
+	for n := 1; n <= 10; n++ {
+		err := inj.Hit("p")
+		if n == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: want ErrInjected, got %v", n, err)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d: unexpected %v", n, err)
+		}
+	}
+	if got := inj.Hits("p"); got != 10 {
+		t.Fatalf("Hits = %d, want 10", got)
+	}
+}
+
+func TestEveryFiresPeriodically(t *testing.T) {
+	inj := New(1)
+	inj.MustAdd(Rule{Point: "p", Act: Cancel, Every: 4})
+	fired := 0
+	for n := 1; n <= 12; n++ {
+		if err := inj.Hit("p"); err != nil {
+			fired++
+			if n%4 != 0 {
+				t.Fatalf("fired off-schedule at hit %d", n)
+			}
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times in 12 hits, want 3", fired)
+	}
+}
+
+func TestProbDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		inj := New(seed)
+		inj.MustAdd(Rule{Point: "p", Act: Cancel, Prob: 0.3})
+		var fired []int
+		for n := 1; n <= 200; n++ {
+			if inj.Hit("p") != nil {
+				fired = append(fired, n)
+			}
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("p=0.3 fired %d/200 times; schedule degenerate", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at index %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if c := run(43); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical schedules")
+		}
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	inj := New(1)
+	inj.MustAdd(Rule{Point: "p", Act: Panic, Nth: 1})
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *PanicError", r)
+		}
+		if pe.Point != "p" || pe.Hit != 1 {
+			t.Fatalf("panic carries %+v", pe)
+		}
+	}()
+	inj.Hit("p")
+	t.Fatal("panic rule did not panic")
+}
+
+func TestHitValueCancelPanics(t *testing.T) {
+	inj := New(1)
+	inj.MustAdd(Rule{Point: "lattice.lub", Act: Cancel, Nth: 1})
+	defer func() {
+		if _, ok := recover().(*PanicError); !ok {
+			t.Fatal("HitValue on a cancel rule must panic with *PanicError")
+		}
+	}()
+	inj.HitValue("lattice.lub")
+}
+
+func TestDelayRuleSleeps(t *testing.T) {
+	inj := New(1)
+	inj.MustAdd(Rule{Point: "p", Act: Delay, Nth: 1, Dur: 20 * time.Millisecond})
+	start := time.Now()
+	if err := inj.Hit("p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay rule slept only %v", d)
+	}
+}
+
+func TestConcurrentHitsCountExactly(t *testing.T) {
+	inj := New(1)
+	inj.MustAdd(Rule{Point: "p", Act: Cancel, Every: 10})
+	const goroutines, each = 8, 125
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < each; i++ {
+				if inj.Hit("p") != nil {
+					n++
+				}
+			}
+			fired.Store(g, n)
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	fired.Range(func(_, v any) bool { total += v.(int); return true })
+	if want := goroutines * each / 10; total != want {
+		t.Fatalf("every-10 rule fired %d times over %d hits, want %d", total, goroutines*each, want)
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	inj := New(1)
+	for _, r := range []Rule{
+		{Point: "", Act: Cancel, Nth: 1},
+		{Point: "p", Act: Cancel},                                // no schedule
+		{Point: "p", Act: Cancel, Nth: 1, Every: 2},              // two schedules
+		{Point: "p", Act: Delay, Nth: 1},                         // delay without duration
+		{Point: "p", Act: Cancel, Nth: 1, Dur: time.Millisecond}, // duration on cancel
+		{Point: "p", Act: Cancel, Prob: 1.5},                     // probability out of range
+	} {
+		if err := inj.Add(r); err == nil {
+			t.Errorf("Add accepted invalid rule %+v", r)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	inj, err := ParseSpec("solve.step:delay:%2:5ms; pool.get:panic:3 ;lattice.lub:cancel:~0.5", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// delay every 2nd hit
+	start := time.Now()
+	inj.Hit("solve.step")
+	inj.Hit("solve.step")
+	if d := time.Since(start); d < 4*time.Millisecond {
+		t.Fatalf("parsed delay rule slept %v", d)
+	}
+	// panic on 3rd hit
+	inj.Hit("pool.get")
+	inj.Hit("pool.get")
+	func() {
+		defer func() {
+			if _, ok := recover().(*PanicError); !ok {
+				t.Error("parsed panic rule did not fire on 3rd hit")
+			}
+		}()
+		inj.Hit("pool.get")
+	}()
+
+	for _, bad := range []string{
+		"p:delay:%1",     // delay without duration
+		"p:cancel:1:5ms", // duration on cancel
+		"p:explode:1",    // unknown action
+		"p:cancel:x",     // bad schedule
+		"nope",           // malformed
+	} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Errorf("ParseSpec accepted %q", bad)
+		}
+	}
+	if inj, err := ParseSpec("", 1); err != nil || inj == nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+}

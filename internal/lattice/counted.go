@@ -1,5 +1,7 @@
 package lattice
 
+import "minup/internal/fault"
+
 // OpCounts tallies the primitive lattice operations performed through a
 // Counted wrapper — the encoding-layer cost the complexity analysis of §5
 // charges per constraint check. The counts are plain integers owned by one
@@ -24,6 +26,15 @@ func (c OpCounts) Total() uint64 { return c.Lub + c.Glb + c.Dominates + c.Covers
 type Counted struct {
 	L Lattice
 	C *OpCounts
+	// F, when non-nil, arms the wrapper's fault points ("lattice.lub",
+	// "lattice.glb", "lattice.dominates", "lattice.covers") for chaos
+	// testing: delay rules simulate slow lattice encodings, panic rules a
+	// buggy one. Cancel rules panic (these call sites return values, not
+	// errors); the solver's recovery guard converts that to a typed
+	// internal error. Nil costs one comparison per operation, and the
+	// wrapper itself is only installed when counting or injection is
+	// requested, so the uninstrumented solve path is untouched.
+	F *fault.Injector
 }
 
 // Instrument wraps l so its operations count into c. When c is nil the
@@ -47,24 +58,36 @@ func (w *Counted) Bottom() Level { return w.L.Bottom() }
 // Dominates counts and forwards a ≽ b.
 func (w *Counted) Dominates(a, b Level) bool {
 	w.C.Dominates++
+	if w.F != nil {
+		w.F.HitValue("lattice.dominates")
+	}
 	return w.L.Dominates(a, b)
 }
 
 // Lub counts and forwards a ⊔ b.
 func (w *Counted) Lub(a, b Level) Level {
 	w.C.Lub++
+	if w.F != nil {
+		w.F.HitValue("lattice.lub")
+	}
 	return w.L.Lub(a, b)
 }
 
 // Glb counts and forwards a ⊓ b.
 func (w *Counted) Glb(a, b Level) Level {
 	w.C.Glb++
+	if w.F != nil {
+		w.F.HitValue("lattice.glb")
+	}
 	return w.L.Glb(a, b)
 }
 
 // Covers counts and forwards the immediate-descendant expansion.
 func (w *Counted) Covers(a Level) []Level {
 	w.C.Covers++
+	if w.F != nil {
+		w.F.HitValue("lattice.covers")
+	}
 	return w.L.Covers(a)
 }
 

@@ -66,8 +66,10 @@ import (
 	"context"
 	"io"
 
+	"minup/internal/baseline"
 	"minup/internal/constraint"
 	"minup/internal/core"
+	"minup/internal/fault"
 	"minup/internal/lattice"
 	"minup/internal/mac"
 	"minup/internal/mlsdb"
@@ -134,6 +136,13 @@ var (
 	ErrNotCompiled = core.ErrNotCompiled
 	// ErrFrozen reports mutation of a ConstraintSet after Compile.
 	ErrFrozen = constraint.ErrFrozen
+	// ErrInternal reports a solver panic converted to an error by the
+	// recovery guard; the concrete error is an *InternalError carrying the
+	// recovered value and stack.
+	ErrInternal = core.ErrInternal
+	// ErrFaultInjected reports a cancellation injected by an armed
+	// FaultInjector (chaos testing only).
+	ErrFaultInjected = fault.ErrInjected
 )
 
 // Solver types.
@@ -149,6 +158,18 @@ type (
 	// InconsistencyError reports that upper- and lower-bound constraints
 	// clash (§6).
 	InconsistencyError = core.InconsistencyError
+	// InternalError is a solver panic converted to a typed error: the
+	// recovered value plus the stack captured at recovery. It unwraps to
+	// ErrInternal; the panicking solver session is discarded, so later
+	// solves are unaffected.
+	InternalError = core.InternalError
+	// FaultInjector is a deterministic, seedable chaos-testing injector
+	// that delays, cancels, or panics at the solver's named fault points.
+	// Arm one via Options.Fault (or minupd's -fault flag); nil is the
+	// production value and keeps the hot path allocation-free.
+	FaultInjector = fault.Injector
+	// FaultRule arms one fault at one named point of a FaultInjector.
+	FaultRule = fault.Rule
 )
 
 // Observability types. Telemetry is strictly opt-in: with no sink installed
@@ -232,6 +253,22 @@ var (
 // ever allocated — an upper bound on the session pool's current size and a
 // proxy for peak solve concurrency. Servers export it as a gauge.
 func SessionsAllocated() int64 { return core.SessionsAllocated() }
+
+// PanicsRecovered reports how many solver panics the process has recovered
+// from (each converted to an *InternalError and its session discarded).
+// Servers export it as a gauge next to the pool size.
+func PanicsRecovered() int64 { return core.PanicsRecovered() }
+
+// NewFaultInjector returns an empty chaos-testing injector whose
+// probabilistic rules draw from a PRNG seeded with seed.
+func NewFaultInjector(seed int64) *FaultInjector { return fault.New(seed) }
+
+// ParseFaultSpec builds a FaultInjector from the textual rule list used by
+// minupd's -fault flag, e.g. "solve.step:delay:%1:5ms;pool.get:panic:3".
+// See the fault package's ParseSpec for the grammar.
+func ParseFaultSpec(spec string, seed int64) (*FaultInjector, error) {
+	return fault.ParseSpec(spec, seed)
+}
 
 // NewTracer returns a tracer with a random trace ID. Start a root span,
 // attach it to a context with ContextWithSpan, and pass that context to
@@ -411,6 +448,33 @@ type (
 	// level.
 	Explanation = core.Explanation
 )
+
+// Verify checks that an assignment satisfies every constraint of the set,
+// returning nil on success. It is one linear pass over the constraints —
+// the guard a serving layer runs before returning any assignment it did
+// not obtain from the minimal solver, such as the Qian baseline served
+// under overload degradation.
+func Verify(set *ConstraintSet, m Assignment) error { return core.Verify(set, m) }
+
+// QianBaseline computes a satisfying but generally over-classified
+// assignment with the polynomial least-fixpoint propagation of [13] (§4,
+// experiment E5): every violated constraint upgrades all of its left-hand
+// side attributes. The result satisfies every secrecy, inference, and
+// association constraint by construction — it is safe to serve, merely
+// non-minimal — which makes it the principled degradation target when a
+// minimal solve cannot finish inside its budget. Upper-bound constraint
+// sets are not supported.
+func QianBaseline(ctx context.Context, set *ConstraintSet) (Assignment, error) {
+	return baseline.QianContext(ctx, set)
+}
+
+// CountUpgraded returns the number of attributes classified strictly above
+// lattice bottom — the over-classification cost measure of the
+// optimal-upgrading literature, reported by degraded minupd responses as
+// the delta against the last minimal solve.
+func CountUpgraded(set *ConstraintSet, m Assignment) int {
+	return baseline.CountUpgraded(set, m)
+}
 
 // ProbeMinimality checks an arbitrary satisfying assignment for pointwise
 // minimality in polynomial time, by attempting every one-step lowering

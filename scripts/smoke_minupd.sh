@@ -1,14 +1,21 @@
 #!/usr/bin/env sh
 # Smoke-test the minupd HTTP service end to end against the checked-in
 # Figure 2(a) fixtures: build, start, poll /healthz, then assert that
-# /solve, /metrics?format=prometheus, and /trace?format=chrome all answer
-# 200 with non-empty bodies. The Chrome trace is left at
-# sample-trace.json for CI to upload as an artifact.
+# /readyz, /solve, /metrics?format=prometheus, and /trace?format=chrome all
+# answer 200 with non-empty bodies. The Chrome trace is left at
+# sample-trace.json for CI to upload as an artifact. A second, deliberately
+# throttled instance (-max-inflight 1, no queue, 20ms solve budget, every
+# solver step delayed 30ms by fault injection) then exercises the
+# robustness layer: a forced-degraded solve and load shedding under
+# concurrent requests, with the http_shed and solve_degraded counters
+# asserted via Prometheus exposition.
 #
-# Usage: scripts/smoke_minupd.sh [addr]   (default 127.0.0.1:18080)
+# Usage: scripts/smoke_minupd.sh [addr] [addr2]
+#        (defaults 127.0.0.1:18080 and 127.0.0.1:18081)
 set -eu
 
 addr="${1:-127.0.0.1:18080}"
+addr2="${2:-127.0.0.1:18081}"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 
@@ -65,5 +72,63 @@ echo "smoke: /trace?format=chrome ok (sample-trace.json)"
 fetch "http://$addr/trace" /tmp/smoke-trace.json
 grep -q '"spans"' /tmp/smoke-trace.json
 echo "smoke: /trace ok"
+
+fetch "http://$addr/readyz" /tmp/smoke-ready.txt
+grep -q 'ready' /tmp/smoke-ready.txt
+echo "smoke: /readyz ok"
+
+# --- Robustness: a throttled chaos instance -------------------------------
+# One slot, no queue, a 20ms solve budget, and a fault injector that delays
+# every solver step 30ms: any minimal solve blows its deadline (forcing the
+# Qian-baseline degraded path), and concurrent requests overflow the gate
+# (forcing sheds).
+/tmp/minupd \
+  -lattice testdata/lattice_fig1b.txt \
+  -constraints testdata/constraints_fig2.txt \
+  -addr "$addr2" -debug-addr "" \
+  -max-inflight 1 -max-queue 0 -solve-timeout 20ms \
+  -fault 'solve.step:delay:%1:30ms' &
+pid2=$!
+trap 'kill "$pid" "$pid2" 2>/dev/null || true' EXIT INT TERM
+
+i=0
+until curl -fsS "http://$addr2/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "smoke: throttled minupd did not become healthy at $addr2" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+fetch "http://$addr2/solve" /tmp/smoke-degraded.json
+grep -q '"degraded": true' /tmp/smoke-degraded.json
+grep -q '"degrade_reason": "deadline"' /tmp/smoke-degraded.json
+grep -q '"assignment"' /tmp/smoke-degraded.json
+echo "smoke: forced-degraded /solve ok"
+
+# Fire 8 concurrent solves at the single-slot gate; with each solve pinned
+# down by the 30ms step delay, most must be shed with 503.
+: > /tmp/smoke-shed-codes.txt
+curl_pids=""
+for _ in 1 2 3 4 5 6 7 8; do
+  curl -sS -o /dev/null -w '%{http_code}\n' "http://$addr2/solve" >> /tmp/smoke-shed-codes.txt &
+  curl_pids="$curl_pids $!"
+done
+for p in $curl_pids; do
+  wait "$p" || true
+done
+if ! grep -q '^503$' /tmp/smoke-shed-codes.txt; then
+  echo "smoke: no request was shed under concurrent load" >&2
+  cat /tmp/smoke-shed-codes.txt >&2
+  exit 1
+fi
+echo "smoke: load shedding ok ($(grep -c '^503$' /tmp/smoke-shed-codes.txt) of 8 shed)"
+
+fetch "http://$addr2/metrics?format=prometheus" /tmp/smoke-metrics2.txt
+grep -q '^# TYPE http_shed counter' /tmp/smoke-metrics2.txt
+grep '^http_shed ' /tmp/smoke-metrics2.txt | awk '$2 == 0 { exit 1 }'
+grep '^solve_degraded ' /tmp/smoke-metrics2.txt | awk '$2 == 0 { exit 1 }'
+echo "smoke: http_shed and solve_degraded counters ok"
 
 echo "smoke: all checks passed"
