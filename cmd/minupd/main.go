@@ -79,6 +79,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -207,6 +208,11 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+	// shutdownDone closes once the drain goroutine has finished draining
+	// both listeners. main() must block on it after ListenAndServe returns:
+	// Shutdown closes the listeners first, so ListenAndServe comes back with
+	// ErrServerClosed while in-flight requests are still completing.
+	shutdownDone := make(chan struct{})
 	go func() {
 		<-ctx.Done()
 		// Flip readiness first: load balancers stop routing here while
@@ -215,17 +221,33 @@ func main() {
 		logger.Info("draining", slog.String("reason", "signal"))
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		// Drain concurrently: a long-running debug request (pprof profiles
+		// stream for up to ?seconds=) must not consume the service
+		// listener's share of the drain budget.
+		var wg sync.WaitGroup
 		if dbg != nil {
-			dbg.Shutdown(shCtx)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dbg.Shutdown(shCtx)
+			}()
 		}
 		main.Shutdown(shCtx)
+		wg.Wait()
+		close(shutdownDone)
 	}()
 	cs := compiled.CompileStats()
 	fmt.Fprintf(os.Stderr, "minupd: serving %d attrs, %d constraints (S=%d, %d SCCs, compiled in %s) on %s (max-inflight=%d queue=%d solve-timeout=%s degrade=%v)\n",
 		cs.Attrs, cs.Constraints, cs.TotalSize, cs.SCCs, cs.Duration, *addr,
 		cfg.maxInflight, cfg.maxQueue, cfg.solveTimeout, cfg.degrade)
-	if err := main.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	err = main.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		// Only the drain goroutine calls Shutdown, so ErrServerClosed means
+		// it is running; wait for in-flight requests to finish before exit.
+		<-shutdownDone
 	}
 }
 

@@ -108,7 +108,16 @@ func instrument(route string, reg *minup.MetricsRegistry, logger *slog.Logger, n
 		inFlight.Inc()
 		start := time.Now()
 		defer func() {
-			if rec := recover(); rec != nil {
+			rec := recover()
+			if rec == http.ErrAbortHandler { //nolint:errorlint // net/http compares this sentinel by identity
+				// net/http's sentinel for deliberately aborting a response:
+				// not a bug, so skip the 500/counter/log handling and let the
+				// server suppress it as designed. Keep the gauge honest first,
+				// since re-panicking skips the rest of this defer.
+				inFlight.Dec()
+				panic(rec)
+			}
+			if rec != nil {
 				reg.Counter("http.panics").Inc()
 				logger.Error("handler panic",
 					slog.String("path", r.URL.Path),

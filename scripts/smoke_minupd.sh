@@ -127,8 +127,18 @@ echo "smoke: load shedding ok ($(grep -c '^503$' /tmp/smoke-shed-codes.txt) of 8
 
 fetch "http://$addr2/metrics?format=prometheus" /tmp/smoke-metrics2.txt
 grep -q '^# TYPE http_shed counter' /tmp/smoke-metrics2.txt
-grep '^http_shed ' /tmp/smoke-metrics2.txt | awk '$2 == 0 { exit 1 }'
-grep '^solve_degraded ' /tmp/smoke-metrics2.txt | awk '$2 == 0 { exit 1 }'
-echo "smoke: http_shed and solve_degraded counters ok"
+# Capture the values explicitly: piping grep into awk would pass vacuously
+# when the series is absent (awk over empty input exits 0).
+shed="$(awk '/^http_shed /{print $2}' /tmp/smoke-metrics2.txt)"
+if [ -z "$shed" ] || [ "$shed" -le 0 ]; then
+  echo "smoke: http_shed counter missing or zero (got '${shed:-absent}')" >&2
+  exit 1
+fi
+degraded="$(awk '/^solve_degraded /{print $2}' /tmp/smoke-metrics2.txt)"
+if [ -z "$degraded" ] || [ "$degraded" -le 0 ]; then
+  echo "smoke: solve_degraded counter missing or zero (got '${degraded:-absent}')" >&2
+  exit 1
+fi
+echo "smoke: http_shed and solve_degraded counters ok (shed=$shed degraded=$degraded)"
 
 echo "smoke: all checks passed"
