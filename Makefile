@@ -28,26 +28,30 @@ ci: vet fmt-check race
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# Machine-readable solver micro-benchmarks (fresh vs compiled paths).
+# Machine-readable solve-path benchmarks: the fresh/compiled split plus
+# the policy catalog's memoized serve path, written to BENCH_solve.json
+# (CI uploads it as an artifact).
 bench-json:
-	$(GO) run ./cmd/benchtab -solverjson BENCH_solver.json
+	sh scripts/bench_json.sh
 
 # bench-json plus the per-instance solver stats matrix (tries, collapses,
 # lattice ops, durations, qian baseline rows). CI uploads the result.
 bench-stats:
 	$(GO) run ./cmd/benchtab -solverjson BENCH_solver.json -stats
 
-# End-to-end HTTP smoke of minupd on the Figure 2(a) fixtures; leaves a
-# sample Chrome trace at sample-trace.json.
+# End-to-end HTTP smoke of minupd on the Figure 2(a) fixtures plus the
+# durable policy catalog (create/append/cached-solve/restart); leaves a
+# sample Chrome trace at artifacts/sample-trace.json.
 smoke:
 	sh scripts/smoke_minupd.sh
 
 # Fault-injection and resilience suites under the race detector: the
 # concurrent chaos storm, panic isolation, admission/shedding, degraded
-# serving, and graceful-shutdown drain.
+# serving, graceful-shutdown drain, and the catalog/WAL crash-recovery and
+# torn-tail sweeps.
 chaos:
-	$(GO) test -race -run 'Chaos|Panic|Fault|Injected|Degrad|Shed|Drain|Shutdown|Ready|Gate' \
-		./internal/fault ./internal/core ./cmd/minupd
+	$(GO) test -race -run 'Chaos|Panic|Fault|Injected|Degrad|Shed|Drain|Shutdown|Ready|Gate|Crash|Torn|Recover' \
+		./internal/fault ./internal/core ./cmd/minupd ./internal/catalog ./internal/wal
 
 # Short fuzz of every fuzz target (go fuzzes one target per invocation).
 FUZZTIME ?= 10s

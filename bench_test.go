@@ -18,6 +18,7 @@ package minup
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 
 	"minup/internal/baseline"
@@ -496,6 +497,42 @@ func BenchmarkSolveCompiled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := SolveContext(ctx, compiled, Options{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCatalogServe measures the policy catalog's serve path on the
+// same instance as BenchmarkSolveCompiled: a warm (memoized) solve per
+// iteration — the steady state of GET /policies/{name}/solve on an
+// unchanged policy, which must perform zero compiles and zero full solves.
+// The gap to BenchmarkSolveCompiled is the price of the catalog lookup
+// plus formatting the assignment by name.
+func BenchmarkCatalogServe(b *testing.B) {
+	set := solveBenchSet(b)
+	var text strings.Builder
+	if _, err := set.WriteTo(&text); err != nil {
+		b.Fatal(err)
+	}
+	cat, err := OpenCatalog(CatalogOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := cat.Put(ctx, "bench", "chain mil\nlevels U C S TS\n", text.String(), PolicyUnconditional); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cat.Solve(ctx, "bench"); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cat.Solve(ctx, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheHit {
+			b.Fatal("catalog serve missed the cache")
 		}
 	}
 }

@@ -5,12 +5,45 @@
 //
 // Usage:
 //
-//	minupd -lattice lat.txt -constraints cons.txt \
+//	minupd [-lattice lat.txt -constraints cons.txt] \
+//	       [-data-dir dir] [-fsync always|never] \
 //	       [-addr :8080] [-debug-addr 127.0.0.1:6060] \
 //	       [-max-inflight 64] [-max-queue 128] [-queue-wait 100ms] \
 //	       [-solve-timeout 2s] [-degrade] [-fault spec] [-fault-seed n]
 //
-// The service listener answers (GET only; other methods get 405):
+// -lattice/-constraints configure the optional static instance behind
+// /solve and /trace; without them minupd is a pure policy-catalog server
+// and those routes answer 404.
+//
+// # Policy catalog
+//
+// Besides the static instance, minupd manages a catalog of named,
+// versioned policies (lattice + constraint set each), durable when
+// -data-dir is set: every mutation is written to a write-ahead log before
+// it is applied (fsync per -fsync), the log is periodically compacted into
+// an atomic snapshot, and a restart recovers the catalog exactly — a torn
+// final WAL frame is truncated, losing at most the interrupted mutation.
+//
+//	GET    /policies                    list policies
+//	PUT    /policies/{name}             create/replace from JSON
+//	                                    {"lattice": ..., "constraints": ...}
+//	GET    /policies/{name}             describe one policy (incl. texts)
+//	DELETE /policies/{name}             remove it
+//	POST   /policies/{name}/constraints append constraint text
+//	                                    ({"constraints": ...}); with a warm
+//	                                    solve cache this runs the
+//	                                    incremental repair, not a cold solve
+//	GET    /policies/{name}/solve       minimal classification, memoized:
+//	                                    an unchanged policy is served with
+//	                                    zero compiles and zero solves
+//	                                    (POST works too)
+//
+// Responses carry the policy version as a strong ETag; If-Match gives
+// compare-and-swap writes (412 on a lost race) and If-None-Match: *
+// create-only PUTs (409 if the name exists).
+//
+// The service listener answers on the static routes (GET only; other
+// methods get 405):
 //
 //	GET /solve            solve the compiled instance; JSON assignment +
 //	                      per-solve stats (add ?lattice_ops=1 to count
@@ -109,8 +142,10 @@ func defaultConfig() config {
 }
 
 func main() {
-	latticePath := flag.String("lattice", "", "path to the lattice description file")
-	consPath := flag.String("constraints", "", "path to the constraint file")
+	latticePath := flag.String("lattice", "", "path to the lattice description file for the static /solve instance (optional)")
+	consPath := flag.String("constraints", "", "path to the constraint file for the static /solve instance (optional)")
+	dataDir := flag.String("data-dir", "", "policy-catalog data directory; empty keeps the catalog in memory only")
+	fsyncPolicy := flag.String("fsync", "always", "catalog WAL fsync policy: always|never")
 	addr := flag.String("addr", ":8080", "service listen address")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:6060", "debug listen address for /debug/vars and /debug/pprof (empty to disable)")
 	def := defaultConfig()
@@ -122,34 +157,40 @@ func main() {
 	faultSpec := flag.String("fault", "", "chaos-testing fault spec, e.g. 'solve.step:delay:%1:5ms;pool.get:panic:3' (see internal/fault)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
 	flag.Parse()
-	if *latticePath == "" || *consPath == "" {
+	if (*latticePath == "") != (*consPath == "") {
+		fmt.Fprintln(os.Stderr, "minupd: -lattice and -constraints must be given together")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	lf, err := os.Open(*latticePath)
-	if err != nil {
-		fatal(err)
-	}
-	lat, err := minup.ParseLattice(lf)
-	lf.Close()
-	if err != nil {
-		fatal(err)
-	}
-	set := minup.NewConstraintSet(lat)
-	cf, err := os.Open(*consPath)
-	if err != nil {
-		fatal(err)
-	}
-	err = set.ParseInto(cf)
-	cf.Close()
-	if err != nil {
-		fatal(err)
-	}
-
-	compiled := minup.Compile(set)
-	if err := minup.CheckSolvable(set); err != nil {
-		fatal(fmt.Errorf("instance is unsolvable: %w", err))
+	// The static instance behind /solve and /trace is optional; without it
+	// minupd is a pure policy-catalog server.
+	var set *minup.ConstraintSet
+	var compiled *minup.CompiledSet
+	if *latticePath != "" {
+		lf, err := os.Open(*latticePath)
+		if err != nil {
+			fatal(err)
+		}
+		lat, err := minup.ParseLattice(lf)
+		lf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		set = minup.NewConstraintSet(lat)
+		cf, err := os.Open(*consPath)
+		if err != nil {
+			fatal(err)
+		}
+		err = set.ParseInto(cf)
+		cf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		compiled = minup.Compile(set)
+		if err := minup.CheckSolvable(set); err != nil {
+			fatal(fmt.Errorf("instance is unsolvable: %w", err))
+		}
 	}
 	cfg := config{
 		maxInflight:  *maxInflight,
@@ -159,6 +200,7 @@ func main() {
 		degrade:      *degrade,
 	}
 	if *faultSpec != "" {
+		var err error
 		cfg.fault, err = minup.ParseFaultSpec(*faultSpec, *faultSeed)
 		if err != nil {
 			fatal(err)
@@ -169,7 +211,31 @@ func main() {
 	reg.Publish("minup")
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
-	srv := newServer(set, compiled, reg, cfg)
+	var walSync minup.WALSyncPolicy
+	switch *fsyncPolicy {
+	case "always":
+		walSync = minup.WALSyncAlways
+	case "never":
+		walSync = minup.WALSyncNever
+	default:
+		fatal(fmt.Errorf("unknown -fsync policy %q (want always or never)", *fsyncPolicy))
+	}
+	cat, err := minup.OpenCatalog(minup.CatalogOptions{
+		Dir:     *dataDir,
+		Sync:    walSync,
+		Metrics: reg,
+		Fault:   cfg.fault,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *dataDir != "" {
+		ri := cat.RecoveryInfo()
+		fmt.Fprintf(os.Stderr, "minupd: catalog recovered from %s: %d policies (snapshot %d, WAL records %d, torn tail %v) in %s\n",
+			*dataDir, cat.Len(), ri.SnapshotPolicies, ri.WALRecords, ri.TornTail, ri.Duration)
+	}
+
+	srv := newServer(set, compiled, cat, reg, cfg)
 	mux := srv.routes(logger)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -236,10 +302,15 @@ func main() {
 		wg.Wait()
 		close(shutdownDone)
 	}()
-	cs := compiled.CompileStats()
-	fmt.Fprintf(os.Stderr, "minupd: serving %d attrs, %d constraints (S=%d, %d SCCs, compiled in %s) on %s (max-inflight=%d queue=%d solve-timeout=%s degrade=%v)\n",
-		cs.Attrs, cs.Constraints, cs.TotalSize, cs.SCCs, cs.Duration, *addr,
-		cfg.maxInflight, cfg.maxQueue, cfg.solveTimeout, cfg.degrade)
+	if compiled != nil {
+		cs := compiled.CompileStats()
+		fmt.Fprintf(os.Stderr, "minupd: serving %d attrs, %d constraints (S=%d, %d SCCs, compiled in %s) on %s (max-inflight=%d queue=%d solve-timeout=%s degrade=%v)\n",
+			cs.Attrs, cs.Constraints, cs.TotalSize, cs.SCCs, cs.Duration, *addr,
+			cfg.maxInflight, cfg.maxQueue, cfg.solveTimeout, cfg.degrade)
+	} else {
+		fmt.Fprintf(os.Stderr, "minupd: serving the policy catalog (no static instance) on %s (max-inflight=%d queue=%d solve-timeout=%s)\n",
+			*addr, cfg.maxInflight, cfg.maxQueue, cfg.solveTimeout)
+	}
 	err = main.ListenAndServe()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
@@ -249,11 +320,19 @@ func main() {
 		// it is running; wait for in-flight requests to finish before exit.
 		<-shutdownDone
 	}
+	// Every catalog mutation is WAL-first, so closing releases the file
+	// handle with nothing left to flush.
+	if err := cat.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "minupd: closing catalog: %v\n", err)
+	}
 }
 
 type server struct {
+	// set and compiled are the optional static instance behind /solve and
+	// /trace; both nil when minupd runs as a pure policy-catalog server.
 	set      *minup.ConstraintSet
 	compiled *minup.CompiledSet
+	cat      *minup.PolicyCatalog
 	reg      *minup.MetricsRegistry
 	cfg      config
 	gate     *gate
@@ -266,8 +345,8 @@ type server struct {
 
 // newServer wires a server the way main does, so tests share the exact
 // production admission/degradation path.
-func newServer(set *minup.ConstraintSet, compiled *minup.CompiledSet, reg *minup.MetricsRegistry, cfg config) *server {
-	s := &server{set: set, compiled: compiled, reg: reg, cfg: cfg}
+func newServer(set *minup.ConstraintSet, compiled *minup.CompiledSet, cat *minup.PolicyCatalog, reg *minup.MetricsRegistry, cfg config) *server {
+	s := &server{set: set, compiled: compiled, cat: cat, reg: reg, cfg: cfg}
 	s.gate = newGate(cfg.maxInflight, cfg.maxQueue, cfg.queueWait, &s.draining, reg)
 	s.lastMinimalUpgraded.Store(-1)
 	// Register the degradation counters eagerly so a scrape sees the
@@ -288,6 +367,17 @@ func (s *server) routes(logger *slog.Logger) http.Handler {
 		fmt.Fprintln(w, "ok")
 	}))
 	mux.Handle("/readyz", instrument("readyz", s.reg, logger, s.handleReady))
+	// Policy-catalog routes use Go 1.22 method patterns, so the mux itself
+	// answers mismatched methods with 405 + Allow; the middleware variant
+	// without the GET gate keeps the rest of the stack. Route names stay
+	// low-cardinality: the policy name never reaches a metric.
+	mux.Handle("GET /policies", instrumentMethods("policies", s.reg, logger, s.handlePolicyList))
+	mux.Handle("PUT /policies/{name}", instrumentMethods("policy", s.reg, logger, s.handlePolicyPut))
+	mux.Handle("GET /policies/{name}", instrumentMethods("policy", s.reg, logger, s.handlePolicyGet))
+	mux.Handle("DELETE /policies/{name}", instrumentMethods("policy", s.reg, logger, s.handlePolicyDelete))
+	mux.Handle("POST /policies/{name}/constraints", instrumentMethods("policy.constraints", s.reg, logger, s.handlePolicyAppend))
+	mux.Handle("GET /policies/{name}/solve", instrumentMethods("policy.solve", s.reg, logger, s.handlePolicySolve))
+	mux.Handle("POST /policies/{name}/solve", instrumentMethods("policy.solve", s.reg, logger, s.handlePolicySolve))
 	return mux
 }
 
@@ -362,6 +452,10 @@ func (s *server) solveBudget(r *http.Request) time.Duration {
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.compiled == nil {
+		http.Error(w, "no static instance configured (start minupd with -lattice/-constraints, or use /policies)", http.StatusNotFound)
+		return
+	}
 	release, err := s.gate.acquire(r.Context())
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -415,22 +509,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	for _, a := range s.set.Attrs() {
 		out.Assignment[s.set.AttrName(a)] = lat.FormatLevel(res.Assignment[a])
 	}
-	st := res.Stats
-	out.Stats = solveStats{
-		Tries:          st.Tries,
-		FailedTries:    st.FailedTries,
-		Collapses:      st.Collapses,
-		AttrsProcessed: st.AttrsProcessed,
-		MinlevelCalls:  st.MinlevelCalls,
-		TrySteps:       st.TrySteps,
-		DescentSteps:   st.DescentSteps,
-		LatticeLub:     st.LatticeOps.Lub,
-		LatticeGlb:     st.LatticeOps.Glb,
-		LatticeDom:     st.LatticeOps.Dominates,
-		LatticeCovers:  st.LatticeOps.Covers,
-		PoolHit:        st.PoolHit,
-		DurationUS:     st.Duration.Microseconds(),
-	}
+	out.Stats = newSolveStats(res.Stats)
 	s.lastMinimalUpgraded.Store(int64(minup.CountUpgraded(s.set, res.Assignment)))
 	writeJSON(w, out)
 }
@@ -533,6 +612,10 @@ type traceResponse struct {
 }
 
 func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.compiled == nil {
+		http.Error(w, "no static instance configured (start minupd with -lattice/-constraints, or use /policies)", http.StatusNotFound)
+		return
+	}
 	release, err := s.gate.acquire(r.Context())
 	if err != nil {
 		if r.Context().Err() != nil {

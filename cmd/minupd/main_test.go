@@ -24,7 +24,12 @@ func newTestServer(t *testing.T) (*server, http.Handler, *strings.Builder) {
 func newTestServerCfg(t *testing.T, cfg config) (*server, http.Handler, *strings.Builder) {
 	t.Helper()
 	f := constraint.NewFigure2()
-	srv := newServer(f.Set, f.Set.Compile(), minup.NewMetricsRegistry(), cfg)
+	reg := minup.NewMetricsRegistry()
+	cat, err := minup.OpenCatalog(minup.CatalogOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(f.Set, f.Set.Compile(), cat, reg, cfg)
 	logBuf := &strings.Builder{}
 	logger := slog.New(slog.NewJSONHandler(logBuf, nil))
 	return srv, srv.routes(logger), logBuf

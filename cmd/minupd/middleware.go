@@ -89,9 +89,7 @@ func statusClass(code int) string {
 // The histogram and the 2xx counter are registered eagerly at wrap time so
 // a Prometheus scrape sees the route's series before its first request.
 func instrument(route string, reg *minup.MetricsRegistry, logger *slog.Logger, next http.HandlerFunc) http.Handler {
-	hist := reg.Histogram("http."+route+".duration_us", minup.DurationBucketsUS)
-	reg.Counter("http." + route + ".status.2xx")
-	inFlight := reg.Gauge("http.in_flight")
+	inner := instrumentMethods(route, reg, logger, next)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			w.Header().Set("Allow", http.MethodGet)
@@ -99,6 +97,20 @@ func instrument(route string, reg *minup.MetricsRegistry, logger *slog.Logger, n
 			reg.Counter("http." + route + ".status.4xx").Inc()
 			return
 		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// instrumentMethods is instrument without the GET-only gate, for routes
+// registered with ServeMux method patterns ("PUT /policies/{name}") —
+// there the mux itself answers mismatched methods with 405 and the right
+// Allow set. Several method patterns may share one route name; the eager
+// metric registration is get-or-create, so the series are shared too.
+func instrumentMethods(route string, reg *minup.MetricsRegistry, logger *slog.Logger, next http.HandlerFunc) http.Handler {
+	hist := reg.Histogram("http."+route+".duration_us", minup.DurationBucketsUS)
+	reg.Counter("http." + route + ".status.2xx")
+	inFlight := reg.Gauge("http.in_flight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ri := &requestInfo{id: r.Header.Get("X-Request-Id")}
 		if ri.id == "" {
 			ri.id = newRequestID()

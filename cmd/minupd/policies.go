@@ -1,0 +1,286 @@
+// The /policies surface: the stateful side of minupd. Where /solve serves
+// one constraint set compiled at boot, these routes manage a durable
+// catalog of named, versioned policies — created and replaced with PUT,
+// refined with constraint appends that run the incremental repair instead
+// of a cold solve, and served from a per-version memoized solve cache.
+//
+// Optimistic concurrency is plain HTTP: every response carrying policy
+// state sets an ETag holding the version; writers send If-Match with the
+// version they read (412 on a lost race) or If-None-Match: * to insist on
+// creating (409 if the name exists). Unconditional writes are allowed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"minup"
+)
+
+// maxPolicyBody bounds PUT/POST request bodies; policy source texts are
+// human-scale.
+const maxPolicyBody = 4 << 20
+
+// policyRequest is the JSON body of PUT /policies/{name} (both fields
+// required) and POST /policies/{name}/constraints (constraints only).
+type policyRequest struct {
+	Lattice     string `json:"lattice"`
+	Constraints string `json:"constraints"`
+}
+
+// policyListResponse is the JSON answer of GET /policies.
+type policyListResponse struct {
+	Count    int                `json:"count"`
+	Policies []minup.PolicyInfo `json:"policies"`
+}
+
+// policyAppendResponse reports an accepted constraint append: the new
+// version plus how the solution cache was maintained — repaired
+// incrementally from the memoized solution (repaired: true, with the
+// repair's work counts) or left cold for the next solve to fill.
+type policyAppendResponse struct {
+	minup.PolicyInfo
+	Repaired         bool `json:"repaired"`
+	RepairViolated   int  `json:"repair_violated,omitempty"`
+	RepairRecomputed int  `json:"repair_recomputed,omitempty"`
+	RepairFellBack   bool `json:"repair_fell_back,omitempty"`
+}
+
+// policySolveResponse is the JSON answer of GET/POST /policies/{name}/solve.
+type policySolveResponse struct {
+	Name       string            `json:"name"`
+	Version    uint64            `json:"version"`
+	CacheHit   bool              `json:"cache_hit"`
+	Assignment map[string]string `json:"assignment"`
+	Stats      solveStats        `json:"stats"`
+}
+
+// etag formats a policy version as a strong entity tag.
+func etag(version uint64) string { return `"` + strconv.FormatUint(version, 10) + `"` }
+
+// preconditionFrom maps the request's conditional headers to a catalog
+// version precondition: If-None-Match: * means create-only, If-Match "N"
+// means the policy must still be at version N, If-Match: * or no header
+// means unconditional.
+func preconditionFrom(r *http.Request) (int64, error) {
+	if inm := strings.TrimSpace(r.Header.Get("If-None-Match")); inm != "" {
+		if inm != "*" {
+			return 0, fmt.Errorf("If-None-Match only supports *, got %q", inm)
+		}
+		return minup.PolicyMustNotExist, nil
+	}
+	im := strings.TrimSpace(r.Header.Get("If-Match"))
+	if im == "" || im == "*" {
+		return minup.PolicyUnconditional, nil
+	}
+	v, err := strconv.ParseUint(strings.Trim(im, `"`), 10, 63)
+	if err != nil || v == 0 {
+		return 0, fmt.Errorf("malformed If-Match %q: want a version ETag like %q", im, etag(3))
+	}
+	return int64(v), nil
+}
+
+// decodePolicyBody reads a bounded JSON body into dst, answering 400
+// itself on failure.
+func decodePolicyBody(w http.ResponseWriter, r *http.Request, dst *policyRequest) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPolicyBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		http.Error(w, "decoding body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// policyError maps a catalog error to its status: 404 unknown name, 409
+// create-only conflict, 412 lost version race, 422 unsolvable, 500 storage
+// or solver failure, 504 budget expiry, and 400 for everything else (bad
+// names, unparseable source text).
+func (s *server) policyError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, minup.ErrPolicyNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, minup.ErrPolicyExists):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, minup.ErrPolicyVersionMismatch):
+		http.Error(w, err.Error(), http.StatusPreconditionFailed)
+	case errors.Is(err, minup.ErrUnsolvable):
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	case errors.Is(err, minup.ErrPolicyStorage):
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	case errors.Is(err, minup.ErrInternal):
+		http.Error(w, "internal solver error", http.StatusInternalServerError)
+	case errors.Is(err, minup.ErrCanceled), errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() != nil {
+			http.Error(w, err.Error(), http.StatusRequestTimeout)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (s *server) handlePolicyList(w http.ResponseWriter, _ *http.Request) {
+	infos := s.cat.List()
+	writeJSON(w, policyListResponse{Count: len(infos), Policies: infos})
+}
+
+func (s *server) handlePolicyGet(w http.ResponseWriter, r *http.Request) {
+	info, err := s.cat.Get(r.PathValue("name"))
+	if err != nil {
+		s.policyError(w, r, err)
+		return
+	}
+	w.Header().Set("ETag", etag(info.Version))
+	writeJSON(w, info)
+}
+
+func (s *server) handlePolicyPut(w http.ResponseWriter, r *http.Request) {
+	ifVersion, err := preconditionFrom(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req policyRequest
+	if !decodePolicyBody(w, r, &req) {
+		return
+	}
+	if req.Lattice == "" || req.Constraints == "" {
+		http.Error(w, `body must carry both "lattice" and "constraints" text`, http.StatusBadRequest)
+		return
+	}
+	info, err := s.cat.Put(r.Context(), r.PathValue("name"), req.Lattice, req.Constraints, ifVersion)
+	if err != nil {
+		s.policyError(w, r, err)
+		return
+	}
+	w.Header().Set("ETag", etag(info.Version))
+	status := http.StatusOK
+	if info.Version == 1 {
+		status = http.StatusCreated
+	}
+	writeJSONStatus(w, status, info)
+}
+
+func (s *server) handlePolicyDelete(w http.ResponseWriter, r *http.Request) {
+	ifVersion, err := preconditionFrom(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.cat.Delete(r.Context(), r.PathValue("name"), ifVersion); err != nil {
+		s.policyError(w, r, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePolicyAppend runs POST /policies/{name}/constraints. Appends do
+// solver work (the incremental repair, or a solvability check on a cold
+// cache), so they pass the same admission gate and solve budget as /solve.
+func (s *server) handlePolicyAppend(w http.ResponseWriter, r *http.Request) {
+	ifVersion, err := preconditionFrom(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req policyRequest
+	if !decodePolicyBody(w, r, &req) {
+		return
+	}
+	if req.Constraints == "" {
+		http.Error(w, `body must carry "constraints" text`, http.StatusBadRequest)
+		return
+	}
+	release, err := s.gate.acquire(r.Context())
+	if err != nil {
+		if r.Context().Err() != nil {
+			http.Error(w, "client gone while queued", http.StatusRequestTimeout)
+			return
+		}
+		writeShed(w, err)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.solveBudget(r))
+	defer cancel()
+	res, err := s.cat.Append(ctx, r.PathValue("name"), req.Constraints, ifVersion)
+	if err != nil {
+		s.policyError(w, r, err)
+		return
+	}
+	w.Header().Set("ETag", etag(res.Info.Version))
+	writeJSON(w, policyAppendResponse{
+		PolicyInfo:       res.Info,
+		Repaired:         res.Repaired,
+		RepairViolated:   res.Repair.ViolatedConstraints,
+		RepairRecomputed: res.Repair.Recomputed,
+		RepairFellBack:   res.Repair.FellBack,
+	})
+}
+
+// handlePolicySolve serves GET/POST /policies/{name}/solve from the
+// catalog's memoized cache; only a cache miss (the first solve of a
+// version) compiles and solves, under the admission gate's budget.
+func (s *server) handlePolicySolve(w http.ResponseWriter, r *http.Request) {
+	release, err := s.gate.acquire(r.Context())
+	if err != nil {
+		if r.Context().Err() != nil {
+			http.Error(w, "client gone while queued", http.StatusRequestTimeout)
+			return
+		}
+		writeShed(w, err)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.solveBudget(r))
+	defer cancel()
+	res, err := s.cat.Solve(ctx, r.PathValue("name"))
+	if err != nil {
+		s.policyError(w, r, err)
+		return
+	}
+	w.Header().Set("ETag", etag(res.Info.Version))
+	writeJSON(w, policySolveResponse{
+		Name:       res.Info.Name,
+		Version:    res.Info.Version,
+		CacheHit:   res.CacheHit,
+		Assignment: res.Assignment,
+		Stats:      newSolveStats(res.Stats),
+	})
+}
+
+// writeJSONStatus is writeJSON with an explicit status code.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// newSolveStats maps the solver's stats block to its JSON shape, shared by
+// /solve and /policies/{name}/solve.
+func newSolveStats(st minup.SolveStats) solveStats {
+	return solveStats{
+		Tries:          st.Tries,
+		FailedTries:    st.FailedTries,
+		Collapses:      st.Collapses,
+		AttrsProcessed: st.AttrsProcessed,
+		MinlevelCalls:  st.MinlevelCalls,
+		TrySteps:       st.TrySteps,
+		DescentSteps:   st.DescentSteps,
+		LatticeLub:     st.LatticeOps.Lub,
+		LatticeGlb:     st.LatticeOps.Glb,
+		LatticeDom:     st.LatticeOps.Dominates,
+		LatticeCovers:  st.LatticeOps.Covers,
+		PoolHit:        st.PoolHit,
+		DurationUS:     st.Duration.Microseconds(),
+	}
+}

@@ -1,0 +1,316 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const (
+	testPolicyLattice = "chain mil\nlevels U C S TS\n"
+	testPolicyCons    = "attrs salary rank\nsalary >= rank\nrank >= S\n"
+)
+
+// policyReq performs one request against the handler with an optional JSON
+// body built from a policyRequest and optional conditional headers.
+func policyReq(t *testing.T, h http.Handler, method, path string, body *policyRequest, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *strings.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = strings.NewReader(string(b))
+	} else {
+		rd = strings.NewReader("")
+	}
+	req := httptest.NewRequest(method, path, rd)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestPolicyLifecycle walks the full policy lifecycle over HTTP and proves
+// the acceptance criterion with counters: serving an unchanged policy's
+// solve performs zero compiles and zero full solves — only
+// catalog.cache_hits moves, while catalog.compiles and solve.cold stay
+// frozen after the first (cold) solve.
+func TestPolicyLifecycle(t *testing.T) {
+	srv, h, _ := newTestServer(t)
+
+	rec := policyReq(t, h, http.MethodPut, "/policies/acct",
+		&policyRequest{Lattice: testPolicyLattice, Constraints: testPolicyCons}, nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("PUT = %d: %s", rec.Code, rec.Body.String())
+	}
+	if et := rec.Header().Get("ETag"); et != `"1"` {
+		t.Fatalf("created ETag = %q, want %q", et, `"1"`)
+	}
+
+	rec = get(t, h, "/policies")
+	var list policyListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 1 || len(list.Policies) != 1 || list.Policies[0].Name != "acct" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// First solve: the one cold path of this version.
+	rec = get(t, h, "/policies/acct/solve")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("solve = %d: %s", rec.Code, rec.Body.String())
+	}
+	var sr policySolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.CacheHit {
+		t.Fatal("first solve of a version claimed a cache hit")
+	}
+	if sr.Assignment["salary"] != "S" || sr.Assignment["rank"] != "S" {
+		t.Fatalf("assignment = %v", sr.Assignment)
+	}
+	before := srv.reg.Snapshot()
+	if before.Counters["catalog.compiles"] != 1 || before.Counters["solve.cold"] != 1 {
+		t.Fatalf("after cold solve: compiles=%d cold=%d, want 1/1",
+			before.Counters["catalog.compiles"], before.Counters["solve.cold"])
+	}
+
+	// Second solve of the unchanged policy: zero compiles, zero solves.
+	rec = get(t, h, "/policies/acct/solve")
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.CacheHit {
+		t.Fatal("unchanged policy's second solve was not a cache hit")
+	}
+	if et := rec.Header().Get("ETag"); et != `"1"` {
+		t.Fatalf("solve ETag = %q, want %q", et, `"1"`)
+	}
+	after := srv.reg.Snapshot()
+	if after.Counters["catalog.compiles"] != before.Counters["catalog.compiles"] {
+		t.Fatalf("cache-hit solve compiled: %d -> %d",
+			before.Counters["catalog.compiles"], after.Counters["catalog.compiles"])
+	}
+	if after.Counters["solve.cold"] != before.Counters["solve.cold"] {
+		t.Fatalf("cache-hit solve ran a full solve: %d -> %d",
+			before.Counters["solve.cold"], after.Counters["solve.cold"])
+	}
+	if after.Counters["catalog.cache_hits"] != before.Counters["catalog.cache_hits"]+1 {
+		t.Fatalf("cache_hits = %d, want %d",
+			after.Counters["catalog.cache_hits"], before.Counters["catalog.cache_hits"]+1)
+	}
+
+	// Appending runs the incremental repair off the warm cache and keeps
+	// the cache warm: the next solve is still a hit, at the new version.
+	rec = policyReq(t, h, http.MethodPost, "/policies/acct/constraints",
+		&policyRequest{Constraints: "rank >= TS\n"}, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("append = %d: %s", rec.Code, rec.Body.String())
+	}
+	var ar policyAppendResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ar); err != nil {
+		t.Fatal(err)
+	}
+	if !ar.Repaired {
+		t.Fatal("append with a warm cache did not run the incremental repair")
+	}
+	if ar.Version != 2 {
+		t.Fatalf("appended version = %d, want 2", ar.Version)
+	}
+	rec = get(t, h, "/policies/acct/solve")
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.CacheHit || sr.Version != 2 {
+		t.Fatalf("post-append solve: hit=%v version=%d, want hit at version 2", sr.CacheHit, sr.Version)
+	}
+	if sr.Assignment["rank"] != "TS" || sr.Assignment["salary"] != "TS" {
+		t.Fatalf("post-append assignment = %v", sr.Assignment)
+	}
+	final := srv.reg.Snapshot()
+	if final.Counters["solve.cold"] != 1 {
+		t.Fatalf("solve.cold = %d after repair-maintained cache, want 1", final.Counters["solve.cold"])
+	}
+	if final.Counters["catalog.repairs"] != 1 {
+		t.Fatalf("catalog.repairs = %d, want 1", final.Counters["catalog.repairs"])
+	}
+
+	rec = policyReq(t, h, http.MethodDelete, "/policies/acct", nil, nil)
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("DELETE = %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec = get(t, h, "/policies/acct"); rec.Code != http.StatusNotFound {
+		t.Fatalf("GET after delete = %d", rec.Code)
+	}
+	if rec = get(t, h, "/policies/acct/solve"); rec.Code != http.StatusNotFound {
+		t.Fatalf("solve after delete = %d", rec.Code)
+	}
+}
+
+// TestPolicyPreconditions covers the conditional-header matrix: 409 for
+// create-only conflicts, 412 for lost version races, 404 for unknown
+// names, and 400/422 for malformed or unsolvable input.
+func TestPolicyPreconditions(t *testing.T) {
+	_, h, _ := newTestServer(t)
+	body := &policyRequest{Lattice: testPolicyLattice, Constraints: testPolicyCons}
+
+	if rec := policyReq(t, h, http.MethodPut, "/policies/p", body,
+		map[string]string{"If-None-Match": "*"}); rec.Code != http.StatusCreated {
+		t.Fatalf("create-only PUT = %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := policyReq(t, h, http.MethodPut, "/policies/p", body,
+		map[string]string{"If-None-Match": "*"}); rec.Code != http.StatusConflict {
+		t.Fatalf("create-only PUT over existing = %d, want 409", rec.Code)
+	}
+	if rec := policyReq(t, h, http.MethodPut, "/policies/p", body,
+		map[string]string{"If-Match": `"5"`}); rec.Code != http.StatusPreconditionFailed {
+		t.Fatalf("stale If-Match PUT = %d, want 412", rec.Code)
+	}
+	rec := policyReq(t, h, http.MethodPut, "/policies/p", body,
+		map[string]string{"If-Match": `"1"`})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("matching If-Match PUT = %d: %s", rec.Code, rec.Body.String())
+	}
+	if et := rec.Header().Get("ETag"); et != `"2"` {
+		t.Fatalf("replaced ETag = %q, want %q", et, `"2"`)
+	}
+
+	if rec := policyReq(t, h, http.MethodPost, "/policies/p/constraints",
+		&policyRequest{Constraints: "salary >= C\n"},
+		map[string]string{"If-Match": `"1"`}); rec.Code != http.StatusPreconditionFailed {
+		t.Fatalf("stale If-Match append = %d, want 412", rec.Code)
+	}
+	if rec := policyReq(t, h, http.MethodDelete, "/policies/p", nil,
+		map[string]string{"If-Match": `"1"`}); rec.Code != http.StatusPreconditionFailed {
+		t.Fatalf("stale If-Match delete = %d, want 412", rec.Code)
+	}
+	if rec := policyReq(t, h, http.MethodPut, "/policies/p", body,
+		map[string]string{"If-Match": "abc"}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed If-Match = %d, want 400", rec.Code)
+	}
+
+	if rec := get(t, h, "/policies/nope"); rec.Code != http.StatusNotFound {
+		t.Fatalf("GET unknown = %d, want 404", rec.Code)
+	}
+	if rec := policyReq(t, h, http.MethodDelete, "/policies/nope", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown = %d, want 404", rec.Code)
+	}
+	if rec := policyReq(t, h, http.MethodPut, "/policies/bad..name/x", body, nil); rec.Code != http.StatusNotFound {
+		// Two path segments under /policies only match the /constraints and
+		// /solve patterns; everything else is the mux's 404.
+		t.Fatalf("nested name = %d, want 404", rec.Code)
+	}
+	if rec := policyReq(t, h, http.MethodPut, "/policies/unsolvable",
+		&policyRequest{Lattice: testPolicyLattice, Constraints: "U >= salary\nsalary >= S\n"},
+		nil); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("unsolvable PUT = %d, want 422", rec.Code)
+	}
+	if rec := policyReq(t, h, http.MethodPut, "/policies/q",
+		&policyRequest{Lattice: testPolicyLattice, Constraints: "salary >=\n"},
+		nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unparseable PUT = %d, want 400", rec.Code)
+	}
+	if rec := policyReq(t, h, http.MethodPut, "/policies/q",
+		&policyRequest{Lattice: testPolicyLattice}, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing constraints PUT = %d, want 400", rec.Code)
+	}
+}
+
+// TestPolicyMethodNotAllowed pins the mux's method-pattern behavior: a
+// mismatched method on a policy route answers 405 with an Allow set, not
+// 404.
+func TestPolicyMethodNotAllowed(t *testing.T) {
+	_, h, _ := newTestServer(t)
+	rec := policyReq(t, h, http.MethodPost, "/policies/p", nil, nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /policies/p = %d, want 405", rec.Code)
+	}
+	if allow := rec.Header().Get("Allow"); !strings.Contains(allow, "PUT") || !strings.Contains(allow, "DELETE") {
+		t.Fatalf("Allow = %q, want PUT and DELETE listed", allow)
+	}
+	if rec := policyReq(t, h, http.MethodDelete, "/policies", nil, nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /policies = %d, want 405", rec.Code)
+	}
+}
+
+// TestPolicyETagRace hammers one policy with concurrent compare-and-swap
+// appenders: each reads the current ETag, sends it back as If-Match, and
+// retries on 412. Serialization through the catalog mutex must yield a
+// linear version history — every successful append bumps the version by
+// exactly one and no appended line is lost.
+func TestPolicyETagRace(t *testing.T) {
+	_, h, _ := newTestServer(t)
+	if rec := policyReq(t, h, http.MethodPut, "/policies/raced",
+		&policyRequest{Lattice: testPolicyLattice, Constraints: testPolicyCons}, nil); rec.Code != http.StatusCreated {
+		t.Fatalf("PUT = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	const (
+		goroutines = 8
+		appends    = 4
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < appends; i++ {
+				line := fmt.Sprintf("r%02d_%02d >= C\n", g, i)
+				for {
+					rec := policyReq(t, h, http.MethodGet, "/policies/raced", nil, nil)
+					if rec.Code != http.StatusOK {
+						errs <- fmt.Errorf("GET = %d", rec.Code)
+						return
+					}
+					rec = policyReq(t, h, http.MethodPost, "/policies/raced/constraints",
+						&policyRequest{Constraints: line},
+						map[string]string{"If-Match": rec.Header().Get("ETag")})
+					if rec.Code == http.StatusOK {
+						break
+					}
+					if rec.Code != http.StatusPreconditionFailed {
+						errs <- fmt.Errorf("append = %d: %s", rec.Code, rec.Body.String())
+						return
+					}
+					// 412: someone else won the version; re-read and retry.
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	rec := policyReq(t, h, http.MethodGet, "/policies/raced", nil, nil)
+	var info struct {
+		Version         uint64 `json:"version"`
+		ConstraintsText string `json:"constraints_text"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(1 + goroutines*appends); info.Version != want {
+		t.Fatalf("final version = %d, want %d (one bump per successful append)", info.Version, want)
+	}
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < appends; i++ {
+			line := fmt.Sprintf("r%02d_%02d >= C", g, i)
+			if n := strings.Count(info.ConstraintsText, line); n != 1 {
+				t.Fatalf("appended line %q appears %d times, want exactly 1 (lost or duplicated update)", line, n)
+			}
+		}
+	}
+}

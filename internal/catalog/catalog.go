@@ -1,0 +1,785 @@
+// Package catalog is the durable multi-tenant policy store behind minupd's
+// /policies API: named, monotonically versioned policies (a security
+// lattice plus a classification-constraint set), compiled once per version
+// into the existing constraint.Compiled snapshot and served from a
+// memoized solve cache.
+//
+// The catalog converts the stack from stateless to stateful, so its two
+// jobs are caching and durability:
+//
+//   - Caching. Every policy lazily compiles one constraint.Compiled
+//     snapshot per version and memoizes the minimal solution computed
+//     against it. Serving an unchanged policy performs zero compiles and
+//     zero solves ("catalog.cache_hits"); the first solve of a version is
+//     the only cold one ("solve.cold"). Appending constraints goes through
+//     core.RepairContext seeded with the memoized solution, so the new
+//     version's answer is recomputed incrementally rather than from
+//     scratch — and is itself memoized, keeping the cache warm across
+//     policy refinement.
+//
+//   - Durability. With a data directory configured, every mutation is
+//     written to an append-only WAL (internal/wal: length+CRC32 frames,
+//     fsync policy knob) *before* it is applied in memory, and the WAL is
+//     periodically compacted into an atomically replaced snapshot file.
+//     Reopening the directory replays snapshot + WAL and yields exactly
+//     the state produced by the mutations that reached the disk; a torn
+//     final frame is truncated, losing at most the one mutation whose
+//     append was interrupted. Sequence numbers make snapshot + WAL replay
+//     immune to the crash window between "snapshot written" and "WAL
+//     reset".
+//
+// Concurrency: one catalog-wide mutex serializes mutations and cache
+// fills, which is what gives optimistic concurrency its linear version
+// history (every successful mutation observes the version its If-Match
+// precondition named). Cache-hit reads still take the same mutex; they
+// hold it only long enough to copy the memoized answer.
+package catalog
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"sync"
+
+	"minup/internal/constraint"
+	"minup/internal/core"
+	"minup/internal/fault"
+	"minup/internal/lattice"
+	"minup/internal/obs"
+	"minup/internal/wal"
+)
+
+// Typed errors. Match with errors.Is; the HTTP layer maps them to 404, 409,
+// and 412.
+var (
+	// ErrNotFound reports a name with no policy behind it.
+	ErrNotFound = errors.New("catalog: policy not found")
+	// ErrExists reports a create-only Put (If-None-Match: *) against an
+	// existing policy.
+	ErrExists = errors.New("catalog: policy already exists")
+	// ErrVersionMismatch reports a failed optimistic-concurrency
+	// precondition: the caller's expected version is not the current one.
+	ErrVersionMismatch = errors.New("catalog: version precondition failed")
+	// ErrStorage marks a WAL write failure: the mutation was valid but
+	// could not be made durable, and was therefore not applied. The HTTP
+	// layer maps it to 500 instead of the 4xx a validation failure gets.
+	ErrStorage = errors.New("catalog: storage failure")
+)
+
+// Unconditional is the ifVersion value for mutations without an
+// optimistic-concurrency precondition.
+const Unconditional int64 = -1
+
+// MustNotExist is the ifVersion value for create-only Puts.
+const MustNotExist int64 = 0
+
+// Options configures a catalog.
+type Options struct {
+	// Dir is the data directory for the WAL and snapshot files. Empty
+	// means memory-only: no durability, everything else identical.
+	Dir string
+	// Sync is the WAL fsync policy (wal.SyncAlways by default).
+	Sync wal.SyncPolicy
+	// Metrics, when non-nil, receives the catalog.* and wal.* series.
+	Metrics *obs.Registry
+	// Fault, when non-nil, arms the "catalog.compile", "wal.append", and
+	// "wal.fsync" fault points for chaos testing.
+	Fault *fault.Injector
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// records (0 uses the default of 256; negative disables compaction).
+	SnapshotEvery int
+}
+
+const defaultSnapshotEvery = 256
+
+// RecoveryInfo reports what Open reconstructed from the data directory.
+type RecoveryInfo struct {
+	// SnapshotPolicies is the number of policies loaded from the snapshot
+	// file; WALRecords the number of live WAL records replayed on top.
+	SnapshotPolicies, WALRecords int
+	// TornTail reports that the WAL ended in a torn frame that was cut.
+	TornTail bool
+	// Duration is the wall time of the whole recovery.
+	Duration time.Duration
+}
+
+// policy is one named catalog entry. All fields are guarded by the
+// catalog's mutex.
+type policy struct {
+	name        string
+	version     uint64
+	latticeText string
+	consTexts   []string // the Put text followed by each appended batch
+	lat         lattice.Lattice
+	set         *constraint.Set
+	// compiled is the one snapshot of the current version, built lazily;
+	// solved memoizes the minimal solution (and its stats) for the current
+	// version. Both are dropped on every mutation.
+	compiled    *constraint.Compiled
+	solved      constraint.Assignment
+	solvedStats core.Stats
+}
+
+// Catalog is the policy store. Construct with Open; safe for concurrent
+// use.
+type Catalog struct {
+	mu        sync.Mutex
+	opt       Options
+	log       *wal.Log // nil when memory-only
+	pol       map[string]*policy
+	seq       uint64 // last sequence number written to (or restored from) disk
+	snapSeq   uint64 // sequence number the snapshot file covers
+	sinceSnap int
+	recovery  RecoveryInfo
+}
+
+// walRecord is the JSON payload of one WAL frame.
+type walRecord struct {
+	Seq         uint64 `json:"seq"`
+	Op          string `json:"op"` // "put" | "append" | "delete"
+	Name        string `json:"name"`
+	Lattice     string `json:"lattice,omitempty"`
+	Constraints string `json:"constraints,omitempty"`
+}
+
+// snapshotFile is the JSON shape of the compacted snapshot.
+type snapshotFile struct {
+	LastSeq  uint64           `json:"last_seq"`
+	Policies []snapshotPolicy `json:"policies"`
+}
+
+type snapshotPolicy struct {
+	Name        string   `json:"name"`
+	Version     uint64   `json:"version"`
+	Lattice     string   `json:"lattice"`
+	Constraints []string `json:"constraints"`
+}
+
+// Open creates a catalog. With Options.Dir set it recovers the persisted
+// state: the snapshot file (if any) is loaded, then every WAL record past
+// the snapshot's sequence number is replayed, and a torn final frame is
+// truncated. Reopening a directory therefore always yields exactly the
+// state of the mutations that reached the disk.
+func Open(opt Options) (*Catalog, error) {
+	if opt.SnapshotEvery == 0 {
+		opt.SnapshotEvery = defaultSnapshotEvery
+	}
+	c := &Catalog{opt: opt, pol: make(map[string]*policy)}
+	if opt.Dir == "" {
+		return c, nil
+	}
+	start := time.Now()
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	if err := c.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	log, rs, err := wal.Open(filepath.Join(opt.Dir, "catalog.wal"), wal.Options{
+		Sync:    opt.Sync,
+		Metrics: opt.Metrics,
+		Fault:   opt.Fault,
+	}, c.replayRecord)
+	if err != nil {
+		return nil, err
+	}
+	c.log = log
+	c.recovery.TornTail = rs.Truncated
+	c.recovery.Duration = time.Since(start)
+	c.sinceSnap = c.recovery.WALRecords
+	c.setGauges()
+	if opt.SnapshotEvery > 0 && c.sinceSnap >= opt.SnapshotEvery {
+		if err := c.compactLocked(); err != nil {
+			c.log.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Catalog) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(c.opt.Dir, "catalog.snap"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("catalog: reading snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("catalog: decoding snapshot: %w", err)
+	}
+	for _, sp := range snap.Policies {
+		if len(sp.Constraints) == 0 {
+			return fmt.Errorf("catalog: snapshot policy %q has no constraint text", sp.Name)
+		}
+		if err := c.applyPut(sp.Name, sp.Lattice, sp.Constraints[0]); err != nil {
+			return fmt.Errorf("catalog: snapshot policy %q: %w", sp.Name, err)
+		}
+		for _, batch := range sp.Constraints[1:] {
+			if err := c.applyAppend(sp.Name, batch); err != nil {
+				return fmt.Errorf("catalog: snapshot policy %q: %w", sp.Name, err)
+			}
+		}
+		c.pol[sp.Name].version = sp.Version
+	}
+	c.seq = snap.LastSeq
+	c.snapSeq = snap.LastSeq
+	c.recovery.SnapshotPolicies = len(snap.Policies)
+	return nil
+}
+
+// replayRecord applies one WAL frame during Open. Records at or below the
+// snapshot's sequence number are the crash window between "snapshot
+// written" and "WAL reset"; they are already reflected in the snapshot and
+// are skipped.
+func (c *Catalog) replayRecord(payload []byte) error {
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("catalog: decoding WAL record: %w", err)
+	}
+	if rec.Seq <= c.snapSeq {
+		return nil
+	}
+	var err error
+	switch rec.Op {
+	case "put":
+		err = c.applyPut(rec.Name, rec.Lattice, rec.Constraints)
+	case "append":
+		err = c.applyAppend(rec.Name, rec.Constraints)
+	case "delete":
+		err = c.applyDelete(rec.Name)
+	default:
+		err = fmt.Errorf("unknown op %q", rec.Op)
+	}
+	if err != nil {
+		return fmt.Errorf("catalog: WAL record seq %d (%s %q): %w", rec.Seq, rec.Op, rec.Name, err)
+	}
+	c.seq = rec.Seq
+	c.recovery.WALRecords++
+	return nil
+}
+
+// RecoveryInfo reports what Open reconstructed. Zero for memory-only
+// catalogs.
+func (c *Catalog) RecoveryInfo() RecoveryInfo { return c.recovery }
+
+// Close releases the WAL file handle. In-flight state is already durable
+// (every mutation is WAL-first), so Close has nothing to flush.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.log == nil {
+		return nil
+	}
+	err := c.log.Close()
+	c.log = nil
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// In-memory apply functions: the side of a mutation shared by the live path
+// and recovery replay. They validate, parse, and swap state, but never
+// touch the WAL, never solve, and never check preconditions (a record in
+// the WAL already passed them).
+
+func validName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("catalog: policy name must be 1..128 characters")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("catalog: policy name %q may only contain [A-Za-z0-9._-]", name)
+		}
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("catalog: policy name %q is reserved", name)
+	}
+	return nil
+}
+
+// buildPolicy parses lattice and constraint text into a fresh policy value
+// (version unset).
+func buildPolicy(name, latticeText, constraintsText string) (*policy, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	lat, err := lattice.Parse(strings.NewReader(latticeText))
+	if err != nil {
+		return nil, fmt.Errorf("catalog: policy %q lattice: %w", name, err)
+	}
+	set := constraint.NewSet(lat)
+	if err := set.ParseString(constraintsText); err != nil {
+		return nil, fmt.Errorf("catalog: policy %q constraints: %w", name, err)
+	}
+	return &policy{
+		name:        name,
+		latticeText: latticeText,
+		consTexts:   []string{constraintsText},
+		lat:         lat,
+		set:         set,
+	}, nil
+}
+
+func (c *Catalog) applyPut(name, latticeText, constraintsText string) error {
+	p, err := buildPolicy(name, latticeText, constraintsText)
+	if err != nil {
+		return err
+	}
+	if old := c.pol[name]; old != nil {
+		p.version = old.version + 1
+	} else {
+		p.version = 1
+	}
+	c.pol[name] = p
+	return nil
+}
+
+func (c *Catalog) applyAppend(name, constraintsText string) error {
+	p := c.pol[name]
+	if p == nil {
+		return ErrNotFound
+	}
+	ns := p.set.Clone()
+	if err := ns.ParseString(constraintsText); err != nil {
+		return fmt.Errorf("catalog: policy %q append: %w", name, err)
+	}
+	p.set = ns
+	p.consTexts = append(p.consTexts, constraintsText)
+	p.version++
+	p.compiled = nil
+	p.solved = nil
+	p.solvedStats = core.Stats{}
+	return nil
+}
+
+func (c *Catalog) applyDelete(name string) error {
+	if c.pol[name] == nil {
+		return ErrNotFound
+	}
+	delete(c.pol, name)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Durability helpers.
+
+// logRecord writes one WAL frame (no-op when memory-only). Write-ahead
+// ordering: the caller applies the mutation in memory only after logRecord
+// returns nil, so a crash at any point leaves memory ⊆ disk, never ahead
+// of it.
+func (c *Catalog) logRecord(rec walRecord) error {
+	if c.log == nil {
+		return nil
+	}
+	rec.Seq = c.seq + 1
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("catalog: encoding WAL record: %w", err)
+	}
+	if err := c.log.Append(payload); err != nil {
+		return fmt.Errorf("%w: %w", ErrStorage, err)
+	}
+	c.seq = rec.Seq
+	c.sinceSnap++
+	return nil
+}
+
+// maybeCompact snapshots and resets the WAL when it has grown past the
+// compaction threshold. Compaction failures are counted but do not fail
+// the mutation that triggered them — the WAL alone is still a complete,
+// durable history, and the next mutation retries the compaction.
+func (c *Catalog) maybeCompact() {
+	if c.log == nil || c.opt.SnapshotEvery <= 0 || c.sinceSnap < c.opt.SnapshotEvery {
+		return
+	}
+	if err := c.compactLocked(); err != nil {
+		c.count("catalog.compaction_errors")
+	}
+}
+
+// compactLocked writes the full catalog state to the snapshot file
+// (atomically: temp file + rename) and then resets the WAL. The snapshot
+// records the sequence number it covers, so a crash between the two steps
+// merely replays WAL records the snapshot already contains — replay skips
+// them by sequence number.
+func (c *Catalog) compactLocked() error {
+	data, err := c.encodeSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteAtomic(filepath.Join(c.opt.Dir, "catalog.snap"), data, c.opt.Sync == wal.SyncAlways); err != nil {
+		return fmt.Errorf("catalog: writing snapshot: %w", err)
+	}
+	c.snapSeq = c.seq
+	if err := c.log.Reset(); err != nil {
+		return err
+	}
+	c.sinceSnap = 0
+	c.count("catalog.snapshots")
+	return nil
+}
+
+// encodeSnapshot serializes the catalog state deterministically: policies
+// sorted by name, stable JSON field order, trailing newline.
+func (c *Catalog) encodeSnapshot() ([]byte, error) {
+	snap := snapshotFile{LastSeq: c.seq, Policies: make([]snapshotPolicy, 0, len(c.pol))}
+	names := make([]string, 0, len(c.pol))
+	for name := range c.pol {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := c.pol[name]
+		snap.Policies = append(snap.Policies, snapshotPolicy{
+			Name:        p.name,
+			Version:     p.version,
+			Lattice:     p.latticeText,
+			Constraints: append([]string(nil), p.consTexts...),
+		})
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("catalog: encoding snapshot: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Fingerprint returns a deterministic serialization of the full catalog
+// state (names, versions, lattice and constraint text, sorted). Two
+// catalogs with equal fingerprints hold byte-identical policy state — the
+// equality the crash-recovery chaos tests assert. The WAL sequence number
+// is deliberately excluded: it describes the history's framing, not the
+// state.
+func (c *Catalog) Fingerprint() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq := c.seq
+	c.seq = 0
+	data, err := c.encodeSnapshot()
+	c.seq = seq
+	if err != nil {
+		panic(err) // marshal of plain strings cannot fail
+	}
+	return data
+}
+
+// ---------------------------------------------------------------------------
+// Metrics helpers.
+
+func (c *Catalog) count(name string) {
+	if c.opt.Metrics != nil {
+		c.opt.Metrics.Counter(name).Inc()
+	}
+}
+
+func (c *Catalog) setGauges() {
+	if c.opt.Metrics != nil {
+		c.opt.Metrics.Gauge("catalog.policies").Set(int64(len(c.pol)))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Public mutation and query API.
+
+// PolicyInfo is the externally visible description of one policy version.
+type PolicyInfo struct {
+	Name        string `json:"name"`
+	Version     uint64 `json:"version"`
+	Attrs       int    `json:"attrs"`
+	Constraints int    `json:"constraints"`
+	UpperBounds int    `json:"upper_bounds"`
+	// Lattice and ConstraintText are the policy's source texts; the
+	// constraint text is the Put batch followed by every appended batch.
+	Lattice        string `json:"lattice,omitempty"`
+	ConstraintText string `json:"constraints_text,omitempty"`
+}
+
+func (p *policy) info() PolicyInfo {
+	return PolicyInfo{
+		Name:           p.name,
+		Version:        p.version,
+		Attrs:          p.set.NumAttrs(),
+		Constraints:    len(p.set.Constraints()),
+		UpperBounds:    len(p.set.UpperBounds()),
+		Lattice:        p.latticeText,
+		ConstraintText: strings.Join(p.consTexts, "\n"),
+	}
+}
+
+// checkVersion enforces the optimistic-concurrency precondition against
+// the current state of name. ifVersion: Unconditional (-1) accepts any
+// state; MustNotExist (0) requires absence; a positive value requires the
+// policy to exist at exactly that version.
+func (c *Catalog) checkVersion(name string, ifVersion int64, mustExist bool) error {
+	p := c.pol[name]
+	switch {
+	case ifVersion == Unconditional:
+		if p == nil && mustExist {
+			return fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+	case ifVersion == MustNotExist:
+		if p != nil {
+			return fmt.Errorf("%w: %q is at version %d", ErrExists, name, p.version)
+		}
+	default:
+		if p == nil {
+			return fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		if p.version != uint64(ifVersion) {
+			return fmt.Errorf("%w: %q is at version %d, precondition %d",
+				ErrVersionMismatch, name, p.version, ifVersion)
+		}
+	}
+	return nil
+}
+
+// Put creates or replaces a policy from lattice and constraint text,
+// validating both (including §6 solvability) before anything is persisted.
+// ifVersion carries the optimistic-concurrency precondition (Unconditional,
+// MustNotExist, or an exact current version). A created policy starts at
+// version 1; a replaced one continues its predecessor's version sequence,
+// so ETags never repeat within a name's lifetime.
+func (c *Catalog) Put(ctx context.Context, name, latticeText, constraintsText string, ifVersion int64) (PolicyInfo, error) {
+	staged, err := buildPolicy(name, latticeText, constraintsText)
+	if err != nil {
+		return PolicyInfo{}, err
+	}
+	if err := core.CheckSolvable(staged.set); err != nil {
+		return PolicyInfo{}, fmt.Errorf("catalog: policy %q is unsolvable: %w", name, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return PolicyInfo{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkVersion(name, ifVersion, false); err != nil {
+		return PolicyInfo{}, err
+	}
+	if err := c.logRecord(walRecord{Op: "put", Name: name, Lattice: latticeText, Constraints: constraintsText}); err != nil {
+		return PolicyInfo{}, err
+	}
+	if old := c.pol[name]; old != nil {
+		staged.version = old.version + 1
+	} else {
+		staged.version = 1
+	}
+	c.pol[name] = staged
+	c.count("catalog.puts")
+	c.setGauges()
+	c.maybeCompact()
+	return staged.info(), nil
+}
+
+// AppendResult reports what an Append did beyond the new PolicyInfo.
+type AppendResult struct {
+	Info PolicyInfo
+	// Repaired is true when the memoized solution was extended
+	// incrementally via core.RepairContext (i.e. the cache was warm); the
+	// new solution is memoized either way it was computed.
+	Repaired bool
+	// Repair carries the repair's work counts when Repaired.
+	Repair core.RepairStats
+}
+
+// Append parses additional constraint text into the policy, going through
+// core.RepairContext instead of a cold solve whenever a memoized solution
+// exists: only the attributes the new constraints can force upward are
+// recomputed, and the repaired solution becomes the new version's memoized
+// answer. The staged set is swapped in only after the parse, the
+// solvability check, and the repair all succeed — a failed append leaves
+// the policy untouched. ifVersion as in Put (MustNotExist is an error
+// here).
+func (c *Catalog) Append(ctx context.Context, name, constraintsText string, ifVersion int64) (AppendResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ifVersion == MustNotExist {
+		return AppendResult{}, fmt.Errorf("%w: append requires an existing policy", ErrVersionMismatch)
+	}
+	if err := c.checkVersion(name, ifVersion, true); err != nil {
+		return AppendResult{}, err
+	}
+	p := c.pol[name]
+	ns := p.set.Clone()
+	baseCount := len(ns.Constraints())
+	if err := ns.ParseString(constraintsText); err != nil {
+		return AppendResult{}, fmt.Errorf("catalog: policy %q append: %w", name, err)
+	}
+
+	res := AppendResult{}
+	var solved constraint.Assignment
+	var solvedStats core.Stats
+	if p.solved != nil {
+		// Incremental path: extend the memoized solution. Attributes the
+		// appended text introduced start at ⊥ — they carry no history, and
+		// the repair raises them exactly as far as the new constraints
+		// force.
+		base := p.solved.Clone()
+		for len(base) < ns.NumAttrs() {
+			base = append(base, p.lat.Bottom())
+		}
+		repaired, rstats, err := core.RepairContext(ctx, ns, baseCount, base, core.RepairOptions{VerifyMinimal: true})
+		if err != nil {
+			return AppendResult{}, fmt.Errorf("catalog: policy %q append rejected: %w", name, err)
+		}
+		res.Repaired = true
+		res.Repair = *rstats
+		solved = repaired
+		solvedStats = rstats.Solve
+		c.count("catalog.repairs")
+		if rstats.FellBack {
+			c.count("catalog.repair_fallbacks")
+		}
+		if c.opt.Metrics != nil {
+			c.opt.Metrics.Histogram("catalog.repair.duration_us", obs.DurationBucketsUS).
+				Observe(uint64(rstats.Duration.Microseconds()))
+		}
+	} else if err := core.CheckSolvable(ns); err != nil {
+		// Cold cache: no base to repair from, but the append must still be
+		// rejected if it makes the policy unsolvable.
+		return AppendResult{}, fmt.Errorf("catalog: policy %q append rejected: %w", name, err)
+	}
+
+	if err := c.logRecord(walRecord{Op: "append", Name: name, Constraints: constraintsText}); err != nil {
+		return AppendResult{}, err
+	}
+	p.set = ns
+	p.consTexts = append(p.consTexts, constraintsText)
+	p.version++
+	p.compiled = nil
+	p.solved = solved
+	p.solvedStats = solvedStats
+	res.Info = p.info()
+	c.maybeCompact()
+	return res, nil
+}
+
+// Delete removes a policy. ifVersion as in Put (MustNotExist is an error).
+func (c *Catalog) Delete(ctx context.Context, name string, ifVersion int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ifVersion == MustNotExist {
+		return fmt.Errorf("%w: delete requires an existing policy", ErrVersionMismatch)
+	}
+	if err := c.checkVersion(name, ifVersion, true); err != nil {
+		return err
+	}
+	if err := c.logRecord(walRecord{Op: "delete", Name: name}); err != nil {
+		return err
+	}
+	delete(c.pol, name)
+	c.count("catalog.deletes")
+	c.setGauges()
+	c.maybeCompact()
+	return nil
+}
+
+// Get returns the policy's current description, or ErrNotFound.
+func (c *Catalog) Get(name string) (PolicyInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.pol[name]
+	if p == nil {
+		return PolicyInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return p.info(), nil
+}
+
+// List returns every policy's description (without the source texts),
+// sorted by name.
+func (c *Catalog) List() []PolicyInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PolicyInfo, 0, len(c.pol))
+	for _, p := range c.pol {
+		info := p.info()
+		info.Lattice, info.ConstraintText = "", ""
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of policies.
+func (c *Catalog) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pol)
+}
+
+// SolveResult is the answer of Catalog.Solve.
+type SolveResult struct {
+	Info PolicyInfo
+	// Assignment maps attribute names to formatted level names.
+	Assignment map[string]string
+	// Stats are the operation counts of the solve that produced the
+	// memoized answer (a cache hit returns the original solve's stats).
+	Stats core.Stats
+	// CacheHit reports that the answer came from the memoized cache: zero
+	// compiles and zero solves were performed by this call.
+	CacheHit bool
+}
+
+// Solve returns the minimal classification for the policy's current
+// version. Unchanged policies are served from the memoized cache
+// ("catalog.cache_hits") with no compile and no solve; the first solve of
+// a version compiles the snapshot (at most once per version,
+// "catalog.compiles", fault point "catalog.compile") and runs one cold
+// solve ("solve.cold", "catalog.cache_misses"), then memoizes.
+func (c *Catalog) Solve(ctx context.Context, name string) (SolveResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.pol[name]
+	if p == nil {
+		return SolveResult{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if p.solved != nil {
+		c.count("catalog.cache_hits")
+		return c.solveResult(p, true), nil
+	}
+	c.count("catalog.cache_misses")
+	if p.compiled == nil {
+		if err := c.opt.Fault.Hit("catalog.compile"); err != nil {
+			return SolveResult{}, fmt.Errorf("catalog: compiling %q: %w", name, err)
+		}
+		p.compiled = p.set.Snapshot()
+		c.count("catalog.compiles")
+	}
+	c.count("solve.cold")
+	res, err := core.SolveContext(ctx, p.compiled, core.Options{
+		Metrics: c.opt.Metrics,
+		Fault:   c.opt.Fault,
+	})
+	if err != nil {
+		return SolveResult{}, err
+	}
+	p.solved = res.Assignment
+	p.solvedStats = res.Stats
+	return c.solveResult(p, false), nil
+}
+
+func (c *Catalog) solveResult(p *policy, hit bool) SolveResult {
+	out := SolveResult{
+		Info:       p.info(),
+		Assignment: make(map[string]string, p.set.NumAttrs()),
+		Stats:      p.solvedStats,
+		CacheHit:   hit,
+	}
+	for _, a := range p.set.Attrs() {
+		out.Assignment[p.set.AttrName(a)] = p.lat.FormatLevel(p.solved[a])
+	}
+	return out
+}

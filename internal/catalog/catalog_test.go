@@ -1,0 +1,310 @@
+package catalog
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"minup/internal/obs"
+	"minup/internal/wal"
+)
+
+const (
+	testLattice = "chain mil\nlevels U C S TS\n"
+	testCons    = "attrs salary rank\nsalary >= rank\nrank >= S\n"
+)
+
+func mustOpen(t *testing.T, opt Options) *Catalog {
+	t.Helper()
+	c, err := Open(opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPutGetSolveLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := mustOpen(t, Options{Metrics: reg})
+	ctx := context.Background()
+
+	info, err := c.Put(ctx, "hr", testLattice, testCons, MustNotExist)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if info.Version != 1 || info.Attrs != 2 || info.Constraints != 2 {
+		t.Fatalf("Put info = %+v", info)
+	}
+	got, err := c.Get("hr")
+	if err != nil || got.Version != 1 || got.Lattice != testLattice {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+
+	// First solve is the cold one: exactly one compile, one full solve.
+	res, err := c.Solve(ctx, "hr")
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.CacheHit {
+		t.Fatal("first solve reported a cache hit")
+	}
+	want := map[string]string{"salary": "S", "rank": "S"}
+	for a, l := range want {
+		if res.Assignment[a] != l {
+			t.Fatalf("Assignment[%s] = %q, want %q (full %v)", a, res.Assignment[a], l, res.Assignment)
+		}
+	}
+
+	// Second solve must be served entirely from the memoized cache.
+	res2, err := c.Solve(ctx, "hr")
+	if err != nil || !res2.CacheHit {
+		t.Fatalf("second Solve: hit=%v err=%v", res2.CacheHit, err)
+	}
+	if res2.Assignment["salary"] != "S" {
+		t.Fatalf("cached Assignment = %v", res2.Assignment)
+	}
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"catalog.compiles":     1,
+		"catalog.cache_misses": 1,
+		"catalog.cache_hits":   1,
+		"solve.cold":           1,
+	} {
+		if snap.Counters[name] != want {
+			t.Errorf("counter %s = %d, want %d", name, snap.Counters[name], want)
+		}
+	}
+	if g := snap.Gauges["catalog.policies"]; g != 1 {
+		t.Errorf("catalog.policies gauge = %d, want 1", g)
+	}
+
+	if list := c.List(); len(list) != 1 || list[0].Name != "hr" || list[0].Lattice != "" {
+		t.Fatalf("List = %+v", list)
+	}
+}
+
+func TestVersionPreconditions(t *testing.T) {
+	c := mustOpen(t, Options{})
+	ctx := context.Background()
+
+	if _, err := c.Put(ctx, "p", testLattice, testCons, MustNotExist); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(ctx, "p", testLattice, testCons, MustNotExist); !errors.Is(err, ErrExists) {
+		t.Fatalf("create-only Put over existing: err = %v, want ErrExists", err)
+	}
+	info, err := c.Put(ctx, "p", testLattice, testCons, 1)
+	if err != nil || info.Version != 2 {
+		t.Fatalf("conditional replace: %+v, %v", info, err)
+	}
+	if _, err := c.Put(ctx, "p", testLattice, testCons, 1); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("stale Put: err = %v, want ErrVersionMismatch", err)
+	}
+	if _, err := c.Append(ctx, "p", "rank >= TS\n", 1); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("stale Append: err = %v, want ErrVersionMismatch", err)
+	}
+	if _, err := c.Append(ctx, "ghost", "rank >= TS\n", Unconditional); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Append to missing: err = %v, want ErrNotFound", err)
+	}
+	if err := c.Delete(ctx, "p", 1); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("stale Delete: err = %v, want ErrVersionMismatch", err)
+	}
+	if err := c.Delete(ctx, "p", 2); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := c.Get("p"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete: err = %v, want ErrNotFound", err)
+	}
+	if err := c.Delete(ctx, "p", Unconditional); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete missing: err = %v, want ErrNotFound", err)
+	}
+
+	if _, err := c.Put(ctx, "bad/name", testLattice, testCons, Unconditional); err == nil {
+		t.Fatal("Put accepted a name with '/'")
+	}
+	if _, err := c.Put(ctx, "q", testLattice, "salary >=\n", Unconditional); err == nil {
+		t.Fatal("Put accepted unparseable constraints")
+	}
+	if _, err := c.Put(ctx, "q", testLattice, "U >= salary\nsalary >= S\n", Unconditional); err == nil {
+		t.Fatal("Put accepted an unsolvable policy")
+	}
+}
+
+func TestAppendRepairsAndMemoizes(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := mustOpen(t, Options{Metrics: reg})
+	ctx := context.Background()
+
+	if _, err := c.Put(ctx, "hr", testLattice, testCons, MustNotExist); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve(ctx, "hr"); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+
+	// Warm append: must take the incremental-repair path, not a cold
+	// solve, and must leave the repaired answer memoized.
+	ar, err := c.Append(ctx, "hr", "rank >= TS\n", 1)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if !ar.Repaired || ar.Info.Version != 2 {
+		t.Fatalf("AppendResult = %+v, want repaired at version 2", ar)
+	}
+	res, err := c.Solve(ctx, "hr")
+	if err != nil || !res.CacheHit {
+		t.Fatalf("Solve after append: hit=%v err=%v", res.CacheHit, err)
+	}
+	if res.Assignment["rank"] != "TS" || res.Assignment["salary"] != "TS" {
+		t.Fatalf("repaired Assignment = %v, want both TS", res.Assignment)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["solve.cold"] != 1 {
+		t.Fatalf("solve.cold = %d after warm append, want 1 (repair must not cold-solve)", snap.Counters["solve.cold"])
+	}
+	if snap.Counters["catalog.repairs"] != 1 {
+		t.Fatalf("catalog.repairs = %d, want 1", snap.Counters["catalog.repairs"])
+	}
+
+	// Append introducing a brand-new attribute: the repair extends the
+	// solution to it.
+	if _, err := c.Append(ctx, "hr", "bonus >= salary\n", 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Solve(ctx, "hr")
+	if err != nil || !res.CacheHit || res.Assignment["bonus"] != "TS" {
+		t.Fatalf("Solve with new attr: hit=%v res=%v err=%v", res.CacheHit, res.Assignment, err)
+	}
+
+	// A failed append (parse error, then unsolvable §6 bound) must leave
+	// the policy byte-identical and the cache warm.
+	before := c.Fingerprint()
+	if _, err := c.Append(ctx, "hr", "lub( >= oops\n", Unconditional); err == nil {
+		t.Fatal("Append accepted garbage")
+	}
+	if _, err := c.Append(ctx, "hr", "U >= rank\n", Unconditional); err == nil {
+		t.Fatal("Append accepted an unsolvable upper bound")
+	}
+	if !bytes.Equal(before, c.Fingerprint()) {
+		t.Fatal("failed append mutated the policy")
+	}
+	if res, err := c.Solve(ctx, "hr"); err != nil || !res.CacheHit {
+		t.Fatalf("cache lost after failed append: hit=%v err=%v", res.CacheHit, err)
+	}
+
+	// Cold append (no memoized solution): policy replaced, next solve is
+	// cold, but unsolvable appends are still rejected.
+	if _, err := c.Put(ctx, "hr", testLattice, testCons, Unconditional); err != nil {
+		t.Fatal(err)
+	}
+	ar, err = c.Append(ctx, "hr", "salary >= TS\n", Unconditional)
+	if err != nil || ar.Repaired {
+		t.Fatalf("cold Append = %+v, %v (want unrepaired success)", ar, err)
+	}
+	if _, err := c.Append(ctx, "hr", "C >= rank\n", Unconditional); err == nil {
+		t.Fatal("cold Append accepted an unsolvable upper bound")
+	}
+	res, err = c.Solve(ctx, "hr")
+	if err != nil || res.CacheHit || res.Assignment["salary"] != "TS" {
+		t.Fatalf("cold solve after cold append: hit=%v res=%v err=%v", res.CacheHit, res.Assignment, err)
+	}
+}
+
+func TestDurabilityRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	c := mustOpen(t, Options{Dir: dir, Sync: wal.SyncAlways})
+	if _, err := c.Put(ctx, "a", testLattice, testCons, MustNotExist); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(ctx, "b", testLattice, testCons, MustNotExist); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(ctx, "a", "rank >= TS\n", Unconditional); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(ctx, "b", Unconditional); err != nil {
+		t.Fatal(err)
+	}
+	want := c.Fingerprint()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := mustOpen(t, Options{Dir: dir, Sync: wal.SyncAlways})
+	if got := c2.Fingerprint(); !bytes.Equal(got, want) {
+		t.Fatalf("reopened state differs:\n%s\nwant:\n%s", got, want)
+	}
+	ri := c2.RecoveryInfo()
+	if ri.WALRecords != 4 || ri.TornTail {
+		t.Fatalf("RecoveryInfo = %+v, want 4 WAL records, no torn tail", ri)
+	}
+	info, err := c2.Get("a")
+	if err != nil || info.Version != 2 {
+		t.Fatalf("recovered policy a = %+v, %v (want version 2)", info, err)
+	}
+	// Versions keep climbing from the recovered point.
+	if inf, err := c2.Put(ctx, "a", testLattice, testCons, 2); err != nil || inf.Version != 3 {
+		t.Fatalf("post-recovery Put = %+v, %v", inf, err)
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	c := mustOpen(t, Options{Dir: dir, Sync: wal.SyncAlways, SnapshotEvery: 4})
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := c.Put(ctx, name, testLattice, testCons, MustNotExist); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Save the pre-compaction WAL (records 1..3): restoring it later
+	// simulates a crash in the window between "snapshot written" and "WAL
+	// reset".
+	oldWAL, err := os.ReadFile(filepath.Join(dir, "catalog.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(ctx, "a", "rank >= TS\n", Unconditional); err != nil { // 4th record: compacts
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "catalog.snap")); err != nil {
+		t.Fatalf("no snapshot after compaction threshold: %v", err)
+	}
+	if fi, _ := os.Stat(filepath.Join(dir, "catalog.wal")); fi.Size() != 0 {
+		t.Fatalf("WAL not reset after compaction: %d bytes", fi.Size())
+	}
+	want := c.Fingerprint()
+	c.Close()
+
+	// Clean reopen from snapshot only.
+	c2 := mustOpen(t, Options{Dir: dir, Sync: wal.SyncAlways, SnapshotEvery: 4})
+	if got := c2.Fingerprint(); !bytes.Equal(got, want) {
+		t.Fatalf("snapshot-only recovery differs:\n%s\nwant:\n%s", got, want)
+	}
+	if ri := c2.RecoveryInfo(); ri.SnapshotPolicies != 3 || ri.WALRecords != 0 {
+		t.Fatalf("RecoveryInfo = %+v", ri)
+	}
+	c2.Close()
+
+	// Crash-window replay: stale WAL records whose mutations the snapshot
+	// already contains must be skipped by sequence number, not re-applied.
+	if err := os.WriteFile(filepath.Join(dir, "catalog.wal"), oldWAL, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c3 := mustOpen(t, Options{Dir: dir, Sync: wal.SyncAlways, SnapshotEvery: 4})
+	if got := c3.Fingerprint(); !bytes.Equal(got, want) {
+		t.Fatalf("crash-window recovery differs:\n%s\nwant:\n%s", got, want)
+	}
+	if ri := c3.RecoveryInfo(); ri.WALRecords != 0 {
+		t.Fatalf("stale records were replayed: %+v", ri)
+	}
+	// And the catalog must still append correctly past the stale tail.
+	if inf, err := c3.Put(ctx, "d", testLattice, testCons, MustNotExist); err != nil || inf.Version != 1 {
+		t.Fatalf("post-crash-window Put = %+v, %v", inf, err)
+	}
+}

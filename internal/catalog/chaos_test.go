@@ -1,0 +1,183 @@
+package catalog
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"minup/internal/fault"
+	"minup/internal/wal"
+	"minup/internal/workload"
+)
+
+// chaosStream is the fixed mutation sequence every crash-recovery scenario
+// replays: long enough to mix puts, appends (with fresh attributes), and
+// deletes, short enough that the quadratic "crash at every step" sweep
+// stays cheap.
+func chaosStream(t *testing.T) []workload.Mutation {
+	t.Helper()
+	muts, err := workload.MutationStream(workload.MutationSpec{
+		Seed:             31,
+		NumPolicies:      4,
+		NumMutations:     12,
+		PutFraction:      0.3,
+		DeleteFraction:   0.15,
+		AttrsPerPolicy:   6,
+		ConsPerPut:       6,
+		ConsPerAppend:    2,
+		LevelRHSFraction: 0.4,
+		NewAttrFraction:  0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return muts
+}
+
+// applyMutation maps one generated mutation onto the catalog API.
+func applyMutation(ctx context.Context, c *Catalog, m workload.Mutation) error {
+	switch m.Op {
+	case workload.OpPut:
+		_, err := c.Put(ctx, m.Name, m.Lattice, m.Constraints, Unconditional)
+		return err
+	case workload.OpAppend:
+		_, err := c.Append(ctx, m.Name, m.Constraints, Unconditional)
+		return err
+	case workload.OpDelete:
+		return c.Delete(ctx, m.Name, Unconditional)
+	}
+	return fmt.Errorf("unknown op %v", m.Op)
+}
+
+// shadowFingerprint is the ground truth: the state of a memory-only
+// catalog that applied exactly the first n mutations.
+func shadowFingerprint(t *testing.T, muts []workload.Mutation, n int) []byte {
+	t.Helper()
+	ctx := context.Background()
+	shadow := mustOpen(t, Options{})
+	for _, m := range muts[:n] {
+		if err := applyMutation(ctx, shadow, m); err != nil {
+			t.Fatalf("shadow mutation failed: %v", err)
+		}
+	}
+	return shadow.Fingerprint()
+}
+
+// TestCrashRecoveryProperty is the acceptance-criteria chaos test: for
+// every mutation index k and both crash windows (before the WAL write,
+// after the write but before the fsync), kill the catalog mid-mutation
+// with a panic injection, reopen the directory, and assert the recovered
+// state is byte-exactly the state of the mutations that reached the disk —
+// k-1 of them when the crash preceded the write ("wal.append"), k when it
+// followed it ("wal.fsync").
+func TestCrashRecoveryProperty(t *testing.T) {
+	muts := chaosStream(t)
+	ctx := context.Background()
+	for _, point := range []string{"wal.append", "wal.fsync"} {
+		for k := 1; k <= len(muts); k++ {
+			t.Run(fmt.Sprintf("%s/k=%d", point, k), func(t *testing.T) {
+				dir := t.TempDir()
+				inj := fault.New(1)
+				inj.MustAdd(fault.Rule{Point: point, Act: fault.Panic, Nth: uint64(k)})
+				c, err := Open(Options{Dir: dir, Sync: wal.SyncAlways, Fault: inj, SnapshotEvery: -1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				applied, crashed := 0, false
+				for _, m := range muts {
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								crashed = true
+							}
+						}()
+						if err := applyMutation(ctx, c, m); err != nil {
+							t.Fatalf("mutation %d failed without a crash: %v", applied, err)
+						}
+					}()
+					if crashed {
+						break
+					}
+					applied++
+				}
+				if !crashed {
+					t.Fatalf("fault at %s #%d never fired (%d mutations)", point, k, applied)
+				}
+				c.Close() // the crashed process's handle; state is on disk
+
+				// wal.append fires before the frame is written: the dying
+				// mutation is lost. wal.fsync fires after: it survives.
+				wantN := applied
+				if point == "wal.fsync" {
+					wantN = applied + 1
+				}
+				re, err := Open(Options{Dir: dir, Sync: wal.SyncAlways, SnapshotEvery: -1})
+				if err != nil {
+					t.Fatalf("reopen after crash: %v", err)
+				}
+				defer re.Close()
+				if ri := re.RecoveryInfo(); ri.WALRecords != wantN {
+					t.Fatalf("recovered %d WAL records, want %d (%+v)", ri.WALRecords, wantN, ri)
+				}
+				want := shadowFingerprint(t, muts, wantN)
+				if got := re.Fingerprint(); !bytes.Equal(got, want) {
+					t.Fatalf("recovered state after crash at %s #%d differs from %d applied mutations:\n%s\nwant:\n%s",
+						point, k, wantN, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestTornTailRecovery cuts the WAL at arbitrary byte offsets — torn final
+// frame included — and asserts recovery always lands on the exact state of
+// the fully persisted mutation prefix.
+func TestTornTailRecovery(t *testing.T) {
+	muts := chaosStream(t)
+	ctx := context.Background()
+	dir := t.TempDir()
+	c, err := Open(Options{Dir: dir, Sync: wal.SyncNever, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range muts {
+		if err := applyMutation(ctx, c, m); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+	}
+	c.Close()
+	full, err := os.ReadFile(filepath.Join(dir, "catalog.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step := len(full)/17 + 1 // a spread of cut points incl. mid-frame ones
+	for cut := 0; cut <= len(full); cut += step {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			cdir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(cdir, "catalog.wal"), full[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			re, err := Open(Options{Dir: cdir, Sync: wal.SyncNever, SnapshotEvery: -1})
+			if err != nil {
+				t.Fatalf("reopen with cut WAL: %v", err)
+			}
+			defer re.Close()
+			k := re.RecoveryInfo().WALRecords
+			if cut > 0 && cut < len(full) && k > len(muts) {
+				t.Fatalf("recovered %d records from a %d-mutation log", k, len(muts))
+			}
+			want := shadowFingerprint(t, muts, k)
+			if got := re.Fingerprint(); !bytes.Equal(got, want) {
+				t.Fatalf("cut %d: recovered state differs from %d-mutation prefix:\n%s\nwant:\n%s", cut, k, got, want)
+			}
+			// The reopened catalog must remain writable past the cut.
+			if _, err := re.Put(ctx, "after-cut", testLattice, testCons, Unconditional); err != nil {
+				t.Fatalf("cut %d: post-recovery Put: %v", cut, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package catalog
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"minup/internal/constraint"
+	"minup/internal/core"
+	"minup/internal/lattice"
+	"minup/internal/obs"
+	"minup/internal/wal"
+	"minup/internal/workload"
+)
+
+// TestCatalogSoak drives a durable catalog with a long generated mutation
+// stream, interleaving solves so appends exercise the warm
+// incremental-repair path and cache hits at scale, then checks three
+// properties: every surviving policy's served solution satisfies its
+// constraint set AND is minimal (repair never trades minimality for
+// speed), the counters prove both repair and cache paths actually ran,
+// and a reopen of the data directory reproduces the state byte-exactly
+// through snapshot + WAL recovery.
+func TestCatalogSoak(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 60
+	}
+	muts, err := workload.MutationStream(workload.MutationSpec{
+		Seed:             7,
+		NumPolicies:      6,
+		NumMutations:     n,
+		PutFraction:      0.15,
+		DeleteFraction:   0.08,
+		AttrsPerPolicy:   10,
+		ConsPerPut:       14,
+		ConsPerAppend:    3,
+		LevelRHSFraction: 0.35,
+		NewAttrFraction:  0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	ctx := context.Background()
+	c := mustOpen(t, Options{Dir: dir, Sync: wal.SyncNever, Metrics: reg, SnapshotEvery: 64})
+	for i, m := range muts {
+		if err := applyMutation(ctx, c, m); err != nil {
+			t.Fatalf("mutation %d (%s %s): %v", i, m.Op, m.Name, err)
+		}
+		// Solve the policy just touched (and again, for a guaranteed cache
+		// hit) every few mutations, so later appends find a memoized
+		// solution to repair instead of falling back to cold solves.
+		if i%3 == 0 && m.Op != workload.OpDelete {
+			if _, err := c.Solve(ctx, m.Name); err != nil {
+				t.Fatalf("solve %s after mutation %d: %v", m.Name, i, err)
+			}
+			if res, err := c.Solve(ctx, m.Name); err != nil || !res.CacheHit {
+				t.Fatalf("re-solve %s: hit=%v err=%v", m.Name, res.CacheHit, err)
+			}
+		}
+	}
+
+	// Every live policy: the served solution must satisfy the policy's
+	// constraints and match an independent cold solve of a set rebuilt
+	// from the stored source texts.
+	live := c.List()
+	if len(live) == 0 {
+		t.Fatal("soak stream left no live policies")
+	}
+	for _, info := range live {
+		res, err := c.Solve(ctx, info.Name)
+		if err != nil {
+			t.Fatalf("final solve %s: %v", info.Name, err)
+		}
+		full, err := c.Get(info.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat, err := lattice.ParseString(full.Lattice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := constraint.NewSet(lat)
+		if err := set.ParseString(full.ConstraintText); err != nil {
+			t.Fatalf("rebuilding %s from stored text: %v", info.Name, err)
+		}
+		if set.NumAttrs() != len(res.Assignment) {
+			t.Fatalf("%s: served %d attrs, set has %d", info.Name, len(res.Assignment), set.NumAttrs())
+		}
+		asn := make(constraint.Assignment, set.NumAttrs())
+		for _, a := range set.Attrs() {
+			lvl, err := lat.ParseLevel(res.Assignment[set.AttrName(a)])
+			if err != nil {
+				t.Fatalf("%s: unparseable served level %q: %v", info.Name, res.Assignment[set.AttrName(a)], err)
+			}
+			asn[a] = lvl
+		}
+		if !set.Satisfies(asn) {
+			t.Fatalf("%s: served solution violates constraints: %v", info.Name, set.Violations(asn))
+		}
+		// Complex constraints admit multiple incomparable minimal solutions
+		// (the repair may settle on a different one than a fresh solve
+		// would), so the check is minimality itself, not equality with an
+		// independent solve.
+		minimal, w, err := core.ProbeMinimality(set, asn)
+		if err != nil {
+			t.Fatalf("probing %s: %v", info.Name, err)
+		}
+		if !minimal {
+			t.Fatalf("%s: served solution is not minimal (witness %v)\nserved: %s",
+				info.Name, w, set.FormatAssignment(asn))
+		}
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{"catalog.repairs", "catalog.cache_hits", "solve.cold", "catalog.snapshots"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("soak never exercised %s", name)
+		}
+	}
+	if g := snap.Gauges["catalog.policies"]; g != int64(len(live)) {
+		t.Errorf("catalog.policies gauge = %d, want %d", g, len(live))
+	}
+
+	want := c.Fingerprint()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := mustOpen(t, Options{Dir: dir, Sync: wal.SyncNever, SnapshotEvery: 64})
+	if got := re.Fingerprint(); !bytes.Equal(got, want) {
+		t.Fatal("reopened soak state differs from the live catalog")
+	}
+}

@@ -84,6 +84,28 @@ func NewSet(lat lattice.Lattice) *Set {
 // Lattice returns the security lattice the constraints are stated over.
 func (s *Set) Lattice() lattice.Lattice { return s.lat }
 
+// Clone returns a deep, unfrozen copy of the set over the same (immutable)
+// lattice. Mutating the clone never affects the original, which makes it
+// the staging area for speculative mutations: the policy catalog parses
+// appended constraint text into a clone and swaps it in only after the
+// parse and the incremental repair both succeed.
+func (s *Set) Clone() *Set {
+	c := &Set{
+		lat:   s.lat,
+		names: append([]string(nil), s.names...),
+		index: make(map[string]Attr, len(s.index)),
+		cons:  make([]Constraint, len(s.cons)),
+		upper: append([]UpperBound(nil), s.upper...),
+	}
+	for name, a := range s.index {
+		c.index[name] = a
+	}
+	for i, cn := range s.cons {
+		c.cons[i] = Constraint{LHS: append([]Attr(nil), cn.LHS...), RHS: cn.RHS}
+	}
+	return c
+}
+
 // NumAttrs returns the number of declared attributes.
 func (s *Set) NumAttrs() int { return len(s.names) }
 

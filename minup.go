@@ -67,6 +67,7 @@ import (
 	"io"
 
 	"minup/internal/baseline"
+	"minup/internal/catalog"
 	"minup/internal/constraint"
 	"minup/internal/core"
 	"minup/internal/fault"
@@ -75,6 +76,8 @@ import (
 	"minup/internal/mlsdb"
 	"minup/internal/obs"
 	"minup/internal/poset"
+	"minup/internal/wal"
+	"minup/internal/workload"
 )
 
 // Lattice types.
@@ -579,4 +582,88 @@ func ReduceSAT(numVars int, clauses []SATClause) (*SATReduction, error) {
 // reduction's oracle).
 func SolveSAT(numVars int, clauses []SATClause) (assignment []bool, ok bool) {
 	return poset.SolveSAT(numVars, clauses)
+}
+
+// Policy-catalog types: the durable multi-tenant store behind minupd's
+// /policies API. A catalog holds named, monotonically versioned policies
+// (lattice + constraint set), compiles each version once, memoizes its
+// minimal solution, routes constraint appends through RepairContext, and —
+// with a data directory configured — persists every mutation to a
+// write-ahead log compacted into atomic snapshots.
+type (
+	// PolicyCatalog is the store itself; construct with OpenCatalog. Safe
+	// for concurrent use.
+	PolicyCatalog = catalog.Catalog
+	// CatalogOptions configures OpenCatalog (data directory, WAL fsync
+	// policy, metrics registry, fault injector, compaction threshold).
+	CatalogOptions = catalog.Options
+	// PolicyInfo describes one policy version (name, version, sizes,
+	// source texts).
+	PolicyInfo = catalog.PolicyInfo
+	// PolicyAppendResult reports an Append: the new PolicyInfo plus
+	// whether (and how) the memoized solution was repaired incrementally.
+	PolicyAppendResult = catalog.AppendResult
+	// PolicySolveResult is a served solution: assignment, solve stats, and
+	// whether it came from the memoized cache.
+	PolicySolveResult = catalog.SolveResult
+	// CatalogRecoveryInfo reports what OpenCatalog reconstructed from the
+	// data directory (snapshot policies, WAL records, torn tail).
+	CatalogRecoveryInfo = catalog.RecoveryInfo
+	// WALSyncPolicy selects when the catalog's write-ahead log calls
+	// fsync.
+	WALSyncPolicy = wal.SyncPolicy
+)
+
+// WAL fsync policies for CatalogOptions.Sync.
+const (
+	// WALSyncAlways fsyncs after every appended record (the durable
+	// default).
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncNever leaves flushing to the OS; a crash may lose the most
+	// recent records but recovery still yields a consistent prefix.
+	WALSyncNever = wal.SyncNever
+)
+
+// Version preconditions for the catalog's mutating calls.
+const (
+	// PolicyUnconditional skips the optimistic-concurrency check.
+	PolicyUnconditional = catalog.Unconditional
+	// PolicyMustNotExist makes a Put create-only (HTTP If-None-Match: *).
+	PolicyMustNotExist = catalog.MustNotExist
+)
+
+// Catalog errors. Match with errors.Is; minupd maps them to 404, 409, 412,
+// and 500.
+var (
+	// ErrPolicyNotFound reports a name with no policy behind it.
+	ErrPolicyNotFound = catalog.ErrNotFound
+	// ErrPolicyExists reports a create-only Put against an existing
+	// policy.
+	ErrPolicyExists = catalog.ErrExists
+	// ErrPolicyVersionMismatch reports a failed version precondition.
+	ErrPolicyVersionMismatch = catalog.ErrVersionMismatch
+	// ErrPolicyStorage reports a WAL write failure; the mutation was not
+	// applied.
+	ErrPolicyStorage = catalog.ErrStorage
+)
+
+// OpenCatalog creates a policy catalog. With CatalogOptions.Dir set it
+// recovers the persisted state (snapshot plus WAL replay, torn final frame
+// truncated); with an empty Dir the catalog is memory-only.
+func OpenCatalog(opt CatalogOptions) (*PolicyCatalog, error) { return catalog.Open(opt) }
+
+// PolicyMutation is one step of a generated catalog workload (a put,
+// constraint append, or delete with source texts attached).
+type PolicyMutation = workload.Mutation
+
+// PolicyMutationSpec shapes a MutationStream: op mix, policy-name pool,
+// constraint-text sizes, and the fresh-attribute rate.
+type PolicyMutationSpec = workload.MutationSpec
+
+// MutationStream generates a deterministic seeded sequence of policy
+// catalog mutations in which every step is valid against the state its
+// predecessors produced — the driver behind the catalog soak and
+// crash-recovery chaos tests.
+func MutationStream(spec PolicyMutationSpec) ([]PolicyMutation, error) {
+	return workload.MutationStream(spec)
 }

@@ -3,21 +3,26 @@
 # Figure 2(a) fixtures: build, start, poll /healthz, then assert that
 # /readyz, /solve, /metrics?format=prometheus, and /trace?format=chrome all
 # answer 200 with non-empty bodies. The Chrome trace is left at
-# sample-trace.json for CI to upload as an artifact. A second, deliberately
-# throttled instance (-max-inflight 1, no queue, 20ms solve budget, every
-# solver step delayed 30ms by fault injection) then exercises the
-# robustness layer: a forced-degraded solve and load shedding under
-# concurrent requests, with the http_shed and solve_degraded counters
-# asserted via Prometheus exposition.
+# artifacts/sample-trace.json (gitignored) for CI to upload as an artifact.
+# A second, deliberately throttled instance (-max-inflight 1, no queue,
+# 20ms solve budget, every solver step delayed 30ms by fault injection)
+# then exercises the robustness layer: a forced-degraded solve and load
+# shedding under concurrent requests, with the http_shed and
+# solve_degraded counters asserted via Prometheus exposition. A third
+# instance runs the durable policy catalog: create a policy, append a
+# constraint, solve twice (the second solve must be a cache hit), SIGTERM,
+# restart on the same -data-dir, and assert the policy survived.
 #
-# Usage: scripts/smoke_minupd.sh [addr] [addr2]
-#        (defaults 127.0.0.1:18080 and 127.0.0.1:18081)
+# Usage: scripts/smoke_minupd.sh [addr] [addr2] [addr3]
+#        (defaults 127.0.0.1:18080 .. 127.0.0.1:18082)
 set -eu
 
 addr="${1:-127.0.0.1:18080}"
 addr2="${2:-127.0.0.1:18081}"
+addr3="${3:-127.0.0.1:18082}"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
+mkdir -p artifacts
 
 go build -o /tmp/minupd ./cmd/minupd
 
@@ -65,9 +70,9 @@ grep -q '^solve_duration_us_bucket{le="+Inf"}' /tmp/smoke-metrics.txt
 grep -q '^http_in_flight ' /tmp/smoke-metrics.txt
 echo "smoke: /metrics?format=prometheus ok"
 
-fetch "http://$addr/trace?format=chrome" sample-trace.json
-grep -q '"traceEvents"' sample-trace.json
-echo "smoke: /trace?format=chrome ok (sample-trace.json)"
+fetch "http://$addr/trace?format=chrome" artifacts/sample-trace.json
+grep -q '"traceEvents"' artifacts/sample-trace.json
+echo "smoke: /trace?format=chrome ok (artifacts/sample-trace.json)"
 
 fetch "http://$addr/trace" /tmp/smoke-trace.json
 grep -q '"spans"' /tmp/smoke-trace.json
@@ -140,5 +145,88 @@ if [ -z "$degraded" ] || [ "$degraded" -le 0 ]; then
   exit 1
 fi
 echo "smoke: http_shed and solve_degraded counters ok (shed=$shed degraded=$degraded)"
+
+# --- Policy catalog: durability across restart ----------------------------
+# A pure catalog server (no static instance): create a policy, append a
+# constraint through the incremental-repair path, solve twice asserting the
+# second solve is a memoized cache hit, then SIGTERM and restart on the
+# same data directory and assert the policy state survived WAL recovery.
+data_dir="$(mktemp -d)"
+/tmp/minupd -addr "$addr3" -debug-addr "" -data-dir "$data_dir" &
+pid3=$!
+trap 'kill "$pid" "$pid2" "$pid3" 2>/dev/null || true; rm -rf "$data_dir"' EXIT INT TERM
+
+wait_healthy() {
+  i=0
+  until curl -fsS "http://$1/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+      echo "smoke: minupd did not become healthy at $1" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+wait_healthy "$addr3"
+
+request() {
+  # request <method> <url> <body-or-empty> <outfile>: print the status code.
+  if [ -n "$3" ]; then
+    curl -sS -o "$4" -w '%{http_code}' -X "$1" -d "$3" "$2"
+  else
+    curl -sS -o "$4" -w '%{http_code}' -X "$1" "$2"
+  fi
+}
+
+code="$(request PUT "http://$addr3/policies/smoke" \
+  '{"lattice":"chain mil\nlevels U C S TS\n","constraints":"attrs salary rank\nsalary >= rank\nrank >= S\n"}' \
+  /tmp/smoke-policy.json)"
+if [ "$code" != "201" ]; then
+  echo "smoke: PUT /policies/smoke returned $code" >&2
+  cat /tmp/smoke-policy.json >&2 || true
+  exit 1
+fi
+echo "smoke: policy created"
+
+code="$(request POST "http://$addr3/policies/smoke/constraints" \
+  '{"constraints":"rank >= TS\n"}' /tmp/smoke-append.json)"
+if [ "$code" != "200" ]; then
+  echo "smoke: append returned $code" >&2
+  cat /tmp/smoke-append.json >&2 || true
+  exit 1
+fi
+echo "smoke: constraint appended (version 2)"
+
+fetch "http://$addr3/policies/smoke/solve" /tmp/smoke-psolve1.json
+grep -q '"assignment"' /tmp/smoke-psolve1.json
+fetch "http://$addr3/policies/smoke/solve" /tmp/smoke-psolve2.json
+grep -q '"cache_hit": true' /tmp/smoke-psolve2.json
+fetch "http://$addr3/metrics?format=prometheus" /tmp/smoke-metrics3.txt
+hits="$(awk '/^catalog_cache_hits /{print $2}' /tmp/smoke-metrics3.txt)"
+if [ -z "$hits" ] || [ "$hits" -le 0 ]; then
+  echo "smoke: catalog_cache_hits missing or zero (got '${hits:-absent}')" >&2
+  exit 1
+fi
+echo "smoke: second solve served from cache (catalog_cache_hits=$hits)"
+
+kill -TERM "$pid3"
+wait "$pid3" || true
+/tmp/minupd -addr "$addr3" -debug-addr "" -data-dir "$data_dir" &
+pid3=$!
+wait_healthy "$addr3"
+
+code="$(request GET "http://$addr3/policies/smoke" "" /tmp/smoke-survived.json)"
+if [ "$code" != "200" ]; then
+  echo "smoke: policy did not survive the restart (GET returned $code)" >&2
+  cat /tmp/smoke-survived.json >&2 || true
+  exit 1
+fi
+grep -q '"version": 2' /tmp/smoke-survived.json
+# encoding/json writes '>' as a backslash-u003e escape inside the stored
+# constraint text, so the pattern matches that form.
+grep -q 'rank .u003e= TS' /tmp/smoke-survived.json
+fetch "http://$addr3/policies/smoke/solve" /tmp/smoke-psolve3.json
+grep -q '"rank": "TS"' /tmp/smoke-psolve3.json
+echo "smoke: policy survived restart with its appended constraint"
 
 echo "smoke: all checks passed"
