@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-json bench-stats smoke chaos fuzz-smoke
+.PHONY: all build test race vet fmt-check ci bench bench-json bench-stats smoke chaos fuzz-smoke shard-matrix
 
 all: build
 
@@ -44,6 +44,14 @@ bench-stats:
 # sample Chrome trace at artifacts/sample-trace.json.
 smoke:
 	sh scripts/smoke_minupd.sh
+
+# The catalog suite under the race detector at the extremes of the shard
+# spectrum: one shard (maximum lock contention, the pre-sharding shape) and
+# four (cross-shard interleavings). Tests that pin their own shard count
+# are unaffected; the rest read CATALOG_TEST_SHARDS via mustOpen.
+shard-matrix:
+	CATALOG_TEST_SHARDS=1 $(GO) test -race -count=1 ./internal/catalog ./internal/bus
+	CATALOG_TEST_SHARDS=4 $(GO) test -race -count=1 ./internal/catalog ./internal/bus
 
 # Fault-injection and resilience suites under the race detector: the
 # concurrent chaos storm, panic isolation, admission/shedding, degraded

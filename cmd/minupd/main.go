@@ -6,7 +6,7 @@
 // Usage:
 //
 //	minupd [-lattice lat.txt -constraints cons.txt] \
-//	       [-data-dir dir] [-fsync always|never] \
+//	       [-data-dir dir] [-fsync always|never] [-shards n] \
 //	       [-addr :8080] [-debug-addr 127.0.0.1:6060] \
 //	       [-max-inflight 64] [-max-queue 128] [-queue-wait 100ms] \
 //	       [-solve-timeout 2s] [-degrade] [-fault spec] [-fault-seed n]
@@ -18,21 +18,34 @@
 // # Policy catalog
 //
 // Besides the static instance, minupd manages a catalog of named,
-// versioned policies (lattice + constraint set each), durable when
-// -data-dir is set: every mutation is written to a write-ahead log before
-// it is applied (fsync per -fsync), the log is periodically compacted into
-// an atomic snapshot, and a restart recovers the catalog exactly — a torn
-// final WAL frame is truncated, losing at most the interrupted mutation.
+// versioned policies (lattice + constraint set each), hashed across
+// -shards independent shards (default GOMAXPROCS). The catalog is durable
+// when -data-dir is set: every mutation is written to that shard's
+// write-ahead log before it is applied (fsync per -fsync), each log is
+// periodically compacted into an atomic snapshot, shards recover
+// concurrently on startup, and a restart reproduces the catalog exactly —
+// a torn final WAL frame is truncated, losing at most the interrupted
+// mutation. The directory remembers its shard count, so a later -shards
+// value never rehashes existing policies.
 //
-//	GET    /policies                    list policies
+// Mutations return once durable; compiling and solving the new version
+// happens on per-shard background workers unless the request carries
+// ?wait=1 to run the refresh inline (appends then report the incremental
+// repair, and PUT responses show a warm cache).
+//
+//	GET    /policies                    index: name, version, etag, shard,
+//	                                    and cache state per policy
 //	PUT    /policies/{name}             create/replace from JSON
 //	                                    {"lattice": ..., "constraints": ...}
+//	                                    (?wait=1 warms the cache inline)
 //	GET    /policies/{name}             describe one policy (incl. texts)
 //	DELETE /policies/{name}             remove it
 //	POST   /policies/{name}/constraints append constraint text
-//	                                    ({"constraints": ...}); with a warm
-//	                                    solve cache this runs the
-//	                                    incremental repair, not a cold solve
+//	                                    ({"constraints": ...}); with ?wait=1
+//	                                    and a warm solve cache this runs the
+//	                                    incremental repair inline, otherwise
+//	                                    it answers refresh_pending and the
+//	                                    shard worker repairs in background
 //	GET    /policies/{name}/solve       minimal classification, memoized:
 //	                                    an unchanged policy is served with
 //	                                    zero compiles and zero solves
@@ -146,6 +159,7 @@ func main() {
 	consPath := flag.String("constraints", "", "path to the constraint file for the static /solve instance (optional)")
 	dataDir := flag.String("data-dir", "", "policy-catalog data directory; empty keeps the catalog in memory only")
 	fsyncPolicy := flag.String("fsync", "always", "catalog WAL fsync policy: always|never")
+	shards := flag.Int("shards", 0, "policy-catalog shard count (0 = GOMAXPROCS); an existing data directory's count always wins")
 	addr := flag.String("addr", ":8080", "service listen address")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:6060", "debug listen address for /debug/vars and /debug/pprof (empty to disable)")
 	def := defaultConfig()
@@ -225,14 +239,15 @@ func main() {
 		Sync:    walSync,
 		Metrics: reg,
 		Fault:   cfg.fault,
+		Shards:  *shards,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	if *dataDir != "" {
 		ri := cat.RecoveryInfo()
-		fmt.Fprintf(os.Stderr, "minupd: catalog recovered from %s: %d policies (snapshot %d, WAL records %d, torn tail %v) in %s\n",
-			*dataDir, cat.Len(), ri.SnapshotPolicies, ri.WALRecords, ri.TornTail, ri.Duration)
+		fmt.Fprintf(os.Stderr, "minupd: catalog recovered from %s: %d policies over %d shards (snapshot %d, WAL records %d, torn tail %v) in %s\n",
+			*dataDir, cat.Len(), ri.Shards, ri.SnapshotPolicies, ri.WALRecords, ri.TornTail, ri.Duration)
 	}
 
 	srv := newServer(set, compiled, cat, reg, cfg)
@@ -320,8 +335,9 @@ func main() {
 		// it is running; wait for in-flight requests to finish before exit.
 		<-shutdownDone
 	}
-	// Every catalog mutation is WAL-first, so closing releases the file
-	// handle with nothing left to flush.
+	// Every catalog mutation is WAL-first, so nothing durable is left to
+	// flush; Close still drains the shard workers' queued refreshes before
+	// releasing the stores, so no background goroutine outlives the server.
 	if err := cat.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "minupd: closing catalog: %v\n", err)
 	}

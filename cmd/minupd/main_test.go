@@ -29,6 +29,7 @@ func newTestServerCfg(t *testing.T, cfg config) (*server, http.Handler, *strings
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { cat.Close() })
 	srv := newServer(f.Set, f.Set.Compile(), cat, reg, cfg)
 	logBuf := &strings.Builder{}
 	logger := slog.New(slog.NewJSONHandler(logBuf, nil))

@@ -1,8 +1,16 @@
 // The /policies surface: the stateful side of minupd. Where /solve serves
 // one constraint set compiled at boot, these routes manage a durable
-// catalog of named, versioned policies — created and replaced with PUT,
-// refined with constraint appends that run the incremental repair instead
-// of a cold solve, and served from a per-version memoized solve cache.
+// sharded catalog of named, versioned policies — created and replaced with
+// PUT, refined with constraint appends, and served from a per-version
+// memoized solve cache.
+//
+// Mutations answer as soon as the record is durable and the new version is
+// visible; the solver work (compile, memoized solve, incremental repair)
+// runs on the catalog's per-shard background workers. Add ?wait=1 to a PUT
+// or append to run that refresh inline instead: the response then reflects
+// a warm cache, and appends report how the memoized solution was repaired.
+// Without it, an append whose refresh is still queued carries
+// "refresh_pending": true.
 //
 // Optimistic concurrency is plain HTTP: every response carrying policy
 // state sets an ETag holding the version; writers send If-Match with the
@@ -33,22 +41,32 @@ type policyRequest struct {
 	Constraints string `json:"constraints"`
 }
 
+// policyIndexEntry is one row of GET /policies: the policy's identity and
+// cache state plus its version rendered as the ETag a conditional writer
+// would send back.
+type policyIndexEntry struct {
+	minup.PolicyInfo
+	ETag string `json:"etag"`
+}
+
 // policyListResponse is the JSON answer of GET /policies.
 type policyListResponse struct {
 	Count    int                `json:"count"`
-	Policies []minup.PolicyInfo `json:"policies"`
+	Policies []policyIndexEntry `json:"policies"`
 }
 
 // policyAppendResponse reports an accepted constraint append: the new
 // version plus how the solution cache was maintained — repaired
 // incrementally from the memoized solution (repaired: true, with the
-// repair's work counts) or left cold for the next solve to fill.
+// repair's work counts, ?wait=1 only), left for a shard worker
+// (refresh_pending: true), or left cold for the next solve to fill.
 type policyAppendResponse struct {
 	minup.PolicyInfo
 	Repaired         bool `json:"repaired"`
 	RepairViolated   int  `json:"repair_violated,omitempty"`
 	RepairRecomputed int  `json:"repair_recomputed,omitempty"`
 	RepairFellBack   bool `json:"repair_fell_back,omitempty"`
+	RefreshPending   bool `json:"refresh_pending,omitempty"`
 }
 
 // policySolveResponse is the JSON answer of GET/POST /policies/{name}/solve.
@@ -62,6 +80,16 @@ type policySolveResponse struct {
 
 // etag formats a policy version as a strong entity tag.
 func etag(version uint64) string { return `"` + strconv.FormatUint(version, 10) + `"` }
+
+// mutateOptionsFrom reads the ?wait=1 query knob: wait forces the solver
+// refresh to run inline on this request instead of a shard worker.
+func mutateOptionsFrom(r *http.Request) minup.PolicyMutateOptions {
+	switch r.URL.Query().Get("wait") {
+	case "1", "true":
+		return minup.PolicyMutateOptions{Wait: true}
+	}
+	return minup.PolicyMutateOptions{}
+}
 
 // preconditionFrom maps the request's conditional headers to a catalog
 // version precondition: If-None-Match: * means create-only, If-Match "N"
@@ -99,8 +127,8 @@ func decodePolicyBody(w http.ResponseWriter, r *http.Request, dst *policyRequest
 
 // policyError maps a catalog error to its status: 404 unknown name, 409
 // create-only conflict, 412 lost version race, 422 unsolvable, 500 storage
-// or solver failure, 504 budget expiry, and 400 for everything else (bad
-// names, unparseable source text).
+// or solver failure, 503 catalog closed (shutdown), 504 budget expiry, and
+// 400 for everything else (bad names, unparseable source text).
 func (s *server) policyError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, minup.ErrPolicyNotFound):
@@ -113,6 +141,10 @@ func (s *server) policyError(w http.ResponseWriter, r *http.Request, err error) 
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 	case errors.Is(err, minup.ErrPolicyStorage):
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+	case errors.Is(err, minup.ErrPolicyClosed):
+		// The catalog only closes during shutdown; tell the client to go
+		// elsewhere rather than blaming the request.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, minup.ErrInternal):
 		http.Error(w, "internal solver error", http.StatusInternalServerError)
 	case errors.Is(err, minup.ErrCanceled), errors.Is(err, context.DeadlineExceeded):
@@ -128,7 +160,11 @@ func (s *server) policyError(w http.ResponseWriter, r *http.Request, err error) 
 
 func (s *server) handlePolicyList(w http.ResponseWriter, _ *http.Request) {
 	infos := s.cat.List()
-	writeJSON(w, policyListResponse{Count: len(infos), Policies: infos})
+	entries := make([]policyIndexEntry, len(infos))
+	for i, info := range infos {
+		entries[i] = policyIndexEntry{PolicyInfo: info, ETag: etag(info.Version)}
+	}
+	writeJSON(w, policyListResponse{Count: len(entries), Policies: entries})
 }
 
 func (s *server) handlePolicyGet(w http.ResponseWriter, r *http.Request) {
@@ -155,7 +191,7 @@ func (s *server) handlePolicyPut(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `body must carry both "lattice" and "constraints" text`, http.StatusBadRequest)
 		return
 	}
-	info, err := s.cat.Put(r.Context(), r.PathValue("name"), req.Lattice, req.Constraints, ifVersion)
+	info, err := s.cat.Put(r.Context(), r.PathValue("name"), req.Lattice, req.Constraints, ifVersion, mutateOptionsFrom(r))
 	if err != nil {
 		s.policyError(w, r, err)
 		return
@@ -182,8 +218,9 @@ func (s *server) handlePolicyDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePolicyAppend runs POST /policies/{name}/constraints. Appends do
-// solver work (the incremental repair, or a solvability check on a cold
-// cache), so they pass the same admission gate and solve budget as /solve.
+// solver work — at least the solvability check, and with ?wait=1 the full
+// inline repair — so they pass the same admission gate and solve budget as
+// /solve.
 func (s *server) handlePolicyAppend(w http.ResponseWriter, r *http.Request) {
 	ifVersion, err := preconditionFrom(r)
 	if err != nil {
@@ -210,7 +247,7 @@ func (s *server) handlePolicyAppend(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.solveBudget(r))
 	defer cancel()
-	res, err := s.cat.Append(ctx, r.PathValue("name"), req.Constraints, ifVersion)
+	res, err := s.cat.Append(ctx, r.PathValue("name"), req.Constraints, ifVersion, mutateOptionsFrom(r))
 	if err != nil {
 		s.policyError(w, r, err)
 		return
@@ -222,6 +259,7 @@ func (s *server) handlePolicyAppend(w http.ResponseWriter, r *http.Request) {
 		RepairViolated:   res.Repair.ViolatedConstraints,
 		RepairRecomputed: res.Repair.Recomputed,
 		RepairFellBack:   res.Repair.FellBack,
+		RefreshPending:   res.Pending,
 	})
 }
 

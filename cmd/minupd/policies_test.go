@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -38,21 +39,32 @@ func policyReq(t *testing.T, h http.Handler, method, path string, body *policyRe
 	return rec
 }
 
-// TestPolicyLifecycle walks the full policy lifecycle over HTTP and proves
-// the acceptance criterion with counters: serving an unchanged policy's
-// solve performs zero compiles and zero full solves — only
-// catalog.cache_hits moves, while catalog.compiles and solve.cold stay
-// frozen after the first (cold) solve.
+// TestPolicyLifecycle walks the full policy lifecycle over HTTP with
+// ?wait=1 mutations and proves the acceptance criterion with counters:
+// every solve of an unchanged policy is a cache hit with zero compiles and
+// zero full solves beyond the one compile the PUT's inline refresh ran —
+// solve.cold never moves, and the append maintains the cache through the
+// incremental repair.
 func TestPolicyLifecycle(t *testing.T) {
 	srv, h, _ := newTestServer(t)
 
-	rec := policyReq(t, h, http.MethodPut, "/policies/acct",
+	rec := policyReq(t, h, http.MethodPut, "/policies/acct?wait=1",
 		&policyRequest{Lattice: testPolicyLattice, Constraints: testPolicyCons}, nil)
 	if rec.Code != http.StatusCreated {
 		t.Fatalf("PUT = %d: %s", rec.Code, rec.Body.String())
 	}
 	if et := rec.Header().Get("ETag"); et != `"1"` {
 		t.Fatalf("created ETag = %q, want %q", et, `"1"`)
+	}
+	var pinfo struct {
+		Solved   bool `json:"solved"`
+		Compiled bool `json:"compiled"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &pinfo); err != nil {
+		t.Fatal(err)
+	}
+	if !pinfo.Solved || !pinfo.Compiled {
+		t.Fatalf("wait-PUT answered with a cold cache: %+v", pinfo)
 	}
 
 	rec = get(t, h, "/policies")
@@ -64,7 +76,7 @@ func TestPolicyLifecycle(t *testing.T) {
 		t.Fatalf("list = %+v", list)
 	}
 
-	// First solve: the one cold path of this version.
+	// First solve: the wait-PUT already warmed this version's cache.
 	rec = get(t, h, "/policies/acct/solve")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("solve = %d: %s", rec.Code, rec.Body.String())
@@ -73,15 +85,15 @@ func TestPolicyLifecycle(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
 		t.Fatal(err)
 	}
-	if sr.CacheHit {
-		t.Fatal("first solve of a version claimed a cache hit")
+	if !sr.CacheHit {
+		t.Fatal("solve after a wait-PUT was not a cache hit")
 	}
 	if sr.Assignment["salary"] != "S" || sr.Assignment["rank"] != "S" {
 		t.Fatalf("assignment = %v", sr.Assignment)
 	}
 	before := srv.reg.Snapshot()
-	if before.Counters["catalog.compiles"] != 1 || before.Counters["solve.cold"] != 1 {
-		t.Fatalf("after cold solve: compiles=%d cold=%d, want 1/1",
+	if before.Counters["catalog.compiles"] != 1 || before.Counters["solve.cold"] != 0 {
+		t.Fatalf("after wait-PUT + solve: compiles=%d cold=%d, want 1/0",
 			before.Counters["catalog.compiles"], before.Counters["solve.cold"])
 	}
 
@@ -110,9 +122,9 @@ func TestPolicyLifecycle(t *testing.T) {
 			after.Counters["catalog.cache_hits"], before.Counters["catalog.cache_hits"]+1)
 	}
 
-	// Appending runs the incremental repair off the warm cache and keeps
-	// the cache warm: the next solve is still a hit, at the new version.
-	rec = policyReq(t, h, http.MethodPost, "/policies/acct/constraints",
+	// A waited append runs the incremental repair off the warm cache and
+	// keeps it warm: the next solve is still a hit, at the new version.
+	rec = policyReq(t, h, http.MethodPost, "/policies/acct/constraints?wait=1",
 		&policyRequest{Constraints: "rank >= TS\n"}, nil)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("append = %d: %s", rec.Code, rec.Body.String())
@@ -122,7 +134,10 @@ func TestPolicyLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !ar.Repaired {
-		t.Fatal("append with a warm cache did not run the incremental repair")
+		t.Fatal("waited append with a warm cache did not run the incremental repair")
+	}
+	if ar.RefreshPending {
+		t.Fatal("waited append still reported a pending refresh")
 	}
 	if ar.Version != 2 {
 		t.Fatalf("appended version = %d, want 2", ar.Version)
@@ -138,8 +153,8 @@ func TestPolicyLifecycle(t *testing.T) {
 		t.Fatalf("post-append assignment = %v", sr.Assignment)
 	}
 	final := srv.reg.Snapshot()
-	if final.Counters["solve.cold"] != 1 {
-		t.Fatalf("solve.cold = %d after repair-maintained cache, want 1", final.Counters["solve.cold"])
+	if final.Counters["solve.cold"] != 0 {
+		t.Fatalf("solve.cold = %d after repair-maintained cache, want 0", final.Counters["solve.cold"])
 	}
 	if final.Counters["catalog.repairs"] != 1 {
 		t.Fatalf("catalog.repairs = %d, want 1", final.Counters["catalog.repairs"])
@@ -154,6 +169,93 @@ func TestPolicyLifecycle(t *testing.T) {
 	}
 	if rec = get(t, h, "/policies/acct/solve"); rec.Code != http.StatusNotFound {
 		t.Fatalf("solve after delete = %d", rec.Code)
+	}
+}
+
+// TestPolicyAsyncPipeline covers the default (no ?wait) path: mutations
+// answer before the solver refresh ran, appends carry refresh_pending, and
+// once the pipeline drains the next solve is served warm at the new
+// version without a single synchronous cold solve.
+func TestPolicyAsyncPipeline(t *testing.T) {
+	srv, h, _ := newTestServer(t)
+
+	rec := policyReq(t, h, http.MethodPut, "/policies/bg",
+		&policyRequest{Lattice: testPolicyLattice, Constraints: testPolicyCons}, nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("PUT = %d: %s", rec.Code, rec.Body.String())
+	}
+	rec = policyReq(t, h, http.MethodPost, "/policies/bg/constraints",
+		&policyRequest{Constraints: "rank >= TS\n"}, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("append = %d: %s", rec.Code, rec.Body.String())
+	}
+	var ar policyAppendResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Repaired || !ar.RefreshPending {
+		t.Fatalf("async append = %+v, want pending refresh and no inline repair", ar)
+	}
+	if ar.Version != 2 {
+		t.Fatalf("async append version = %d, want 2", ar.Version)
+	}
+
+	if err := srv.cat.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rec = get(t, h, "/policies/bg/solve")
+	var sr policySolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.CacheHit || sr.Version != 2 || sr.Assignment["rank"] != "TS" {
+		t.Fatalf("post-flush solve: hit=%v version=%d assignment=%v, want warm version 2",
+			sr.CacheHit, sr.Version, sr.Assignment)
+	}
+	if cold := srv.reg.Snapshot().Counters["solve.cold"]; cold != 0 {
+		t.Fatalf("solve.cold = %d, want 0 (refreshes ran on shard workers)", cold)
+	}
+}
+
+// TestPolicyIndex pins the GET /policies wire format: every entry carries
+// the version rendered as an etag, its shard assignment, and the cache
+// state, so operators can see pipeline progress without per-policy GETs.
+func TestPolicyIndex(t *testing.T) {
+	srv, h, _ := newTestServer(t)
+	for _, name := range []string{"idx-a", "idx-b"} {
+		if rec := policyReq(t, h, http.MethodPut, "/policies/"+name+"?wait=1",
+			&policyRequest{Lattice: testPolicyLattice, Constraints: testPolicyCons}, nil); rec.Code != http.StatusCreated {
+			t.Fatalf("PUT %s = %d: %s", name, rec.Code, rec.Body.String())
+		}
+	}
+
+	rec := get(t, h, "/policies")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /policies = %d", rec.Code)
+	}
+	for _, key := range []string{`"etag"`, `"shard"`, `"solved"`, `"compiled"`} {
+		if !strings.Contains(rec.Body.String(), key) {
+			t.Fatalf("index response lacks %s: %s", key, rec.Body.String())
+		}
+	}
+	var list policyListResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 2 || len(list.Policies) != 2 {
+		t.Fatalf("index = %+v, want 2 policies", list)
+	}
+	nshards := srv.cat.RecoveryInfo().Shards
+	for _, e := range list.Policies {
+		if e.ETag != `"1"` || e.Version != 1 {
+			t.Fatalf("%s: etag %q version %d, want \"1\"/1", e.Name, e.ETag, e.Version)
+		}
+		if e.Shard < 0 || e.Shard >= nshards {
+			t.Fatalf("%s: shard %d outside [0,%d)", e.Name, e.Shard, nshards)
+		}
+		if !e.Solved || !e.Compiled {
+			t.Fatalf("%s: wait-PUT left cache state %+v", e.Name, e)
+		}
 	}
 }
 

@@ -1,0 +1,171 @@
+// Package bus is a small in-process pub/sub event bus: named topics,
+// buffered subscriptions, and non-blocking fan-out. It is the decoupling
+// fabric between the catalog's ingest path and everything that reacts to a
+// mutation after the fact — the per-shard cache refreshers today, metrics
+// observers, and (per ROADMAP item 1) a WAL-shipping replicator tomorrow.
+//
+// # Delivery semantics
+//
+// Publish never blocks: each subscriber has a bounded buffer, and an event
+// that finds a subscriber's buffer full is dropped for that subscriber
+// (counted under "bus.dropped"). Within one subscription, events arrive in
+// publish order; across subscriptions there is no ordering guarantee.
+// Publishers therefore treat the bus as a lossy notification fabric, not a
+// durable queue — the catalog's WAL is the durable history, and every
+// subscriber must tolerate missing an event (the cache refresher does: a
+// dropped refresh merely leaves the next read to fill the cache itself).
+//
+// Close tears down every subscription; a subscription's channel is closed
+// exactly once, after which its receiver loop terminates. Publishing to a
+// closed bus is a counted no-op, so racing producers never panic.
+package bus
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"minup/internal/obs"
+)
+
+// Options tunes a Bus. The zero value is ready to use.
+type Options struct {
+	// Metrics, when non-nil, receives the bus.published / bus.delivered /
+	// bus.dropped counters and the bus.subscriptions gauge.
+	Metrics *obs.Registry
+}
+
+// Bus is the event fabric. Construct with New; safe for concurrent use.
+type Bus struct {
+	opt    Options
+	seq    atomic.Uint64
+	mu     sync.RWMutex
+	subs   map[string][]*Subscription
+	closed bool
+}
+
+// Event is one published message. Seq is bus-assigned and strictly
+// increasing across all topics, so subscribers can detect (not recover)
+// gaps.
+type Event struct {
+	Topic   string
+	Seq     uint64
+	Payload any
+}
+
+// Subscription is one subscriber's buffered feed of a topic. Receive from C;
+// C is closed when the subscription (or the whole bus) is closed, after any
+// already-buffered events are drained.
+type Subscription struct {
+	// C delivers this subscription's events in publish order.
+	C <-chan Event
+
+	bus    *Bus
+	topic  string
+	ch     chan Event
+	closed bool // guarded by bus.mu
+}
+
+// New creates a bus.
+func New(opt Options) *Bus {
+	return &Bus{opt: opt, subs: make(map[string][]*Subscription)}
+}
+
+// Subscribe registers a new subscription on topic with the given buffer
+// capacity (minimum 1). Returns nil when the bus is already closed.
+func (b *Bus) Subscribe(topic string, buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	s := &Subscription{bus: b, topic: topic, ch: make(chan Event, buffer)}
+	s.C = s.ch
+	b.subs[topic] = append(b.subs[topic], s)
+	if b.opt.Metrics != nil {
+		b.opt.Metrics.Gauge("bus.subscriptions").Inc()
+	}
+	return s
+}
+
+// Close removes the subscription from its topic and closes its channel.
+// Buffered events remain readable until drained. Safe to call more than
+// once, and a no-op for a nil subscription.
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	b := s.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s.closeLocked()
+}
+
+// closeLocked detaches and closes the subscription. Caller holds bus.mu.
+func (s *Subscription) closeLocked() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	list := s.bus.subs[s.topic]
+	for i, t := range list {
+		if t == s {
+			s.bus.subs[s.topic] = append(list[:i:i], list[i+1:]...)
+			break
+		}
+	}
+	close(s.ch)
+	if s.bus.opt.Metrics != nil {
+		s.bus.opt.Metrics.Gauge("bus.subscriptions").Dec()
+	}
+}
+
+// Publish fans payload out to every current subscriber of topic and returns
+// the number of subscriptions that accepted it. Never blocks: a subscriber
+// with a full buffer misses the event ("bus.dropped"). Publishing on a
+// closed bus delivers to nobody.
+func (b *Bus) Publish(topic string, payload any) int {
+	ev := Event{Topic: topic, Seq: b.seq.Add(1), Payload: payload}
+	delivered := 0
+	b.mu.RLock()
+	// Sends stay under the read lock: Subscription.Close needs the write
+	// lock, so a channel can never be closed mid-send.
+	if !b.closed {
+		for _, s := range b.subs[topic] {
+			select {
+			case s.ch <- ev:
+				delivered++
+			default:
+				if b.opt.Metrics != nil {
+					b.opt.Metrics.Counter("bus.dropped").Inc()
+				}
+			}
+		}
+	}
+	b.mu.RUnlock()
+	if m := b.opt.Metrics; m != nil {
+		m.Counter("bus.published").Inc()
+		m.Counter("bus.delivered").Add(uint64(delivered))
+	}
+	return delivered
+}
+
+// Close shuts the bus down: every subscription's channel is closed (after
+// its buffered events) and future Publish calls deliver to nobody.
+// Idempotent.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, list := range b.subs {
+		// closeLocked edits the topic's slice; iterate over a copy.
+		for _, s := range append([]*Subscription(nil), list...) {
+			s.closeLocked()
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package bus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"minup/internal/obs"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := New(Options{Metrics: reg})
+	sub := b.Subscribe("t", 8)
+	other := b.Subscribe("other", 8)
+
+	if n := b.Publish("t", "hello"); n != 1 {
+		t.Fatalf("Publish delivered to %d subs, want 1", n)
+	}
+	ev := <-sub.C
+	if ev.Topic != "t" || ev.Payload != "hello" || ev.Seq == 0 {
+		t.Fatalf("received %+v", ev)
+	}
+	select {
+	case ev := <-other.C:
+		t.Fatalf("other-topic subscription received %+v", ev)
+	default:
+	}
+	if n := b.Publish("nobody", 1); n != 0 {
+		t.Fatalf("topic with no subscribers delivered to %d", n)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["bus.published"] != 2 || snap.Counters["bus.delivered"] != 1 {
+		t.Fatalf("published=%d delivered=%d, want 2/1",
+			snap.Counters["bus.published"], snap.Counters["bus.delivered"])
+	}
+	if g := snap.Gauges["bus.subscriptions"]; g != 2 {
+		t.Fatalf("bus.subscriptions = %d, want 2", g)
+	}
+}
+
+func TestPublishOrderWithinSubscription(t *testing.T) {
+	b := New(Options{})
+	sub := b.Subscribe("seq", 16)
+	for i := 0; i < 10; i++ {
+		b.Publish("seq", i)
+	}
+	for i := 0; i < 10; i++ {
+		ev := <-sub.C
+		if ev.Payload != i {
+			t.Fatalf("event %d carried payload %v", i, ev.Payload)
+		}
+	}
+}
+
+func TestOverflowDropsNotBlocks(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := New(Options{Metrics: reg})
+	sub := b.Subscribe("full", 2)
+	for i := 0; i < 5; i++ {
+		b.Publish("full", i) // must not block even with nobody reading
+	}
+	if dropped := reg.Snapshot().Counters["bus.dropped"]; dropped != 3 {
+		t.Fatalf("bus.dropped = %d, want 3", dropped)
+	}
+	// The two buffered events are still intact and in order.
+	if ev := <-sub.C; ev.Payload != 0 {
+		t.Fatalf("first buffered event = %v", ev.Payload)
+	}
+	if ev := <-sub.C; ev.Payload != 1 {
+		t.Fatalf("second buffered event = %v", ev.Payload)
+	}
+}
+
+func TestSubscriptionCloseDrainsBuffer(t *testing.T) {
+	b := New(Options{})
+	sub := b.Subscribe("t", 4)
+	b.Publish("t", "kept")
+	sub.Close()
+	sub.Close() // idempotent
+	if ev, ok := <-sub.C; !ok || ev.Payload != "kept" {
+		t.Fatalf("buffered event lost on close: %v %v", ev, ok)
+	}
+	if _, ok := <-sub.C; ok {
+		t.Fatal("channel still open after close and drain")
+	}
+	if n := b.Publish("t", "after"); n != 0 {
+		t.Fatalf("closed subscription still receives: delivered %d", n)
+	}
+}
+
+func TestBusClose(t *testing.T) {
+	b := New(Options{})
+	sub := b.Subscribe("t", 4)
+	b.Close()
+	b.Close() // idempotent
+	if _, ok := <-sub.C; ok {
+		t.Fatal("subscription channel open after bus close")
+	}
+	if n := b.Publish("t", 1); n != 0 {
+		t.Fatalf("closed bus delivered to %d", n)
+	}
+	if s := b.Subscribe("t", 1); s != nil {
+		t.Fatal("Subscribe on a closed bus returned a live subscription")
+	}
+}
+
+// TestConcurrentPublishSubscribe races publishers against subscribers,
+// closers, and a bus-wide Close under -race: no panics, no
+// send-on-closed-channel, and every received event is well-formed.
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := New(Options{Metrics: obs.NewRegistry()})
+	var pubs, subs sync.WaitGroup
+	for s := 0; s < 6; s++ {
+		subs.Add(1)
+		go func(s int) {
+			defer subs.Done()
+			sub := b.Subscribe(fmt.Sprintf("topic%d", s%3), 4)
+			if sub == nil {
+				return
+			}
+			n := 0
+			for ev := range sub.C {
+				if ev.Topic == "" {
+					t.Error("empty topic received")
+					return
+				}
+				if n++; n > 50 {
+					sub.Close()
+				}
+			}
+		}(s)
+	}
+	for p := 0; p < 4; p++ {
+		pubs.Add(1)
+		go func(p int) {
+			defer pubs.Done()
+			for i := 0; i < 200; i++ {
+				b.Publish(fmt.Sprintf("topic%d", i%3), i)
+			}
+		}(p)
+	}
+	pubs.Wait()
+	// Closing the bus closes every remaining channel, so slow subscribers
+	// that never hit their own Close threshold still terminate.
+	b.Close()
+	subs.Wait()
+}

@@ -4,35 +4,42 @@
 // into the existing constraint.Compiled snapshot and served from a
 // memoized solve cache.
 //
-// The catalog converts the stack from stateless to stateful, so its two
-// jobs are caching and durability:
+// The catalog is built as three layers:
 //
-//   - Caching. Every policy lazily compiles one constraint.Compiled
-//     snapshot per version and memoizes the minimal solution computed
-//     against it. Serving an unchanged policy performs zero compiles and
-//     zero solves ("catalog.cache_hits"); the first solve of a version is
-//     the only cold one ("solve.cold"). Appending constraints goes through
-//     core.RepairContext seeded with the memoized solution, so the new
-//     version's answer is recomputed incrementally rather than from
-//     scratch — and is itself memoized, keeping the cache warm across
-//     policy refinement.
+//   - Storage (store.go). Each shard persists through the Store interface —
+//     append a mutation record, load snapshot+replay, compact, close. The
+//     durable implementation (walStore) is the existing WAL+snapshot
+//     machinery: every mutation is written to an append-only log
+//     (internal/wal: length+CRC32 frames, fsync policy knob) *before* it is
+//     applied in memory, and the log is periodically compacted into an
+//     atomically replaced snapshot file. Reopening yields exactly the state
+//     of the mutations that reached the disk; a torn final frame is
+//     truncated, losing at most the one interrupted mutation, and sequence
+//     numbers make replay immune to the crash window between "snapshot
+//     written" and "log reset". MemStore is the in-memory implementation
+//     behind memory-only catalogs and tests.
 //
-//   - Durability. With a data directory configured, every mutation is
-//     written to an append-only WAL (internal/wal: length+CRC32 frames,
-//     fsync policy knob) *before* it is applied in memory, and the WAL is
-//     periodically compacted into an atomically replaced snapshot file.
-//     Reopening the directory replays snapshot + WAL and yields exactly
-//     the state produced by the mutations that reached the disk; a torn
-//     final frame is truncated, losing at most the one mutation whose
-//     append was interrupted. Sequence numbers make snapshot + WAL replay
-//     immune to the crash window between "snapshot written" and "WAL
-//     reset".
+//   - Sharding (this file). Policies are partitioned across N shards by an
+//     FNV-1a hash of the policy name. Each shard owns its own Store (its
+//     own WAL file, snapshot, and compaction counter) and its own RWMutex,
+//     so mutations and cache fills on unrelated policies never contend; a
+//     cache-hit read takes only a read lock. Recovery runs concurrently,
+//     one goroutine per shard. The shard count is pinned by a meta file in
+//     the data directory — membership depends on N, so an existing
+//     directory's count always wins over the Options value.
 //
-// Concurrency: one catalog-wide mutex serializes mutations and cache
-// fills, which is what gives optimistic concurrency its linear version
-// history (every successful mutation observes the version its If-Match
-// precondition named). Cache-hit reads still take the same mutex; they
-// hold it only long enough to copy the memoized answer.
+//   - Mutation pipeline (pipeline.go). Ingest is decoupled from
+//     compile/solve: a mutation returns once its WAL append is durable and
+//     the in-memory maps are updated, and a per-shard background worker —
+//     fed through internal/bus — recompiles and refreshes the memoized
+//     solve (incrementally via core.RepairContext when the cache was
+//     warm). MutateOptions.Wait restores fully synchronous semantics, and
+//     Flush drains the pipeline for deterministic tests and shutdown.
+//
+// Serving an unchanged policy performs zero compiles and zero solves
+// ("catalog.cache_hits"); optimistic concurrency (If-Match versions) keeps
+// its linear history per name because each name lives on exactly one shard
+// and every mutation holds that shard's write lock.
 package catalog
 
 import (
@@ -42,12 +49,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
-	"sync"
-
+	"minup/internal/bus"
 	"minup/internal/constraint"
 	"minup/internal/core"
 	"minup/internal/fault"
@@ -57,7 +66,7 @@ import (
 )
 
 // Typed errors. Match with errors.Is; the HTTP layer maps them to 404, 409,
-// and 412.
+// 412, and 503.
 var (
 	// ErrNotFound reports a name with no policy behind it.
 	ErrNotFound = errors.New("catalog: policy not found")
@@ -71,6 +80,13 @@ var (
 	// could not be made durable, and was therefore not applied. The HTTP
 	// layer maps it to 500 instead of the 4xx a validation failure gets.
 	ErrStorage = errors.New("catalog: storage failure")
+	// ErrSnapshotCorrupt reports that a shard's snapshot file could not be
+	// decoded or applied during Open — bit rot, truncation, or manual
+	// editing. Counted under "catalog.snapshot_corrupt". Recovery refuses
+	// to guess: the operator decides whether to restore or delete the file.
+	ErrSnapshotCorrupt = errors.New("catalog: snapshot corrupt")
+	// ErrClosed reports a mutation against a closed catalog.
+	ErrClosed = errors.New("catalog: closed")
 )
 
 // Unconditional is the ifVersion value for mutations without an
@@ -82,65 +98,109 @@ const MustNotExist int64 = 0
 
 // Options configures a catalog.
 type Options struct {
-	// Dir is the data directory for the WAL and snapshot files. Empty
-	// means memory-only: no durability, everything else identical.
+	// Dir is the data directory for the per-shard WAL and snapshot files.
+	// Empty means memory-only: no durability, everything else identical.
 	Dir string
 	// Sync is the WAL fsync policy (wal.SyncAlways by default).
 	Sync wal.SyncPolicy
-	// Metrics, when non-nil, receives the catalog.* and wal.* series.
+	// Metrics, when non-nil, receives the catalog.*, bus.*, and wal.*
+	// series.
 	Metrics *obs.Registry
 	// Fault, when non-nil, arms the "catalog.compile", "wal.append", and
 	// "wal.fsync" fault points for chaos testing.
 	Fault *fault.Injector
-	// SnapshotEvery compacts the WAL into a snapshot after this many
-	// records (0 uses the default of 256; negative disables compaction).
+	// SnapshotEvery compacts a shard's WAL into its snapshot after this
+	// many records on that shard (0 uses the default of 256; negative
+	// disables compaction).
 	SnapshotEvery int
+	// Shards is the number of independent shards policies are hashed
+	// across (0 or negative uses GOMAXPROCS). For a durable catalog the
+	// value is only honored when the data directory is new: an existing
+	// directory's meta file pins the count it was created with, because
+	// shard membership depends on it.
+	Shards int
+	// OpenStore, when non-nil, supplies shard i's Store instead of the
+	// default (a walStore under Dir, or a fresh MemStore when Dir is
+	// empty). Tests use it to inject per-shard faults or to hand a
+	// reopened catalog the MemStores of a "crashed" one.
+	OpenStore func(shard int) (Store, error)
 }
 
 const defaultSnapshotEvery = 256
 
+// metaFile pins directory-level invariants, today just the shard count.
+type metaFile struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
 // RecoveryInfo reports what Open reconstructed from the data directory.
 type RecoveryInfo struct {
-	// SnapshotPolicies is the number of policies loaded from the snapshot
-	// file; WALRecords the number of live WAL records replayed on top.
+	// SnapshotPolicies is the number of policies loaded from shard
+	// snapshots; WALRecords the number of live WAL records replayed on
+	// top, summed across shards.
 	SnapshotPolicies, WALRecords int
-	// TornTail reports that the WAL ended in a torn frame that was cut.
+	// TornTail reports that at least one shard's WAL ended in a torn frame
+	// that was cut.
 	TornTail bool
-	// Duration is the wall time of the whole recovery.
+	// Shards is the shard count the catalog opened with.
+	Shards int
+	// Duration is the wall time of the whole (concurrent) recovery.
 	Duration time.Duration
 }
 
-// policy is one named catalog entry. All fields are guarded by the
-// catalog's mutex.
+// policy is one named catalog entry. All fields are guarded by the owning
+// shard's lock. The set and compiled values are immutable once installed —
+// mutations clone-and-swap — so the refresh pipeline may read them outside
+// the lock.
 type policy struct {
 	name        string
+	shard       int
 	version     uint64
 	latticeText string
 	consTexts   []string // the Put text followed by each appended batch
 	lat         lattice.Lattice
 	set         *constraint.Set
-	// compiled is the one snapshot of the current version, built lazily;
-	// solved memoizes the minimal solution (and its stats) for the current
-	// version. Both are dropped on every mutation.
+	// compiled is the one snapshot of the current version, built lazily or
+	// by the refresh worker; solved memoizes the minimal solution (and its
+	// stats) for the current version. Both are dropped on every mutation.
 	compiled    *constraint.Compiled
 	solved      constraint.Assignment
 	solvedStats core.Stats
 }
 
+// shard is one hash partition: its own policies, its own Store, its own
+// lock, its own compaction counter.
+type shard struct {
+	id        int
+	mu        sync.RWMutex
+	store     Store
+	pol       map[string]*policy
+	seq       uint64 // last sequence number written to (or restored from) the store
+	snapSeq   uint64 // sequence number the shard's snapshot covers
+	sinceSnap int
+	closed    bool
+	sub       *bus.Subscription // the refresh worker's feed
+
+	// Recovery bookkeeping, written only during Open.
+	snapPolicies, walRecords int
+	tornTail                 bool
+}
+
 // Catalog is the policy store. Construct with Open; safe for concurrent
 // use.
 type Catalog struct {
-	mu        sync.Mutex
-	opt       Options
-	log       *wal.Log // nil when memory-only
-	pol       map[string]*policy
-	seq       uint64 // last sequence number written to (or restored from) disk
-	snapSeq   uint64 // sequence number the snapshot file covers
-	sinceSnap int
-	recovery  RecoveryInfo
+	opt      Options
+	shards   []*shard
+	bus      *bus.Bus
+	pending  pendingTracker
+	workers  sync.WaitGroup
+	closed   atomic.Bool
+	policies atomic.Int64 // live policy count across shards
+	recovery RecoveryInfo
 }
 
-// walRecord is the JSON payload of one WAL frame.
+// walRecord is the JSON payload of one store record.
 type walRecord struct {
 	Seq         uint64 `json:"seq"`
 	Op          string `json:"op"` // "put" | "append" | "delete"
@@ -149,7 +209,8 @@ type walRecord struct {
 	Constraints string `json:"constraints,omitempty"`
 }
 
-// snapshotFile is the JSON shape of the compacted snapshot.
+// snapshotFile is the JSON shape of one shard's compacted snapshot (and,
+// with LastSeq zeroed, of the catalog-wide Fingerprint).
 type snapshotFile struct {
 	LastSeq  uint64           `json:"last_seq"`
 	Policies []snapshotPolicy `json:"policies"`
@@ -162,133 +223,266 @@ type snapshotPolicy struct {
 	Constraints []string `json:"constraints"`
 }
 
+// shardFor routes a policy name to its shard: inline FNV-1a (no
+// allocation, keeps the read path at its alloc budget).
+func (c *Catalog) shardFor(name string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
 // Open creates a catalog. With Options.Dir set it recovers the persisted
-// state: the snapshot file (if any) is loaded, then every WAL record past
-// the snapshot's sequence number is replayed, and a torn final frame is
-// truncated. Reopening a directory therefore always yields exactly the
-// state of the mutations that reached the disk.
+// state, all shards concurrently: each shard's snapshot (if any) is loaded,
+// then every WAL record past the snapshot's sequence number is replayed,
+// and a torn final frame is truncated. Reopening a directory therefore
+// always yields exactly the state of the mutations that reached the disk.
 func Open(opt Options) (*Catalog, error) {
 	if opt.SnapshotEvery == 0 {
 		opt.SnapshotEvery = defaultSnapshotEvery
 	}
-	c := &Catalog{opt: opt, pol: make(map[string]*policy)}
-	if opt.Dir == "" {
-		return c, nil
+	if opt.Shards <= 0 {
+		opt.Shards = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
-	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
-		return nil, fmt.Errorf("catalog: %w", err)
-	}
-	if err := c.loadSnapshot(); err != nil {
-		return nil, err
-	}
-	log, rs, err := wal.Open(filepath.Join(opt.Dir, "catalog.wal"), wal.Options{
-		Sync:    opt.Sync,
-		Metrics: opt.Metrics,
-		Fault:   opt.Fault,
-	}, c.replayRecord)
-	if err != nil {
-		return nil, err
-	}
-	c.log = log
-	c.recovery.TornTail = rs.Truncated
-	c.recovery.Duration = time.Since(start)
-	c.sinceSnap = c.recovery.WALRecords
-	c.setGauges()
-	if opt.SnapshotEvery > 0 && c.sinceSnap >= opt.SnapshotEvery {
-		if err := c.compactLocked(); err != nil {
-			c.log.Close()
+	if opt.Dir != "" {
+		if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+		n, err := loadOrInitMeta(opt.Dir, opt.Shards, opt.Sync == wal.SyncAlways)
+		if err != nil {
 			return nil, err
 		}
+		opt.Shards = n
+	}
+	c := &Catalog{
+		opt: opt,
+		bus: bus.New(bus.Options{Metrics: opt.Metrics}),
+	}
+	c.recovery.Shards = opt.Shards
+	for i := 0; i < opt.Shards; i++ {
+		s := &shard{id: i, pol: make(map[string]*policy)}
+		var err error
+		switch {
+		case opt.OpenStore != nil:
+			s.store, err = opt.OpenStore(i)
+		case opt.Dir != "":
+			s.store = openWALStore(opt.Dir, i, wal.Options{
+				Sync:    opt.Sync,
+				Metrics: opt.Metrics,
+				Fault:   opt.Fault,
+			})
+		default:
+			s.store = NewMemStore()
+		}
+		if err != nil {
+			c.closeStores()
+			return nil, fmt.Errorf("catalog: opening shard %d store: %w", i, err)
+		}
+		c.shards = append(c.shards, s)
+	}
+
+	// Recover every shard concurrently; the first failure aborts the open.
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			errs[i] = c.recoverShard(s)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			c.closeStores()
+			return nil, err
+		}
+	}
+	for _, s := range c.shards {
+		c.recovery.SnapshotPolicies += s.snapPolicies
+		c.recovery.WALRecords += s.walRecords
+		c.recovery.TornTail = c.recovery.TornTail || s.tornTail
+		c.policies.Add(int64(len(s.pol)))
+		if opt.SnapshotEvery > 0 && s.sinceSnap >= opt.SnapshotEvery {
+			if err := c.compactShard(s); err != nil {
+				c.closeStores()
+				return nil, err
+			}
+		}
+	}
+	c.recovery.Duration = time.Since(start)
+	c.setGauges()
+
+	// Start the refresh pipeline: one worker per shard, fed over the bus.
+	for _, s := range c.shards {
+		s.sub = c.bus.Subscribe(refreshTopic(s.id), refreshBuffer)
+		c.workers.Add(1)
+		go c.refreshWorker(s)
 	}
 	return c, nil
 }
 
-func (c *Catalog) loadSnapshot() error {
-	data, err := os.ReadFile(filepath.Join(c.opt.Dir, "catalog.snap"))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
+// loadOrInitMeta reads the data directory's meta file, creating it with
+// shards when absent. An existing file wins: shard membership is a function
+// of the count, so changing it on a populated directory would orphan
+// policies.
+func loadOrInitMeta(dir string, shards int, sync bool) (int, error) {
+	path := filepath.Join(dir, "catalog.meta.json")
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		out, err := json.MarshalIndent(metaFile{Version: 1, Shards: shards}, "", "  ")
+		if err != nil {
+			return 0, fmt.Errorf("catalog: encoding meta: %w", err)
+		}
+		if err := wal.WriteAtomic(path, append(out, '\n'), sync); err != nil {
+			return 0, fmt.Errorf("catalog: writing meta: %w", err)
+		}
+		return shards, nil
+	case err != nil:
+		return 0, fmt.Errorf("catalog: reading meta: %w", err)
 	}
-	if err != nil {
-		return fmt.Errorf("catalog: reading snapshot: %w", err)
+	var meta metaFile
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return 0, fmt.Errorf("catalog: decoding meta %s: %w", path, err)
 	}
+	if meta.Shards < 1 {
+		return 0, fmt.Errorf("catalog: meta %s declares %d shards", path, meta.Shards)
+	}
+	return meta.Shards, nil
+}
+
+// recoverShard loads one shard's snapshot and replays its log. Snapshot
+// decode/apply failures are surfaced as ErrSnapshotCorrupt — the snapshot
+// is a file the catalog wrote itself, so any undecodable state means
+// corruption, not version skew.
+func (s *shard) loadSnapshot(data []byte) error {
 	var snap snapshotFile
 	if err := json.Unmarshal(data, &snap); err != nil {
-		return fmt.Errorf("catalog: decoding snapshot: %w", err)
+		return fmt.Errorf("%w: shard %d: decoding: %w", ErrSnapshotCorrupt, s.id, err)
 	}
 	for _, sp := range snap.Policies {
 		if len(sp.Constraints) == 0 {
-			return fmt.Errorf("catalog: snapshot policy %q has no constraint text", sp.Name)
+			return fmt.Errorf("%w: shard %d: policy %q has no constraint text", ErrSnapshotCorrupt, s.id, sp.Name)
 		}
-		if err := c.applyPut(sp.Name, sp.Lattice, sp.Constraints[0]); err != nil {
-			return fmt.Errorf("catalog: snapshot policy %q: %w", sp.Name, err)
+		if err := s.applyPut(sp.Name, sp.Lattice, sp.Constraints[0]); err != nil {
+			return fmt.Errorf("%w: shard %d: policy %q: %w", ErrSnapshotCorrupt, s.id, sp.Name, err)
 		}
 		for _, batch := range sp.Constraints[1:] {
-			if err := c.applyAppend(sp.Name, batch); err != nil {
-				return fmt.Errorf("catalog: snapshot policy %q: %w", sp.Name, err)
+			if err := s.applyAppend(sp.Name, batch); err != nil {
+				return fmt.Errorf("%w: shard %d: policy %q: %w", ErrSnapshotCorrupt, s.id, sp.Name, err)
 			}
 		}
-		c.pol[sp.Name].version = sp.Version
+		s.pol[sp.Name].version = sp.Version
 	}
-	c.seq = snap.LastSeq
-	c.snapSeq = snap.LastSeq
-	c.recovery.SnapshotPolicies = len(snap.Policies)
+	s.seq = snap.LastSeq
+	s.snapSeq = snap.LastSeq
+	s.snapPolicies = len(snap.Policies)
 	return nil
 }
 
-// replayRecord applies one WAL frame during Open. Records at or below the
+func (c *Catalog) recoverShard(s *shard) error {
+	ls, err := s.store.Load(
+		func(data []byte) error {
+			if err := s.loadSnapshot(data); err != nil {
+				c.count("catalog.snapshot_corrupt")
+				return err
+			}
+			return nil
+		},
+		s.replayRecord,
+	)
+	if err != nil {
+		return err
+	}
+	s.tornTail = ls.TornTail
+	s.sinceSnap = s.walRecords
+	return nil
+}
+
+// replayRecord applies one log record during Open. Records at or below the
 // snapshot's sequence number are the crash window between "snapshot
 // written" and "WAL reset"; they are already reflected in the snapshot and
 // are skipped.
-func (c *Catalog) replayRecord(payload []byte) error {
+func (s *shard) replayRecord(payload []byte) error {
 	var rec walRecord
 	if err := json.Unmarshal(payload, &rec); err != nil {
 		return fmt.Errorf("catalog: decoding WAL record: %w", err)
 	}
-	if rec.Seq <= c.snapSeq {
+	if rec.Seq <= s.snapSeq {
 		return nil
 	}
 	var err error
 	switch rec.Op {
 	case "put":
-		err = c.applyPut(rec.Name, rec.Lattice, rec.Constraints)
+		err = s.applyPut(rec.Name, rec.Lattice, rec.Constraints)
 	case "append":
-		err = c.applyAppend(rec.Name, rec.Constraints)
+		err = s.applyAppend(rec.Name, rec.Constraints)
 	case "delete":
-		err = c.applyDelete(rec.Name)
+		err = s.applyDelete(rec.Name)
 	default:
 		err = fmt.Errorf("unknown op %q", rec.Op)
 	}
 	if err != nil {
 		return fmt.Errorf("catalog: WAL record seq %d (%s %q): %w", rec.Seq, rec.Op, rec.Name, err)
 	}
-	c.seq = rec.Seq
-	c.recovery.WALRecords++
+	s.seq = rec.Seq
+	s.walRecords++
 	return nil
 }
 
-// RecoveryInfo reports what Open reconstructed. Zero for memory-only
+// RecoveryInfo reports what Open reconstructed. Zero counts for memory-only
 // catalogs.
 func (c *Catalog) RecoveryInfo() RecoveryInfo { return c.recovery }
 
-// Close releases the WAL file handle. In-flight state is already durable
-// (every mutation is WAL-first), so Close has nothing to flush.
+// closeStores closes every shard store that Open managed to create; used on
+// the Open failure paths.
+func (c *Catalog) closeStores() {
+	for _, s := range c.shards {
+		if s.store != nil {
+			s.store.Close()
+		}
+	}
+}
+
+// Close drains the refresh pipeline and releases every shard's store.
+// Idempotent and safe to race with mutations: the first call wins, later
+// calls (and mutations that lose the race) observe ErrClosed. Durable state
+// needs no flushing — every mutation is WAL-first — so drain only has to
+// let in-flight cache refreshes finish.
 func (c *Catalog) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.log == nil {
+	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	err := c.log.Close()
-	c.log = nil
-	return err
+	// Stop the pipeline: closing each subscription lets its worker drain
+	// the buffered refreshes and exit; refreshes published by mutations
+	// still in flight after this point are counted dropped (the bus is
+	// lossy by contract, and a cold cache merely refills on next read).
+	for _, s := range c.shards {
+		s.sub.Close()
+	}
+	c.workers.Wait()
+	c.bus.Close()
+	var first error
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.closed = true
+		if err := s.store.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.mu.Unlock()
+	}
+	return first
 }
 
 // ---------------------------------------------------------------------------
 // In-memory apply functions: the side of a mutation shared by the live path
 // and recovery replay. They validate, parse, and swap state, but never
-// touch the WAL, never solve, and never check preconditions (a record in
-// the WAL already passed them).
+// touch the store, never solve, and never check preconditions (a record in
+// the log already passed them).
 
 func validName(name string) error {
 	if name == "" || len(name) > 128 {
@@ -309,7 +503,7 @@ func validName(name string) error {
 }
 
 // buildPolicy parses lattice and constraint text into a fresh policy value
-// (version unset).
+// (version and shard unset).
 func buildPolicy(name, latticeText, constraintsText string) (*policy, error) {
 	if err := validName(name); err != nil {
 		return nil, err
@@ -331,22 +525,23 @@ func buildPolicy(name, latticeText, constraintsText string) (*policy, error) {
 	}, nil
 }
 
-func (c *Catalog) applyPut(name, latticeText, constraintsText string) error {
+func (s *shard) applyPut(name, latticeText, constraintsText string) error {
 	p, err := buildPolicy(name, latticeText, constraintsText)
 	if err != nil {
 		return err
 	}
-	if old := c.pol[name]; old != nil {
+	p.shard = s.id
+	if old := s.pol[name]; old != nil {
 		p.version = old.version + 1
 	} else {
 		p.version = 1
 	}
-	c.pol[name] = p
+	s.pol[name] = p
 	return nil
 }
 
-func (c *Catalog) applyAppend(name, constraintsText string) error {
-	p := c.pol[name]
+func (s *shard) applyAppend(name, constraintsText string) error {
+	p := s.pol[name]
 	if p == nil {
 		return ErrNotFound
 	}
@@ -363,84 +558,76 @@ func (c *Catalog) applyAppend(name, constraintsText string) error {
 	return nil
 }
 
-func (c *Catalog) applyDelete(name string) error {
-	if c.pol[name] == nil {
+func (s *shard) applyDelete(name string) error {
+	if s.pol[name] == nil {
 		return ErrNotFound
 	}
-	delete(c.pol, name)
+	delete(s.pol, name)
 	return nil
 }
 
 // ---------------------------------------------------------------------------
-// Durability helpers.
+// Durability helpers. All called under the owning shard's write lock.
 
-// logRecord writes one WAL frame (no-op when memory-only). Write-ahead
-// ordering: the caller applies the mutation in memory only after logRecord
-// returns nil, so a crash at any point leaves memory ⊆ disk, never ahead
-// of it.
-func (c *Catalog) logRecord(rec walRecord) error {
-	if c.log == nil {
-		return nil
-	}
-	rec.Seq = c.seq + 1
+// logRecord writes one record to the shard's store. Write-ahead ordering:
+// the caller applies the mutation in memory only after logRecord returns
+// nil, so a crash at any point leaves memory ⊆ disk, never ahead of it.
+func (c *Catalog) logRecord(s *shard, rec walRecord) error {
+	rec.Seq = s.seq + 1
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("catalog: encoding WAL record: %w", err)
 	}
-	if err := c.log.Append(payload); err != nil {
+	if err := s.store.Append(payload); err != nil {
 		return fmt.Errorf("%w: %w", ErrStorage, err)
 	}
-	c.seq = rec.Seq
-	c.sinceSnap++
+	s.seq = rec.Seq
+	s.sinceSnap++
 	return nil
 }
 
-// maybeCompact snapshots and resets the WAL when it has grown past the
-// compaction threshold. Compaction failures are counted but do not fail
-// the mutation that triggered them — the WAL alone is still a complete,
-// durable history, and the next mutation retries the compaction.
-func (c *Catalog) maybeCompact() {
-	if c.log == nil || c.opt.SnapshotEvery <= 0 || c.sinceSnap < c.opt.SnapshotEvery {
+// maybeCompact snapshots and resets the shard's log when it has grown past
+// the compaction threshold. Compaction failures are counted but do not fail
+// the mutation that triggered them — the log alone is still a complete,
+// durable history, and the shard's next mutation retries.
+func (c *Catalog) maybeCompact(s *shard) {
+	if c.opt.SnapshotEvery <= 0 || s.sinceSnap < c.opt.SnapshotEvery {
 		return
 	}
-	if err := c.compactLocked(); err != nil {
+	if err := c.compactShard(s); err != nil {
 		c.count("catalog.compaction_errors")
 	}
 }
 
-// compactLocked writes the full catalog state to the snapshot file
-// (atomically: temp file + rename) and then resets the WAL. The snapshot
-// records the sequence number it covers, so a crash between the two steps
-// merely replays WAL records the snapshot already contains — replay skips
-// them by sequence number.
-func (c *Catalog) compactLocked() error {
-	data, err := c.encodeSnapshot()
+// compactShard writes the shard's full state to its snapshot (atomically)
+// and then resets its log. The snapshot records the sequence number it
+// covers, so a crash between the two steps merely replays records the
+// snapshot already contains — replay skips them by sequence number.
+func (c *Catalog) compactShard(s *shard) error {
+	data, err := encodeSnapshot(s.seq, s.pol)
 	if err != nil {
 		return err
 	}
-	if err := wal.WriteAtomic(filepath.Join(c.opt.Dir, "catalog.snap"), data, c.opt.Sync == wal.SyncAlways); err != nil {
-		return fmt.Errorf("catalog: writing snapshot: %w", err)
-	}
-	c.snapSeq = c.seq
-	if err := c.log.Reset(); err != nil {
+	if err := s.store.Compact(data); err != nil {
 		return err
 	}
-	c.sinceSnap = 0
+	s.snapSeq = s.seq
+	s.sinceSnap = 0
 	c.count("catalog.snapshots")
 	return nil
 }
 
-// encodeSnapshot serializes the catalog state deterministically: policies
-// sorted by name, stable JSON field order, trailing newline.
-func (c *Catalog) encodeSnapshot() ([]byte, error) {
-	snap := snapshotFile{LastSeq: c.seq, Policies: make([]snapshotPolicy, 0, len(c.pol))}
-	names := make([]string, 0, len(c.pol))
-	for name := range c.pol {
+// encodeSnapshot serializes a policy map deterministically: policies sorted
+// by name, stable JSON field order, trailing newline.
+func encodeSnapshot(lastSeq uint64, pol map[string]*policy) ([]byte, error) {
+	snap := snapshotFile{LastSeq: lastSeq, Policies: make([]snapshotPolicy, 0, len(pol))}
+	names := make([]string, 0, len(pol))
+	for name := range pol {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		p := c.pol[name]
+		p := pol[name]
 		snap.Policies = append(snap.Policies, snapshotPolicy{
 			Name:        p.name,
 			Version:     p.version,
@@ -456,18 +643,22 @@ func (c *Catalog) encodeSnapshot() ([]byte, error) {
 }
 
 // Fingerprint returns a deterministic serialization of the full catalog
-// state (names, versions, lattice and constraint text, sorted). Two
-// catalogs with equal fingerprints hold byte-identical policy state — the
-// equality the crash-recovery chaos tests assert. The WAL sequence number
-// is deliberately excluded: it describes the history's framing, not the
-// state.
+// state (names, versions, lattice and constraint text, sorted across all
+// shards). Two catalogs with equal fingerprints hold byte-identical policy
+// state — the equality the crash-recovery chaos tests assert. Sequence
+// numbers and the shard count are deliberately excluded: they describe the
+// history's framing and its partitioning, not the state, so fingerprints
+// compare across different shard counts.
 func (c *Catalog) Fingerprint() []byte {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	seq := c.seq
-	c.seq = 0
-	data, err := c.encodeSnapshot()
-	c.seq = seq
+	merged := make(map[string]*policy)
+	for _, s := range c.shards {
+		s.mu.RLock()
+		for name, p := range s.pol {
+			merged[name] = p
+		}
+		s.mu.RUnlock()
+	}
+	data, err := encodeSnapshot(0, merged)
 	if err != nil {
 		panic(err) // marshal of plain strings cannot fail
 	}
@@ -483,14 +674,29 @@ func (c *Catalog) count(name string) {
 	}
 }
 
+// setGauges refreshes the catalog-wide and per-shard policy gauges. The
+// per-shard reads are racy snapshots (no shard lock), which is fine for a
+// gauge.
 func (c *Catalog) setGauges() {
+	if c.opt.Metrics == nil {
+		return
+	}
+	c.opt.Metrics.Gauge("catalog.policies").Set(c.policies.Load())
+	for _, s := range c.shards {
+		c.opt.Metrics.Gauge(fmt.Sprintf("catalog.shard.%d.policies", s.id)).Set(int64(len(s.pol)))
+	}
+}
+
+// shardGauge updates one shard's policy gauge; called under the shard lock.
+func (c *Catalog) shardGauge(s *shard) {
 	if c.opt.Metrics != nil {
-		c.opt.Metrics.Gauge("catalog.policies").Set(int64(len(c.pol)))
+		c.opt.Metrics.Gauge("catalog.policies").Set(c.policies.Load())
+		c.opt.Metrics.Gauge(fmt.Sprintf("catalog.shard.%d.policies", s.id)).Set(int64(len(s.pol)))
 	}
 }
 
 // ---------------------------------------------------------------------------
-// Public mutation and query API.
+// Public query API. (Mutations live in pipeline.go.)
 
 // PolicyInfo is the externally visible description of one policy version.
 type PolicyInfo struct {
@@ -499,6 +705,13 @@ type PolicyInfo struct {
 	Attrs       int    `json:"attrs"`
 	Constraints int    `json:"constraints"`
 	UpperBounds int    `json:"upper_bounds"`
+	// Shard is the hash partition the policy lives on; Compiled and Solved
+	// report the state of the version's memoized artifacts (false right
+	// after an async mutation, true once the refresh pipeline — or a read
+	// — has warmed them).
+	Shard    int  `json:"shard"`
+	Compiled bool `json:"compiled"`
+	Solved   bool `json:"solved"`
 	// Lattice and ConstraintText are the policy's source texts; the
 	// constraint text is the Put batch followed by every appended batch.
 	Lattice        string `json:"lattice,omitempty"`
@@ -512,17 +725,20 @@ func (p *policy) info() PolicyInfo {
 		Attrs:          p.set.NumAttrs(),
 		Constraints:    len(p.set.Constraints()),
 		UpperBounds:    len(p.set.UpperBounds()),
+		Shard:          p.shard,
+		Compiled:       p.compiled != nil,
+		Solved:         p.solved != nil,
 		Lattice:        p.latticeText,
 		ConstraintText: strings.Join(p.consTexts, "\n"),
 	}
 }
 
 // checkVersion enforces the optimistic-concurrency precondition against
-// the current state of name. ifVersion: Unconditional (-1) accepts any
-// state; MustNotExist (0) requires absence; a positive value requires the
-// policy to exist at exactly that version.
-func (c *Catalog) checkVersion(name string, ifVersion int64, mustExist bool) error {
-	p := c.pol[name]
+// the current state of name on shard s. ifVersion: Unconditional (-1)
+// accepts any state; MustNotExist (0) requires absence; a positive value
+// requires the policy to exist at exactly that version.
+func checkVersion(s *shard, name string, ifVersion int64, mustExist bool) error {
+	p := s.pol[name]
 	switch {
 	case ifVersion == Unconditional:
 		if p == nil && mustExist {
@@ -544,154 +760,12 @@ func (c *Catalog) checkVersion(name string, ifVersion int64, mustExist bool) err
 	return nil
 }
 
-// Put creates or replaces a policy from lattice and constraint text,
-// validating both (including §6 solvability) before anything is persisted.
-// ifVersion carries the optimistic-concurrency precondition (Unconditional,
-// MustNotExist, or an exact current version). A created policy starts at
-// version 1; a replaced one continues its predecessor's version sequence,
-// so ETags never repeat within a name's lifetime.
-func (c *Catalog) Put(ctx context.Context, name, latticeText, constraintsText string, ifVersion int64) (PolicyInfo, error) {
-	staged, err := buildPolicy(name, latticeText, constraintsText)
-	if err != nil {
-		return PolicyInfo{}, err
-	}
-	if err := core.CheckSolvable(staged.set); err != nil {
-		return PolicyInfo{}, fmt.Errorf("catalog: policy %q is unsolvable: %w", name, err)
-	}
-	if err := ctx.Err(); err != nil {
-		return PolicyInfo{}, err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.checkVersion(name, ifVersion, false); err != nil {
-		return PolicyInfo{}, err
-	}
-	if err := c.logRecord(walRecord{Op: "put", Name: name, Lattice: latticeText, Constraints: constraintsText}); err != nil {
-		return PolicyInfo{}, err
-	}
-	if old := c.pol[name]; old != nil {
-		staged.version = old.version + 1
-	} else {
-		staged.version = 1
-	}
-	c.pol[name] = staged
-	c.count("catalog.puts")
-	c.setGauges()
-	c.maybeCompact()
-	return staged.info(), nil
-}
-
-// AppendResult reports what an Append did beyond the new PolicyInfo.
-type AppendResult struct {
-	Info PolicyInfo
-	// Repaired is true when the memoized solution was extended
-	// incrementally via core.RepairContext (i.e. the cache was warm); the
-	// new solution is memoized either way it was computed.
-	Repaired bool
-	// Repair carries the repair's work counts when Repaired.
-	Repair core.RepairStats
-}
-
-// Append parses additional constraint text into the policy, going through
-// core.RepairContext instead of a cold solve whenever a memoized solution
-// exists: only the attributes the new constraints can force upward are
-// recomputed, and the repaired solution becomes the new version's memoized
-// answer. The staged set is swapped in only after the parse, the
-// solvability check, and the repair all succeed — a failed append leaves
-// the policy untouched. ifVersion as in Put (MustNotExist is an error
-// here).
-func (c *Catalog) Append(ctx context.Context, name, constraintsText string, ifVersion int64) (AppendResult, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if ifVersion == MustNotExist {
-		return AppendResult{}, fmt.Errorf("%w: append requires an existing policy", ErrVersionMismatch)
-	}
-	if err := c.checkVersion(name, ifVersion, true); err != nil {
-		return AppendResult{}, err
-	}
-	p := c.pol[name]
-	ns := p.set.Clone()
-	baseCount := len(ns.Constraints())
-	if err := ns.ParseString(constraintsText); err != nil {
-		return AppendResult{}, fmt.Errorf("catalog: policy %q append: %w", name, err)
-	}
-
-	res := AppendResult{}
-	var solved constraint.Assignment
-	var solvedStats core.Stats
-	if p.solved != nil {
-		// Incremental path: extend the memoized solution. Attributes the
-		// appended text introduced start at ⊥ — they carry no history, and
-		// the repair raises them exactly as far as the new constraints
-		// force.
-		base := p.solved.Clone()
-		for len(base) < ns.NumAttrs() {
-			base = append(base, p.lat.Bottom())
-		}
-		repaired, rstats, err := core.RepairContext(ctx, ns, baseCount, base, core.RepairOptions{VerifyMinimal: true})
-		if err != nil {
-			return AppendResult{}, fmt.Errorf("catalog: policy %q append rejected: %w", name, err)
-		}
-		res.Repaired = true
-		res.Repair = *rstats
-		solved = repaired
-		solvedStats = rstats.Solve
-		c.count("catalog.repairs")
-		if rstats.FellBack {
-			c.count("catalog.repair_fallbacks")
-		}
-		if c.opt.Metrics != nil {
-			c.opt.Metrics.Histogram("catalog.repair.duration_us", obs.DurationBucketsUS).
-				Observe(uint64(rstats.Duration.Microseconds()))
-		}
-	} else if err := core.CheckSolvable(ns); err != nil {
-		// Cold cache: no base to repair from, but the append must still be
-		// rejected if it makes the policy unsolvable.
-		return AppendResult{}, fmt.Errorf("catalog: policy %q append rejected: %w", name, err)
-	}
-
-	if err := c.logRecord(walRecord{Op: "append", Name: name, Constraints: constraintsText}); err != nil {
-		return AppendResult{}, err
-	}
-	p.set = ns
-	p.consTexts = append(p.consTexts, constraintsText)
-	p.version++
-	p.compiled = nil
-	p.solved = solved
-	p.solvedStats = solvedStats
-	res.Info = p.info()
-	c.maybeCompact()
-	return res, nil
-}
-
-// Delete removes a policy. ifVersion as in Put (MustNotExist is an error).
-func (c *Catalog) Delete(ctx context.Context, name string, ifVersion int64) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if ifVersion == MustNotExist {
-		return fmt.Errorf("%w: delete requires an existing policy", ErrVersionMismatch)
-	}
-	if err := c.checkVersion(name, ifVersion, true); err != nil {
-		return err
-	}
-	if err := c.logRecord(walRecord{Op: "delete", Name: name}); err != nil {
-		return err
-	}
-	delete(c.pol, name)
-	c.count("catalog.deletes")
-	c.setGauges()
-	c.maybeCompact()
-	return nil
-}
-
 // Get returns the policy's current description, or ErrNotFound.
 func (c *Catalog) Get(name string) (PolicyInfo, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	p := c.pol[name]
+	s := c.shardFor(name)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p := s.pol[name]
 	if p == nil {
 		return PolicyInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -699,26 +773,29 @@ func (c *Catalog) Get(name string) (PolicyInfo, error) {
 }
 
 // List returns every policy's description (without the source texts),
-// sorted by name.
+// sorted by name across all shards.
 func (c *Catalog) List() []PolicyInfo {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]PolicyInfo, 0, len(c.pol))
-	for _, p := range c.pol {
-		info := p.info()
-		info.Lattice, info.ConstraintText = "", ""
-		out = append(out, info)
+	out := make([]PolicyInfo, 0, c.policies.Load())
+	for _, s := range c.shards {
+		s.mu.RLock()
+		for _, p := range s.pol {
+			info := p.info()
+			info.Lattice, info.ConstraintText = "", ""
+			out = append(out, info)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// Len returns the number of policies.
-func (c *Catalog) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.pol)
-}
+// Len returns the number of policies across all shards.
+func (c *Catalog) Len() int { return int(c.policies.Load()) }
+
+// Bus exposes the catalog's event bus so external observers (metrics
+// shippers, the future WAL-shipping replicator of ROADMAP item 1) can
+// subscribe to TopicMutations and TopicRefreshed.
+func (c *Catalog) Bus() *bus.Bus { return c.bus }
 
 // SolveResult is the answer of Catalog.Solve.
 type SolveResult struct {
@@ -734,21 +811,36 @@ type SolveResult struct {
 }
 
 // Solve returns the minimal classification for the policy's current
-// version. Unchanged policies are served from the memoized cache
-// ("catalog.cache_hits") with no compile and no solve; the first solve of
-// a version compiles the snapshot (at most once per version,
-// "catalog.compiles", fault point "catalog.compile") and runs one cold
-// solve ("solve.cold", "catalog.cache_misses"), then memoizes.
+// version. Warm policies are served from the memoized cache
+// ("catalog.cache_hits") under only the shard's read lock, with no compile
+// and no solve; a cold version — the refresh pipeline hasn't caught up, or
+// its event was dropped — is filled here under the shard's write lock,
+// compiling the snapshot (at most once per version, "catalog.compiles",
+// fault point "catalog.compile") and running one cold solve ("solve.cold",
+// "catalog.cache_misses"), then memoizing.
 func (c *Catalog) Solve(ctx context.Context, name string) (SolveResult, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	p := c.pol[name]
+	s := c.shardFor(name)
+	s.mu.RLock()
+	p := s.pol[name]
+	if p != nil && p.solved != nil {
+		res := solveResult(p, true)
+		s.mu.RUnlock()
+		c.count("catalog.cache_hits")
+		return res, nil
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Double-check under the write lock: the policy may have been mutated,
+	// deleted, or warmed since the read lock was dropped.
+	p = s.pol[name]
 	if p == nil {
 		return SolveResult{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if p.solved != nil {
 		c.count("catalog.cache_hits")
-		return c.solveResult(p, true), nil
+		return solveResult(p, true), nil
 	}
 	c.count("catalog.cache_misses")
 	if p.compiled == nil {
@@ -768,10 +860,12 @@ func (c *Catalog) Solve(ctx context.Context, name string) (SolveResult, error) {
 	}
 	p.solved = res.Assignment
 	p.solvedStats = res.Stats
-	return c.solveResult(p, false), nil
+	return solveResult(p, false), nil
 }
 
-func (c *Catalog) solveResult(p *policy, hit bool) SolveResult {
+// solveResult snapshots the memoized answer; caller holds at least the
+// shard's read lock.
+func solveResult(p *policy, hit bool) SolveResult {
 	out := SolveResult{
 		Info:       p.info(),
 		Assignment: make(map[string]string, p.set.NumAttrs()),

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
+	"time"
 
 	"minup/internal/obs"
 	"minup/internal/wal"
@@ -19,12 +21,38 @@ const (
 
 func mustOpen(t *testing.T, opt Options) *Catalog {
 	t.Helper()
+	if opt.Shards == 0 {
+		// CI runs the suite across a shard matrix: tests that don't pin a
+		// count (and so assert shard-count-independent behavior) pick it
+		// up from the environment instead of GOMAXPROCS.
+		if env := os.Getenv("CATALOG_TEST_SHARDS"); env != "" {
+			n, err := strconv.Atoi(env)
+			if err != nil || n < 1 {
+				t.Fatalf("bad CATALOG_TEST_SHARDS %q", env)
+			}
+			opt.Shards = n
+		}
+	}
 	c, err := Open(opt)
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
 	t.Cleanup(func() { c.Close() })
 	return c
+}
+
+// mustFlush drains the refresh pipeline so async mutations become
+// deterministic for the assertions that follow. The timeout is far beyond
+// any real drain (the heaviest soak flushes in well under a second even
+// with -race): its job is turning a pending-count accounting bug into an
+// immediate failure with a message, not a silent test-binary timeout.
+func mustFlush(t *testing.T, c *Catalog) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := c.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v (a timeout here means the pipeline leaked a pending refresh)", err)
+	}
 }
 
 func TestPutGetSolveLifecycle(t *testing.T) {
@@ -39,18 +67,25 @@ func TestPutGetSolveLifecycle(t *testing.T) {
 	if info.Version != 1 || info.Attrs != 2 || info.Constraints != 2 {
 		t.Fatalf("Put info = %+v", info)
 	}
+	// The mutation is visible immediately; the memoized artifacts arrive
+	// asynchronously, so drain the pipeline before asserting on them.
+	mustFlush(t, c)
 	got, err := c.Get("hr")
 	if err != nil || got.Version != 1 || got.Lattice != testLattice {
 		t.Fatalf("Get = %+v, %v", got, err)
 	}
+	if !got.Compiled || !got.Solved {
+		t.Fatalf("refresh pipeline left the cache cold after Flush: %+v", got)
+	}
 
-	// First solve is the cold one: exactly one compile, one full solve.
+	// The refresh worker warmed the cache, so every solve is a hit: zero
+	// compiles and zero solves on the read path.
 	res, err := c.Solve(ctx, "hr")
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
-	if res.CacheHit {
-		t.Fatal("first solve reported a cache hit")
+	if !res.CacheHit {
+		t.Fatal("solve after Flush was not served from the refreshed cache")
 	}
 	want := map[string]string{"salary": "S", "rank": "S"}
 	for a, l := range want {
@@ -58,8 +93,6 @@ func TestPutGetSolveLifecycle(t *testing.T) {
 			t.Fatalf("Assignment[%s] = %q, want %q (full %v)", a, res.Assignment[a], l, res.Assignment)
 		}
 	}
-
-	// Second solve must be served entirely from the memoized cache.
 	res2, err := c.Solve(ctx, "hr")
 	if err != nil || !res2.CacheHit {
 		t.Fatalf("second Solve: hit=%v err=%v", res2.CacheHit, err)
@@ -69,10 +102,13 @@ func TestPutGetSolveLifecycle(t *testing.T) {
 	}
 	snap := reg.Snapshot()
 	for name, want := range map[string]uint64{
-		"catalog.compiles":     1,
-		"catalog.cache_misses": 1,
-		"catalog.cache_hits":   1,
-		"solve.cold":           1,
+		"catalog.compiles":          1,
+		"catalog.cache_misses":      0,
+		"catalog.cache_hits":        2,
+		"solve.cold":                0,
+		"catalog.refresh.enqueued":  1,
+		"catalog.refresh.completed": 1,
+		"catalog.refresh.solves":    1,
 	} {
 		if snap.Counters[name] != want {
 			t.Errorf("counter %s = %d, want %d", name, snap.Counters[name], want)
@@ -139,21 +175,24 @@ func TestAppendRepairsAndMemoizes(t *testing.T) {
 	c := mustOpen(t, Options{Metrics: reg})
 	ctx := context.Background()
 
-	if _, err := c.Put(ctx, "hr", testLattice, testCons, MustNotExist); err != nil {
+	// Wait-mode Put: the refresh runs before the call returns, so the
+	// cache is warm without any reader.
+	pinfo, err := c.Put(ctx, "hr", testLattice, testCons, MustNotExist, MutateOptions{Wait: true})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Solve(ctx, "hr"); err != nil { // warm the cache
-		t.Fatal(err)
+	if !pinfo.Solved || !pinfo.Compiled {
+		t.Fatalf("wait-mode Put returned a cold policy: %+v", pinfo)
 	}
 
-	// Warm append: must take the incremental-repair path, not a cold
-	// solve, and must leave the repaired answer memoized.
-	ar, err := c.Append(ctx, "hr", "rank >= TS\n", 1)
+	// Warm wait-mode append: must take the incremental-repair path, not a
+	// cold solve, and must leave the repaired answer memoized.
+	ar, err := c.Append(ctx, "hr", "rank >= TS\n", 1, MutateOptions{Wait: true})
 	if err != nil {
 		t.Fatalf("Append: %v", err)
 	}
-	if !ar.Repaired || ar.Info.Version != 2 {
-		t.Fatalf("AppendResult = %+v, want repaired at version 2", ar)
+	if !ar.Repaired || ar.Pending || ar.Info.Version != 2 {
+		t.Fatalf("AppendResult = %+v, want repaired (not pending) at version 2", ar)
 	}
 	res, err := c.Solve(ctx, "hr")
 	if err != nil || !res.CacheHit {
@@ -163,8 +202,8 @@ func TestAppendRepairsAndMemoizes(t *testing.T) {
 		t.Fatalf("repaired Assignment = %v, want both TS", res.Assignment)
 	}
 	snap := reg.Snapshot()
-	if snap.Counters["solve.cold"] != 1 {
-		t.Fatalf("solve.cold = %d after warm append, want 1 (repair must not cold-solve)", snap.Counters["solve.cold"])
+	if snap.Counters["solve.cold"] != 0 {
+		t.Fatalf("solve.cold = %d after warm append, want 0 (repair must not cold-solve)", snap.Counters["solve.cold"])
 	}
 	if snap.Counters["catalog.repairs"] != 1 {
 		t.Fatalf("catalog.repairs = %d, want 1", snap.Counters["catalog.repairs"])
@@ -172,7 +211,7 @@ func TestAppendRepairsAndMemoizes(t *testing.T) {
 
 	// Append introducing a brand-new attribute: the repair extends the
 	// solution to it.
-	if _, err := c.Append(ctx, "hr", "bonus >= salary\n", 2); err != nil {
+	if _, err := c.Append(ctx, "hr", "bonus >= salary\n", 2, MutateOptions{Wait: true}); err != nil {
 		t.Fatal(err)
 	}
 	res, err = c.Solve(ctx, "hr")
@@ -196,21 +235,24 @@ func TestAppendRepairsAndMemoizes(t *testing.T) {
 		t.Fatalf("cache lost after failed append: hit=%v err=%v", res.CacheHit, err)
 	}
 
-	// Cold append (no memoized solution): policy replaced, next solve is
-	// cold, but unsolvable appends are still rejected.
-	if _, err := c.Put(ctx, "hr", testLattice, testCons, Unconditional); err != nil {
-		t.Fatal(err)
-	}
+	// Async append: returns immediately with Pending set, no repair stats;
+	// the shard worker repairs in the background (the cache was warm, so
+	// the refresh goes through RepairContext, not a cold solve).
 	ar, err = c.Append(ctx, "hr", "salary >= TS\n", Unconditional)
-	if err != nil || ar.Repaired {
-		t.Fatalf("cold Append = %+v, %v (want unrepaired success)", ar, err)
+	if err != nil || ar.Repaired || !ar.Pending {
+		t.Fatalf("async Append = %+v, %v (want pending, unrepaired)", ar, err)
 	}
-	if _, err := c.Append(ctx, "hr", "C >= rank\n", Unconditional); err == nil {
-		t.Fatal("cold Append accepted an unsolvable upper bound")
-	}
+	mustFlush(t, c)
 	res, err = c.Solve(ctx, "hr")
-	if err != nil || res.CacheHit || res.Assignment["salary"] != "TS" {
-		t.Fatalf("cold solve after cold append: hit=%v res=%v err=%v", res.CacheHit, res.Assignment, err)
+	if err != nil || !res.CacheHit || res.Assignment["salary"] != "TS" {
+		t.Fatalf("solve after flushed async append: hit=%v res=%v err=%v", res.CacheHit, res.Assignment, err)
+	}
+	snap = reg.Snapshot()
+	if snap.Counters["catalog.repairs"] != 3 {
+		t.Fatalf("catalog.repairs = %d, want 3 (async refresh must repair, not cold-solve)", snap.Counters["catalog.repairs"])
+	}
+	if snap.Counters["solve.cold"] != 0 {
+		t.Fatalf("solve.cold = %d, want 0", snap.Counters["solve.cold"])
 	}
 }
 
@@ -256,7 +298,7 @@ func TestDurabilityRoundTrip(t *testing.T) {
 func TestSnapshotCompaction(t *testing.T) {
 	dir := t.TempDir()
 	ctx := context.Background()
-	c := mustOpen(t, Options{Dir: dir, Sync: wal.SyncAlways, SnapshotEvery: 4})
+	c := mustOpen(t, Options{Dir: dir, Sync: wal.SyncAlways, SnapshotEvery: 4, Shards: 1})
 	for _, name := range []string{"a", "b", "c"} {
 		if _, err := c.Put(ctx, name, testLattice, testCons, MustNotExist); err != nil {
 			t.Fatal(err)
@@ -265,24 +307,24 @@ func TestSnapshotCompaction(t *testing.T) {
 	// Save the pre-compaction WAL (records 1..3): restoring it later
 	// simulates a crash in the window between "snapshot written" and "WAL
 	// reset".
-	oldWAL, err := os.ReadFile(filepath.Join(dir, "catalog.wal"))
+	oldWAL, err := os.ReadFile(filepath.Join(dir, "catalog-0.wal"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.Append(ctx, "a", "rank >= TS\n", Unconditional); err != nil { // 4th record: compacts
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "catalog.snap")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, "catalog-0.snap")); err != nil {
 		t.Fatalf("no snapshot after compaction threshold: %v", err)
 	}
-	if fi, _ := os.Stat(filepath.Join(dir, "catalog.wal")); fi.Size() != 0 {
+	if fi, _ := os.Stat(filepath.Join(dir, "catalog-0.wal")); fi.Size() != 0 {
 		t.Fatalf("WAL not reset after compaction: %d bytes", fi.Size())
 	}
 	want := c.Fingerprint()
 	c.Close()
 
 	// Clean reopen from snapshot only.
-	c2 := mustOpen(t, Options{Dir: dir, Sync: wal.SyncAlways, SnapshotEvery: 4})
+	c2 := mustOpen(t, Options{Dir: dir, Sync: wal.SyncAlways, SnapshotEvery: 4, Shards: 1})
 	if got := c2.Fingerprint(); !bytes.Equal(got, want) {
 		t.Fatalf("snapshot-only recovery differs:\n%s\nwant:\n%s", got, want)
 	}
@@ -293,10 +335,10 @@ func TestSnapshotCompaction(t *testing.T) {
 
 	// Crash-window replay: stale WAL records whose mutations the snapshot
 	// already contains must be skipped by sequence number, not re-applied.
-	if err := os.WriteFile(filepath.Join(dir, "catalog.wal"), oldWAL, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, "catalog-0.wal"), oldWAL, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	c3 := mustOpen(t, Options{Dir: dir, Sync: wal.SyncAlways, SnapshotEvery: 4})
+	c3 := mustOpen(t, Options{Dir: dir, Sync: wal.SyncAlways, SnapshotEvery: 4, Shards: 1})
 	if got := c3.Fingerprint(); !bytes.Equal(got, want) {
 		t.Fatalf("crash-window recovery differs:\n%s\nwant:\n%s", got, want)
 	}

@@ -82,7 +82,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 				dir := t.TempDir()
 				inj := fault.New(1)
 				inj.MustAdd(fault.Rule{Point: point, Act: fault.Panic, Nth: uint64(k)})
-				c, err := Open(Options{Dir: dir, Sync: wal.SyncAlways, Fault: inj, SnapshotEvery: -1})
+				c, err := Open(Options{Dir: dir, Sync: wal.SyncAlways, Fault: inj, SnapshotEvery: -1, Shards: 3})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -114,7 +114,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 				if point == "wal.fsync" {
 					wantN = applied + 1
 				}
-				re, err := Open(Options{Dir: dir, Sync: wal.SyncAlways, SnapshotEvery: -1})
+				re, err := Open(Options{Dir: dir, Sync: wal.SyncAlways, SnapshotEvery: -1, Shards: 3})
 				if err != nil {
 					t.Fatalf("reopen after crash: %v", err)
 				}
@@ -139,7 +139,7 @@ func TestTornTailRecovery(t *testing.T) {
 	muts := chaosStream(t)
 	ctx := context.Background()
 	dir := t.TempDir()
-	c, err := Open(Options{Dir: dir, Sync: wal.SyncNever, SnapshotEvery: -1})
+	c, err := Open(Options{Dir: dir, Sync: wal.SyncNever, SnapshotEvery: -1, Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestTornTailRecovery(t *testing.T) {
 		}
 	}
 	c.Close()
-	full, err := os.ReadFile(filepath.Join(dir, "catalog.wal"))
+	full, err := os.ReadFile(filepath.Join(dir, "catalog-0.wal"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,10 +158,10 @@ func TestTornTailRecovery(t *testing.T) {
 	for cut := 0; cut <= len(full); cut += step {
 		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
 			cdir := t.TempDir()
-			if err := os.WriteFile(filepath.Join(cdir, "catalog.wal"), full[:cut], 0o644); err != nil {
+			if err := os.WriteFile(filepath.Join(cdir, "catalog-0.wal"), full[:cut], 0o644); err != nil {
 				t.Fatal(err)
 			}
-			re, err := Open(Options{Dir: cdir, Sync: wal.SyncNever, SnapshotEvery: -1})
+			re, err := Open(Options{Dir: cdir, Sync: wal.SyncNever, SnapshotEvery: -1, Shards: 1})
 			if err != nil {
 				t.Fatalf("reopen with cut WAL: %v", err)
 			}
@@ -179,5 +179,99 @@ func TestTornTailRecovery(t *testing.T) {
 				t.Fatalf("cut %d: post-recovery Put: %v", cut, err)
 			}
 		})
+	}
+}
+
+// TestShardCrashIsolation arms a panic fault on exactly one shard's store
+// and asserts the blast radius stays inside that shard: sibling shards keep
+// accepting mutations after the crash, the crashed shard itself recovers
+// its lock and continues, and a reopen of the directory recovers every
+// mutation that reached a store.
+func TestShardCrashIsolation(t *testing.T) {
+	const shards = 4
+	ctx := context.Background()
+	dir := t.TempDir()
+	inj := fault.New(1)
+	inj.MustAdd(fault.Rule{Point: "wal.append", Act: fault.Panic, Nth: 1})
+
+	const poisoned = 0
+	c, err := Open(Options{
+		Shards:        shards,
+		SnapshotEvery: -1,
+		OpenStore: func(i int) (Store, error) {
+			opt := wal.Options{Sync: wal.SyncAlways}
+			if i == poisoned {
+				opt.Fault = inj // only this shard's store can crash
+			}
+			return openWALStore(dir, i, opt), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Find one policy name per shard so the test can aim mutations.
+	nameOn := make(map[int]string, shards)
+	for i := 0; len(nameOn) < shards; i++ {
+		n := fmt.Sprintf("n%03d", i)
+		if s := c.shardFor(n); nameOn[s.id] == "" {
+			nameOn[s.id] = n
+		}
+	}
+
+	// The poisoned shard's first append panics mid-mutation.
+	crashed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				crashed = true
+			}
+		}()
+		c.Put(ctx, nameOn[poisoned], testLattice, testCons, MustNotExist)
+	}()
+	if !crashed {
+		t.Fatal("fault on the poisoned shard never fired")
+	}
+
+	// Sibling shards are untouched: every mutation still lands.
+	for id := 1; id < shards; id++ {
+		if _, err := c.Put(ctx, nameOn[id], testLattice, testCons, MustNotExist, MutateOptions{Wait: true}); err != nil {
+			t.Fatalf("sibling shard %d rejected a Put after the crash: %v", id, err)
+		}
+		if _, err := c.Append(ctx, nameOn[id], "rank >= TS\n", 1); err != nil {
+			t.Fatalf("sibling shard %d rejected an Append after the crash: %v", id, err)
+		}
+	}
+	// The poisoned shard released its lock on the way down (the fault was
+	// one-shot), so it keeps working too.
+	if _, err := c.Put(ctx, nameOn[poisoned], testLattice, testCons, Unconditional); err != nil {
+		t.Fatalf("poisoned shard did not recover after its crash: %v", err)
+	}
+	mustFlush(t, c)
+	want := c.Fingerprint()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reopen (default stores, no faults) recovers exactly the mutations
+	// that reached a store: 3 sibling puts + 3 appends + the post-crash
+	// put; the crashed put died before its frame was written.
+	re, err := Open(Options{Dir: dir, SnapshotEvery: -1, Shards: shards})
+	if err != nil {
+		t.Fatalf("reopen after shard crash: %v", err)
+	}
+	defer re.Close()
+	if ri := re.RecoveryInfo(); ri.WALRecords != 7 || ri.Shards != shards {
+		t.Fatalf("RecoveryInfo = %+v, want 7 WAL records across %d shards", ri, shards)
+	}
+	if got := re.Fingerprint(); !bytes.Equal(got, want) {
+		t.Fatalf("recovered state differs:\n%s\nwant:\n%s", got, want)
+	}
+	for id := 1; id < shards; id++ {
+		info, err := re.Get(nameOn[id])
+		if err != nil || info.Version != 2 {
+			t.Fatalf("sibling policy %s = %+v, %v (want version 2)", nameOn[id], info, err)
+		}
 	}
 }

@@ -3,6 +3,8 @@ package catalog
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"sync"
 	"testing"
 
 	"minup/internal/constraint"
@@ -45,7 +47,7 @@ func TestCatalogSoak(t *testing.T) {
 	dir := t.TempDir()
 	reg := obs.NewRegistry()
 	ctx := context.Background()
-	c := mustOpen(t, Options{Dir: dir, Sync: wal.SyncNever, Metrics: reg, SnapshotEvery: 64})
+	c := mustOpen(t, Options{Dir: dir, Sync: wal.SyncNever, Metrics: reg, SnapshotEvery: 16, Shards: 2})
 	for i, m := range muts {
 		if err := applyMutation(ctx, c, m); err != nil {
 			t.Fatalf("mutation %d (%s %s): %v", i, m.Op, m.Name, err)
@@ -62,6 +64,9 @@ func TestCatalogSoak(t *testing.T) {
 			}
 		}
 	}
+
+	// Drain the refresh pipeline so the memoized answers below are stable.
+	mustFlush(t, c)
 
 	// Every live policy: the served solution must satisfy the policy's
 	// constraints and match an independent cold solve of a set rebuilt
@@ -116,7 +121,10 @@ func TestCatalogSoak(t *testing.T) {
 	}
 
 	snap := reg.Snapshot()
-	for _, name := range []string{"catalog.repairs", "catalog.cache_hits", "solve.cold", "catalog.snapshots"} {
+	for _, name := range []string{
+		"catalog.repairs", "catalog.cache_hits", "catalog.snapshots",
+		"catalog.refresh.enqueued", "catalog.refresh.completed",
+	} {
 		if snap.Counters[name] == 0 {
 			t.Errorf("soak never exercised %s", name)
 		}
@@ -129,8 +137,133 @@ func TestCatalogSoak(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-	re := mustOpen(t, Options{Dir: dir, Sync: wal.SyncNever, SnapshotEvery: 64})
+	re := mustOpen(t, Options{Dir: dir, Sync: wal.SyncNever, SnapshotEvery: 16, Shards: 2})
 	if got := re.Fingerprint(); !bytes.Equal(got, want) {
 		t.Fatal("reopened soak state differs from the live catalog")
+	}
+}
+
+// TestCrossShardConcurrentSoak runs disjoint generated mutation streams
+// from several goroutines against a 4-shard durable catalog (each
+// goroutine's policy names carry its own prefix, so optimistic concurrency
+// never fires and every mutation must succeed), then checks the combined
+// properties: every surviving policy's served solution is minimal, and a
+// reopen reproduces the merged state byte-exactly. Run under -race this is
+// also the shard-locking and pipeline concurrency test.
+func TestCrossShardConcurrentSoak(t *testing.T) {
+	const writers = 4
+	n := 120
+	if testing.Short() {
+		n = 40
+	}
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	ctx := context.Background()
+	c := mustOpen(t, Options{Dir: dir, Sync: wal.SyncNever, Metrics: reg, SnapshotEvery: 16, Shards: 4})
+
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for g := 0; g < writers; g++ {
+		muts, err := workload.MutationStream(workload.MutationSpec{
+			Seed:             100 + int64(g),
+			NumPolicies:      4,
+			NumMutations:     n,
+			PutFraction:      0.2,
+			DeleteFraction:   0.08,
+			AttrsPerPolicy:   8,
+			ConsPerPut:       10,
+			ConsPerAppend:    3,
+			LevelRHSFraction: 0.35,
+			NewAttrFraction:  0.15,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int, muts []workload.Mutation) {
+			defer wg.Done()
+			for i, m := range muts {
+				name := fmt.Sprintf("g%d-%s", g, m.Name)
+				var err error
+				switch m.Op {
+				case workload.OpPut:
+					_, err = c.Put(ctx, name, m.Lattice, m.Constraints, Unconditional)
+				case workload.OpAppend:
+					_, err = c.Append(ctx, name, m.Constraints, Unconditional)
+				case workload.OpDelete:
+					err = c.Delete(ctx, name, Unconditional)
+				}
+				if err != nil {
+					errs[g] = fmt.Errorf("writer %d mutation %d (%s %s): %w", g, i, m.Op, name, err)
+					return
+				}
+				// Interleave reads so appends find warm caches to repair.
+				if i%5 == 0 && m.Op != workload.OpDelete {
+					if _, err := c.Solve(ctx, name); err != nil {
+						errs[g] = fmt.Errorf("writer %d solve %s: %w", g, name, err)
+						return
+					}
+				}
+			}
+		}(g, muts)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustFlush(t, c)
+
+	live := c.List()
+	if len(live) == 0 {
+		t.Fatal("concurrent soak left no live policies")
+	}
+	seenShards := map[int]bool{}
+	for _, info := range live {
+		seenShards[info.Shard] = true
+		res, err := c.Solve(ctx, info.Name)
+		if err != nil {
+			t.Fatalf("final solve %s: %v", info.Name, err)
+		}
+		full, err := c.Get(info.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat, err := lattice.ParseString(full.Lattice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := constraint.NewSet(lat)
+		if err := set.ParseString(full.ConstraintText); err != nil {
+			t.Fatalf("rebuilding %s from stored text: %v", info.Name, err)
+		}
+		asn := make(constraint.Assignment, set.NumAttrs())
+		for _, a := range set.Attrs() {
+			lvl, err := lat.ParseLevel(res.Assignment[set.AttrName(a)])
+			if err != nil {
+				t.Fatalf("%s: unparseable served level %q: %v", info.Name, res.Assignment[set.AttrName(a)], err)
+			}
+			asn[a] = lvl
+		}
+		minimal, w, err := core.ProbeMinimality(set, asn)
+		if err != nil {
+			t.Fatalf("probing %s: %v", info.Name, err)
+		}
+		if !minimal {
+			t.Fatalf("%s: served solution is not minimal (witness %v)", info.Name, w)
+		}
+	}
+	if len(seenShards) < 2 {
+		t.Fatalf("soak exercised only shards %v; want spread across several", seenShards)
+	}
+
+	want := c.Fingerprint()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := mustOpen(t, Options{Dir: dir, Sync: wal.SyncNever, SnapshotEvery: 16, Shards: 4})
+	if got := re.Fingerprint(); !bytes.Equal(got, want) {
+		t.Fatal("reopened concurrent-soak state differs from the live catalog")
 	}
 }

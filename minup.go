@@ -67,6 +67,7 @@ import (
 	"io"
 
 	"minup/internal/baseline"
+	"minup/internal/bus"
 	"minup/internal/catalog"
 	"minup/internal/constraint"
 	"minup/internal/core"
@@ -586,33 +587,76 @@ func SolveSAT(numVars int, clauses []SATClause) (assignment []bool, ok bool) {
 
 // Policy-catalog types: the durable multi-tenant store behind minupd's
 // /policies API. A catalog holds named, monotonically versioned policies
-// (lattice + constraint set), compiles each version once, memoizes its
-// minimal solution, routes constraint appends through RepairContext, and —
-// with a data directory configured — persists every mutation to a
-// write-ahead log compacted into atomic snapshots.
+// (lattice + constraint set) hashed across independent shards, each with
+// its own storage backend (CatalogStore) and lock. Mutations return once
+// the record is durable and the in-memory maps are updated; the solver
+// work (compile, memoized solve, incremental repair via RepairContext)
+// runs on per-shard background workers fed by an event bus, unless the
+// caller opts into waiting (PolicyMutateOptions{Wait: true}).
 type (
 	// PolicyCatalog is the store itself; construct with OpenCatalog. Safe
 	// for concurrent use.
 	PolicyCatalog = catalog.Catalog
 	// CatalogOptions configures OpenCatalog (data directory, WAL fsync
-	// policy, metrics registry, fault injector, compaction threshold).
+	// policy, metrics registry, fault injector, compaction threshold,
+	// shard count, storage hook).
 	CatalogOptions = catalog.Options
-	// PolicyInfo describes one policy version (name, version, sizes,
-	// source texts).
+	// PolicyInfo describes one policy version (name, version, shard,
+	// sizes, source texts, cache state).
 	PolicyInfo = catalog.PolicyInfo
+	// PolicyMutateOptions tunes one mutation: Wait forces the solver
+	// refresh inline so the response reflects a warm cache.
+	PolicyMutateOptions = catalog.MutateOptions
 	// PolicyAppendResult reports an Append: the new PolicyInfo plus
-	// whether (and how) the memoized solution was repaired incrementally.
+	// whether the memoized solution was repaired inline (and how) or the
+	// refresh is still pending on a shard worker.
 	PolicyAppendResult = catalog.AppendResult
 	// PolicySolveResult is a served solution: assignment, solve stats, and
 	// whether it came from the memoized cache.
 	PolicySolveResult = catalog.SolveResult
 	// CatalogRecoveryInfo reports what OpenCatalog reconstructed from the
-	// data directory (snapshot policies, WAL records, torn tail).
+	// data directory (snapshot policies, WAL records, torn tails, shards).
 	CatalogRecoveryInfo = catalog.RecoveryInfo
+	// CatalogStore is the per-shard storage contract (append a record,
+	// load snapshot + replay, compact, close). The built-in backends are
+	// the durable WAL store (CatalogOptions.Dir) and NewCatalogMemStore;
+	// CatalogOptions.OpenStore installs a custom one per shard.
+	CatalogStore = catalog.Store
+	// CatalogLoadStats summarizes one CatalogStore.Load.
+	CatalogLoadStats = catalog.LoadStats
+	// CatalogMutationEvent is the payload published on
+	// CatalogTopicMutations after every durable mutation.
+	CatalogMutationEvent = catalog.MutationEvent
+	// CatalogRefreshEvent is the payload published on
+	// CatalogTopicRefreshed when a shard worker finishes (or fails) a
+	// solver refresh.
+	CatalogRefreshEvent = catalog.RefreshEvent
+	// EventBus is the catalog's internal publish/subscribe bus, reachable
+	// via (*PolicyCatalog).Bus for observing pipeline activity.
+	EventBus = bus.Bus
+	// BusEvent is one delivered bus message (topic, sequence, payload).
+	BusEvent = bus.Event
+	// BusSubscription receives events for one topic on channel C.
+	BusSubscription = bus.Subscription
 	// WALSyncPolicy selects when the catalog's write-ahead log calls
 	// fsync.
 	WALSyncPolicy = wal.SyncPolicy
 )
+
+// Bus topics the catalog publishes on; subscribe via (*PolicyCatalog).Bus.
+const (
+	// CatalogTopicMutations carries a CatalogMutationEvent per durable
+	// put, append, and delete.
+	CatalogTopicMutations = catalog.TopicMutations
+	// CatalogTopicRefreshed carries a CatalogRefreshEvent per finished
+	// solver refresh.
+	CatalogTopicRefreshed = catalog.TopicRefreshed
+)
+
+// NewCatalogMemStore creates an empty in-memory CatalogStore. It survives
+// Close, so tests can hand the same instance to successive catalogs via
+// CatalogOptions.OpenStore to exercise recovery without a disk.
+func NewCatalogMemStore() *catalog.MemStore { return catalog.NewMemStore() }
 
 // WAL fsync policies for CatalogOptions.Sync.
 const (
@@ -645,11 +689,19 @@ var (
 	// ErrPolicyStorage reports a WAL write failure; the mutation was not
 	// applied.
 	ErrPolicyStorage = catalog.ErrStorage
+	// ErrPolicySnapshotCorrupt reports a shard snapshot that failed
+	// validation during recovery; OpenCatalog refuses the directory
+	// rather than serving partial state.
+	ErrPolicySnapshotCorrupt = catalog.ErrSnapshotCorrupt
+	// ErrPolicyClosed reports a mutation against a closed catalog.
+	ErrPolicyClosed = catalog.ErrClosed
 )
 
 // OpenCatalog creates a policy catalog. With CatalogOptions.Dir set it
-// recovers the persisted state (snapshot plus WAL replay, torn final frame
-// truncated); with an empty Dir the catalog is memory-only.
+// recovers the persisted state (per-shard snapshot plus WAL replay,
+// shards recovered concurrently, torn final frames truncated); the
+// directory's own shard count always wins over CatalogOptions.Shards.
+// With an empty Dir and no OpenStore hook the catalog is memory-only.
 func OpenCatalog(opt CatalogOptions) (*PolicyCatalog, error) { return catalog.Open(opt) }
 
 // PolicyMutation is one step of a generated catalog workload (a put,

@@ -9,9 +9,12 @@
 # then exercises the robustness layer: a forced-degraded solve and load
 # shedding under concurrent requests, with the http_shed and
 # solve_degraded counters asserted via Prometheus exposition. A third
-# instance runs the durable policy catalog: create a policy, append a
-# constraint, solve twice (the second solve must be a cache hit), SIGTERM,
-# restart on the same -data-dir, and assert the policy survived.
+# instance runs the durable sharded policy catalog: create a policy with a
+# waited mutation, append a constraint through the inline incremental
+# repair (?wait=1), solve twice (the second solve must be a cache hit),
+# check the /policies index and per-shard metrics, SIGTERM, restart on the
+# same -data-dir WITHOUT -shards (the directory's pinned count must win),
+# and assert the policy survived.
 #
 # Usage: scripts/smoke_minupd.sh [addr] [addr2] [addr3]
 #        (defaults 127.0.0.1:18080 .. 127.0.0.1:18082)
@@ -147,12 +150,14 @@ fi
 echo "smoke: http_shed and solve_degraded counters ok (shed=$shed degraded=$degraded)"
 
 # --- Policy catalog: durability across restart ----------------------------
-# A pure catalog server (no static instance): create a policy, append a
-# constraint through the incremental-repair path, solve twice asserting the
-# second solve is a memoized cache hit, then SIGTERM and restart on the
-# same data directory and assert the policy state survived WAL recovery.
+# A pure catalog server (no static instance), sharded two ways: create a
+# policy, append a constraint through the inline incremental-repair path
+# (?wait=1), solve twice asserting the second solve is a memoized cache
+# hit, then SIGTERM and restart on the same data directory — with no
+# -shards flag, so recovery must honor the shard count pinned in the
+# directory's meta file — and assert the policy state survived.
 data_dir="$(mktemp -d)"
-/tmp/minupd -addr "$addr3" -debug-addr "" -data-dir "$data_dir" &
+/tmp/minupd -addr "$addr3" -debug-addr "" -data-dir "$data_dir" -shards 2 &
 pid3=$!
 trap 'kill "$pid" "$pid2" "$pid3" 2>/dev/null || true; rm -rf "$data_dir"' EXIT INT TERM
 
@@ -178,7 +183,9 @@ request() {
   fi
 }
 
-code="$(request PUT "http://$addr3/policies/smoke" \
+# ?wait=1 warms the memoized solve inline, so the append below finds a
+# warm cache to repair deterministically.
+code="$(request PUT "http://$addr3/policies/smoke?wait=1" \
   '{"lattice":"chain mil\nlevels U C S TS\n","constraints":"attrs salary rank\nsalary >= rank\nrank >= S\n"}' \
   /tmp/smoke-policy.json)"
 if [ "$code" != "201" ]; then
@@ -186,16 +193,25 @@ if [ "$code" != "201" ]; then
   cat /tmp/smoke-policy.json >&2 || true
   exit 1
 fi
-echo "smoke: policy created"
+grep -q '"solved": true' /tmp/smoke-policy.json
+echo "smoke: policy created with a warm cache"
 
-code="$(request POST "http://$addr3/policies/smoke/constraints" \
+code="$(request POST "http://$addr3/policies/smoke/constraints?wait=1" \
   '{"constraints":"rank >= TS\n"}' /tmp/smoke-append.json)"
 if [ "$code" != "200" ]; then
   echo "smoke: append returned $code" >&2
   cat /tmp/smoke-append.json >&2 || true
   exit 1
 fi
-echo "smoke: constraint appended (version 2)"
+grep -q '"repaired": true' /tmp/smoke-append.json
+echo "smoke: constraint appended through the inline repair (version 2)"
+
+fetch "http://$addr3/policies" /tmp/smoke-index.json
+grep -q '"name": "smoke"' /tmp/smoke-index.json
+grep -q '"etag"' /tmp/smoke-index.json
+grep -q '"shard"' /tmp/smoke-index.json
+grep -q '"solved"' /tmp/smoke-index.json
+echo "smoke: /policies index carries etag, shard, and cache state"
 
 fetch "http://$addr3/policies/smoke/solve" /tmp/smoke-psolve1.json
 grep -q '"assignment"' /tmp/smoke-psolve1.json
@@ -208,6 +224,16 @@ if [ -z "$hits" ] || [ "$hits" -le 0 ]; then
   exit 1
 fi
 echo "smoke: second solve served from cache (catalog_cache_hits=$hits)"
+if ! grep -q '^catalog_shard_' /tmp/smoke-metrics3.txt; then
+  echo "smoke: no per-shard catalog_shard_* series in /metrics" >&2
+  exit 1
+fi
+published="$(awk '/^bus_published /{print $2}' /tmp/smoke-metrics3.txt)"
+if [ -z "$published" ] || [ "$published" -le 0 ]; then
+  echo "smoke: bus_published missing or zero (got '${published:-absent}')" >&2
+  exit 1
+fi
+echo "smoke: per-shard gauges and bus counters exported (bus_published=$published)"
 
 kill -TERM "$pid3"
 wait "$pid3" || true
@@ -228,5 +254,15 @@ grep -q 'rank .u003e= TS' /tmp/smoke-survived.json
 fetch "http://$addr3/policies/smoke/solve" /tmp/smoke-psolve3.json
 grep -q '"rank": "TS"' /tmp/smoke-psolve3.json
 echo "smoke: policy survived restart with its appended constraint"
+
+# The restart ran without -shards: the per-shard gauges must still show the
+# two-shard layout pinned in the data directory's meta file.
+fetch "http://$addr3/metrics?format=prometheus" /tmp/smoke-metrics4.txt
+if ! grep -q '^catalog_shard_1_policies ' /tmp/smoke-metrics4.txt; then
+  echo "smoke: restart did not honor the pinned 2-shard layout" >&2
+  grep '^catalog_shard' /tmp/smoke-metrics4.txt >&2 || true
+  exit 1
+fi
+echo "smoke: restart honored the data directory's pinned shard count"
 
 echo "smoke: all checks passed"
