@@ -191,7 +191,26 @@ func (s *server) handlePolicyPut(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `body must carry both "lattice" and "constraints" text`, http.StatusBadRequest)
 		return
 	}
-	info, err := s.cat.Put(r.Context(), r.PathValue("name"), req.Lattice, req.Constraints, ifVersion, mutateOptionsFrom(r))
+	opts := mutateOptionsFrom(r)
+	ctx := r.Context()
+	if opts.Wait {
+		// ?wait=1 compiles and solves inline, so it passes the same
+		// admission gate and solve budget as /solve and appends.
+		release, err := s.gate.acquire(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				http.Error(w, "client gone while queued", http.StatusRequestTimeout)
+				return
+			}
+			writeShed(w, err)
+			return
+		}
+		defer release()
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.solveBudget(r))
+		defer cancel()
+	}
+	info, err := s.cat.Put(ctx, r.PathValue("name"), req.Lattice, req.Constraints, ifVersion, opts)
 	if err != nil {
 		s.policyError(w, r, err)
 		return

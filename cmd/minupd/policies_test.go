@@ -39,6 +39,34 @@ func policyReq(t *testing.T, h http.Handler, method, path string, body *policyRe
 	return rec
 }
 
+// TestPolicyWaitPutShedWhenSaturated: a PUT with ?wait=1 runs a full
+// inline compile+solve, so it passes the same admission gate as /solve and
+// appends — and sheds when the gate is saturated. A plain async PUT does
+// no inline solver work and must keep landing regardless.
+func TestPolicyWaitPutShedWhenSaturated(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.maxInflight = 1
+	cfg.maxQueue = 0
+	srv, h, _ := newTestServerCfg(t, cfg)
+
+	// Occupy the only slot, as a long-running solve would.
+	srv.gate.sem <- struct{}{}
+	defer func() { <-srv.gate.sem }()
+
+	body := &policyRequest{Lattice: testPolicyLattice, Constraints: testPolicyCons}
+	rec := policyReq(t, h, http.MethodPut, "/policies/gated?wait=1", body, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated wait-PUT = %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response has no Retry-After")
+	}
+	rec = policyReq(t, h, http.MethodPut, "/policies/gated", body, nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("saturated async PUT = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
 // TestPolicyLifecycle walks the full policy lifecycle over HTTP with
 // ?wait=1 mutations and proves the acceptance criterion with counters:
 // every solve of an unchanged policy is a cache hit with zero compiles and

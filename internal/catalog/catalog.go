@@ -604,7 +604,11 @@ func (c *Catalog) maybeCompact(s *shard) {
 // covers, so a crash between the two steps merely replays records the
 // snapshot already contains — replay skips them by sequence number.
 func (c *Catalog) compactShard(s *shard) error {
-	data, err := encodeSnapshot(s.seq, s.pol)
+	pols := make([]snapshotPolicy, 0, len(s.pol))
+	for _, p := range s.pol {
+		pols = append(pols, snapshotPolicyOf(p))
+	}
+	data, err := encodeSnapshot(s.seq, pols)
 	if err != nil {
 		return err
 	}
@@ -617,24 +621,24 @@ func (c *Catalog) compactShard(s *shard) error {
 	return nil
 }
 
-// encodeSnapshot serializes a policy map deterministically: policies sorted
-// by name, stable JSON field order, trailing newline.
-func encodeSnapshot(lastSeq uint64, pol map[string]*policy) ([]byte, error) {
-	snap := snapshotFile{LastSeq: lastSeq, Policies: make([]snapshotPolicy, 0, len(pol))}
-	names := make([]string, 0, len(pol))
-	for name := range pol {
-		names = append(names, name)
+// snapshotPolicyOf copies one policy's durable fields into its snapshot
+// shape. Caller holds at least the owning shard's read lock: the copy is
+// what makes it safe to marshal after the lock is released, while appends
+// keep mutating the *policy in place under the write lock.
+func snapshotPolicyOf(p *policy) snapshotPolicy {
+	return snapshotPolicy{
+		Name:        p.name,
+		Version:     p.version,
+		Lattice:     p.latticeText,
+		Constraints: append([]string(nil), p.consTexts...),
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		p := pol[name]
-		snap.Policies = append(snap.Policies, snapshotPolicy{
-			Name:        p.name,
-			Version:     p.version,
-			Lattice:     p.latticeText,
-			Constraints: append([]string(nil), p.consTexts...),
-		})
-	}
+}
+
+// encodeSnapshot serializes already-copied policies deterministically:
+// sorted by name, stable JSON field order, trailing newline.
+func encodeSnapshot(lastSeq uint64, pols []snapshotPolicy) ([]byte, error) {
+	sort.Slice(pols, func(i, j int) bool { return pols[i].Name < pols[j].Name })
+	snap := snapshotFile{LastSeq: lastSeq, Policies: pols}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("catalog: encoding snapshot: %w", err)
@@ -648,17 +652,18 @@ func encodeSnapshot(lastSeq uint64, pol map[string]*policy) ([]byte, error) {
 // state — the equality the crash-recovery chaos tests assert. Sequence
 // numbers and the shard count are deliberately excluded: they describe the
 // history's framing and its partitioning, not the state, so fingerprints
-// compare across different shard counts.
+// compare across different shard counts. Policy fields are copied under
+// each shard's read lock; only the copies are marshaled afterwards.
 func (c *Catalog) Fingerprint() []byte {
-	merged := make(map[string]*policy)
+	pols := make([]snapshotPolicy, 0, c.policies.Load())
 	for _, s := range c.shards {
 		s.mu.RLock()
-		for name, p := range s.pol {
-			merged[name] = p
+		for _, p := range s.pol {
+			pols = append(pols, snapshotPolicyOf(p))
 		}
 		s.mu.RUnlock()
 	}
-	data, err := encodeSnapshot(0, merged)
+	data, err := encodeSnapshot(0, pols)
 	if err != nil {
 		panic(err) // marshal of plain strings cannot fail
 	}

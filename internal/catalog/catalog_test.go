@@ -194,6 +194,9 @@ func TestAppendRepairsAndMemoizes(t *testing.T) {
 	if !ar.Repaired || ar.Pending || ar.Info.Version != 2 {
 		t.Fatalf("AppendResult = %+v, want repaired (not pending) at version 2", ar)
 	}
+	if !ar.Info.Solved || !ar.Info.Compiled {
+		t.Fatalf("wait-mode repaired append left cache flags cold: %+v", ar.Info)
+	}
 	res, err := c.Solve(ctx, "hr")
 	if err != nil || !res.CacheHit {
 		t.Fatalf("Solve after append: hit=%v err=%v", res.CacheHit, err)

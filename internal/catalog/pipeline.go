@@ -75,7 +75,13 @@ func mutateOpts(opts []MutateOptions) MutateOptions {
 // artifacts without touching the shard (set and base are immutable once
 // captured — mutations clone-and-swap).
 type refreshJob struct {
-	shard   *shard
+	shard *shard
+	// pol is the *policy the mutation installed (or mutated in place). The
+	// install guard requires pointer identity in addition to the version:
+	// versions restart at 1 after delete+recreate, so (name, version) alone
+	// could match a different policy's lifetime and install artifacts built
+	// from the old constraint set onto the new policy.
+	pol     *policy
 	name    string
 	version uint64
 	lat     lattice.Lattice
@@ -151,9 +157,9 @@ func (c *Catalog) Put(ctx context.Context, name, latticeText, constraintsText st
 	}
 
 	c.bus.Publish(TopicMutations, MutationEvent{Op: "put", Name: name, Version: info.Version, Shard: s.id, Seq: seq})
-	job := refreshJob{shard: s, name: name, version: info.Version, lat: staged.lat, set: staged.set}
+	job := refreshJob{shard: s, pol: staged, name: name, version: info.Version, lat: staged.lat, set: staged.set}
 	if opt.Wait {
-		c.runRefresh(job)
+		c.runRefresh(ctx, job)
 		if cur, err := c.Get(name); err == nil && cur.Version == info.Version {
 			info = cur
 		}
@@ -197,6 +203,7 @@ func (c *Catalog) Append(ctx context.Context, name, constraintsText string, ifVe
 		ns        *constraint.Set
 		baseCount int
 		base      constraint.Assignment
+		pol       *policy
 		lat       lattice.Lattice
 		seq       uint64
 		solved    constraint.Assignment
@@ -262,7 +269,19 @@ func (c *Catalog) Append(ctx context.Context, name, constraintsText string, ifVe
 		p.compiled = nil
 		p.solved = solved
 		p.solvedStats = solvedStats
+		if res.Repaired {
+			// The repair already warmed the solution inline; rebuild the
+			// compiled snapshot too, so the version doesn't report
+			// compiled:false forever (a solved cache never triggers the
+			// lazy compile on reads). Same fault point as the pipeline's
+			// compile; on injected failure the snapshot just stays cold.
+			if c.opt.Fault.Hit("catalog.compile") == nil {
+				p.compiled = ns.Snapshot()
+				c.count("catalog.compiles")
+			}
+		}
 		res.Info = p.info()
+		pol = p
 		seq = s.seq
 		lat = p.lat
 		c.count("catalog.appends")
@@ -274,11 +293,11 @@ func (c *Catalog) Append(ctx context.Context, name, constraintsText string, ifVe
 	}
 
 	c.bus.Publish(TopicMutations, MutationEvent{Op: "append", Name: name, Version: res.Info.Version, Shard: s.id, Seq: seq})
-	job := refreshJob{shard: s, name: name, version: res.Info.Version, lat: lat, set: ns, base: base, baseCount: baseCount}
+	job := refreshJob{shard: s, pol: pol, name: name, version: res.Info.Version, lat: lat, set: ns, base: base, baseCount: baseCount}
 	switch {
 	case opt.Wait && solved == nil:
 		// Wait append against a cold cache: warm it before returning.
-		c.runRefresh(job)
+		c.runRefresh(ctx, job)
 		if cur, err := c.Get(name); err == nil && cur.Version == res.Info.Version {
 			res.Info = cur
 		}
@@ -384,14 +403,20 @@ func (c *Catalog) safeRefresh(job refreshJob) {
 			})
 		}
 	}()
-	c.runRefresh(job)
+	c.runRefresh(context.Background(), job)
 }
 
 // runRefresh rebuilds one version's compiled snapshot and memoized
-// solution, then installs them iff the policy is still at that version.
-// All solver work happens outside the shard lock; only the install takes
-// it. Also the synchronous body of MutateOptions.Wait.
-func (c *Catalog) runRefresh(job refreshJob) {
+// solution, then installs them iff the policy is still the very *policy
+// the mutation touched, at that version — pointer identity guards against
+// delete+recreate, which restarts the version sequence at 1 and would
+// otherwise let a stale job install artifacts built from the old
+// constraint set onto the new policy. All solver work happens outside the
+// shard lock; only the install takes it. Also the synchronous body of
+// MutateOptions.Wait, which passes the caller's ctx so the inline
+// repair/solve honors cancellation and the HTTP solve budget; workers
+// pass context.Background().
+func (c *Catalog) runRefresh(ctx context.Context, job refreshJob) {
 	s := job.shard
 	// Bail before doing any solver work if the policy already moved past
 	// this job's version — under a rapid mutation stream most queued
@@ -399,7 +424,7 @@ func (c *Catalog) runRefresh(job refreshJob) {
 	// compiling them first would burn the cores the mutators need.
 	s.mu.RLock()
 	cur := s.pol[job.name]
-	stale := cur == nil || cur.version != job.version
+	stale := cur != job.pol || cur.version != job.version
 	s.mu.RUnlock()
 	if stale {
 		c.count("catalog.refresh.stale")
@@ -421,7 +446,7 @@ func (c *Catalog) runRefresh(job refreshJob) {
 		for len(seeded) < job.set.NumAttrs() {
 			seeded = append(seeded, job.lat.Bottom())
 		}
-		fixed, rstats, err := core.RepairContext(context.Background(), job.set, job.baseCount, seeded, core.RepairOptions{VerifyMinimal: true})
+		fixed, rstats, err := core.RepairContext(ctx, job.set, job.baseCount, seeded, core.RepairOptions{VerifyMinimal: true})
 		if err == nil {
 			repaired = true
 			solved = fixed
@@ -432,7 +457,7 @@ func (c *Catalog) runRefresh(job refreshJob) {
 		// was already validated solvable, so the answer exists.
 	}
 	if solved == nil {
-		res, err := core.SolveContext(context.Background(), compiled, core.Options{
+		res, err := core.SolveContext(ctx, compiled, core.Options{
 			Metrics: c.opt.Metrics,
 			Fault:   c.opt.Fault,
 		})
@@ -448,7 +473,7 @@ func (c *Catalog) runRefresh(job refreshJob) {
 
 	s.mu.Lock()
 	p := s.pol[job.name]
-	if p == nil || p.version != job.version {
+	if p != job.pol || p.version != job.version {
 		s.mu.Unlock()
 		c.count("catalog.refresh.stale")
 		return

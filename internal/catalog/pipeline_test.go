@@ -148,6 +148,91 @@ func TestBusEvents(t *testing.T) {
 	}
 }
 
+// TestRefreshStaleAcrossRecreate: a queued refresh for a deleted policy's
+// version must not install its artifacts onto a recreated policy of the
+// same name — versions restart at 1 after delete+recreate, so a
+// (name, version) check alone would match; the guard requires pointer
+// identity with the policy the mutation touched.
+func TestRefreshStaleAcrossRecreate(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := mustOpen(t, Options{Shards: 1, Metrics: reg})
+	ctx := context.Background()
+
+	if _, err := c.Put(ctx, "re", testLattice, testCons, MustNotExist); err != nil {
+		t.Fatal(err)
+	}
+	mustFlush(t, c)
+	s := c.shardFor("re")
+	s.mu.RLock()
+	old := s.pol["re"]
+	s.mu.RUnlock()
+	// The job Put enqueued for version 1 of the first incarnation, held
+	// back as it would be on a worker behind a deep queue.
+	job := refreshJob{shard: s, pol: old, name: "re", version: 1, lat: old.lat, set: old.set}
+
+	if err := c.Delete(ctx, "re", Unconditional); err != nil {
+		t.Fatal(err)
+	}
+	// Recreate under the same name — version 1 again — with a different
+	// attribute universe: installing the old job's artifacts here would
+	// serve a solution for constraints this policy never had.
+	if _, err := c.Put(ctx, "re", testLattice, "attrs x\nx >= TS\n", MustNotExist); err != nil {
+		t.Fatal(err)
+	}
+	mustFlush(t, c)
+
+	before := reg.Snapshot().Counters["catalog.refresh.stale"]
+	c.runRefresh(ctx, job)
+	if got := reg.Snapshot().Counters["catalog.refresh.stale"]; got != before+1 {
+		t.Fatalf("catalog.refresh.stale = %d, want %d (old-incarnation job must be discarded)", got, before+1)
+	}
+	res, err := c.Solve(ctx, "re")
+	if err != nil || res.Info.Version != 1 || res.Assignment["x"] != "TS" {
+		t.Fatalf("solve after recreate = %+v, %v (want version 1, x=TS)", res, err)
+	}
+	if _, leaked := res.Assignment["salary"]; leaked {
+		t.Fatalf("recreated policy serves the deleted incarnation's attributes: %v", res.Assignment)
+	}
+}
+
+// TestFingerprintConcurrentMutation: Fingerprint copies policy state under
+// the shard read locks before marshaling, so it is safe against appends
+// mutating the same policies in place. Meaningful under -race.
+func TestFingerprintConcurrentMutation(t *testing.T) {
+	c := mustOpen(t, Options{Shards: 2})
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Put(ctx, fmt.Sprintf("fp-%d", i), testLattice, testCons, MustNotExist); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Append(ctx, fmt.Sprintf("fp-%d", i%4), "rank >= TS\n", Unconditional); err != nil {
+				t.Errorf("Append during Fingerprint: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if len(c.Fingerprint()) == 0 {
+			t.Error("empty fingerprint")
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 // TestRefreshStaleVersion: a refresh whose policy moved on (rapid
 // back-to-back mutations) must not install an outdated answer.
 func TestRefreshStaleVersion(t *testing.T) {
