@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-json bench-stats smoke chaos fuzz-smoke shard-matrix
+.PHONY: all build test race vet fmt-check ci bench bench-json bench-stats smoke slo-smoke chaos fuzz-smoke shard-matrix
 
 all: build
 
@@ -44,6 +44,12 @@ bench-stats:
 # sample Chrome trace at artifacts/sample-trace.json.
 smoke:
 	sh scripts/smoke_minupd.sh
+
+# Focused observability smoke: forced-degraded traffic must land in
+# /debug/requests, leave Perfetto-loadable anomaly dumps under
+# artifacts/anomalies (kept for CI upload), and move the SLO burn gauges.
+slo-smoke:
+	sh scripts/slo_smoke.sh
 
 # The catalog suite under the race detector at the extremes of the shard
 # spectrum: one shard (maximum lock contention, the pre-sharding shape) and

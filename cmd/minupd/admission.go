@@ -83,7 +83,13 @@ func (g *gate) acquire(ctx context.Context) (release func(), err error) {
 		return nil, g.shed(errShedQueueFull)
 	}
 	g.reg.Gauge("http.queue_depth").Set(g.queued.Load())
+	waitStart := time.Now()
 	defer func() {
+		// Report the time spent queued back to the request record, however
+		// the wait ended — the access log and flight record carry it.
+		if ri := infoFrom(ctx); ri != nil {
+			ri.queueWait = time.Since(waitStart)
+		}
 		g.queued.Add(-1)
 		g.reg.Gauge("http.queue_depth").Set(g.queued.Load())
 	}()
@@ -119,8 +125,15 @@ func (g *gate) overloaded() bool {
 func (g *gate) inflight() int { return len(g.sem) }
 
 // writeShed answers a shed request: 503 with Retry-After so well-behaved
-// clients back off instead of hammering an overloaded server.
-func writeShed(w http.ResponseWriter, reason error) {
+// clients back off instead of hammering an overloaded server. The shed
+// disposition is marked on the request record for the access log and the
+// flight recorder (where a shed is an expected overload response, not an
+// anomaly).
+func writeShed(w http.ResponseWriter, r *http.Request, reason error) {
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.shed = true
+		ri.errText = reason.Error()
+	}
 	w.Header().Set("Retry-After", "1")
 	http.Error(w, "service unavailable: "+reason.Error(), http.StatusServiceUnavailable)
 }

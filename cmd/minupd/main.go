@@ -9,7 +9,9 @@
 //	       [-data-dir dir] [-fsync always|never] [-shards n] \
 //	       [-addr :8080] [-debug-addr 127.0.0.1:6060] \
 //	       [-max-inflight 64] [-max-queue 128] [-queue-wait 100ms] \
-//	       [-solve-timeout 2s] [-degrade] [-fault spec] [-fault-seed n]
+//	       [-solve-timeout 2s] [-degrade] [-fault spec] [-fault-seed n] \
+//	       [-flight-size 256] [-flight-dump-dir auto] [-flight-dump-cap n] \
+//	       [-flight-slow 1s] [-slo spec] [-slo-interval 10s]
 //
 // -lattice/-constraints configure the optional static instance behind
 // /solve and /trace; without them minupd is a pure policy-catalog server
@@ -102,15 +104,39 @@
 // Every route runs behind a middleware stack: per-route latency histograms
 // ("http.<route>.duration_us"), status-class counters, an in-flight gauge,
 // request IDs (X-Request-Id echoed or generated), panic recovery, and one
-// slog JSON access log line per request carrying the request ID and — for
-// instrumented solves — the trace ID. Every solve records into a shared
-// metrics registry under the "solve.*" names. The debug listener serves
-// the standard runtime surface: /debug/vars (expvar, including the
-// registry published as "minup") and /debug/pprof/* for CPU and heap
-// profiles — see the "profiling a solve" recipe in EXPERIMENTS.md. Bind it
-// to localhost (the default) in production-like settings. On SIGTERM the
-// server flips /readyz to not-ready, then drains both listeners: in-flight
-// requests complete, new ones are refused.
+// slog JSON access log line per request carrying the request ID, the
+// shed/degraded disposition, and the queue wait (plus the trace ID for
+// instrumented solves). Every solve records into a shared metrics registry
+// under the "solve.*" names.
+//
+// # Flight recorder and SLOs
+//
+// An always-on flight recorder (DESIGN.md §8) keeps one compact record per
+// request and per async catalog refresh in a bounded ring (-flight-size).
+// Anomalous work — panicked, degraded, errored, or slower than -flight-slow
+// — additionally dumps its captured solver event stream and span tree as a
+// Perfetto-loadable JSON file under -flight-dump-dir ("auto" resolves to
+// <data-dir>/anomalies or artifacts/anomalies; empty disables), rotated to
+// stay under -flight-dump-cap bytes. A graceful shutdown writes a final
+// recorder snapshot there too.
+//
+// The -slo flag ("route:p99=250ms,avail=99.9;...") arms per-route
+// objectives; a background collector (every -slo-interval) publishes
+// 5-minute and 1-hour burn-rate gauges ("slo.<route>.*_milli") plus runtime
+// samples (goroutines, heap, GC pause, WAL fsync p99) into the registry,
+// and /metrics republishes the burn gauges on every scrape. Degraded
+// responses count against availability: the client got a safe answer, not
+// the minimal one it asked for.
+//
+// The debug listener serves the live introspection view /debug/requests
+// (active flights, SLO burn rates, per-route latency, recent anomalies
+// with their dump files; HTML or ?format=json) alongside the standard
+// runtime surface: /debug/vars (expvar, including the registry published
+// as "minup") and /debug/pprof/* for CPU and heap profiles — see the
+// "profiling a solve" recipe in EXPERIMENTS.md. Bind it to localhost (the
+// default) in production-like settings. On SIGTERM the server flips
+// /readyz to not-ready, then drains both listeners: in-flight requests
+// complete, new ones are refused.
 package main
 
 import (
@@ -124,6 +150,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -142,15 +169,32 @@ type config struct {
 	solveTimeout time.Duration
 	degrade      bool
 	fault        *minup.FaultInjector
+	// flight and slo are the always-on observability layer: the flight
+	// recorder behind /debug/requests and the per-route burn-rate tracker.
+	// Either may be nil (single-handler unit tests), which just disables
+	// that layer.
+	flight *minup.FlightRecorder
+	slo    *minup.SLOTracker
 }
 
+// defaultSLOSpec is the -slo default: both solve-serving routes get a p99
+// latency target and three nines of availability.
+const defaultSLOSpec = "solve:p99=250ms,avail=99.9;policy.solve:p99=250ms,avail=99.9"
+
 func defaultConfig() config {
+	slo, err := minup.ParseSLOSpecs(defaultSLOSpec)
+	if err != nil {
+		panic("minupd: default SLO spec does not parse: " + err.Error())
+	}
+	tracker := minup.NewSLOTracker(slo...)
 	return config{
 		maxInflight:  64,
 		maxQueue:     128,
 		queueWait:    100 * time.Millisecond,
 		solveTimeout: 2 * time.Second,
 		degrade:      true,
+		slo:          tracker,
+		flight:       minup.NewFlightRecorder(minup.FlightOptions{SLO: tracker}),
 	}
 }
 
@@ -170,6 +214,12 @@ func main() {
 	degrade := flag.Bool("degrade", def.degrade, "serve the Qian-baseline assignment when a minimal solve misses its deadline or the server is overloaded")
 	faultSpec := flag.String("fault", "", "chaos-testing fault spec, e.g. 'solve.step:delay:%1:5ms;pool.get:panic:3' (see internal/fault)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
+	flightSize := flag.Int("flight-size", 256, "flight-recorder ring capacity (records kept for /debug/requests)")
+	flightDumpDir := flag.String("flight-dump-dir", "auto", "anomaly dump directory; 'auto' puts it under -data-dir (or artifacts/), empty disables dumps")
+	flightDumpCap := flag.Int64("flight-dump-cap", 32<<20, "max total bytes of anomaly dumps before the oldest are pruned")
+	flightSlow := flag.Duration("flight-slow", time.Second, "duration past which a request is dumped as a slow anomaly (0 disables the slow trigger)")
+	sloSpec := flag.String("slo", defaultSLOSpec, "per-route SLOs, 'route:p99=<dur>,avail=<pct>;...' (empty disables SLO tracking)")
+	sloInterval := flag.Duration("slo-interval", 10*time.Second, "runtime-collector sampling interval (burn rates, goroutines, heap, GC, WAL fsync p99)")
 	flag.Parse()
 	if (*latticePath == "") != (*consPath == "") {
 		fmt.Fprintln(os.Stderr, "minupd: -lattice and -constraints must be given together")
@@ -221,9 +271,37 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "minupd: CHAOS fault injection armed: %s\n", *faultSpec)
 	}
+	if *sloSpec != "" {
+		specs, err := minup.ParseSLOSpecs(*sloSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.slo = minup.NewSLOTracker(specs...)
+	}
+	dumpDir := *flightDumpDir
+	if dumpDir == "auto" {
+		if *dataDir != "" {
+			dumpDir = filepath.Join(*dataDir, "anomalies")
+		} else {
+			dumpDir = filepath.Join("artifacts", "anomalies")
+		}
+	}
+	cfg.flight = minup.NewFlightRecorder(minup.FlightOptions{
+		Size:          *flightSize,
+		DumpDir:       dumpDir,
+		DumpCapBytes:  *flightDumpCap,
+		SlowThreshold: *flightSlow,
+		SLO:           cfg.slo,
+	})
 	reg := minup.NewMetricsRegistry()
 	reg.Publish("minup")
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	// /debug/requests lives on the loopback debug listener next to
+	// /debug/vars and /debug/pprof: live + recent requests, per-route
+	// latency, anomalies with their dump files, SLO burn rates.
+	http.Handle("/debug/requests", cfg.flight)
+	collector := minup.NewRuntimeCollector(reg, cfg.slo, *sloInterval)
+	collector.Start()
 
 	var walSync minup.WALSyncPolicy
 	switch *fsyncPolicy {
@@ -240,6 +318,8 @@ func main() {
 		Metrics: reg,
 		Fault:   cfg.fault,
 		Shards:  *shards,
+		Flight:  cfg.flight,
+		Logger:  logger,
 	})
 	if err != nil {
 		fatal(err)
@@ -341,6 +421,14 @@ func main() {
 	if err := cat.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "minupd: closing catalog: %v\n", err)
 	}
+	collector.Stop()
+	// Preserve the last moments before the shutdown on disk: the final dump
+	// carries the recent ring, the anomaly ring, and per-route latency.
+	if name, err := cfg.flight.FinalDump("shutdown"); err != nil {
+		fmt.Fprintf(os.Stderr, "minupd: final flight dump: %v\n", err)
+	} else if name != "" {
+		fmt.Fprintf(os.Stderr, "minupd: final flight dump written: %s\n", filepath.Join(dumpDir, name))
+	}
 }
 
 type server struct {
@@ -374,26 +462,27 @@ func newServer(set *minup.ConstraintSet, compiled *minup.CompiledSet, cat *minup
 
 // routes builds the service mux with the full middleware stack.
 func (s *server) routes(logger *slog.Logger) http.Handler {
+	o := httpObs{reg: s.reg, logger: logger, flight: s.cfg.flight, slo: s.cfg.slo}
 	mux := http.NewServeMux()
-	mux.Handle("/solve", instrument("solve", s.reg, logger, s.handleSolve))
-	mux.Handle("/metrics", instrument("metrics", s.reg, logger, s.handleMetrics))
-	mux.Handle("/trace", instrument("trace", s.reg, logger, s.handleTrace))
-	mux.Handle("/healthz", instrument("healthz", s.reg, logger, func(w http.ResponseWriter, _ *http.Request) {
+	mux.Handle("/solve", instrument("solve", o, s.handleSolve))
+	mux.Handle("/metrics", instrument("metrics", o, s.handleMetrics))
+	mux.Handle("/trace", instrument("trace", o, s.handleTrace))
+	mux.Handle("/healthz", instrument("healthz", o, func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	}))
-	mux.Handle("/readyz", instrument("readyz", s.reg, logger, s.handleReady))
+	mux.Handle("/readyz", instrument("readyz", o, s.handleReady))
 	// Policy-catalog routes use Go 1.22 method patterns, so the mux itself
 	// answers mismatched methods with 405 + Allow; the middleware variant
 	// without the GET gate keeps the rest of the stack. Route names stay
 	// low-cardinality: the policy name never reaches a metric.
-	mux.Handle("GET /policies", instrumentMethods("policies", s.reg, logger, s.handlePolicyList))
-	mux.Handle("PUT /policies/{name}", instrumentMethods("policy", s.reg, logger, s.handlePolicyPut))
-	mux.Handle("GET /policies/{name}", instrumentMethods("policy", s.reg, logger, s.handlePolicyGet))
-	mux.Handle("DELETE /policies/{name}", instrumentMethods("policy", s.reg, logger, s.handlePolicyDelete))
-	mux.Handle("POST /policies/{name}/constraints", instrumentMethods("policy.constraints", s.reg, logger, s.handlePolicyAppend))
-	mux.Handle("GET /policies/{name}/solve", instrumentMethods("policy.solve", s.reg, logger, s.handlePolicySolve))
-	mux.Handle("POST /policies/{name}/solve", instrumentMethods("policy.solve", s.reg, logger, s.handlePolicySolve))
+	mux.Handle("GET /policies", instrumentMethods("policies", o, s.handlePolicyList))
+	mux.Handle("PUT /policies/{name}", instrumentMethods("policy", o, s.handlePolicyPut))
+	mux.Handle("GET /policies/{name}", instrumentMethods("policy", o, s.handlePolicyGet))
+	mux.Handle("DELETE /policies/{name}", instrumentMethods("policy", o, s.handlePolicyDelete))
+	mux.Handle("POST /policies/{name}/constraints", instrumentMethods("policy.constraints", o, s.handlePolicyAppend))
+	mux.Handle("GET /policies/{name}/solve", instrumentMethods("policy.solve", o, s.handlePolicySolve))
+	mux.Handle("POST /policies/{name}/solve", instrumentMethods("policy.solve", o, s.handlePolicySolve))
 	return mux
 }
 
@@ -478,7 +567,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "client gone while queued", http.StatusRequestTimeout)
 			return
 		}
-		writeShed(w, err)
+		writeShed(w, r, err)
 		return
 	}
 	defer release()
@@ -491,10 +580,17 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ri := infoFrom(r.Context())
 	opt := minup.Options{
 		Metrics:           s.reg,
 		CollectLatticeOps: r.URL.Query().Get("lattice_ops") == "1",
 		Fault:             s.cfg.fault,
+	}
+	if ri != nil && ri.flight != nil {
+		// Arm anomaly capture: the solver's event stream goes into a pooled
+		// buffer that is dumped if this request ends slow/errored/degraded
+		// and discarded otherwise.
+		opt.Sink = ri.flight.CaptureSink()
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
@@ -505,8 +601,11 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		root = tr.Start("request")
 		traceID = tr.TraceID()
 		ctx = minup.ContextWithSpan(ctx, root)
-		if ri := infoFrom(r.Context()); ri != nil {
+		if ri != nil {
 			ri.traceID = traceID
+			if ri.flight != nil {
+				ri.flight.SetSpan(root)
+			}
 		}
 	}
 	res, err := minup.SolveContext(ctx, s.compiled, opt)
@@ -526,14 +625,34 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		out.Assignment[s.set.AttrName(a)] = lat.FormatLevel(res.Assignment[a])
 	}
 	out.Stats = newSolveStats(res.Stats)
+	if ri != nil {
+		ri.stats = flightStatsOf(res.Stats)
+	}
 	s.lastMinimalUpgraded.Store(int64(minup.CountUpgraded(s.set, res.Assignment)))
 	writeJSON(w, out)
+}
+
+// flightStatsOf compresses the solver stats block into the flight record's
+// compact shape.
+func flightStatsOf(st minup.SolveStats) minup.FlightStats {
+	return minup.FlightStats{
+		Tries:       st.Tries,
+		FailedTries: st.FailedTries,
+		Collapses:   st.Collapses,
+		TrySteps:    st.TrySteps,
+		SolveUS:     st.Duration.Microseconds(),
+	}
 }
 
 // solveError maps a failed minimal solve to a response. A deadline miss
 // degrades to the baseline when enabled; everything else maps to a typed
 // status.
 func (s *server) solveError(w http.ResponseWriter, r *http.Request, err error, budget time.Duration) {
+	markErr := func() {
+		if ri := infoFrom(r.Context()); ri != nil {
+			ri.errText = err.Error()
+		}
+	}
 	switch {
 	case errors.Is(err, minup.ErrCanceled) || errors.Is(err, context.DeadlineExceeded):
 		if r.Context().Err() != nil {
@@ -545,14 +664,18 @@ func (s *server) solveError(w http.ResponseWriter, r *http.Request, err error, b
 			s.serveDegraded(w, r, "deadline", budget)
 			return
 		}
+		markErr()
 		http.Error(w, err.Error(), http.StatusGatewayTimeout)
 	case errors.Is(err, minup.ErrUnsolvable):
+		markErr()
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 	case errors.Is(err, minup.ErrInternal):
 		// The stack is in the log (the solver logs it at recovery); the
 		// client gets an opaque 500.
+		markErr()
 		http.Error(w, "internal solver error", http.StatusInternalServerError)
 	default:
+		markErr()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -579,6 +702,10 @@ func (s *server) serveDegraded(w http.ResponseWriter, r *http.Request, reason st
 	}
 	s.reg.Counter("solve.degraded").Inc()
 	s.reg.Counter("solve.degraded." + reason).Inc()
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.degraded = true
+		ri.degradeReason = reason
+	}
 	lat := s.set.Lattice()
 	out := solveResponse{
 		Assignment:    make(map[string]string, len(m)),
@@ -608,9 +735,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// The pool gauge is sampled at scrape time: sessions are created on
 	// demand, so this tracks peak solve concurrency. The panic gauge
-	// counts solver sessions discarded by the recovery guard.
+	// counts solver sessions discarded by the recovery guard. SLO burn
+	// gauges are republished here too, so a scrape never reads values a
+	// full collector interval old.
 	s.reg.Gauge("solve.pool.sessions").Set(minup.SessionsAllocated())
 	s.reg.Gauge("solve.panics_recovered").Set(minup.PanicsRecovered())
+	s.cfg.slo.Publish(s.reg)
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.reg.WritePrometheus(w)
@@ -638,7 +768,7 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "client gone while queued", http.StatusRequestTimeout)
 			return
 		}
-		writeShed(w, err)
+		writeShed(w, r, err)
 		return
 	}
 	defer release()
@@ -653,6 +783,9 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	_, err = minup.SolveContext(ctx, s.compiled, minup.Options{Metrics: s.reg, Fault: s.cfg.fault})
 	root.End()
 	if err != nil {
+		if ri := infoFrom(r.Context()); ri != nil {
+			ri.errText = err.Error()
+		}
 		status := http.StatusInternalServerError
 		if errors.Is(err, minup.ErrCanceled) {
 			status = http.StatusGatewayTimeout

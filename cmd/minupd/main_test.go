@@ -25,7 +25,7 @@ func newTestServerCfg(t *testing.T, cfg config) (*server, http.Handler, *strings
 	t.Helper()
 	f := constraint.NewFigure2()
 	reg := minup.NewMetricsRegistry()
-	cat, err := minup.OpenCatalog(minup.CatalogOptions{Metrics: reg})
+	cat, err := minup.OpenCatalog(minup.CatalogOptions{Metrics: reg, Flight: cfg.flight})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,12 +14,27 @@ import (
 
 // requestInfo is the per-request mutable record shared between the
 // middleware and the handler through the request context: the middleware
-// fills the request ID before the handler runs, the handler may record the
-// trace ID of an instrumented solve, and the middleware reads both back
-// when it writes the structured access log line.
+// fills the request ID and opens the flight record before the handler runs;
+// the handler annotates the record (trace ID, policy identity, shed /
+// degraded disposition, solver stats, error text); and the middleware reads
+// it all back when it completes the flight record and writes the structured
+// access log line — so log lines and flight records always agree.
 type requestInfo struct {
 	id      string
 	traceID string
+
+	flight *minup.ActiveFlight
+
+	queueWait     time.Duration
+	shed          bool
+	degraded      bool
+	degradeReason string
+	panicked      bool
+	cacheHit      bool
+	policy        string
+	shard         int
+	errText       string
+	stats         minup.FlightStats
 }
 
 type requestInfoKey struct{}
@@ -29,6 +44,17 @@ type requestInfoKey struct{}
 func infoFrom(ctx context.Context) *requestInfo {
 	ri, _ := ctx.Value(requestInfoKey{}).(*requestInfo)
 	return ri
+}
+
+// httpObs bundles the middleware's observability dependencies: the metrics
+// registry (required), the structured logger (required), and the flight
+// recorder and SLO tracker (both optional — nil just disables that layer,
+// which is what unit tests exercising a single handler want).
+type httpObs struct {
+	reg    *minup.MetricsRegistry
+	logger *slog.Logger
+	flight *minup.FlightRecorder
+	slo    *minup.SLOTracker
 }
 
 // statusWriter captures the status code a handler writes so the middleware
@@ -79,22 +105,24 @@ func statusClass(code int) string {
 // generated), panic recovery (a panicking handler answers 500 and bumps
 // http.panics instead of killing the connection goroutine unlogged), an
 // in-flight gauge, a per-route latency histogram, per-route status-class
-// counters, and one structured access-log line per request carrying the
-// request ID and — when the handler ran an instrumented solve — the trace
-// ID.
+// counters, a flight record per request, SLO accounting, and one structured
+// access-log line per request carrying the request ID, the shed/degraded
+// disposition, the queue wait, and — when the handler ran an instrumented
+// solve — the trace ID.
 //
 // The bookkeeping runs in a defer so a panicking request is still counted,
-// timed, and logged like any other before the recovery answers it.
+// timed, logged, and flight-recorded like any other before the recovery
+// answers it.
 //
 // The histogram and the 2xx counter are registered eagerly at wrap time so
 // a Prometheus scrape sees the route's series before its first request.
-func instrument(route string, reg *minup.MetricsRegistry, logger *slog.Logger, next http.HandlerFunc) http.Handler {
-	inner := instrumentMethods(route, reg, logger, next)
+func instrument(route string, o httpObs, next http.HandlerFunc) http.Handler {
+	inner := instrumentMethods(route, o, next)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			w.Header().Set("Allow", http.MethodGet)
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			reg.Counter("http." + route + ".status.4xx").Inc()
+			o.reg.Counter("http." + route + ".status.4xx").Inc()
 			return
 		}
 		inner.ServeHTTP(w, r)
@@ -106,16 +134,19 @@ func instrument(route string, reg *minup.MetricsRegistry, logger *slog.Logger, n
 // there the mux itself answers mismatched methods with 405 and the right
 // Allow set. Several method patterns may share one route name; the eager
 // metric registration is get-or-create, so the series are shared too.
-func instrumentMethods(route string, reg *minup.MetricsRegistry, logger *slog.Logger, next http.HandlerFunc) http.Handler {
-	hist := reg.Histogram("http."+route+".duration_us", minup.DurationBucketsUS)
-	reg.Counter("http." + route + ".status.2xx")
-	inFlight := reg.Gauge("http.in_flight")
+func instrumentMethods(route string, o httpObs, next http.HandlerFunc) http.Handler {
+	hist := o.reg.Histogram("http."+route+".duration_us", minup.DurationBucketsUS)
+	o.reg.Counter("http." + route + ".status.2xx")
+	inFlight := o.reg.Gauge("http.in_flight")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ri := &requestInfo{id: r.Header.Get("X-Request-Id")}
 		if ri.id == "" {
 			ri.id = newRequestID()
 		}
 		w.Header().Set("X-Request-Id", ri.id)
+		if o.flight != nil {
+			ri.flight = o.flight.Begin(route, r.Method, ri.id)
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		inFlight.Inc()
 		start := time.Now()
@@ -124,14 +155,21 @@ func instrumentMethods(route string, reg *minup.MetricsRegistry, logger *slog.Lo
 			if rec == http.ErrAbortHandler { //nolint:errorlint // net/http compares this sentinel by identity
 				// net/http's sentinel for deliberately aborting a response:
 				// not a bug, so skip the 500/counter/log handling and let the
-				// server suppress it as designed. Keep the gauge honest first,
-				// since re-panicking skips the rest of this defer.
+				// server suppress it as designed. Keep the gauge and the
+				// flight ring honest first, since re-panicking skips the rest
+				// of this defer.
 				inFlight.Dec()
+				if ri.flight != nil {
+					o.flight.End(ri.flight, minup.FlightRecord{
+						Status: 499, Err: "response aborted",
+					})
+				}
 				panic(rec)
 			}
 			if rec != nil {
-				reg.Counter("http.panics").Inc()
-				logger.Error("handler panic",
+				ri.panicked = true
+				o.reg.Counter("http.panics").Inc()
+				o.logger.Error("handler panic",
 					slog.String("path", r.URL.Path),
 					slog.String("request_id", ri.id),
 					slog.Any("panic", rec),
@@ -150,18 +188,44 @@ func instrumentMethods(route string, reg *minup.MetricsRegistry, logger *slog.Lo
 				sw.status = http.StatusOK
 			}
 			hist.Observe(uint64(dur.Microseconds()))
-			reg.Counter("http." + route + ".status." + statusClass(sw.status)).Inc()
+			o.reg.Counter("http." + route + ".status." + statusClass(sw.status)).Inc()
+			if ri.flight != nil {
+				o.flight.End(ri.flight, minup.FlightRecord{
+					Status:        sw.status,
+					DurationUS:    dur.Microseconds(),
+					QueueWaitUS:   ri.queueWait.Microseconds(),
+					Shed:          ri.shed,
+					Degraded:      ri.degraded,
+					DegradeReason: ri.degradeReason,
+					Panicked:      ri.panicked,
+					CacheHit:      ri.cacheHit,
+					Policy:        ri.policy,
+					Shard:         ri.shard,
+					TraceID:       ri.traceID,
+					Err:           ri.errText,
+					Stats:         ri.stats,
+				})
+			}
+			if o.slo != nil {
+				// Degraded answers return 200 but burn availability budget:
+				// the client got a safe answer, not the minimal one it asked
+				// for.
+				o.slo.Record(route, dur, sw.status >= 500 || ri.degraded)
+			}
 			attrs := []any{
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
 				slog.Int("status", sw.status),
 				slog.Int64("duration_us", dur.Microseconds()),
 				slog.String("request_id", ri.id),
+				slog.Bool("shed", ri.shed),
+				slog.Bool("degraded", ri.degraded),
+				slog.Int64("queue_wait_us", ri.queueWait.Microseconds()),
 			}
 			if ri.traceID != "" {
 				attrs = append(attrs, slog.String("trace_id", ri.traceID))
 			}
-			logger.Info("request", attrs...)
+			o.logger.Info("request", attrs...)
 		}()
 		next(sw, r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, ri)))
 	})

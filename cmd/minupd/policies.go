@@ -130,6 +130,9 @@ func decodePolicyBody(w http.ResponseWriter, r *http.Request, dst *policyRequest
 // or solver failure, 503 catalog closed (shutdown), 504 budget expiry, and
 // 400 for everything else (bad names, unparseable source text).
 func (s *server) policyError(w http.ResponseWriter, r *http.Request, err error) {
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.errText = err.Error()
+	}
 	switch {
 	case errors.Is(err, minup.ErrPolicyNotFound):
 		http.Error(w, err.Error(), http.StatusNotFound)
@@ -202,7 +205,7 @@ func (s *server) handlePolicyPut(w http.ResponseWriter, r *http.Request) {
 				http.Error(w, "client gone while queued", http.StatusRequestTimeout)
 				return
 			}
-			writeShed(w, err)
+			writeShed(w, r, err)
 			return
 		}
 		defer release()
@@ -210,10 +213,16 @@ func (s *server) handlePolicyPut(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.solveBudget(r))
 		defer cancel()
 	}
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.policy = r.PathValue("name")
+	}
 	info, err := s.cat.Put(ctx, r.PathValue("name"), req.Lattice, req.Constraints, ifVersion, opts)
 	if err != nil {
 		s.policyError(w, r, err)
 		return
+	}
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.shard = info.Shard
 	}
 	w.Header().Set("ETag", etag(info.Version))
 	status := http.StatusOK
@@ -260,16 +269,22 @@ func (s *server) handlePolicyAppend(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "client gone while queued", http.StatusRequestTimeout)
 			return
 		}
-		writeShed(w, err)
+		writeShed(w, r, err)
 		return
 	}
 	defer release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.solveBudget(r))
 	defer cancel()
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.policy = r.PathValue("name")
+	}
 	res, err := s.cat.Append(ctx, r.PathValue("name"), req.Constraints, ifVersion, mutateOptionsFrom(r))
 	if err != nil {
 		s.policyError(w, r, err)
 		return
+	}
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.shard = res.Info.Shard
 	}
 	w.Header().Set("ETag", etag(res.Info.Version))
 	writeJSON(w, policyAppendResponse{
@@ -292,16 +307,25 @@ func (s *server) handlePolicySolve(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "client gone while queued", http.StatusRequestTimeout)
 			return
 		}
-		writeShed(w, err)
+		writeShed(w, r, err)
 		return
 	}
 	defer release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.solveBudget(r))
 	defer cancel()
+	ri := infoFrom(r.Context())
+	if ri != nil {
+		ri.policy = r.PathValue("name")
+	}
 	res, err := s.cat.Solve(ctx, r.PathValue("name"))
 	if err != nil {
 		s.policyError(w, r, err)
 		return
+	}
+	if ri != nil {
+		ri.shard = res.Info.Shard
+		ri.cacheHit = res.CacheHit
+		ri.stats = flightStatsOf(res.Stats)
 	}
 	w.Header().Set("ETag", etag(res.Info.Version))
 	writeJSON(w, policySolveResponse{

@@ -233,7 +233,7 @@ func TestMiddlewarePanicRecovery(t *testing.T) {
 	reg := minup.NewMetricsRegistry()
 	logBuf := &strings.Builder{}
 	logger := slog.New(slog.NewJSONHandler(logBuf, nil))
-	h := instrument("boom", reg, logger, func(http.ResponseWriter, *http.Request) {
+	h := instrument("boom", httpObs{reg: reg, logger: logger}, func(http.ResponseWriter, *http.Request) {
 		panic("handler exploded")
 	})
 	rec := httptest.NewRecorder()

@@ -21,8 +21,10 @@
 package bus
 
 import (
+	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"minup/internal/obs"
 )
@@ -32,6 +34,15 @@ type Options struct {
 	// Metrics, when non-nil, receives the bus.published / bus.delivered /
 	// bus.dropped counters and the bus.subscriptions gauge.
 	Metrics *obs.Registry
+	// Logger, when non-nil, surfaces dropped-overflow events as warnings:
+	// at most one line per WarnEvery per topic, carrying the number of
+	// drops accumulated since the last line — so refresh-pipeline
+	// backpressure is visible in the log stream without a drop storm
+	// flooding it.
+	Logger *slog.Logger
+	// WarnEvery is the per-topic minimum interval between drop warnings
+	// (default 10s).
+	WarnEvery time.Duration
 }
 
 // Bus is the event fabric. Construct with New; safe for concurrent use.
@@ -41,6 +52,12 @@ type Bus struct {
 	mu     sync.RWMutex
 	subs   map[string][]*Subscription
 	closed bool
+
+	// Drop-warning rate limiter state, on its own mutex so Publish's read
+	// lock never serializes on it beyond an actual drop.
+	warnMu   sync.Mutex
+	lastWarn map[string]time.Time
+	pending  map[string]uint64
 }
 
 // Event is one published message. Seq is bus-assigned and strictly
@@ -67,7 +84,15 @@ type Subscription struct {
 
 // New creates a bus.
 func New(opt Options) *Bus {
-	return &Bus{opt: opt, subs: make(map[string][]*Subscription)}
+	if opt.WarnEvery <= 0 {
+		opt.WarnEvery = 10 * time.Second
+	}
+	return &Bus{
+		opt:      opt,
+		subs:     make(map[string][]*Subscription),
+		lastWarn: make(map[string]time.Time),
+		pending:  make(map[string]uint64),
+	}
 }
 
 // Subscribe registers a new subscription on topic with the given buffer
@@ -138,9 +163,7 @@ func (b *Bus) Publish(topic string, payload any) int {
 			case s.ch <- ev:
 				delivered++
 			default:
-				if b.opt.Metrics != nil {
-					b.opt.Metrics.Counter("bus.dropped").Inc()
-				}
+				b.noteDrop(topic)
 			}
 		}
 	}
@@ -150,6 +173,33 @@ func (b *Bus) Publish(topic string, payload any) int {
 		m.Counter("bus.delivered").Add(uint64(delivered))
 	}
 	return delivered
+}
+
+// noteDrop counts one dropped delivery and, when a logger is wired, emits
+// a warning at most once per WarnEvery per topic: the first drop on a quiet
+// topic logs immediately, a drop storm logs one line per interval carrying
+// the number of drops accumulated since the previous line.
+func (b *Bus) noteDrop(topic string) {
+	if b.opt.Metrics != nil {
+		b.opt.Metrics.Counter("bus.dropped").Inc()
+	}
+	if b.opt.Logger == nil {
+		return
+	}
+	now := time.Now()
+	b.warnMu.Lock()
+	b.pending[topic]++
+	if last, ok := b.lastWarn[topic]; ok && now.Sub(last) < b.opt.WarnEvery {
+		b.warnMu.Unlock()
+		return
+	}
+	n := b.pending[topic]
+	b.lastWarn[topic] = now
+	delete(b.pending, topic)
+	b.warnMu.Unlock()
+	b.opt.Logger.Warn("bus: subscriber buffer full, events dropped",
+		slog.String("topic", topic),
+		slog.Uint64("dropped", n))
 }
 
 // Close shuts the bus down: every subscription's channel is closed (after

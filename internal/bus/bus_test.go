@@ -2,8 +2,11 @@ package bus
 
 import (
 	"fmt"
+	"log/slog"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"minup/internal/obs"
 )
@@ -145,4 +148,54 @@ func TestConcurrentPublishSubscribe(t *testing.T) {
 	// that never hit their own Close threshold still terminate.
 	b.Close()
 	subs.Wait()
+}
+
+// TestOverflowDropWarningRateLimited checks the drop-warning satellite: the
+// first drop on a quiet topic logs immediately, a drop storm inside the
+// WarnEvery interval stays silent, and the next line after the interval
+// carries the accumulated count.
+func TestOverflowDropWarningRateLimited(t *testing.T) {
+	logBuf := &strings.Builder{}
+	logger := slog.New(slog.NewJSONHandler(logBuf, nil))
+	b := New(Options{Logger: logger, WarnEvery: time.Hour})
+	b.Subscribe("full", 1)
+
+	b.Publish("full", 0) // fills the buffer
+	b.Publish("full", 1) // first drop: warns immediately
+	b.Publish("full", 2) // inside the interval: silent
+	b.Publish("full", 3)
+
+	lines := strings.Count(logBuf.String(), "events dropped")
+	if lines != 1 {
+		t.Fatalf("%d warn lines inside the interval, want 1:\n%s", lines, logBuf.String())
+	}
+	if !strings.Contains(logBuf.String(), `"topic":"full"`) || !strings.Contains(logBuf.String(), `"dropped":1`) {
+		t.Fatalf("first warn line malformed:\n%s", logBuf.String())
+	}
+
+	// Force the interval to lapse; the next drop flushes the pending count
+	// (the two silent drops plus this one).
+	b.warnMu.Lock()
+	b.lastWarn["full"] = time.Now().Add(-2 * time.Hour)
+	b.warnMu.Unlock()
+	b.Publish("full", 4)
+	if !strings.Contains(logBuf.String(), `"dropped":3`) {
+		t.Fatalf("accumulated drop count not reported:\n%s", logBuf.String())
+	}
+	if got := strings.Count(logBuf.String(), "events dropped"); got != 2 {
+		t.Fatalf("%d warn lines total, want 2:\n%s", got, logBuf.String())
+	}
+}
+
+// TestOverflowDropNoLoggerStaysQuiet pins the default: without a logger the
+// drop path is metrics-only and must not panic on the nil maps' behalf.
+func TestOverflowDropNoLoggerStaysQuiet(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := New(Options{Metrics: reg})
+	b.Subscribe("full", 1)
+	b.Publish("full", 0)
+	b.Publish("full", 1)
+	if dropped := reg.Snapshot().Counters["bus.dropped"]; dropped != 1 {
+		t.Fatalf("bus.dropped = %d, want 1", dropped)
+	}
 }

@@ -47,6 +47,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -106,6 +107,14 @@ type Options struct {
 	// Metrics, when non-nil, receives the catalog.*, bus.*, and wal.*
 	// series.
 	Metrics *obs.Registry
+	// Flight, when non-nil, receives one FlightRecord per refresh-pipeline
+	// job (outcome, duration, policy identity), so stalled or crashing
+	// refreshes are visible in /debug/requests next to the HTTP traffic
+	// that caused them.
+	Flight *obs.FlightRecorder
+	// Logger, when non-nil, is handed to the internal bus for rate-limited
+	// dropped-event warnings.
+	Logger *slog.Logger
 	// Fault, when non-nil, arms the "catalog.compile", "wal.append", and
 	// "wal.fsync" fault points for chaos testing.
 	Fault *fault.Injector
@@ -259,7 +268,7 @@ func Open(opt Options) (*Catalog, error) {
 	}
 	c := &Catalog{
 		opt: opt,
-		bus: bus.New(bus.Options{Metrics: opt.Metrics}),
+		bus: bus.New(bus.Options{Metrics: opt.Metrics, Logger: opt.Logger}),
 	}
 	c.recovery.Shards = opt.Shards
 	for i := 0; i < opt.Shards; i++ {

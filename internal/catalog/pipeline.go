@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"minup/internal/constraint"
 	"minup/internal/core"
@@ -394,9 +395,11 @@ func (c *Catalog) refreshWorker(s *shard) {
 // callers invoke runRefresh directly so a panic propagates to them, exactly
 // like the pre-pipeline synchronous path did.
 func (c *Catalog) safeRefresh(job refreshJob) {
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			c.count("catalog.refresh.panics")
+			c.recordRefresh(job, start, "panic", fmt.Sprintf("panic: %v", r))
 			c.bus.Publish(TopicRefreshed, RefreshEvent{
 				Name: job.name, Version: job.version, Shard: job.shard.id,
 				Err: fmt.Sprintf("panic: %v", r),
@@ -417,6 +420,35 @@ func (c *Catalog) safeRefresh(job refreshJob) {
 // repair/solve honors cancellation and the HTTP solve budget; workers
 // pass context.Background().
 func (c *Catalog) runRefresh(ctx context.Context, job refreshJob) {
+	start := time.Now()
+	outcome, errText := c.doRefresh(ctx, job)
+	c.recordRefresh(job, start, outcome, errText)
+}
+
+// recordRefresh files one refresh job's flight record. A failed or
+// panicking refresh is an anomaly to the recorder, so it also lands in the
+// dump directory (record-only: the solver event stream of a background job
+// is not captured).
+func (c *Catalog) recordRefresh(job refreshJob, start time.Time, outcome, errText string) {
+	if c.opt.Flight == nil {
+		return
+	}
+	c.opt.Flight.Record(obs.FlightRecord{
+		Kind:       "refresh",
+		Route:      "catalog.refresh",
+		Policy:     job.name,
+		Shard:      job.shard.id,
+		Version:    job.version,
+		Outcome:    outcome,
+		Err:        errText,
+		Start:      start,
+		DurationUS: time.Since(start).Microseconds(),
+	})
+}
+
+// doRefresh is runRefresh's body; it reports how the job ended for the
+// flight record ("stale", "failed", "completed", or "repaired").
+func (c *Catalog) doRefresh(ctx context.Context, job refreshJob) (outcome, errText string) {
 	s := job.shard
 	// Bail before doing any solver work if the policy already moved past
 	// this job's version — under a rapid mutation stream most queued
@@ -428,12 +460,12 @@ func (c *Catalog) runRefresh(ctx context.Context, job refreshJob) {
 	s.mu.RUnlock()
 	if stale {
 		c.count("catalog.refresh.stale")
-		return
+		return "stale", ""
 	}
 	if err := c.opt.Fault.Hit("catalog.compile"); err != nil {
 		c.count("catalog.refresh.failures")
 		c.bus.Publish(TopicRefreshed, RefreshEvent{Name: job.name, Version: job.version, Shard: s.id, Err: err.Error()})
-		return
+		return "failed", err.Error()
 	}
 	compiled := job.set.Snapshot()
 	c.count("catalog.compiles")
@@ -464,7 +496,7 @@ func (c *Catalog) runRefresh(ctx context.Context, job refreshJob) {
 		if err != nil {
 			c.count("catalog.refresh.failures")
 			c.bus.Publish(TopicRefreshed, RefreshEvent{Name: job.name, Version: job.version, Shard: s.id, Err: err.Error()})
-			return
+			return "failed", err.Error()
 		}
 		c.count("catalog.refresh.solves")
 		solved = res.Assignment
@@ -476,7 +508,7 @@ func (c *Catalog) runRefresh(ctx context.Context, job refreshJob) {
 	if p != job.pol || p.version != job.version {
 		s.mu.Unlock()
 		c.count("catalog.refresh.stale")
-		return
+		return "stale", ""
 	}
 	p.compiled = compiled
 	p.solved = solved
@@ -484,6 +516,10 @@ func (c *Catalog) runRefresh(ctx context.Context, job refreshJob) {
 	s.mu.Unlock()
 	c.count("catalog.refresh.completed")
 	c.bus.Publish(TopicRefreshed, RefreshEvent{Name: job.name, Version: job.version, Shard: s.id, Repaired: repaired})
+	if repaired {
+		return "repaired", ""
+	}
+	return "completed", ""
 }
 
 // Flush blocks until every refresh enqueued before the call has completed

@@ -1,0 +1,92 @@
+// The runtime collector: a periodic goroutine that samples process health
+// (goroutine count, heap, GC pause, WAL fsync latency) into the registry
+// and republishes the SLO burn-rate gauges, so a Prometheus scrape always
+// sees fresh values without every handler paying for runtime.ReadMemStats.
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Collector samples runtime health into a registry on a fixed interval.
+// Construct with NewCollector, then Start; Stop is idempotent. Tick is
+// exported so tests and scrape handlers can force a sample synchronously.
+type Collector struct {
+	reg      *Registry
+	slo      *SLOTracker
+	interval time.Duration
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewCollector builds a collector over reg (required) and slo (optional).
+// interval <= 0 defaults to 10s.
+func NewCollector(reg *Registry, slo *SLOTracker, interval time.Duration) *Collector {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	return &Collector{
+		reg:      reg,
+		slo:      slo,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine (idempotent). One sample is taken
+// immediately so the series exist before the first interval elapses.
+func (c *Collector) Start() {
+	c.startOnce.Do(func() {
+		c.Tick()
+		go c.run()
+	})
+}
+
+func (c *Collector) run() {
+	defer close(c.done)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.Tick()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. Safe to call
+// without Start and safe to call twice.
+func (c *Collector) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	// If Start never ran, claim the once ourselves so the wait below has a
+	// closed channel instead of a goroutine that will never exist.
+	c.startOnce.Do(func() { close(c.done) })
+	<-c.done
+}
+
+// Tick takes one sample: runtime gauges, the WAL fsync p99 derived from the
+// wal.fsync.duration_us histogram when present, and the SLO burn gauges.
+func (c *Collector) Tick() {
+	if c.reg == nil {
+		return
+	}
+	c.reg.Gauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.reg.Gauge("runtime.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	c.reg.Gauge("runtime.heap_sys_bytes").Set(int64(ms.HeapSys))
+	c.reg.Gauge("runtime.gc_pause_total_us").Set(int64(ms.PauseTotalNs / 1000))
+	c.reg.Gauge("runtime.gc_cycles").Set(int64(ms.NumGC))
+	if h := c.reg.LookupHistogram("wal.fsync.duration_us"); h != nil {
+		c.reg.Gauge("wal.fsync.p99_us").Set(int64(h.Snapshot().Quantile(0.99)))
+	}
+	c.slo.Publish(c.reg)
+}

@@ -111,6 +111,37 @@ type HistogramSnapshot struct {
 	Sum    uint64   `json:"sum"`
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucketed counts:
+// the inclusive upper bound of the bucket holding the target rank, with the
+// last finite bound standing in for the overflow bucket. A bucket-upper-
+// bound estimate is exactly what burn-rate and p99 gauges need — cheap and
+// monotone, not interpolated.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			break
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Default bucket bounds shared by the solver's canonical metrics.
 var (
 	// DurationBucketsUS spans 1µs–10s for solve latency histograms.

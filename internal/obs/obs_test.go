@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounter(t *testing.T) {
@@ -165,4 +166,83 @@ func TestEventKindStrings(t *testing.T) {
 			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
 		}
 	}
+}
+
+// TestHistogramConcurrentObserveSnapshot races Observe against Snapshot and
+// WritePrometheus under -race: concurrent scrapes must never tear a bucket
+// or lose an observation, and the final snapshot sees every write.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", DurationBucketsUS)
+	const workers, per = 4, 20_000
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64((w*per + i) % 1_000_000))
+			}
+		}(w)
+	}
+	writersDone := make(chan struct{})
+	go func() { writers.Wait(); close(writersDone) }()
+
+	var prev uint64
+	for done := false; !done; {
+		select {
+		case <-writersDone:
+			done = true
+		default:
+		}
+		s := h.Snapshot()
+		if s.Count < prev {
+			t.Fatalf("count went backwards: %d -> %d", prev, s.Count)
+		}
+		prev = s.Count
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(buf.Bytes(), []byte("lat")) {
+			t.Fatal("scrape lost the histogram series")
+		}
+	}
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("final count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+func TestCollectorTickAndStop(t *testing.T) {
+	r := NewRegistry()
+	tr := NewSLOTracker(SLOSpec{Route: "solve", Availability: 0.999})
+	c := NewCollector(r, tr, time.Hour)
+	c.Start()
+	c.Start() // idempotent
+	snap := r.Snapshot()
+	for _, name := range []string{
+		"runtime.goroutines", "runtime.heap_alloc_bytes", "runtime.heap_sys_bytes",
+		"runtime.gc_pause_total_us", "runtime.gc_cycles",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %s not sampled by Start's immediate tick", name)
+		}
+	}
+	if _, ok := snap.Gauges["slo.solve.avail_burn_5m_milli"]; !ok {
+		t.Error("SLO gauges not republished by the collector tick")
+	}
+	// The fsync gauge appears only once the WAL histogram exists.
+	if _, ok := snap.Gauges["wal.fsync.p99_us"]; ok {
+		t.Error("wal.fsync.p99_us published without a WAL histogram")
+	}
+	r.Histogram("wal.fsync.duration_us", DurationBucketsUS).Observe(250)
+	c.Tick()
+	if got := r.Snapshot().Gauges["wal.fsync.p99_us"]; got == 0 {
+		t.Errorf("wal.fsync.p99_us = %d after an observed fsync", got)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+
+	// Stop without Start must not hang.
+	NewCollector(r, nil, time.Hour).Stop()
 }

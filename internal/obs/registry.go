@@ -83,6 +83,16 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 	return h
 }
 
+// LookupHistogram returns the histogram registered under name, or nil when
+// none exists — unlike Histogram it never creates, so samplers can probe
+// for series (e.g. wal.fsync.duration_us) that only exist in some
+// configurations.
+func (r *Registry) LookupHistogram(name string) *Histogram {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hists[name]
+}
+
 // Snapshot is the stable JSON shape of a registry: counters and histograms
 // keyed by name. encoding/json sorts map keys, so the serialized form is
 // deterministic for a given set of metric values.

@@ -65,6 +65,7 @@ package minup
 import (
 	"context"
 	"io"
+	"time"
 
 	"minup/internal/baseline"
 	"minup/internal/bus"
@@ -221,6 +222,30 @@ type (
 	SpanAttr = obs.SpanAttr
 	// SpanNode is the serializable JSON tree shape of a finished Span.
 	SpanNode = obs.SpanNode
+	// FlightRecorder is the bounded-memory ring of per-request and
+	// per-refresh flight records with anomaly dumping; minupd serves it as
+	// /debug/requests.
+	FlightRecorder = obs.FlightRecorder
+	// FlightOptions tunes a FlightRecorder.
+	FlightOptions = obs.FlightOptions
+	// FlightRecord is one completed request's or refresh job's compact
+	// record.
+	FlightRecord = obs.FlightRecord
+	// FlightStats is the compact solver-work summary on a FlightRecord.
+	FlightStats = obs.FlightStats
+	// FlightSnapshot is the JSON shape of a recorder's state.
+	FlightSnapshot = obs.FlightSnapshot
+	// ActiveFlight is one in-flight request's recording handle.
+	ActiveFlight = obs.ActiveFlight
+	// SLOTracker computes per-route multi-window burn rates.
+	SLOTracker = obs.SLOTracker
+	// SLOSpec is one route's objectives (p99 latency, availability).
+	SLOSpec = obs.SLOSpec
+	// SLOStatus is one route's burn-rate readout.
+	SLOStatus = obs.SLOStatus
+	// RuntimeCollector periodically samples process health (goroutines,
+	// heap, GC pause, WAL fsync p99) and SLO burn gauges into a registry.
+	RuntimeCollector = obs.Collector
 )
 
 // Solver event kinds, mirroring the steps of Algorithm 3.1.
@@ -252,6 +277,23 @@ var (
 	// SizeBuckets spans 1–100k for operation-count histograms.
 	SizeBuckets = obs.SizeBuckets
 )
+
+// NewFlightRecorder builds a flight recorder; see FlightOptions for the
+// ring size, anomaly dump directory, and triggers.
+func NewFlightRecorder(opt FlightOptions) *FlightRecorder { return obs.NewFlightRecorder(opt) }
+
+// ParseSLOSpecs parses the -slo flag grammar, e.g.
+// "solve:p99=100ms,avail=99.9;policy.solve:p99=50ms".
+func ParseSLOSpecs(s string) ([]SLOSpec, error) { return obs.ParseSLOSpecs(s) }
+
+// NewSLOTracker builds a burn-rate tracker for the given objectives.
+func NewSLOTracker(specs ...SLOSpec) *SLOTracker { return obs.NewSLOTracker(specs...) }
+
+// NewRuntimeCollector builds the periodic runtime/SLO sampler (interval
+// <= 0 defaults to 10s). Call Start, and Stop on drain.
+func NewRuntimeCollector(reg *MetricsRegistry, slo *SLOTracker, interval time.Duration) *RuntimeCollector {
+	return obs.NewCollector(reg, slo, interval)
+}
 
 // SessionsAllocated reports how many pooled solver sessions the process has
 // ever allocated — an upper bound on the session pool's current size and a

@@ -1,0 +1,120 @@
+#!/usr/bin/env sh
+# Focused smoke of the observability layer (`make slo-smoke`): start one
+# chaos-configured minupd (20ms solve budget, every solver step delayed 30ms
+# by fault injection, anomaly dumps under artifacts/anomalies), drive a mix
+# of healthy-looking and forced-degraded traffic, then assert the whole
+# flight-recorder/SLO chain end to end:
+#
+#   1. every request shows up in /debug/requests (JSON and HTML views);
+#   2. the degraded requests are in the anomaly ring with dump file names;
+#   3. the dumps exist on disk and are Perfetto-loadable trace JSON;
+#   4. the route's availability burn-rate gauges moved in the Prometheus
+#      exposition, alongside the runtime-collector series;
+#   5. a SIGTERM drain writes the final-state dump.
+#
+# The dump directory is left in place (artifacts/ is gitignored) so CI can
+# upload the anomaly dumps as a build artifact.
+#
+# Usage: scripts/slo_smoke.sh [addr] [debug-addr]
+#        (defaults 127.0.0.1:18090 and 127.0.0.1:16070)
+set -eu
+
+addr="${1:-127.0.0.1:18090}"
+dbg="${2:-127.0.0.1:16070}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+dump_dir="artifacts/anomalies"
+rm -rf "$dump_dir"
+mkdir -p "$dump_dir"
+
+go build -o /tmp/minupd ./cmd/minupd
+
+/tmp/minupd \
+  -lattice testdata/lattice_fig1b.txt \
+  -constraints testdata/constraints_fig2.txt \
+  -addr "$addr" -debug-addr "$dbg" \
+  -solve-timeout 20ms \
+  -fault 'solve.step:delay:%1:30ms' \
+  -flight-dump-dir "$dump_dir" -flight-dump-cap 1048576 \
+  -slo 'solve:p99=10ms,avail=99.9' -slo-interval 1s &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT INT TERM
+
+i=0
+until curl -fsS "http://$addr/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "slo-smoke: minupd did not become healthy at $addr" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+fetch() {
+  code="$(curl -sS -o "$2" -w '%{http_code}' "$1")"
+  if [ "$code" != "200" ]; then
+    echo "slo-smoke: GET $1 returned $code" >&2
+    cat "$2" >&2 || true
+    exit 1
+  fi
+}
+
+# Every solve blows the 20ms budget through the 30ms step delay, so each one
+# degrades to the baseline: five requests, five availability-budget burns.
+n=0
+while [ "$n" -lt 5 ]; do
+  fetch "http://$addr/solve" /tmp/slo-smoke-solve.json
+  grep -q '"degraded": true' /tmp/slo-smoke-solve.json
+  n=$((n + 1))
+done
+echo "slo-smoke: 5 forced-degraded solves served"
+
+# (1)+(2) The live view lists them, and they are anomalies with dumps.
+fetch "http://$dbg/debug/requests?format=json" /tmp/slo-smoke-flight.json
+grep -q '"route": "solve"' /tmp/slo-smoke-flight.json
+grep -q '"degrade_reason": "deadline"' /tmp/slo-smoke-flight.json
+grep -q '"dump": "anomaly-' /tmp/slo-smoke-flight.json
+fetch "http://$dbg/debug/requests" /tmp/slo-smoke-flight.html
+grep -q 'Recent anomalies' /tmp/slo-smoke-flight.html
+echo "slo-smoke: /debug/requests lists the degraded anomalies"
+
+# (3) The dumps are on disk and Perfetto-loadable.
+count="$(ls "$dump_dir" | grep -c '^anomaly-' || true)"
+if [ "$count" -lt 5 ]; then
+  echo "slo-smoke: expected >=5 anomaly dumps, found $count" >&2
+  ls -l "$dump_dir" >&2 || true
+  exit 1
+fi
+for f in "$dump_dir"/anomaly-*.json; do
+  grep -q '"traceEvents"' "$f"
+done
+echo "slo-smoke: $count Perfetto-loadable anomaly dumps in $dump_dir"
+
+# (4) The burn gauges moved: 100% degraded traffic against a 99.9% target
+# is a 1000x burn (1000000 milli); accept anything clearly non-zero.
+fetch "http://$addr/metrics?format=prometheus" /tmp/slo-smoke-metrics.txt
+burn="$(awk '/^slo_solve_avail_burn_5m_milli /{print $2}' /tmp/slo-smoke-metrics.txt)"
+if [ -z "$burn" ] || [ "$burn" -le 1000 ]; then
+  echo "slo-smoke: availability burn gauge did not move (got '${burn:-absent}')" >&2
+  exit 1
+fi
+lat="$(awk '/^slo_solve_latency_burn_5m_milli /{print $2}' /tmp/slo-smoke-metrics.txt)"
+if [ -z "$lat" ] || [ "$lat" -le 0 ]; then
+  echo "slo-smoke: latency burn gauge did not move (got '${lat:-absent}')" >&2
+  exit 1
+fi
+grep -q '^runtime_goroutines ' /tmp/slo-smoke-metrics.txt
+grep -q '^runtime_heap_alloc_bytes ' /tmp/slo-smoke-metrics.txt
+echo "slo-smoke: burn gauges moved (avail=$burn milli, latency=$lat milli)"
+
+# (5) A graceful drain writes the final-state snapshot dump.
+kill -TERM "$pid"
+wait "$pid" || true
+if ! ls "$dump_dir"/final-shutdown-*.json >/dev/null 2>&1; then
+  echo "slo-smoke: no final-state dump after SIGTERM" >&2
+  ls -l "$dump_dir" >&2 || true
+  exit 1
+fi
+echo "slo-smoke: drain wrote the final-state dump"
+
+echo "slo-smoke: all checks passed"

@@ -16,13 +16,22 @@
 # same -data-dir WITHOUT -shards (the directory's pinned count must win),
 # and assert the policy survived.
 #
+# The first two instances also expose the loopback debug listener so the
+# flight recorder's /debug/requests view and the SLO burn-rate gauges can be
+# asserted: issued solves must appear in the JSON view, the chaos instance's
+# forced-degraded request must land in the anomaly ring with an on-disk
+# Perfetto dump, and its availability burn gauge must move.
+#
 # Usage: scripts/smoke_minupd.sh [addr] [addr2] [addr3]
-#        (defaults 127.0.0.1:18080 .. 127.0.0.1:18082)
+#        (defaults 127.0.0.1:18080 .. 127.0.0.1:18082; debug listeners on
+#         127.0.0.1:16060 and 127.0.0.1:16061)
 set -eu
 
 addr="${1:-127.0.0.1:18080}"
 addr2="${2:-127.0.0.1:18081}"
 addr3="${3:-127.0.0.1:18082}"
+dbg1="${SMOKE_DEBUG_ADDR1:-127.0.0.1:16060}"
+dbg2="${SMOKE_DEBUG_ADDR2:-127.0.0.1:16061}"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 mkdir -p artifacts
@@ -32,7 +41,7 @@ go build -o /tmp/minupd ./cmd/minupd
 /tmp/minupd \
   -lattice testdata/lattice_fig1b.txt \
   -constraints testdata/constraints_fig2.txt \
-  -addr "$addr" -debug-addr "" &
+  -addr "$addr" -debug-addr "$dbg1" &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true' EXIT INT TERM
 
@@ -85,19 +94,38 @@ fetch "http://$addr/readyz" /tmp/smoke-ready.txt
 grep -q 'ready' /tmp/smoke-ready.txt
 echo "smoke: /readyz ok"
 
+# The flight recorder's live introspection view on the debug listener: the
+# solves issued above must be in the ring, in both the JSON and HTML views.
+fetch "http://$dbg1/debug/requests?format=json" /tmp/smoke-flight.json
+grep -q '"total_records"' /tmp/smoke-flight.json
+grep -q '"route": "solve"' /tmp/smoke-flight.json
+fetch "http://$dbg1/debug/requests" /tmp/smoke-flight.html
+grep -q '/debug/requests' /tmp/smoke-flight.html
+echo "smoke: /debug/requests ok (JSON and HTML)"
+
+# The SLO burn-rate gauges are part of the Prometheus exposition from the
+# first scrape (the runtime collector publishes them eagerly).
+fetch "http://$addr/metrics?format=prometheus" /tmp/smoke-metrics-slo.txt
+grep -q '^# TYPE slo_solve_avail_burn_5m_milli gauge' /tmp/smoke-metrics-slo.txt
+grep -q '^slo_solve_latency_burn_1h_milli ' /tmp/smoke-metrics-slo.txt
+grep -q '^runtime_goroutines ' /tmp/smoke-metrics-slo.txt
+echo "smoke: SLO burn-rate and runtime gauges exported"
+
 # --- Robustness: a throttled chaos instance -------------------------------
 # One slot, no queue, a 20ms solve budget, and a fault injector that delays
 # every solver step 30ms: any minimal solve blows its deadline (forcing the
 # Qian-baseline degraded path), and concurrent requests overflow the gate
 # (forcing sheds).
+dump_dir="$(mktemp -d)"
 /tmp/minupd \
   -lattice testdata/lattice_fig1b.txt \
   -constraints testdata/constraints_fig2.txt \
-  -addr "$addr2" -debug-addr "" \
+  -addr "$addr2" -debug-addr "$dbg2" \
   -max-inflight 1 -max-queue 0 -solve-timeout 20ms \
+  -flight-dump-dir "$dump_dir" \
   -fault 'solve.step:delay:%1:30ms' &
 pid2=$!
-trap 'kill "$pid" "$pid2" 2>/dev/null || true' EXIT INT TERM
+trap 'kill "$pid" "$pid2" 2>/dev/null || true; rm -rf "$dump_dir"' EXIT INT TERM
 
 i=0
 until curl -fsS "http://$addr2/healthz" >/dev/null 2>&1; do
@@ -114,6 +142,30 @@ grep -q '"degraded": true' /tmp/smoke-degraded.json
 grep -q '"degrade_reason": "deadline"' /tmp/smoke-degraded.json
 grep -q '"assignment"' /tmp/smoke-degraded.json
 echo "smoke: forced-degraded /solve ok"
+
+# The degraded request is an anomaly: it must be in the flight recorder's
+# anomaly ring with a dump file name, the dump must exist on disk as a
+# Perfetto-loadable trace, and the route's availability burn gauge must
+# move (a degraded 200 still burns error budget).
+fetch "http://$dbg2/debug/requests?format=json" /tmp/smoke-flight2.json
+grep -q '"degraded": true' /tmp/smoke-flight2.json
+grep -q '"degrade_reason": "deadline"' /tmp/smoke-flight2.json
+grep -q '"recent_anomalies"' /tmp/smoke-flight2.json
+dump_file="$(ls "$dump_dir" | head -n 1)"
+if [ -z "$dump_file" ]; then
+  echo "smoke: degraded request left no anomaly dump in $dump_dir" >&2
+  exit 1
+fi
+grep -q '"traceEvents"' "$dump_dir/$dump_file"
+echo "smoke: degraded anomaly dumped ($dump_file)"
+
+fetch "http://$addr2/metrics?format=prometheus" /tmp/smoke-metrics-burn.txt
+burn="$(awk '/^slo_solve_avail_burn_5m_milli /{print $2}' /tmp/smoke-metrics-burn.txt)"
+if [ -z "$burn" ] || [ "$burn" -le 0 ]; then
+  echo "smoke: availability burn gauge did not move (got '${burn:-absent}')" >&2
+  exit 1
+fi
+echo "smoke: availability burn gauge moved (slo_solve_avail_burn_5m_milli=$burn)"
 
 # Fire 8 concurrent solves at the single-slot gate; with each solve pinned
 # down by the 30ms step delay, most must be shed with 503.
@@ -159,7 +211,7 @@ echo "smoke: http_shed and solve_degraded counters ok (shed=$shed degraded=$degr
 data_dir="$(mktemp -d)"
 /tmp/minupd -addr "$addr3" -debug-addr "" -data-dir "$data_dir" -shards 2 &
 pid3=$!
-trap 'kill "$pid" "$pid2" "$pid3" 2>/dev/null || true; rm -rf "$data_dir"' EXIT INT TERM
+trap 'kill "$pid" "$pid2" "$pid3" 2>/dev/null || true; rm -rf "$data_dir" "$dump_dir"' EXIT INT TERM
 
 wait_healthy() {
   i=0
