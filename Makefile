@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-json bench-stats smoke slo-smoke chaos fuzz-smoke shard-matrix
+.PHONY: all build test race vet fmt-check ci bench bench-json bench-stats bench-trend smoke slo-smoke load-smoke chaos fuzz-smoke shard-matrix
 
 all: build
 
@@ -39,6 +39,13 @@ bench-json:
 bench-stats:
 	$(GO) run ./cmd/benchtab -solverjson BENCH_solver.json -stats
 
+# Bench-trend regression gate: rerun the solve-path benchmarks and compare
+# against the committed BENCH_solve.json baseline with cmd/benchtrend.
+# Fails on >20% ns/op regression or any allocs/op increase. Refresh the
+# baseline deliberately with `make bench-json` and commit the result.
+bench-trend:
+	sh scripts/bench_trend.sh
+
 # End-to-end HTTP smoke of minupd on the Figure 2(a) fixtures plus the
 # durable policy catalog (create/append/cached-solve/restart); leaves a
 # sample Chrome trace at artifacts/sample-trace.json.
@@ -50,6 +57,12 @@ smoke:
 # artifacts/anomalies (kept for CI upload), and move the SLO burn gauges.
 slo-smoke:
 	sh scripts/slo_smoke.sh
+
+# Staged load smoke (~30s): cmd/minload's ramp, storm, and chaos stages
+# against a fault-admin minupd, per-stage JSON under artifacts/load, plus
+# the negative check that an impossibly tight gate fails the run.
+load-smoke:
+	sh scripts/load_smoke.sh
 
 # The catalog suite under the race detector at the extremes of the shard
 # spectrum: one shard (maximum lock contention, the pre-sharding shape) and

@@ -1,0 +1,123 @@
+// Command benchtrend compares a fresh BENCH_solve.json benchmark run
+// against the committed baseline and fails on regressions: more than
+// -max-ns-regress (default 20%) on ns/op, or any increase at all in
+// allocs/op — allocation counts are deterministic, so a single extra
+// allocation is a real change, not noise. A benchmark present in the
+// baseline but missing from the current run is also a failure (a renamed
+// or deleted benchmark must update the baseline deliberately).
+//
+// Usage:
+//
+//	scripts/bench_json.sh artifacts/bench/current.json
+//	benchtrend -baseline BENCH_solve.json -current artifacts/bench/current.json
+//
+// Improvements beyond the threshold are reported but never fail; refresh
+// the committed baseline with `make bench-json` when they stick.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchResult mirrors one entry of scripts/bench_json.sh's output.
+type benchResult struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func readBench(path string) (map[string]benchResult, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]benchResult)
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return out, nil
+}
+
+// compare judges current against baseline, returning human-readable lines
+// and the regression verdicts. maxNsRegress is fractional (0.20 = +20%).
+func compare(baseline, current map[string]benchResult, maxNsRegress float64) (lines []string, failures []string) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from current run", name))
+			continue
+		}
+		delta := (cur.NsPerOp - base.NsPerOp) / base.NsPerOp
+		line := fmt.Sprintf("%-28s ns/op %10.0f -> %10.0f (%+.1f%%)  allocs/op %4d -> %4d",
+			name, base.NsPerOp, cur.NsPerOp, 100*delta, base.AllocsPerOp, cur.AllocsPerOp)
+		switch {
+		case delta > maxNsRegress:
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.1f%% (limit %.0f%%): %.0f -> %.0f",
+				name, 100*delta, 100*maxNsRegress, base.NsPerOp, cur.NsPerOp))
+		case delta < -maxNsRegress:
+			line += "  [improved beyond threshold — consider refreshing the baseline]"
+		}
+		if cur.AllocsPerOp > base.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op regressed: %d -> %d",
+				name, base.AllocsPerOp, cur.AllocsPerOp))
+		}
+		lines = append(lines, line)
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			lines = append(lines, fmt.Sprintf("%-28s new benchmark (not in baseline)", name))
+		}
+	}
+	return lines, failures
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_solve.json", "committed baseline benchmark JSON")
+	currentPath := flag.String("current", "", "freshly generated benchmark JSON to judge (required)")
+	maxNsRegress := flag.Float64("max-ns-regress", 0.20, "max allowed fractional ns/op regression before failing")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchtrend: -current is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := readBench(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	current, err := readBench(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	lines, failures := compare(baseline, current, *maxNsRegress)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(failures) > 0 {
+		fmt.Println()
+		for _, f := range failures {
+			fmt.Printf("FAIL: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchtrend: no regressions")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+	os.Exit(1)
+}

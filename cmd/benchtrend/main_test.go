@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bench(ns float64, allocs int64) benchResult {
+	return benchResult{Iterations: 1000, NsPerOp: ns, BytesPerOp: allocs * 16, AllocsPerOp: allocs}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := map[string]benchResult{"BenchmarkA": bench(1000, 10), "BenchmarkB": bench(500, 5)}
+	cur := map[string]benchResult{"BenchmarkA": bench(1150, 10), "BenchmarkB": bench(420, 5)}
+	lines, failures := compare(base, cur, 0.20)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+}
+
+func TestCompareNsRegressionFails(t *testing.T) {
+	base := map[string]benchResult{"BenchmarkA": bench(1000, 10)}
+	cur := map[string]benchResult{"BenchmarkA": bench(1201, 10)} // +20.1%
+	_, failures := compare(base, cur, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op regressed") {
+		t.Fatalf("failures: %v", failures)
+	}
+}
+
+func TestCompareAnyAllocRegressionFails(t *testing.T) {
+	// Allocation counts are deterministic: even +1 alloc/op must fail,
+	// regardless of how ns/op moved.
+	base := map[string]benchResult{"BenchmarkA": bench(1000, 206)}
+	cur := map[string]benchResult{"BenchmarkA": bench(900, 207)}
+	_, failures := compare(base, cur, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op regressed: 206 -> 207") {
+		t.Fatalf("failures: %v", failures)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := map[string]benchResult{"BenchmarkA": bench(1000, 10), "BenchmarkGone": bench(100, 1)}
+	cur := map[string]benchResult{"BenchmarkA": bench(1000, 10)}
+	_, failures := compare(base, cur, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkGone") {
+		t.Fatalf("failures: %v", failures)
+	}
+}
+
+func TestCompareImprovementNeverFails(t *testing.T) {
+	base := map[string]benchResult{"BenchmarkA": bench(1000, 10)}
+	cur := map[string]benchResult{"BenchmarkA": bench(300, 4)}
+	lines, failures := compare(base, cur, 0.20)
+	if len(failures) != 0 {
+		t.Fatalf("improvement failed the gate: %v", failures)
+	}
+	if !strings.Contains(lines[0], "refreshing the baseline") {
+		t.Fatalf("big improvement not flagged for baseline refresh: %q", lines[0])
+	}
+}
+
+func TestCompareNewBenchmarkIsReportedNotFailed(t *testing.T) {
+	base := map[string]benchResult{"BenchmarkA": bench(1000, 10)}
+	cur := map[string]benchResult{"BenchmarkA": bench(1000, 10), "BenchmarkNew": bench(50, 2)}
+	lines, failures := compare(base, cur, 0.20)
+	if len(failures) != 0 {
+		t.Fatalf("new benchmark failed the gate: %v", failures)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "BenchmarkNew") && strings.Contains(l, "new benchmark") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("new benchmark not reported: %v", lines)
+	}
+}
+
+func TestReadBenchRejectsEmptyAndMalformed(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte("{}"), 0o644)
+	if _, err := readBench(empty); err == nil {
+		t.Fatal("empty benchmark file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := readBench(bad); err == nil {
+		t.Fatal("malformed benchmark file accepted")
+	}
+	if _, err := readBench(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing benchmark file accepted")
+	}
+}

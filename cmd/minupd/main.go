@@ -151,6 +151,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	rtdebug "runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -214,6 +216,7 @@ func main() {
 	degrade := flag.Bool("degrade", def.degrade, "serve the Qian-baseline assignment when a minimal solve misses its deadline or the server is overloaded")
 	faultSpec := flag.String("fault", "", "chaos-testing fault spec, e.g. 'solve.step:delay:%1:5ms;pool.get:panic:3' (see internal/fault)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
+	faultAdmin := flag.Bool("fault-admin", false, "expose POST/GET /debug/fault on the debug listener to rearm the injector at runtime (chaos testing; implies an installed, initially unarmed injector)")
 	flightSize := flag.Int("flight-size", 256, "flight-recorder ring capacity (records kept for /debug/requests)")
 	flightDumpDir := flag.String("flight-dump-dir", "auto", "anomaly dump directory; 'auto' puts it under -data-dir (or artifacts/), empty disables dumps")
 	flightDumpCap := flag.Int64("flight-dump-cap", 32<<20, "max total bytes of anomaly dumps before the oldest are pruned")
@@ -270,6 +273,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "minupd: CHAOS fault injection armed: %s\n", *faultSpec)
+	} else if *faultAdmin {
+		// An installed-but-unarmed injector costs one atomic load per fault
+		// point, so -fault-admin can keep it resident for later rearming.
+		cfg.fault = minup.NewFaultInjector(*faultSeed)
+	}
+	if *faultAdmin {
+		http.Handle("/debug/fault", faultAdminHandler(cfg.fault))
+		fmt.Fprintf(os.Stderr, "minupd: CHAOS fault admin enabled on the debug listener (/debug/fault)\n")
 	}
 	if *sloSpec != "" {
 		specs, err := minup.ParseSLOSpecs(*sloSpec)
@@ -329,6 +340,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "minupd: catalog recovered from %s: %d policies over %d shards (snapshot %d, WAL records %d, torn tail %v) in %s\n",
 			*dataDir, cat.Len(), ri.Shards, ri.SnapshotPolicies, ri.WALRecords, ri.TornTail, ri.Duration)
 	}
+
+	// build_info is the constant-1 info gauge joins dashboards key on:
+	// which build, which Go, how many catalog shards, started when.
+	reg.Info("build_info", map[string]string{
+		"version":    buildVersion(),
+		"go_version": runtime.Version(),
+		"shards":     strconv.Itoa(cat.RecoveryInfo().Shards),
+		"start_time": time.Now().UTC().Format(time.RFC3339),
+	})
 
 	srv := newServer(set, compiled, cat, reg, cfg)
 	mux := srv.routes(logger)
@@ -445,12 +465,14 @@ type server struct {
 	// minimal solve, or -1 before the first; degraded responses report the
 	// baseline's over-classification cost as a delta against it.
 	lastMinimalUpgraded atomic.Int64
+	// start anchors the process.uptime_seconds gauge.
+	start time.Time
 }
 
 // newServer wires a server the way main does, so tests share the exact
 // production admission/degradation path.
 func newServer(set *minup.ConstraintSet, compiled *minup.CompiledSet, cat *minup.PolicyCatalog, reg *minup.MetricsRegistry, cfg config) *server {
-	s := &server{set: set, compiled: compiled, cat: cat, reg: reg, cfg: cfg}
+	s := &server{set: set, compiled: compiled, cat: cat, reg: reg, cfg: cfg, start: time.Now()}
 	s.gate = newGate(cfg.maxInflight, cfg.maxQueue, cfg.queueWait, &s.draining, reg)
 	s.lastMinimalUpgraded.Store(-1)
 	// Register the degradation counters eagerly so a scrape sees the
@@ -740,6 +762,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// full collector interval old.
 	s.reg.Gauge("solve.pool.sessions").Set(minup.SessionsAllocated())
 	s.reg.Gauge("solve.panics_recovered").Set(minup.PanicsRecovered())
+	s.reg.Gauge("process.uptime_seconds").Set(int64(time.Since(s.start).Seconds()))
 	s.cfg.slo.Publish(s.reg)
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -808,6 +831,37 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		enc.SetIndent("", "  ")
 		enc.Encode(traceResponse{TraceID: tr.TraceID(), Spans: root.Node(root.StartTime())})
 	}
+}
+
+// buildVersion reports the best version identifier the binary carries: the
+// module version if stamped, else the VCS revision (dirty-suffixed), else
+// "devel".
+func buildVersion() string {
+	bi, ok := rtdebug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	return "devel"
 }
 
 func fatal(err error) {

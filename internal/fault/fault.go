@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -121,6 +122,13 @@ func (r Rule) validate() error {
 // method short-circuits, which is what production hooks rely on. All
 // methods are safe for concurrent use.
 type Injector struct {
+	// armed is a lock-free fast path: false while no rules are loaded, so a
+	// permanently-installed injector (minupd -fault-admin, waiting for a
+	// chaos stage to arm it over /debug/fault) costs one atomic load per
+	// fault-point hit instead of a mutex acquisition per solver step. Hit
+	// accounting only runs while armed.
+	armed atomic.Bool
+
 	mu    sync.Mutex
 	rules map[string][]Rule
 	hits  map[string]uint64
@@ -149,7 +157,60 @@ func (i *Injector) Add(r Rule) error {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.rules[r.Point] = append(i.rules[r.Point], r)
+	i.armed.Store(true)
 	return nil
+}
+
+// Rearm atomically replaces every armed rule with the ones parsed from
+// spec (the ParseSpec grammar) and resets all hit counters, so a
+// long-running server can have chaos turned on, retuned, or turned off
+// between load-test stages without a restart. An empty spec disarms the
+// injector, restoring the lock-free fast path. The seeded PRNG state is
+// kept, so a rearm does not replay earlier probabilistic draws.
+func (i *Injector) Rearm(spec string) error {
+	parsed, err := ParseSpec(spec, 1)
+	if err != nil {
+		return err
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = parsed.rules
+	i.hits = make(map[string]uint64)
+	i.armed.Store(len(i.rules) > 0)
+	return nil
+}
+
+// Snapshot reports the injector's current armed state for introspection
+// surfaces (minupd's /debug/fault): every rule grouped per point and the
+// hit counts accumulated since the last Rearm.
+type Snapshot struct {
+	Armed bool              `json:"armed"`
+	Rules map[string][]Rule `json:"rules,omitempty"`
+	Hits  map[string]uint64 `json:"hits,omitempty"`
+}
+
+// Snapshot returns a copy of the injector's rules and hit counters. Safe
+// on a nil receiver, which reports an unarmed injector.
+func (i *Injector) Snapshot() Snapshot {
+	if i == nil {
+		return Snapshot{}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	s := Snapshot{Armed: i.armed.Load()}
+	if len(i.rules) > 0 {
+		s.Rules = make(map[string][]Rule, len(i.rules))
+		for p, rs := range i.rules {
+			s.Rules[p] = append([]Rule(nil), rs...)
+		}
+	}
+	if len(i.hits) > 0 {
+		s.Hits = make(map[string]uint64, len(i.hits))
+		for p, n := range i.hits {
+			s.Hits[p] = n
+		}
+	}
+	return s
 }
 
 // MustAdd is Add that panics on an invalid rule, for test setup.
@@ -159,7 +220,9 @@ func (i *Injector) MustAdd(r Rule) {
 	}
 }
 
-// Hits reports how many times the point has been hit so far.
+// Hits reports how many times the point has been hit so far. Hits are
+// only accounted while at least one rule is armed (the unarmed fast path
+// skips the counter), and Rearm resets them.
 func (i *Injector) Hits(point string) uint64 {
 	if i == nil {
 		return 0
@@ -185,7 +248,7 @@ func (i *Injector) next() uint64 {
 // a nil receiver (no-op) — production hooks guard with one nil check and
 // never reach here.
 func (i *Injector) Hit(point string) error {
-	if i == nil {
+	if i == nil || !i.armed.Load() {
 		return nil
 	}
 	act, n, dur, fired := i.match(point)
@@ -209,7 +272,7 @@ func (i *Injector) Hit(point string) error {
 // explanatory *PanicError, which the solver's recovery guard converts to a
 // typed internal error.
 func (i *Injector) HitValue(point string) {
-	if i == nil {
+	if i == nil || !i.armed.Load() {
 		return
 	}
 	act, n, dur, fired := i.match(point)

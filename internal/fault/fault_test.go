@@ -210,3 +210,100 @@ func TestParseSpec(t *testing.T) {
 		t.Fatalf("empty spec: %v", err)
 	}
 }
+
+func TestUnarmedInjectorFastPath(t *testing.T) {
+	inj := New(1)
+	// No rules armed: hits pass through without firing or accounting.
+	for n := 0; n < 5; n++ {
+		if err := inj.Hit("p"); err != nil {
+			t.Fatalf("unarmed Hit = %v", err)
+		}
+		inj.HitValue("p")
+	}
+	if got := inj.Hits("p"); got != 0 {
+		t.Fatalf("unarmed injector accounted %d hits", got)
+	}
+	if s := inj.Snapshot(); s.Armed || len(s.Rules) != 0 {
+		t.Fatalf("unarmed Snapshot = %+v", s)
+	}
+}
+
+func TestRearmReplacesRulesAndResetsHits(t *testing.T) {
+	inj := New(1)
+	inj.MustAdd(Rule{Point: "a", Act: Cancel, Every: 1})
+	if err := inj.Hit("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed Hit = %v, want ErrInjected", err)
+	}
+
+	// Rearm onto a different point: the old rule is gone, counters reset.
+	if err := inj.Rearm("b:cancel:%1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Hit("a"); err != nil {
+		t.Fatalf("Hit at replaced point = %v", err)
+	}
+	if err := inj.Hit("b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit at rearmed point = %v, want ErrInjected", err)
+	}
+	s := inj.Snapshot()
+	if !s.Armed || len(s.Rules["b"]) != 1 || len(s.Rules["a"]) != 0 {
+		t.Fatalf("Snapshot after rearm = %+v", s)
+	}
+	if s.Hits["b"] != 1 {
+		t.Fatalf("hits after rearm = %v, want b:1", s.Hits)
+	}
+
+	// An empty spec disarms; hits flow freely again.
+	if err := inj.Rearm(""); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		if err := inj.Hit("b"); err != nil {
+			t.Fatalf("disarmed Hit = %v", err)
+		}
+	}
+	if s := inj.Snapshot(); s.Armed || len(s.Hits) != 0 {
+		t.Fatalf("disarmed Snapshot = %+v", s)
+	}
+
+	// A bad spec is rejected and leaves the current state untouched.
+	if err := inj.Rearm("nonsense"); err == nil {
+		t.Fatal("Rearm accepted a malformed spec")
+	}
+	if s := inj.Snapshot(); s.Armed {
+		t.Fatalf("failed Rearm armed the injector: %+v", s)
+	}
+}
+
+func TestRearmConcurrentWithHits(t *testing.T) {
+	inj := New(1)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					inj.Hit("solve.step")
+					inj.HitValue("lattice.lub")
+				}
+			}
+		}()
+	}
+	for n := 0; n < 200; n++ {
+		spec := "solve.step:delay:%50:1us"
+		if n%2 == 1 {
+			spec = ""
+		}
+		if err := inj.Rearm(spec); err != nil {
+			t.Errorf("Rearm: %v", err)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+}

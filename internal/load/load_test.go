@@ -1,0 +1,471 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServer emulates just enough of minupd's surface for the runner:
+// policy CRUD with real liveness, memoized solves, a static instance, a
+// Prometheus endpoint, and per-request behavior knobs (shed, degrade).
+type fakeServer struct {
+	mu       sync.Mutex
+	policies map[string]bool
+
+	requests  atomic.Uint64
+	mutations atomic.Uint64
+	solves    atomic.Uint64
+
+	// shedEvery sheds (503) every Nth request when > 0.
+	shedEvery uint64
+	// degradeSolves answers policy solves with "degraded": true.
+	degradeSolves atomic.Bool
+	// burnMilli is exposed as slo_solve_avail_burn_5m_milli.
+	burnMilli atomic.Int64
+	// noStatic makes /solve and /trace 404 (catalog-only server).
+	noStatic bool
+
+	srv *httptest.Server
+}
+
+func newFakeServer() *fakeServer {
+	f := &fakeServer{policies: make(map[string]bool)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "# TYPE build_info gauge\nbuild_info{version=\"vtest\",go_version=\"gotest\"} 1\n")
+		fmt.Fprintf(w, "# TYPE http_requests counter\nhttp_requests %d\n", f.requests.Load())
+		fmt.Fprintf(w, "# TYPE catalog_mutations counter\ncatalog_mutations %d\n", f.mutations.Load())
+		fmt.Fprintf(w, "# TYPE runtime_goroutines gauge\nruntime_goroutines 12\n")
+		fmt.Fprintf(w, "# TYPE slo_solve_avail_burn_5m_milli gauge\nslo_solve_avail_burn_5m_milli %d\n", f.burnMilli.Load())
+	})
+	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) {
+		if f.noStatic {
+			http.NotFound(w, r)
+			return
+		}
+		if f.count(w, r) {
+			return
+		}
+		f.solves.Add(1)
+		fmt.Fprintln(w, `{"assignment":{}}`)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if f.noStatic {
+			http.NotFound(w, r)
+			return
+		}
+		if f.count(w, r) {
+			return
+		}
+		fmt.Fprintln(w, `{"steps":[]}`)
+	})
+	mux.HandleFunc("/policies/", func(w http.ResponseWriter, r *http.Request) {
+		if f.count(w, r) {
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/policies/")
+		parts := strings.Split(rest, "/")
+		name := parts[0]
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		switch {
+		case len(parts) == 1 && r.Method == http.MethodPut:
+			f.mutations.Add(1)
+			f.policies[name] = true
+			w.WriteHeader(http.StatusCreated)
+		case len(parts) == 1 && r.Method == http.MethodDelete:
+			if !f.policies[name] {
+				http.NotFound(w, r)
+				return
+			}
+			f.mutations.Add(1)
+			delete(f.policies, name)
+			w.WriteHeader(http.StatusNoContent)
+		case len(parts) == 2 && parts[1] == "constraints" && r.Method == http.MethodPost:
+			if !f.policies[name] {
+				http.NotFound(w, r)
+				return
+			}
+			f.mutations.Add(1)
+			fmt.Fprintln(w, `{"ok":true}`)
+		case len(parts) == 2 && parts[1] == "solve" && r.Method == http.MethodGet:
+			if !f.policies[name] {
+				http.NotFound(w, r)
+				return
+			}
+			f.solves.Add(1)
+			if f.degradeSolves.Load() {
+				fmt.Fprintln(w, `{"assignment":{},"degraded":true}`)
+			} else {
+				fmt.Fprintln(w, `{"assignment":{}}`)
+			}
+		default:
+			http.Error(w, "bad request", http.StatusBadRequest)
+		}
+	})
+	f.srv = httptest.NewServer(mux)
+	return f
+}
+
+// count tallies the request and applies the shed knob; reports whether the
+// request was already answered (with a 503).
+func (f *fakeServer) count(w http.ResponseWriter, r *http.Request) bool {
+	n := f.requests.Add(1)
+	if f.shedEvery > 0 && n%f.shedEvery == 0 {
+		http.Error(w, "shed", http.StatusServiceUnavailable)
+		return true
+	}
+	return false
+}
+
+func smokePlan() Plan {
+	return Plan{
+		Seed:     7,
+		Workload: DefaultWorkload(),
+		Stages: []Stage{
+			{
+				Name: "ramp", Kind: "ramp", Seconds: 0.6, Clients: 4,
+				QPS: 400, RampFromQPS: 100, Mix: DefaultMix(),
+				Gates: Gates{MinSuccessRate: 0.9, MaxErrorRate: 0.05, MaxP99MS: 1000},
+			},
+			{
+				Name: "storm", Kind: "storm", Seconds: 0.4, Clients: 8,
+				Mix:   DefaultMix(),
+				Gates: Gates{MaxErrorRate: 0.05},
+			},
+		},
+	}
+}
+
+func TestRunnerAgainstFakeServer(t *testing.T) {
+	f := newFakeServer()
+	defer f.srv.Close()
+	out := t.TempDir()
+	r := &Runner{BaseURL: f.srv.URL, OutDir: out, Logf: t.Logf}
+	rep, err := r.Run(context.Background(), smokePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("run failed: %v", rep.FailedStages())
+	}
+	if len(rep.Stages) != 2 {
+		t.Fatalf("got %d stage results, want 2", len(rep.Stages))
+	}
+	if rep.BuildInfo["version"] != "vtest" {
+		t.Fatalf("build info not scraped: %+v", rep.BuildInfo)
+	}
+	for _, st := range rep.Stages {
+		c := st.Total
+		if c.Attempts == 0 {
+			t.Fatalf("stage %s made no requests", st.Name)
+		}
+		if got := c.Success + c.Degraded + c.Shed + c.Errors; got != c.Attempts {
+			t.Fatalf("stage %s: outcomes %d don't add up to attempts %d", st.Name, got, c.Attempts)
+		}
+		var sum uint64
+		for _, op := range st.PerOp {
+			sum += op.Counts.Attempts
+		}
+		if sum != c.Attempts {
+			t.Fatalf("stage %s: per-op attempts %d != total %d", st.Name, sum, c.Attempts)
+		}
+		if st.Latency.P99MS <= 0 {
+			t.Fatalf("stage %s: no latency recorded", st.Name)
+		}
+		if st.Server == nil {
+			t.Fatalf("stage %s: no server sample", st.Name)
+		}
+		if st.Server.CounterDeltas["http_requests"] <= 0 {
+			t.Fatalf("stage %s: http_requests delta missing: %+v", st.Name, st.Server.CounterDeltas)
+		}
+		if st.Server.Gauges["runtime_goroutines"] != 12 {
+			t.Fatalf("stage %s: gauges not sampled: %+v", st.Name, st.Server.Gauges)
+		}
+	}
+	// The result dir carries one file per stage plus the summary.
+	for _, name := range []string{"stage-00-ramp.json", "stage-01-storm.json", "summary.json"} {
+		if _, err := os.Stat(filepath.Join(out, name)); err != nil {
+			t.Fatalf("missing result file %s: %v", name, err)
+		}
+	}
+	// The mutations the clients sent actually landed on the server.
+	if f.mutations.Load() == 0 {
+		t.Fatal("no mutations reached the server")
+	}
+	if f.solves.Load() == 0 {
+		t.Fatal("no solves reached the server")
+	}
+}
+
+func TestRunnerClassifiesSheds(t *testing.T) {
+	f := newFakeServer()
+	defer f.srv.Close()
+	f.shedEvery = 3 // every 3rd request is a bare 503
+	r := &Runner{BaseURL: f.srv.URL}
+	plan := smokePlan()
+	plan.Stages = plan.Stages[:1]
+	plan.Stages[0].Gates = Gates{MaxErrorRate: 0.05} // sheds are not errors
+	rep, err := r.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("sheds must not fail an error-rate gate: %v", rep.Stages[0].GateFailures)
+	}
+	c := rep.Stages[0].Total
+	if c.Shed == 0 {
+		t.Fatalf("no sheds recorded: %+v", c)
+	}
+	if got := c.ShedRate(); got < 0.2 || got > 0.45 {
+		t.Fatalf("shed rate %.3f implausible for shed-every-3rd", got)
+	}
+}
+
+func TestRunnerClassifiesDegraded(t *testing.T) {
+	f := newFakeServer()
+	defer f.srv.Close()
+	f.degradeSolves.Store(true)
+	r := &Runner{BaseURL: f.srv.URL}
+	plan := smokePlan()
+	plan.Stages = plan.Stages[:1]
+	plan.Stages[0].Gates = Gates{MaxDegradedRate: 0.01}
+	rep, err := r.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Stages[0].Total
+	if c.Degraded == 0 {
+		t.Fatalf("no degraded answers recorded: %+v", c)
+	}
+	if rep.Passed {
+		t.Fatal("degraded-rate gate should have failed")
+	}
+	found := false
+	for _, reason := range rep.Stages[0].GateFailures {
+		if strings.Contains(reason, "degraded rate") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failure reasons missing degraded gate: %v", rep.Stages[0].GateFailures)
+	}
+}
+
+func TestRunnerTightenedGateFails(t *testing.T) {
+	// The acceptance check from the issue: a deliberately impossible
+	// threshold must fail the run — and with a nonzero p99 there is always
+	// a threshold below it.
+	f := newFakeServer()
+	defer f.srv.Close()
+	r := &Runner{BaseURL: f.srv.URL}
+	plan := smokePlan()
+	plan.Stages = plan.Stages[:1]
+	plan.Stages[0].Gates = Gates{MaxP99MS: 0.0001}
+	rep, err := r.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatal("impossible p99 gate passed")
+	}
+	if got := rep.FailedStages(); len(got) != 1 || got[0] != "ramp" {
+		t.Fatalf("failed stages %v, want [ramp]", got)
+	}
+}
+
+func TestRunnerBurnRateGate(t *testing.T) {
+	f := newFakeServer()
+	defer f.srv.Close()
+	f.burnMilli.Store(14_500) // burn 14.5
+	r := &Runner{BaseURL: f.srv.URL}
+	plan := smokePlan()
+	plan.Stages = plan.Stages[:1]
+	plan.Stages[0].Gates = Gates{MaxAvailBurn5m: 14}
+	rep, err := r.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed {
+		t.Fatal("burn gate should have failed at 14.5 > 14")
+	}
+	st := rep.Stages[0]
+	if st.Server == nil || st.Server.MaxAvailBurn5m != 14.5 {
+		t.Fatalf("scraped burn wrong: %+v", st.Server)
+	}
+	// Loosening the gate above the scraped burn passes.
+	plan.Stages[0].Gates = Gates{MaxAvailBurn5m: 15}
+	rep, err = r.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("burn gate failed at 14.5 < 15: %v", rep.Stages[0].GateFailures)
+	}
+}
+
+func TestRunnerCatalogOnlyFallback(t *testing.T) {
+	// Against a server with no static instance, cold-solve and trace draws
+	// fall back to cached solves instead of racking up 404 errors.
+	f := newFakeServer()
+	defer f.srv.Close()
+	f.noStatic = true
+	r := &Runner{BaseURL: f.srv.URL}
+	plan := smokePlan()
+	plan.Stages = plan.Stages[:1]
+	plan.Stages[0].Gates = Gates{MaxErrorRate: 0.01}
+	rep, err := r.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("fallback run failed: %v", rep.Stages[0].GateFailures)
+	}
+	st := rep.Stages[0]
+	for _, op := range []string{opCold, opTrace} {
+		if res, ok := st.PerOp[op]; ok && res.Counts.Attempts > 0 {
+			t.Fatalf("%s attempted against a catalog-only server", op)
+		}
+	}
+}
+
+func TestRunnerChaosStageArmsAndDisarms(t *testing.T) {
+	f := newFakeServer()
+	defer f.srv.Close()
+	var mu sync.Mutex
+	var posts []string
+	debug := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/fault" || r.Method != http.MethodPost {
+			http.NotFound(w, r)
+			return
+		}
+		body := make([]byte, 512)
+		n, _ := r.Body.Read(body)
+		mu.Lock()
+		posts = append(posts, string(body[:n]))
+		mu.Unlock()
+		fmt.Fprintln(w, "ok")
+	}))
+	defer debug.Close()
+
+	r := &Runner{BaseURL: f.srv.URL, DebugURL: debug.URL}
+	plan := smokePlan()
+	plan.Stages = plan.Stages[:1]
+	plan.Stages[0].Kind = "chaos"
+	plan.Stages[0].Fault = "solve.step:delay:~0.5:1ms"
+	plan.Stages[0].Gates = Gates{MaxErrorRate: 0.05}
+	rep, err := r.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("chaos stage failed: %v", rep.Stages[0].GateFailures)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(posts) != 2 || posts[0] != "solve.step:delay:~0.5:1ms" || posts[1] != "" {
+		t.Fatalf("fault posts %q, want [spec, empty-disarm]", posts)
+	}
+}
+
+func TestRunnerChaosNeedsDebugURL(t *testing.T) {
+	f := newFakeServer()
+	defer f.srv.Close()
+	r := &Runner{BaseURL: f.srv.URL}
+	plan := smokePlan()
+	plan.Stages[1].Fault = "wal.fsync:delay:~1:1ms"
+	if _, err := r.Run(context.Background(), plan); err == nil {
+		t.Fatal("fault stage without a debug URL must refuse to run")
+	}
+}
+
+func TestRunnerUnreachableTarget(t *testing.T) {
+	r := &Runner{BaseURL: "http://127.0.0.1:1", RequestTimeout: time.Second}
+	if _, err := r.Run(context.Background(), smokePlan()); err == nil {
+		t.Fatal("unreachable target must be an error, not a gate failure")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	p := DefaultPlan()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default plan invalid: %v", err)
+	}
+	bad := []func(*Plan){
+		func(p *Plan) { p.Stages = nil },
+		func(p *Plan) { p.Stages[0].Name = "" },
+		func(p *Plan) { p.Stages[1].Name = p.Stages[0].Name },
+		func(p *Plan) { p.Stages[0].Seconds = 0 },
+		func(p *Plan) { p.Stages[0].Clients = 0 },
+		func(p *Plan) { p.Stages[0].Mix = Mix{} },
+		func(p *Plan) { p.Stages[0].QPS = 0 }, // ramp without QPS
+	}
+	for i, mutate := range bad {
+		p := DefaultPlan()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid plan accepted", i)
+		}
+	}
+	// Validate fills a ramp's starting QPS.
+	p = DefaultPlan()
+	p.Stages[0].RampFromQPS = 0
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Stages[0].RampFromQPS, p.Stages[0].QPS/10; got != want {
+		t.Fatalf("RampFromQPS default %v, want %v", got, want)
+	}
+}
+
+func TestPlanFilter(t *testing.T) {
+	p := DefaultPlan()
+	got, err := p.Filter("ramp, storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Stages) != 2 || got.Stages[0].Name != "ramp" || got.Stages[1].Name != "storm" {
+		t.Fatalf("filtered stages wrong: %+v", got.Stages)
+	}
+	if _, err := p.Filter("ramp,tsunami"); err == nil {
+		t.Fatal("unknown stage name accepted")
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := DefaultPlan()
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlan(strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != p.Seed || len(got.Stages) != len(p.Stages) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Stages[3].Fault != p.Stages[3].Fault {
+		t.Fatalf("fault spec lost: %q", got.Stages[3].Fault)
+	}
+	if got.Stages[0].Gates != p.Stages[0].Gates {
+		t.Fatalf("gates lost: %+v", got.Stages[0].Gates)
+	}
+	// Unknown fields are rejected, not ignored.
+	if _, err := ReadPlan(strings.NewReader(`{"seed":1,"stages":[{"name":"x","gatez":{}}]}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

@@ -1,0 +1,587 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"minup/internal/obs"
+	"minup/internal/workload"
+)
+
+// Outcome classifies one request.
+type Outcome int
+
+const (
+	// OutcomeSuccess is a non-degraded 2xx.
+	OutcomeSuccess Outcome = iota
+	// OutcomeDegraded is a 2xx carrying "degraded": true — the Qian
+	// baseline served in place of a minimal solve.
+	OutcomeDegraded
+	// OutcomeShed is a 503: the admission gate refused the request, the
+	// correct behavior past saturation.
+	OutcomeShed
+	// OutcomeError is everything else: transport failures, timeouts, and
+	// unexpected statuses.
+	OutcomeError
+)
+
+// opNames index the per-op result blocks; op codes are the Mix fields.
+const (
+	opMutate = "mutate"
+	opCached = "cached_solve"
+	opCold   = "cold_solve"
+	opTrace  = "trace"
+)
+
+// Runner drives a Plan against one minupd.
+type Runner struct {
+	// BaseURL is the service listener, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// DebugURL is the debug listener (for /debug/fault chaos arming);
+	// empty refuses plans with fault stages.
+	DebugURL string
+	// OutDir receives one JSON file per stage plus summary.json; empty
+	// writes nothing.
+	OutDir string
+	// Client is the HTTP client; nil builds one sized for the plan's
+	// widest stage.
+	Client *http.Client
+	// RequestTimeout bounds each request (default 10s).
+	RequestTimeout time.Duration
+	// Logf, when set, receives one progress line per stage.
+	Logf func(format string, args ...any)
+
+	hasStatic bool
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// client is one load-generating goroutine's persistent state: a seeded RNG
+// for op draws, its own MutationStream under a private name prefix (so its
+// mutations stay valid regardless of interleaving with other clients), and
+// the set of policies it knows to be live for cached solves.
+type client struct {
+	id     int
+	rng    *rand.Rand
+	spec   workload.MutationSpec
+	stream []workload.Mutation
+	next   int
+	gen    int64
+	live   []string
+	liveAt map[string]int // name -> index in live, for O(1) delete
+}
+
+func newClient(id int, planSeed int64, spec workload.MutationSpec) (*client, error) {
+	c := &client{
+		id:     id,
+		rng:    rand.New(rand.NewSource(planSeed<<16 + int64(id))),
+		spec:   spec,
+		liveAt: make(map[string]int),
+	}
+	c.spec.NamePrefix = fmt.Sprintf("c%03dp", id)
+	return c, c.refill(planSeed)
+}
+
+// refill regenerates the client's stream. Each generation is itself valid
+// from any catalog state: a stream's first op on every name is a put, so
+// replaying a fresh generation over leftovers just replaces them.
+func (c *client) refill(planSeed int64) error {
+	c.gen++
+	c.spec.Seed = planSeed<<16 + int64(c.id) + c.gen*1_000_003
+	stream, err := workload.MutationStream(c.spec)
+	if err != nil {
+		return err
+	}
+	c.stream = stream
+	c.next = 0
+	// A fresh generation restarts its own live tracking: it only appends
+	// to and deletes names it has put itself.
+	c.live = c.live[:0]
+	clear(c.liveAt)
+	return nil
+}
+
+func (c *client) markLive(name string) {
+	if _, ok := c.liveAt[name]; ok {
+		return
+	}
+	c.liveAt[name] = len(c.live)
+	c.live = append(c.live, name)
+}
+
+func (c *client) markDead(name string) {
+	i, ok := c.liveAt[name]
+	if !ok {
+		return
+	}
+	last := len(c.live) - 1
+	c.live[i] = c.live[last]
+	c.liveAt[c.live[i]] = i
+	c.live = c.live[:last]
+	delete(c.liveAt, name)
+}
+
+// pickOp draws a request kind from the stage mix, resolving fallbacks: no
+// static instance turns cold/trace draws into cached solves, and a cached
+// draw with no live policy becomes a mutation (whose stream is guaranteed
+// to start with a put).
+func (c *client) pickOp(mix Mix, hasStatic bool) string {
+	r := c.rng.Float64() * mix.total()
+	var op string
+	switch {
+	case r < mix.Mutate:
+		op = opMutate
+	case r < mix.Mutate+mix.CachedSolve:
+		op = opCached
+	case r < mix.Mutate+mix.CachedSolve+mix.ColdSolve:
+		op = opCold
+	default:
+		op = opTrace
+	}
+	if (op == opCold || op == opTrace) && !hasStatic {
+		op = opCached
+	}
+	if op == opCached && len(c.live) == 0 {
+		op = opMutate
+	}
+	return op
+}
+
+// stageRecorder accumulates one stage's client-side measurements.
+type stageRecorder struct {
+	mu      sync.Mutex
+	hist    *obs.Histogram            // all ops
+	perOp   map[string]*obs.Histogram // per request kind
+	counts  map[string]*Counts
+	total   Counts
+	maxUS   uint64
+	samples int
+}
+
+func newStageRecorder() *stageRecorder {
+	r := &stageRecorder{
+		hist:   obs.NewHistogram(obs.DurationBucketsUS),
+		perOp:  make(map[string]*obs.Histogram),
+		counts: make(map[string]*Counts),
+	}
+	for _, op := range []string{opMutate, opCached, opCold, opTrace} {
+		r.perOp[op] = obs.NewHistogram(obs.DurationBucketsUS)
+		r.counts[op] = &Counts{}
+	}
+	return r
+}
+
+func (r *stageRecorder) record(op string, outcome Outcome, d time.Duration) {
+	us := uint64(d.Microseconds())
+	r.hist.Observe(us)
+	r.perOp[op].Observe(us)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if us > r.maxUS {
+		r.maxUS = us
+	}
+	for _, c := range []*Counts{&r.total, r.counts[op]} {
+		c.Attempts++
+		switch outcome {
+		case OutcomeSuccess:
+			c.Success++
+		case OutcomeDegraded:
+			c.Degraded++
+		case OutcomeShed:
+			c.Shed++
+		case OutcomeError:
+			c.Errors++
+		}
+	}
+}
+
+// Run executes the plan and returns its report. A gate failure is not an
+// error — the report carries Passed=false and per-stage reasons — while a
+// broken environment (unreachable server, chaos stage without a debug
+// listener, unwritable result dir) is.
+func (r *Runner) Run(ctx context.Context, plan Plan) (*Report, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if r.RequestTimeout <= 0 {
+		r.RequestTimeout = 10 * time.Second
+	}
+	maxClients := 0
+	for _, st := range plan.Stages {
+		if st.Clients > maxClients {
+			maxClients = st.Clients
+		}
+		if st.Fault != "" && r.DebugURL == "" {
+			return nil, fmt.Errorf("load: stage %q arms a fault spec but no debug URL is configured", st.Name)
+		}
+	}
+	if r.Client == nil {
+		r.Client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        maxClients * 2,
+				MaxIdleConnsPerHost: maxClients * 2,
+			},
+		}
+	}
+
+	if err := r.preflight(ctx); err != nil {
+		return nil, err
+	}
+
+	clients := make([]*client, maxClients)
+	for i := range clients {
+		c, err := newClient(i, plan.Seed, plan.Workload)
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
+	}
+
+	report := &Report{
+		Plan:      plan,
+		Target:    r.BaseURL,
+		StartedAt: time.Now().UTC(),
+		Passed:    true,
+	}
+	if m, err := r.scrape(ctx); err == nil {
+		if labels, ok := m.Labels("build_info"); ok {
+			report.BuildInfo = labels
+		}
+	}
+
+	before, err := r.scrape(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("load: initial metrics scrape: %w", err)
+	}
+	for i, st := range plan.Stages {
+		res, err := r.runStage(ctx, st, clients[:st.Clients], before)
+		if err != nil {
+			return nil, err
+		}
+		// The post-stage scrape doubles as the next stage's baseline.
+		if res.scrapedAfter != nil {
+			before = res.scrapedAfter
+		}
+		report.Stages = append(report.Stages, *res)
+		if !res.GatePassed {
+			report.Passed = false
+		}
+		if r.OutDir != "" {
+			if err := writeStageFile(r.OutDir, i, res); err != nil {
+				return nil, err
+			}
+		}
+		r.logf("stage %s: %s", st.Name, res.summaryLine())
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	report.DurationSeconds = time.Since(report.StartedAt).Seconds()
+	if r.OutDir != "" {
+		if err := writeSummaryFile(r.OutDir, report); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+// preflight verifies the target is alive and discovers whether the static
+// /solve instance exists (it decides cold-solve/trace fallbacks).
+func (r *Runner) preflight(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, r.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("load: target %s unreachable: %w", r.BaseURL, err)
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("load: %s/healthz answered %d", r.BaseURL, resp.StatusCode)
+	}
+	req, err = http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/solve", nil)
+	if err != nil {
+		return err
+	}
+	resp, err = r.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("load: probing /solve: %w", err)
+	}
+	drain(resp)
+	r.hasStatic = resp.StatusCode != http.StatusNotFound
+	if !r.hasStatic {
+		r.logf("target has no static instance; cold-solve and trace draws fall back to cached solves")
+	}
+	return nil
+}
+
+func (r *Runner) runStage(ctx context.Context, st Stage, clients []*client, before *obs.PromMetrics) (*StageResult, error) {
+	if st.Fault != "" {
+		if err := r.armFault(ctx, st.Fault); err != nil {
+			return nil, fmt.Errorf("load: stage %q: arming fault spec: %w", st.Name, err)
+		}
+		// Always disarm, even on an error path: a later stage (or a later
+		// run) must not inherit this stage's chaos.
+		defer func() {
+			disarmCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), r.RequestTimeout)
+			defer cancel()
+			if err := r.armFault(disarmCtx, ""); err != nil {
+				r.logf("stage %s: disarming fault spec failed: %v", st.Name, err)
+			}
+		}()
+	}
+
+	rec := newStageRecorder()
+	stageCtx, cancel := context.WithTimeout(ctx, st.duration())
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *client) {
+			defer wg.Done()
+			r.clientLoop(stageCtx, st, c, rec, start, len(clients))
+		}(c)
+	}
+	wg.Wait()
+	cancel()
+	elapsed := time.Since(start)
+
+	res := &StageResult{
+		Name:            st.Name,
+		Kind:            st.Kind,
+		Gates:           st.Gates,
+		Fault:           st.Fault,
+		Clients:         len(clients),
+		TargetQPS:       st.QPS,
+		StartedAt:       start.UTC(),
+		DurationSeconds: elapsed.Seconds(),
+		Total:           rec.total,
+	}
+	res.PerOp = make(map[string]OpResult, len(rec.counts))
+	for op, counts := range rec.counts {
+		if counts.Attempts == 0 {
+			continue
+		}
+		res.PerOp[op] = OpResult{Counts: *counts, Latency: latencySummary(rec.perOp[op].Snapshot(), 0)}
+	}
+	res.Latency = latencySummary(rec.hist.Snapshot(), rec.maxUS)
+	if elapsed > 0 {
+		res.ThroughputRPS = float64(rec.total.Attempts) / elapsed.Seconds()
+	}
+
+	// Scrape the server between stages: counter deltas across the stage
+	// plus the current burn-rate and runtime gauges.
+	after, err := r.scrape(ctx)
+	if err != nil {
+		// A mid-run scrape failure degrades the report, not the run: the
+		// client-side gates still judge the stage.
+		r.logf("stage %s: metrics scrape failed: %v", st.Name, err)
+	} else {
+		res.Server = serverSample(before, after)
+		res.scrapedAfter = after
+	}
+	res.GateFailures = st.Gates.Evaluate(res)
+	res.GatePassed = len(res.GateFailures) == 0
+	return res, nil
+}
+
+// clientLoop issues requests until the stage context expires, pacing to
+// the stage's (possibly ramping) QPS share for this client.
+func (r *Runner) clientLoop(ctx context.Context, st Stage, c *client, rec *stageRecorder, start time.Time, clients int) {
+	dur := st.duration()
+	nextAt := time.Now()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if st.QPS > 0 {
+			qps := st.QPS
+			if st.Kind == "ramp" {
+				f := float64(time.Since(start)) / float64(dur)
+				if f > 1 {
+					f = 1
+				}
+				qps = st.RampFromQPS + (st.QPS-st.RampFromQPS)*f
+			}
+			interval := time.Duration(float64(clients) / qps * float64(time.Second))
+			if d := time.Until(nextAt); d > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(d):
+				}
+				nextAt = nextAt.Add(interval)
+			} else {
+				// Fell behind (slow responses): restart the clock rather
+				// than bursting to catch up.
+				nextAt = time.Now().Add(interval)
+			}
+		}
+		op := c.pickOp(st.Mix, r.hasStatic)
+		outcome, d, err := r.execute(ctx, c, op)
+		if err != nil && ctx.Err() != nil {
+			return // stage ended mid-request; not the server's fault
+		}
+		rec.record(op, outcome, d)
+	}
+}
+
+// mutationBody is the JSON body shape of policy puts and appends.
+type mutationBody struct {
+	Lattice     string `json:"lattice,omitempty"`
+	Constraints string `json:"constraints"`
+}
+
+// execute performs one request and classifies it. The returned error is
+// only consulted to detect stage teardown; it is already folded into the
+// outcome.
+func (r *Runner) execute(ctx context.Context, c *client, op string) (Outcome, time.Duration, error) {
+	var (
+		method = http.MethodGet
+		url    string
+		body   []byte
+	)
+	var mut workload.Mutation
+	switch op {
+	case opMutate:
+		if c.next >= len(c.stream) {
+			if err := c.refill(0); err != nil {
+				return OutcomeError, 0, err
+			}
+		}
+		mut = c.stream[c.next]
+		c.next++
+		var err error
+		switch mut.Op {
+		case workload.OpPut:
+			method = http.MethodPut
+			url = r.BaseURL + "/policies/" + mut.Name
+			body, err = json.Marshal(mutationBody{Lattice: mut.Lattice, Constraints: mut.Constraints})
+		case workload.OpAppend:
+			method = http.MethodPost
+			url = r.BaseURL + "/policies/" + mut.Name + "/constraints"
+			body, err = json.Marshal(mutationBody{Constraints: mut.Constraints})
+		case workload.OpDelete:
+			method = http.MethodDelete
+			url = r.BaseURL + "/policies/" + mut.Name
+		}
+		if err != nil {
+			return OutcomeError, 0, err
+		}
+	case opCached:
+		url = r.BaseURL + "/policies/" + c.live[c.rng.Intn(len(c.live))] + "/solve"
+	case opCold:
+		url = r.BaseURL + "/solve"
+	case opTrace:
+		url = r.BaseURL + "/trace"
+	}
+
+	reqCtx, cancel := context.WithTimeout(ctx, r.RequestTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(reqCtx, method, url, rd)
+	if err != nil {
+		return OutcomeError, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := r.Client.Do(req)
+	d := time.Since(start)
+	if err != nil {
+		return OutcomeError, d, err
+	}
+	outcome := OutcomeError
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		outcome = OutcomeShed
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		outcome = OutcomeSuccess
+		if op != opMutate && resp.StatusCode == http.StatusOK {
+			// Solve-shaped responses may carry the degraded marker.
+			var probe struct {
+				Degraded bool `json:"degraded"`
+			}
+			if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&probe); err == nil && probe.Degraded {
+				outcome = OutcomeDegraded
+			}
+		}
+	}
+	drain(resp)
+
+	// Keep the client's live-set in sync with the mutations the server
+	// actually accepted, so cached solves only target policies that exist.
+	if op == opMutate && outcome == OutcomeSuccess {
+		switch mut.Op {
+		case workload.OpPut:
+			c.markLive(mut.Name)
+		case workload.OpDelete:
+			c.markDead(mut.Name)
+		}
+	}
+	return outcome, d, nil
+}
+
+// armFault posts a fault spec to the server's /debug/fault; an empty spec
+// disarms. The server must run with -fault-admin.
+func (r *Runner) armFault(ctx context.Context, spec string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.DebugURL+"/debug/fault", strings.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := r.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("POST /debug/fault: %d: %s (is minupd running with -fault-admin?)", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// scrape fetches and parses the server's Prometheus exposition.
+func (r *Runner) scrape(ctx context.Context) (*obs.PromMetrics, error) {
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), r.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/metrics?format=prometheus", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %d", resp.StatusCode)
+	}
+	return obs.ParsePrometheus(io.LimitReader(resp.Body, 8<<20))
+}
+
+// drain consumes and closes a response body so the connection is reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

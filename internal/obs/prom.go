@@ -45,10 +45,12 @@ func escapeLabelValue(v string) string {
 
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format (version 0.0.4): counters and gauges as single samples, histograms
-// as cumulative `_bucket{le="..."}` series plus `_sum` and `_count`. Output
-// is sorted by sanitized metric name, so it is deterministic for a given
-// set of metric values. Registry bucket counts are per-bucket; this writer
-// cumulates them, and the implicit overflow bucket becomes le="+Inf".
+// as cumulative `_bucket{le="..."}` series plus `_sum` and `_count`, and
+// info metrics as constant-1 gauges carrying their labels (sorted by label
+// name). Output is sorted by sanitized metric name, so it is deterministic
+// for a given set of metric values. Registry bucket counts are per-bucket;
+// this writer cumulates them, and the implicit overflow bucket becomes
+// le="+Inf".
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 
@@ -74,6 +76,28 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			typ: "gauge",
 			emit: func(w io.Writer, n string) error {
 				_, err := fmt.Fprintf(w, "%s %d\n", n, v)
+				return err
+			},
+		}
+	}
+	for name, labels := range s.Infos {
+		labels := labels
+		byName[sanitizeMetricName(name)] = sample{
+			typ: "gauge",
+			emit: func(w io.Writer, n string) error {
+				keys := make([]string, 0, len(labels))
+				for k := range labels {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				var b strings.Builder
+				for i, k := range keys {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, "%s=\"%s\"", sanitizeMetricName(k), escapeLabelValue(labels[k]))
+				}
+				_, err := fmt.Fprintf(w, "%s{%s} 1\n", n, b.String())
 				return err
 			},
 		}

@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed text-format sample: a metric name, its label
+// set (nil when the sample carries no labels), and the value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the value of one label, or "" when absent.
+func (s PromSample) Label(name string) string { return s.Labels[name] }
+
+// PromMetrics is the parsed form of one Prometheus text exposition: the
+// `# TYPE` declarations keyed by metric name and every sample in document
+// order. Produced by ParsePrometheus; the query helpers (Value, Find,
+// Labels, Histogram) cover the shapes WritePrometheus emits.
+type PromMetrics struct {
+	Types   map[string]string // metric name -> "counter" | "gauge" | "histogram" | ...
+	Samples []PromSample
+}
+
+// legalMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func legalMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseLabels parses a `{k="v",...}` label block starting after the '{'
+// and returns the label map plus the rest of the line after the closing
+// '}'. Label values use the exposition escapes: \\, \", and \n.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	rest := in
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !legalMetricName(name) {
+			return nil, "", fmt.Errorf("illegal label name %q", name)
+		}
+		rest = strings.TrimLeft(rest[eq+1:], " \t")
+		if rest == "" || rest[0] != '"' {
+			return nil, "", fmt.Errorf("label %s: value not quoted", name)
+		}
+		rest = rest[1:]
+		var b strings.Builder
+		for {
+			if rest == "" {
+				return nil, "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := rest[0]
+			rest = rest[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if rest == "" {
+					return nil, "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch rest[0] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: unknown escape \\%c", name, rest[0])
+				}
+				rest = rest[1:]
+				continue
+			}
+			b.WriteByte(c)
+		}
+		labels[name] = b.String()
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		}
+	}
+}
+
+// ParsePrometheus parses a Prometheus text exposition (version 0.0.4) into
+// its samples and type declarations. It covers the subset WritePrometheus
+// emits plus the common extras a scraper meets in the wild: # HELP and
+// other comments are skipped, label values may contain escaped quotes,
+// backslashes, newlines, and literal commas or '=', and a trailing
+// timestamp after the value is tolerated and ignored. A malformed sample
+// line is an error, so gates built on a scrape fail loudly rather than
+// silently reading zeros.
+func ParsePrometheus(r io.Reader) (*PromMetrics, error) {
+	m := &PromMetrics{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			// Only TYPE comments carry structure; HELP and free comments are
+			// legal noise.
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("prom: line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				if !legalMetricName(fields[2]) {
+					return nil, fmt.Errorf("prom: line %d: illegal metric name %q", lineNo, fields[2])
+				}
+				m.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+
+		var s PromSample
+		rest := line
+		if i := strings.IndexAny(rest, "{ \t"); i >= 0 && rest[i] == '{' {
+			s.Name = rest[:i]
+			labels, after, err := parseLabels(rest[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("prom: line %d: %v", lineNo, err)
+			}
+			s.Labels = labels
+			rest = after
+		} else {
+			sp := strings.IndexAny(rest, " \t")
+			if sp < 0 {
+				return nil, fmt.Errorf("prom: line %d: sample %q has no value", lineNo, line)
+			}
+			s.Name = rest[:sp]
+			rest = rest[sp:]
+		}
+		if !legalMetricName(s.Name) {
+			return nil, fmt.Errorf("prom: line %d: illegal metric name %q", lineNo, s.Name)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return nil, fmt.Errorf("prom: line %d: want 'value [timestamp]' after %s, have %q", lineNo, s.Name, rest)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: bad value %q: %v", lineNo, fields[0], err)
+		}
+		s.Value = v
+		m.Samples = append(m.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prom: %v", err)
+	}
+	return m, nil
+}
+
+// Find returns every sample with the given metric name, in document order.
+func (m *PromMetrics) Find(name string) []PromSample {
+	var out []PromSample
+	for _, s := range m.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Value returns the value of the first sample with the given name. For the
+// counters and gauges WritePrometheus emits there is exactly one.
+func (m *PromMetrics) Value(name string) (float64, bool) {
+	for _, s := range m.Samples {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Labels returns the label set of the first sample with the given name —
+// the lookup shape of info-style gauges like build_info, whose payload is
+// the labels rather than the (constant 1) value.
+func (m *PromMetrics) Labels(name string) (map[string]string, bool) {
+	for _, s := range m.Samples {
+		if s.Name == name {
+			return s.Labels, true
+		}
+	}
+	return nil, false
+}
+
+// ValuesByLabel collects name's samples into a map keyed by the given
+// label, e.g. bucket series keyed by "le".
+func (m *PromMetrics) ValuesByLabel(name, label string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range m.Samples {
+		if s.Name == name {
+			out[s.Label(label)] = s.Value
+		}
+	}
+	return out
+}
+
+// Histogram reconstructs a HistogramSnapshot from the cumulative
+// `name_bucket{le=...}` / `name_sum` / `name_count` series WritePrometheus
+// emits: cumulative buckets are de-cumulated back into per-bucket counts,
+// with the `+Inf` bucket becoming the trailing overflow slot. The finite
+// bounds must parse as unsigned integers (this registry's histograms are
+// over uint64 values) and the cumulative counts must be non-decreasing.
+func (m *PromMetrics) Histogram(name string) (HistogramSnapshot, error) {
+	var snap HistogramSnapshot
+	type bkt struct {
+		bound uint64
+		inf   bool
+		cum   float64
+	}
+	var buckets []bkt
+	seenCount := false
+	for _, s := range m.Samples {
+		switch s.Name {
+		case name + "_bucket":
+			le := s.Label("le")
+			if le == "+Inf" {
+				buckets = append(buckets, bkt{inf: true, cum: s.Value})
+				continue
+			}
+			bound, err := strconv.ParseUint(le, 10, 64)
+			if err != nil {
+				return snap, fmt.Errorf("prom: histogram %s: bad le=%q: %v", name, le, err)
+			}
+			buckets = append(buckets, bkt{bound: bound, cum: s.Value})
+		case name + "_sum":
+			snap.Sum = uint64(s.Value)
+		case name + "_count":
+			snap.Count = uint64(s.Value)
+			seenCount = true
+		}
+	}
+	if len(buckets) == 0 {
+		return snap, fmt.Errorf("prom: histogram %s: no _bucket series", name)
+	}
+	if !seenCount {
+		return snap, fmt.Errorf("prom: histogram %s: no _count sample", name)
+	}
+	// The writer emits buckets in increasing-bound order with +Inf last;
+	// sort defensively (stable on the writer's own output) and validate.
+	sort.SliceStable(buckets, func(i, j int) bool {
+		if buckets[i].inf != buckets[j].inf {
+			return !buckets[i].inf
+		}
+		return buckets[i].bound < buckets[j].bound
+	})
+	if !buckets[len(buckets)-1].inf {
+		return snap, fmt.Errorf("prom: histogram %s: no +Inf bucket", name)
+	}
+	var prev float64
+	for i, b := range buckets {
+		if b.cum < prev || b.cum > math.MaxUint64 {
+			return snap, fmt.Errorf("prom: histogram %s: cumulative counts not non-decreasing at le index %d", name, i)
+		}
+		if !b.inf {
+			snap.Bounds = append(snap.Bounds, b.bound)
+		}
+		snap.Counts = append(snap.Counts, uint64(b.cum-prev))
+		prev = b.cum
+	}
+	return snap, nil
+}

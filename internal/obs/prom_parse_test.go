@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParseProm(t *testing.T, in string) *PromMetrics {
+	t.Helper()
+	m, err := ParsePrometheus(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v\ninput:\n%s", err, in)
+	}
+	return m
+}
+
+func TestParsePrometheusBasics(t *testing.T) {
+	in := "# HELP up whether the target is up\n" +
+		"# TYPE up gauge\n" +
+		"up 1\n" +
+		"\n" +
+		"# a free-form comment\n" +
+		"# TYPE http_requests_total counter\n" +
+		"http_requests_total{method=\"get\",code=\"200\"} 1027 1395066363000\n" +
+		"http_requests_total{method=\"post\",code=\"200\"} 3\n"
+	m := mustParseProm(t, in)
+	if m.Types["up"] != "gauge" || m.Types["http_requests_total"] != "counter" {
+		t.Fatalf("types = %v", m.Types)
+	}
+	if len(m.Samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(m.Samples))
+	}
+	if v, ok := m.Value("up"); !ok || v != 1 {
+		t.Fatalf("up = %v ok=%v", v, ok)
+	}
+	reqs := m.Find("http_requests_total")
+	if len(reqs) != 2 {
+		t.Fatalf("Find returned %d samples", len(reqs))
+	}
+	// The timestamped sample still parses to its value, not the timestamp.
+	if reqs[0].Value != 1027 || reqs[0].Label("method") != "get" {
+		t.Fatalf("first sample %+v", reqs[0])
+	}
+	if _, ok := m.Value("absent_series"); ok {
+		t.Fatal("Value claimed a sample for an absent series")
+	}
+}
+
+func TestParsePrometheusEscapedLabels(t *testing.T) {
+	in := `weird{path="C:\\tmp\\x",quote="say \"hi\"",nl="a\nb",comma="x,y=z"} 4` + "\n"
+	m := mustParseProm(t, in)
+	s := m.Samples[0]
+	want := map[string]string{
+		"path":  `C:\tmp\x`,
+		"quote": `say "hi"`,
+		"nl":    "a\nb",
+		"comma": "x,y=z",
+	}
+	if !reflect.DeepEqual(s.Labels, want) {
+		t.Fatalf("labels = %#v, want %#v", s.Labels, want)
+	}
+	if s.Value != 4 {
+		t.Fatalf("value = %v", s.Value)
+	}
+	// Writer-side escaping must survive a full round trip.
+	for k, v := range want {
+		if got := escapeLabelValue(v); strings.ContainsAny(got, "\n") {
+			t.Fatalf("escapeLabelValue(%q=%q) left a raw newline: %q", k, v, got)
+		}
+	}
+}
+
+func TestParsePrometheusMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no value":               "lonely_name\n",
+		"bad value":              "m one\n",
+		"too many fields":        "m 1 2 3\n",
+		"illegal name":           "9lives 1\n",
+		"illegal name unicode":   "métrique 1\n",
+		"unterminated labels":    `m{a="b" 1` + "\n",
+		"unterminated value":     `m{a="b} 1` + "\n",
+		"label missing equals":   `m{ab} 1` + "\n",
+		"label value not quoted": `m{a=b} 1` + "\n",
+		"unknown escape":         `m{a="\q"} 1` + "\n",
+		"dangling escape":        `m{a="x\` + "\n",
+		"malformed TYPE comment": "# TYPE too many words here\n",
+		"TYPE illegal name":      "# TYPE 9lives gauge\n",
+	}
+	for name, in := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ParsePrometheus(%q) succeeded, want error", name, in)
+		}
+	}
+}
+
+func TestParsePrometheusHistogramReconstruction(t *testing.T) {
+	in := "# TYPE rtt_us histogram\n" +
+		"rtt_us_bucket{le=\"10\"} 2\n" +
+		"rtt_us_bucket{le=\"100\"} 2\n" +
+		"rtt_us_bucket{le=\"1000\"} 7\n" +
+		"rtt_us_bucket{le=\"+Inf\"} 9\n" +
+		"rtt_us_sum 4242\n" +
+		"rtt_us_count 9\n"
+	m := mustParseProm(t, in)
+	snap, err := m.Histogram("rtt_us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HistogramSnapshot{
+		Bounds: []uint64{10, 100, 1000},
+		Counts: []uint64{2, 0, 5, 2},
+		Count:  9,
+		Sum:    4242,
+	}
+	if !reflect.DeepEqual(snap, want) {
+		t.Fatalf("reconstructed %+v, want %+v", snap, want)
+	}
+	if got := snap.Quantile(0.5); got != 1000 {
+		t.Fatalf("p50 = %d, want 1000", got)
+	}
+}
+
+func TestParsePrometheusHistogramErrors(t *testing.T) {
+	cases := map[string]string{
+		"no buckets": "h_sum 1\nh_count 1\n",
+		"no count":   "h_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"no inf":     "h_bucket{le=\"5\"} 1\nh_sum 1\nh_count 1\n",
+		"bad bound":  "h_bucket{le=\"x\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"decreasing": "h_bucket{le=\"5\"} 3\nh_bucket{le=\"9\"} 1\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+	}
+	for name, in := range cases {
+		m := mustParseProm(t, in)
+		if _, err := m.Histogram("h"); err == nil {
+			t.Errorf("%s: Histogram succeeded, want error", name)
+		}
+	}
+}
+
+func TestParsePrometheusInfoLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Info("build_info", map[string]string{"version": "abc", "shards": "4"})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	m := mustParseProm(t, b.String())
+	labels, ok := m.Labels("build_info")
+	if !ok || labels["version"] != "abc" || labels["shards"] != "4" {
+		t.Fatalf("build_info labels %v ok=%v", labels, ok)
+	}
+	// Replacing an info metric keeps a single sample with the new labels.
+	r.Info("build_info", map[string]string{"version": "def"})
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	m = mustParseProm(t, b.String())
+	if got := m.Find("build_info"); len(got) != 1 || got[0].Label("version") != "def" {
+		t.Fatalf("after replace: %+v", got)
+	}
+}

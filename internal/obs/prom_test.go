@@ -1,13 +1,12 @@
 package obs
 
 import (
-	"bufio"
 	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -26,6 +25,11 @@ func buildPromRegistry() *Registry {
 	}
 	// A name needing sanitization: dots and a dash become underscores.
 	r.Counter("weird-name.with dots").Inc()
+	// An info metric: constant 1, payload in the labels.
+	r.Info("build_info", map[string]string{
+		"version":    "v1.2.3",
+		"go_version": "go1.99",
+	})
 	return r
 }
 
@@ -64,137 +68,97 @@ func TestWritePrometheusDeterministic(t *testing.T) {
 	}
 }
 
-// promSample is one parsed text-format sample.
-type promSample struct {
-	name   string
-	labels map[string]string
-	value  float64
-}
-
-// parsePromText is a sanity-level parser for the subset of the text
-// exposition format the writer emits: # TYPE comments and
-// name{label="value"} value samples. It verifies the round trip, not full
-// spec compliance.
-func parsePromText(t *testing.T, in string) (types map[string]string, samples []promSample) {
-	t.Helper()
-	types = make(map[string]string)
-	sc := bufio.NewScanner(strings.NewReader(in))
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			fields := strings.Fields(line)
-			if len(fields) != 4 || fields[1] != "TYPE" {
-				t.Fatalf("malformed comment %q", line)
-			}
-			types[fields[2]] = fields[3]
-			continue
-		}
-		sp := strings.LastIndexByte(line, ' ')
-		if sp < 0 {
-			t.Fatalf("malformed sample %q", line)
-		}
-		value, err := strconv.ParseFloat(line[sp+1:], 64)
-		if err != nil {
-			t.Fatalf("bad value in %q: %v", line, err)
-		}
-		s := promSample{labels: map[string]string{}, value: value}
-		nameAndLabels := line[:sp]
-		if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
-			s.name = nameAndLabels[:i]
-			body := strings.TrimSuffix(nameAndLabels[i+1:], "}")
-			for _, pair := range strings.Split(body, ",") {
-				k, v, ok := strings.Cut(pair, "=")
-				if !ok {
-					t.Fatalf("bad label pair %q in %q", pair, line)
-				}
-				unq, err := strconv.Unquote(v)
-				if err != nil {
-					t.Fatalf("bad label value %s in %q: %v", v, line, err)
-				}
-				s.labels[k] = unq
-			}
-		} else {
-			s.name = nameAndLabels
-		}
-		for _, r := range s.name {
-			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
-				r >= '0' && r <= '9' || r == '_' || r == ':') {
-				t.Fatalf("illegal rune %q in metric name %q", r, s.name)
-			}
-		}
-		samples = append(samples, s)
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
-	}
-	return types, samples
-}
-
 func TestWritePrometheusRoundTrip(t *testing.T) {
+	// The round trip through the exported parser: everything the writer
+	// emits must come back intact, which is exactly what the load harness
+	// relies on when it scrapes /metrics between stages.
 	var buf bytes.Buffer
 	if err := buildPromRegistry().WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
-	types, samples := parsePromText(t, buf.String())
+	m, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
 
-	if got := types["solve_count"]; got != "counter" {
+	if got := m.Types["solve_count"]; got != "counter" {
 		t.Fatalf("solve_count type %q", got)
 	}
-	if got := types["http_in_flight"]; got != "gauge" {
+	if got := m.Types["http_in_flight"]; got != "gauge" {
 		t.Fatalf("http_in_flight type %q", got)
 	}
-	if got := types["solve_duration_us"]; got != "histogram" {
+	if got := m.Types["solve_duration_us"]; got != "histogram" {
 		t.Fatalf("solve_duration_us type %q", got)
 	}
-	if _, ok := types["weird_name_with_dots"]; !ok {
-		t.Fatalf("sanitized name missing from types %v", types)
+	if got := m.Types["build_info"]; got != "gauge" {
+		t.Fatalf("build_info type %q", got)
+	}
+	if _, ok := m.Types["weird_name_with_dots"]; !ok {
+		t.Fatalf("sanitized name missing from types %v", m.Types)
 	}
 
-	byKey := func(name, le string) (promSample, bool) {
-		for _, s := range samples {
-			if s.name == name && s.labels["le"] == le {
-				return s, true
-			}
-		}
-		return promSample{}, false
+	if v, ok := m.Value("solve_count"); !ok || v != 7 {
+		t.Fatalf("solve_count = %v ok=%v", v, ok)
 	}
-	if s, ok := byKey("solve_count", ""); !ok || s.value != 7 {
-		t.Fatalf("solve_count sample %+v ok=%v", s, ok)
+	if v, ok := m.Value("solve_pool_sessions"); !ok || v != -2 {
+		t.Fatalf("solve_pool_sessions = %v ok=%v", v, ok)
 	}
-	if s, ok := byKey("solve_pool_sessions", ""); !ok || s.value != -2 {
-		t.Fatalf("solve_pool_sessions sample %+v ok=%v", s, ok)
+
+	// The info metric round-trips through its labels.
+	labels, ok := m.Labels("build_info")
+	if !ok || labels["version"] != "v1.2.3" || labels["go_version"] != "go1.99" {
+		t.Fatalf("build_info labels %v ok=%v", labels, ok)
+	}
+	if v, _ := m.Value("build_info"); v != 1 {
+		t.Fatalf("build_info value %v, want 1", v)
 	}
 
 	// Histogram series: buckets are cumulative, capped by +Inf == _count.
 	wantBuckets := map[string]float64{"10": 2, "100": 3, "1000": 4, "+Inf": 5}
+	buckets := m.ValuesByLabel("solve_duration_us_bucket", "le")
 	var prev float64
 	for _, le := range []string{"10", "100", "1000", "+Inf"} {
-		s, ok := byKey("solve_duration_us_bucket", le)
+		v, ok := buckets[le]
 		if !ok {
 			t.Fatalf("missing bucket le=%s", le)
 		}
-		if s.value != wantBuckets[le] {
-			t.Fatalf("bucket le=%s = %v, want %v", le, s.value, wantBuckets[le])
+		if v != wantBuckets[le] {
+			t.Fatalf("bucket le=%s = %v, want %v", le, v, wantBuckets[le])
 		}
-		if s.value < prev {
+		if v < prev {
 			t.Fatalf("buckets not cumulative at le=%s", le)
 		}
-		prev = s.value
+		prev = v
 	}
-	if s, ok := byKey("solve_duration_us_sum", ""); !ok || s.value != 5+5+50+500+5000 {
-		t.Fatalf("_sum sample %+v ok=%v", s, ok)
+	if v, ok := m.Value("solve_duration_us_sum"); !ok || v != 5+5+50+500+5000 {
+		t.Fatalf("_sum = %v ok=%v", v, ok)
 	}
-	if s, ok := byKey("solve_duration_us_count", ""); !ok || s.value != 5 {
-		t.Fatalf("_count sample %+v ok=%v", s, ok)
+	if v, ok := m.Value("solve_duration_us_count"); !ok || v != 5 {
+		t.Fatalf("_count = %v ok=%v", v, ok)
+	}
+
+	// The reconstructed histogram matches the source snapshot exactly.
+	snap, err := m.Histogram("solve_duration_us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HistogramSnapshot{
+		Bounds: []uint64{10, 100, 1000},
+		Counts: []uint64{2, 1, 1, 1},
+		Count:  5,
+		Sum:    5 + 5 + 50 + 500 + 5000,
+	}
+	if !reflect.DeepEqual(snap, want) {
+		t.Fatalf("reconstructed histogram %+v, want %+v", snap, want)
+	}
+	if got := snap.Quantile(0.99); got != 1000 {
+		t.Fatalf("reconstructed p99 = %d, want 1000", got)
 	}
 
 	// Stable ordering: names must appear sorted.
 	var names []string
-	for _, s := range samples {
-		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(s.name, "_bucket"), "_sum"), "_count")
+	for _, s := range m.Samples {
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(s.Name, "_bucket"), "_sum"), "_count")
 		if len(names) == 0 || names[len(names)-1] != base {
 			names = append(names, base)
 		}

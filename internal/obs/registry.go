@@ -16,6 +16,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	infos    map[string]map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -24,7 +25,23 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		infos:    make(map[string]map[string]string),
 	}
+}
+
+// Info registers an info-style metric: a constant gauge of value 1 whose
+// payload is its label set, the Prometheus idiom for build/version
+// identity (`build_info{version="...",go_version="..."} 1`). The labels
+// are copied; calling again replaces the previous set. Load reports and
+// dashboards read the labels to identify the exact process under test.
+func (r *Registry) Info(name string, labels map[string]string) {
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	r.mu.Lock()
+	r.infos[name] = cp
+	r.mu.Unlock()
 }
 
 // Counter returns the counter registered under name, creating it on first
@@ -100,6 +117,7 @@ type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Infos      map[string]map[string]string `json:"infos,omitempty"`
 }
 
 // Snapshot captures the current value of every registered metric.
@@ -119,6 +137,16 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
+	}
+	if len(r.infos) > 0 {
+		s.Infos = make(map[string]map[string]string, len(r.infos))
+		for name, labels := range r.infos {
+			cp := make(map[string]string, len(labels))
+			for k, v := range labels {
+				cp[k] = v
+			}
+			s.Infos[name] = cp
+		}
 	}
 	return s
 }

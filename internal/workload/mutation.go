@@ -44,32 +44,40 @@ type Mutation struct {
 	Constraints string
 }
 
-// MutationSpec describes the shape of a MutationStream.
+// MutationSpec describes the shape of a MutationStream. The JSON tags are
+// the vocabulary of internal/load's plan files.
 type MutationSpec struct {
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// NumPolicies is the size of the policy-name pool the stream draws
 	// from ("p000"...).
-	NumPolicies int
+	NumPolicies int `json:"num_policies,omitempty"`
+	// NamePrefix replaces the default "p" policy-name prefix. Concurrent
+	// load clients each generate their own stream under a distinct prefix,
+	// so every client's mutations stay valid against the shared catalog no
+	// matter how the clients interleave.
+	NamePrefix string `json:"name_prefix,omitempty"`
 	// NumMutations is the length of the stream.
-	NumMutations int
+	NumMutations int `json:"num_mutations,omitempty"`
 	// PutFraction and DeleteFraction weight the op mix; the remainder is
 	// appends. A put is forced whenever no live policy exists for an
 	// append/delete to land on, so the realized mix can skew toward puts.
-	PutFraction, DeleteFraction float64
+	PutFraction    float64 `json:"put_fraction,omitempty"`
+	DeleteFraction float64 `json:"delete_fraction,omitempty"`
 	// AttrsPerPolicy is the attribute universe of each put's constraint
 	// text ("a000"...); appends draw from the same universe and
 	// occasionally introduce a fresh attribute.
-	AttrsPerPolicy int
+	AttrsPerPolicy int `json:"attrs_per_policy,omitempty"`
 	// ConsPerPut and ConsPerAppend bound the constraint lines per put
 	// (exactly ConsPerPut) and per append (1..ConsPerAppend).
-	ConsPerPut, ConsPerAppend int
+	ConsPerPut    int `json:"cons_per_put,omitempty"`
+	ConsPerAppend int `json:"cons_per_append,omitempty"`
 	// LevelRHSFraction is the probability a generated constraint's
 	// right-hand side is a level constant rather than an attribute.
-	LevelRHSFraction float64
+	LevelRHSFraction float64 `json:"level_rhs_fraction,omitempty"`
 	// NewAttrFraction is the probability an append line introduces an
 	// attribute the policy has not seen, exercising the repair path that
 	// extends the solution to new attributes.
-	NewAttrFraction float64
+	NewAttrFraction float64 `json:"new_attr_fraction,omitempty"`
 }
 
 // mutationLattice is the fixed 4-level chain every generated policy uses;
@@ -95,10 +103,14 @@ func MutationStream(spec MutationSpec) ([]Mutation, error) {
 	if spec.ConsPerPut < 1 || spec.ConsPerAppend < 1 {
 		return nil, fmt.Errorf("workload: MutationStream needs positive ConsPerPut/ConsPerAppend")
 	}
+	prefix := spec.NamePrefix
+	if prefix == "" {
+		prefix = "p"
+	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 	names := make([]string, spec.NumPolicies)
 	for i := range names {
-		names[i] = fmt.Sprintf("p%03d", i)
+		names[i] = fmt.Sprintf("%s%03d", prefix, i)
 	}
 	live := make(map[string]bool)
 	freshAttr := 0

@@ -246,6 +246,11 @@ type (
 	// RuntimeCollector periodically samples process health (goroutines,
 	// heap, GC pause, WAL fsync p99) and SLO burn gauges into a registry.
 	RuntimeCollector = obs.Collector
+	// PromMetrics is a parsed Prometheus text-format scrape; see
+	// ParsePrometheus.
+	PromMetrics = obs.PromMetrics
+	// PromSample is one sample line of a PromMetrics.
+	PromSample = obs.PromSample
 )
 
 // Solver event kinds, mirroring the steps of Algorithm 3.1.
@@ -288,6 +293,13 @@ func ParseSLOSpecs(s string) ([]SLOSpec, error) { return obs.ParseSLOSpecs(s) }
 
 // NewSLOTracker builds a burn-rate tracker for the given objectives.
 func NewSLOTracker(specs ...SLOSpec) *SLOTracker { return obs.NewSLOTracker(specs...) }
+
+// ParsePrometheus parses text-exposition-format metrics (the output of
+// WritePrometheus, or any 0.0.4 scrape) into a queryable PromMetrics:
+// sample lookup by name and labels, and reconstruction of cumulative
+// _bucket series back into HistogramSnapshots. Load harnesses and smoke
+// tests use it to assert on a live server's /metrics?format=prometheus.
+func ParsePrometheus(r io.Reader) (*PromMetrics, error) { return obs.ParsePrometheus(r) }
 
 // NewRuntimeCollector builds the periodic runtime/SLO sampler (interval
 // <= 0 defaults to 10s). Call Start, and Stop on drain.

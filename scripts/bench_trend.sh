@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Bench-trend regression gate: rerun the solve-path benchmark family
+# (scripts/bench_json.sh) and compare against the committed baseline
+# BENCH_solve.json with cmd/benchtrend. Fails on >20% ns/op regression or
+# ANY allocs/op increase on any benchmark — allocation counts are
+# deterministic, so one extra allocation is a real change.
+#
+# Usage: scripts/bench_trend.sh [baseline]
+#
+# BENCHTREND_MAX_NS_REGRESS overrides the fractional ns/op threshold
+# (default 0.20) for noisy shared runners; the allocs/op gate is never
+# loosened.
+#
+# The fresh run is left at artifacts/bench/BENCH_solve.current.json for CI
+# to upload. Refresh the baseline deliberately with
+#   scripts/bench_json.sh BENCH_solve.json   (then commit it)
+set -eu
+
+baseline="${1:-BENCH_solve.json}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+if [ ! -f "$baseline" ]; then
+  echo "bench_trend: baseline $baseline missing (generate with scripts/bench_json.sh and commit it)" >&2
+  exit 1
+fi
+
+mkdir -p artifacts/bench
+current="artifacts/bench/BENCH_solve.current.json"
+sh scripts/bench_json.sh "$current"
+
+go run ./cmd/benchtrend -baseline "$baseline" -current "$current" \
+  -max-ns-regress "${BENCHTREND_MAX_NS_REGRESS:-0.20}"
