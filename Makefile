@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-json bench-stats bench-trend smoke slo-smoke load-smoke chaos fuzz-smoke shard-matrix
+.PHONY: all build test race vet fmt-check ci bench bench-json bench-stats bench-trend smoke slo-smoke load-smoke cluster-smoke chaos fuzz-smoke shard-matrix
 
 all: build
 
@@ -64,6 +64,14 @@ slo-smoke:
 load-smoke:
 	sh scripts/load_smoke.sh
 
+# Replication smoke (~15s): boot a 3-node cluster, write acked policies
+# through the leader (via a follower 307), SIGKILL the leader, and assert
+# failover, zero lost acked mutations, converged fingerprints, and the
+# crashed node rejoining via snapshot resync. Status JSON lands under
+# artifacts/cluster/.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
 # The catalog suite under the race detector at the extremes of the shard
 # spectrum: one shard (maximum lock contention, the pre-sharding shape) and
 # four (cross-shard interleavings). Tests that pin their own shard count
@@ -77,8 +85,8 @@ shard-matrix:
 # serving, graceful-shutdown drain, and the catalog/WAL crash-recovery and
 # torn-tail sweeps.
 chaos:
-	$(GO) test -race -run 'Chaos|Panic|Fault|Injected|Degrad|Shed|Drain|Shutdown|Ready|Gate|Crash|Torn|Recover' \
-		./internal/fault ./internal/core ./cmd/minupd ./internal/catalog ./internal/wal
+	$(GO) test -race -run 'Chaos|Panic|Fault|Injected|Degrad|Shed|Drain|Shutdown|Ready|Gate|Crash|Torn|Recover|Partition|Catchup|Resyncs' \
+		./internal/fault ./internal/core ./cmd/minupd ./internal/catalog ./internal/wal ./internal/cluster
 
 # Short fuzz of every fuzz target (go fuzzes one target per invocation).
 FUZZTIME ?= 10s

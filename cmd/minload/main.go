@@ -30,13 +30,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"minup/internal/load"
 )
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the minupd under test")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the minupd under test; a comma-separated list targets a cluster (reads spread across members, writes follow 307 leader redirects)")
 	debugAddr := flag.String("debug-addr", "http://127.0.0.1:6060", "base URL of minupd's debug listener (fault arming); empty disables chaos stages")
 	out := flag.String("out", "loadout", "result directory for per-stage JSON and summary.json; empty writes nothing")
 	planPath := flag.String("plan", "", "JSON plan file (default: the built-in staged plan)")
@@ -86,8 +87,18 @@ func main() {
 		return
 	}
 
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("-addr: no target address"))
+	}
 	runner := &load.Runner{
-		BaseURL:  *addr,
+		BaseURL:  addrs[0],
+		Addrs:    addrs,
 		DebugURL: *debugAddr,
 		OutDir:   *out,
 	}

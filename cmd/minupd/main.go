@@ -177,6 +177,9 @@ type config struct {
 	// that layer.
 	flight *minup.FlightRecorder
 	slo    *minup.SLOTracker
+	// cluster is the replication wiring (-cluster-* flags): nil node when
+	// minupd runs standalone.
+	cluster clusterConfig
 }
 
 // defaultSLOSpec is the -slo default: both solve-serving routes get a p99
@@ -197,6 +200,7 @@ func defaultConfig() config {
 		degrade:      true,
 		slo:          tracker,
 		flight:       minup.NewFlightRecorder(minup.FlightOptions{SLO: tracker}),
+		cluster:      clusterConfig{maxReplicaLag: 1024},
 	}
 }
 
@@ -223,6 +227,14 @@ func main() {
 	flightSlow := flag.Duration("flight-slow", time.Second, "duration past which a request is dumped as a slow anomaly (0 disables the slow trigger)")
 	sloSpec := flag.String("slo", defaultSLOSpec, "per-route SLOs, 'route:p99=<dur>,avail=<pct>;...' (empty disables SLO tracking)")
 	sloInterval := flag.Duration("slo-interval", 10*time.Second, "runtime-collector sampling interval (burn rates, goroutines, heap, GC, WAL fsync p99)")
+	var cf clusterFlags
+	flag.IntVar(&cf.nodeID, "cluster-node", 0, "this node's id within -cluster-peers (cluster mode)")
+	flag.StringVar(&cf.listen, "cluster-listen", "", "replication listen address; empty uses this node's -cluster-peers entry")
+	flag.StringVar(&cf.peers, "cluster-peers", "", "full cluster membership as 'id=host:port,...' including this node (enables cluster mode)")
+	flag.StringVar(&cf.httpAddr, "cluster-http", "", "this node's advertised HTTP base URL for write redirects, e.g. http://127.0.0.1:8080")
+	flag.DurationVar(&cf.tick, "cluster-tick", 50*time.Millisecond, "replication heartbeat cadence")
+	flag.DurationVar(&cf.lease, "cluster-lease", 0, "leader lease (0 = 8 ticks)")
+	maxReplicaLag := flag.Int64("max-replica-lag", 1024, "frames a follower may trail the leader before /readyz answers 503 (negative disables the check)")
 	flag.Parse()
 	if (*latticePath == "") != (*consPath == "") {
 		fmt.Fprintln(os.Stderr, "minupd: -lattice and -constraints must be given together")
@@ -323,7 +335,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -fsync policy %q (want always or never)", *fsyncPolicy))
 	}
-	cat, err := minup.OpenCatalog(minup.CatalogOptions{
+	catOpts := minup.CatalogOptions{
 		Dir:     *dataDir,
 		Sync:    walSync,
 		Metrics: reg,
@@ -331,9 +343,29 @@ func main() {
 		Shards:  *shards,
 		Flight:  cfg.flight,
 		Logger:  logger,
-	})
+	}
+	// Cluster mode: the record ring must observe every durable append, so
+	// it is wired in before the catalog opens.
+	var ring *minup.ClusterRecordLog
+	if cf.enabled() {
+		ring = minup.NewClusterRecordLog(0)
+		catOpts.OnRecord = ring.Append
+	}
+	cat, err := minup.OpenCatalog(catOpts)
 	if err != nil {
 		fatal(err)
+	}
+	if cf.enabled() {
+		node, err := openCluster(cat, ring, cf, clusterDeps{dir: *dataDir, reg: reg, logger: logger, fault: cfg.fault})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.cluster.node = node
+		cfg.cluster.maxReplicaLag = *maxReplicaLag
+		fmt.Fprintf(os.Stderr, "minupd: cluster node %d replicating on %s (peers %s, advertised %s)\n",
+			cf.nodeID, node.Addr(), cf.peers, cf.httpAddr)
+	} else {
+		cfg.cluster.maxReplicaLag = *maxReplicaLag
 	}
 	if *dataDir != "" {
 		ri := cat.RecoveryInfo()
@@ -435,6 +467,13 @@ func main() {
 		// it is running; wait for in-flight requests to finish before exit.
 		<-shutdownDone
 	}
+	// The cluster node goes first: its peer and server loops read the
+	// catalog, so they must stop before the catalog releases its stores.
+	if cfg.cluster.node != nil {
+		if err := cfg.cluster.node.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "minupd: closing cluster node: %v\n", err)
+		}
+	}
 	// Every catalog mutation is WAL-first, so nothing durable is left to
 	// flush; Close still drains the shard workers' queued refreshes before
 	// releasing the stores, so no background goroutine outlives the server.
@@ -494,6 +533,7 @@ func (s *server) routes(logger *slog.Logger) http.Handler {
 		fmt.Fprintln(w, "ok")
 	}))
 	mux.Handle("/readyz", instrument("readyz", o, s.handleReady))
+	mux.Handle("/cluster", instrument("cluster", o, s.handleClusterStatus))
 	// Policy-catalog routes use Go 1.22 method patterns, so the mux itself
 	// answers mismatched methods with 405 + Allow; the middleware variant
 	// without the GET gate keeps the rest of the stack. Route names stay
@@ -514,6 +554,12 @@ func (s *server) routes(logger *slog.Logger) http.Handler {
 // balancers route around it without restarting it.
 func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if reason, ok := s.clusterReady(); !ok {
+		// A replica that cannot vouch for its own freshness routes reads
+		// elsewhere rather than serving arbitrarily stale answers.
+		http.Error(w, reason, http.StatusServiceUnavailable)
+		return
+	}
 	switch {
 	case s.draining.Load():
 		http.Error(w, "draining", http.StatusServiceUnavailable)

@@ -181,6 +181,9 @@ func (s *server) handlePolicyGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handlePolicyPut(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterWriteGate(w, r) {
+		return
+	}
 	ifVersion, err := preconditionFrom(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -216,6 +219,10 @@ func (s *server) handlePolicyPut(w http.ResponseWriter, r *http.Request) {
 	if ri := infoFrom(r.Context()); ri != nil {
 		ri.policy = r.PathValue("name")
 	}
+	var seq uint64
+	if s.cfg.cluster.node != nil {
+		opts.SeqOut = &seq
+	}
 	info, err := s.cat.Put(ctx, r.PathValue("name"), req.Lattice, req.Constraints, ifVersion, opts)
 	if err != nil {
 		s.policyError(w, r, err)
@@ -223,6 +230,9 @@ func (s *server) handlePolicyPut(w http.ResponseWriter, r *http.Request) {
 	}
 	if ri := infoFrom(r.Context()); ri != nil {
 		ri.shard = info.Shard
+	}
+	if !s.clusterBarrier(r.Context(), w, r, info.Shard, seq) {
+		return
 	}
 	w.Header().Set("ETag", etag(info.Version))
 	status := http.StatusOK
@@ -233,13 +243,25 @@ func (s *server) handlePolicyPut(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handlePolicyDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterWriteGate(w, r) {
+		return
+	}
 	ifVersion, err := preconditionFrom(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := s.cat.Delete(r.Context(), r.PathValue("name"), ifVersion); err != nil {
+	var opts minup.PolicyMutateOptions
+	var seq uint64
+	if s.cfg.cluster.node != nil {
+		opts.SeqOut = &seq
+	}
+	name := r.PathValue("name")
+	if err := s.cat.Delete(r.Context(), name, ifVersion, opts); err != nil {
 		s.policyError(w, r, err)
+		return
+	}
+	if !s.clusterBarrier(r.Context(), w, r, s.cat.ShardOf(name), seq) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -250,6 +272,9 @@ func (s *server) handlePolicyDelete(w http.ResponseWriter, r *http.Request) {
 // inline repair — so they pass the same admission gate and solve budget as
 // /solve.
 func (s *server) handlePolicyAppend(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterWriteGate(w, r) {
+		return
+	}
 	ifVersion, err := preconditionFrom(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -278,13 +303,21 @@ func (s *server) handlePolicyAppend(w http.ResponseWriter, r *http.Request) {
 	if ri := infoFrom(r.Context()); ri != nil {
 		ri.policy = r.PathValue("name")
 	}
-	res, err := s.cat.Append(ctx, r.PathValue("name"), req.Constraints, ifVersion, mutateOptionsFrom(r))
+	opts := mutateOptionsFrom(r)
+	var seq uint64
+	if s.cfg.cluster.node != nil {
+		opts.SeqOut = &seq
+	}
+	res, err := s.cat.Append(ctx, r.PathValue("name"), req.Constraints, ifVersion, opts)
 	if err != nil {
 		s.policyError(w, r, err)
 		return
 	}
 	if ri := infoFrom(r.Context()); ri != nil {
 		ri.shard = res.Info.Shard
+	}
+	if !s.clusterBarrier(r.Context(), w, r, res.Info.Shard, seq) {
+		return
 	}
 	w.Header().Set("ETag", etag(res.Info.Version))
 	writeJSON(w, policyAppendResponse{

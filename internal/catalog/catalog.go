@@ -133,6 +133,21 @@ type Options struct {
 	// empty). Tests use it to inject per-shard faults or to hand a
 	// reopened catalog the MemStores of a "crashed" one.
 	OpenStore func(shard int) (Store, error)
+	// OnRecord, when non-nil, is called once per record durably appended to
+	// a shard's store — live mutations and replicated applies alike, but
+	// not recovery replay — under that shard's write lock, in sequence
+	// order. The cluster replication layer hangs its per-shard frame ring
+	// off this hook; it must be fast and must not call back into the
+	// catalog. The payload is the exact bytes written to the store and must
+	// not be mutated.
+	OnRecord func(RecordEvent)
+}
+
+// RecordEvent describes one durably appended store record for OnRecord.
+type RecordEvent struct {
+	Shard   int
+	Seq     uint64
+	Payload []byte
 }
 
 const defaultSnapshotEvery = 256
@@ -592,6 +607,9 @@ func (c *Catalog) logRecord(s *shard, rec walRecord) error {
 	}
 	s.seq = rec.Seq
 	s.sinceSnap++
+	if c.opt.OnRecord != nil {
+		c.opt.OnRecord(RecordEvent{Shard: s.id, Seq: rec.Seq, Payload: payload})
+	}
 	return nil
 }
 

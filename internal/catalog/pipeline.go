@@ -62,6 +62,11 @@ type MutateOptions struct {
 	// This is the pre-pipeline behavior; tests and the HTTP ?wait=1 knob
 	// use it for determinism.
 	Wait bool
+	// SeqOut, when non-nil, receives the shard-local WAL sequence number
+	// the mutation was logged at, assigned under the shard's write lock.
+	// The cluster layer uses it to wait for quorum replication of exactly
+	// this record before acknowledging the mutation.
+	SeqOut *uint64
 }
 
 func mutateOpts(opts []MutateOptions) MutateOptions {
@@ -148,6 +153,9 @@ func (c *Catalog) Put(ctx context.Context, name, latticeText, constraintsText st
 		s.pol[name] = staged
 		info = staged.info()
 		seq = s.seq
+		if opt.SeqOut != nil {
+			*opt.SeqOut = seq
+		}
 		c.count("catalog.puts")
 		c.shardGauge(s)
 		c.maybeCompact(s)
@@ -284,6 +292,9 @@ func (c *Catalog) Append(ctx context.Context, name, constraintsText string, ifVe
 		res.Info = p.info()
 		pol = p
 		seq = s.seq
+		if opt.SeqOut != nil {
+			*opt.SeqOut = seq
+		}
 		lat = p.lat
 		c.count("catalog.appends")
 		c.maybeCompact(s)
@@ -322,11 +333,13 @@ func (c *Catalog) countRepair(rstats *core.RepairStats) {
 }
 
 // Delete removes a policy. Always synchronous — there is nothing to
-// refresh. ifVersion as in Put (MustNotExist is an error).
-func (c *Catalog) Delete(ctx context.Context, name string, ifVersion int64) error {
+// refresh. ifVersion as in Put (MustNotExist is an error). Of the
+// MutateOptions only SeqOut applies; Wait is meaningless here.
+func (c *Catalog) Delete(ctx context.Context, name string, ifVersion int64, opts ...MutateOptions) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	opt := mutateOpts(opts)
 	s := c.shardFor(name)
 	var seq uint64
 	err := func() error {
@@ -347,6 +360,9 @@ func (c *Catalog) Delete(ctx context.Context, name string, ifVersion int64) erro
 		delete(s.pol, name)
 		c.policies.Add(-1)
 		seq = s.seq
+		if opt.SeqOut != nil {
+			*opt.SeqOut = seq
+		}
 		c.count("catalog.deletes")
 		c.shardGauge(s)
 		c.maybeCompact(s)

@@ -1,0 +1,214 @@
+package catalog
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// replicaPair opens a "leader" and a "follower" with the same pinned shard
+// count, the leader's records captured through OnRecord.
+func replicaPair(t *testing.T, shards int) (leader, follower *Catalog, records *[][2]interface{}) {
+	t.Helper()
+	recs := &[][2]interface{}{}
+	leader = mustOpen(t, Options{Shards: shards, OnRecord: func(ev RecordEvent) {
+		p := append([]byte(nil), ev.Payload...)
+		*recs = append(*recs, [2]interface{}{ev.Shard, p})
+	}})
+	follower = mustOpen(t, Options{Shards: shards})
+	return leader, follower, recs
+}
+
+// replay applies every captured leader record to the follower in order.
+func replay(t *testing.T, follower *Catalog, recs [][2]interface{}) {
+	t.Helper()
+	for i, r := range recs {
+		if _, err := follower.ApplyRecord(r[0].(int), r[1].([]byte)); err != nil {
+			t.Fatalf("ApplyRecord %d: %v", i, err)
+		}
+	}
+}
+
+// TestApplyRecordConverges replays a leader's record stream (puts, appends,
+// deletes) onto a follower and asserts fingerprint equality plus a warm,
+// servable solve path on the follower.
+func TestApplyRecordConverges(t *testing.T) {
+	ctx := context.Background()
+	leader, follower, recs := replicaPair(t, 2)
+
+	if _, err := leader.Put(ctx, "hr", testLattice, testCons, MustNotExist); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := leader.Put(ctx, "eng", testLattice, testCons, MustNotExist); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := leader.Append(ctx, "hr", "attrs bonus\nbonus >= C\n", Unconditional); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := leader.Put(ctx, "tmp", testLattice, testCons, MustNotExist); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := leader.Delete(ctx, "tmp", Unconditional); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+
+	replay(t, follower, *recs)
+	mustFlush(t, follower)
+
+	if !bytes.Equal(leader.Fingerprint(), follower.Fingerprint()) {
+		t.Fatalf("fingerprints diverge after replay")
+	}
+	if follower.Len() != 2 {
+		t.Fatalf("follower has %d policies, want 2", follower.Len())
+	}
+	res, err := follower.Solve(ctx, "hr")
+	if err != nil {
+		t.Fatalf("follower Solve: %v", err)
+	}
+	if !res.CacheHit {
+		t.Fatalf("follower solve was not served from the warmed cache")
+	}
+	if res.Info.Version != 2 {
+		t.Fatalf("follower hr at version %d, want 2", res.Info.Version)
+	}
+}
+
+// TestApplyRecordOutOfOrder: a gap or duplicate must change nothing and
+// report ErrOutOfOrder.
+func TestApplyRecordOutOfOrder(t *testing.T) {
+	ctx := context.Background()
+	leader, follower, recs := replicaPair(t, 1)
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := leader.Put(ctx, name, testLattice, testCons, MustNotExist); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	all := *recs
+	// Gap: skip the first record.
+	if _, err := follower.ApplyRecord(all[1][0].(int), all[1][1].([]byte)); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("gap apply: got %v, want ErrOutOfOrder", err)
+	}
+	replay(t, follower, all)
+	// Duplicate: replay the last record again.
+	last := all[len(all)-1]
+	if _, err := follower.ApplyRecord(last[0].(int), last[1].([]byte)); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("duplicate apply: got %v, want ErrOutOfOrder", err)
+	}
+	if !bytes.Equal(leader.Fingerprint(), follower.Fingerprint()) {
+		t.Fatalf("fingerprints diverge")
+	}
+}
+
+// TestShardSnapshotInstall ships a live-shard snapshot to an empty follower
+// and asserts the follower converges with the right seq and warm caches.
+func TestShardSnapshotInstall(t *testing.T) {
+	ctx := context.Background()
+	leader := mustOpen(t, Options{Shards: 1})
+	follower := mustOpen(t, Options{Shards: 1})
+	for _, name := range []string{"a", "b"} {
+		if _, err := leader.Put(ctx, name, testLattice, testCons, MustNotExist); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	data, seq, err := leader.ShardSnapshot(0)
+	if err != nil {
+		t.Fatalf("ShardSnapshot: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("snapshot covers seq %d, want 2", seq)
+	}
+	if err := follower.InstallShardSnapshot(0, data); err != nil {
+		t.Fatalf("InstallShardSnapshot: %v", err)
+	}
+	mustFlush(t, follower)
+	if got := follower.ShardSeq(0); got != seq {
+		t.Fatalf("follower seq %d, want %d", got, seq)
+	}
+	if !bytes.Equal(leader.Fingerprint(), follower.Fingerprint()) {
+		t.Fatalf("fingerprints diverge after snapshot install")
+	}
+	res, err := follower.Solve(ctx, "a")
+	if err != nil || !res.CacheHit {
+		t.Fatalf("follower solve after install: err=%v hit=%v", err, res.CacheHit)
+	}
+	// Replacing a populated shard must adjust the policy count, not leak it.
+	empty, _, err := mustOpen(t, Options{Shards: 1}).ShardSnapshot(0)
+	if err != nil {
+		t.Fatalf("empty ShardSnapshot: %v", err)
+	}
+	if err := follower.InstallShardSnapshot(0, empty); err != nil {
+		t.Fatalf("install empty snapshot: %v", err)
+	}
+	if follower.Len() != 0 {
+		t.Fatalf("follower has %d policies after empty install, want 0", follower.Len())
+	}
+}
+
+// TestInstallShardSnapshotCorrupt extends the ErrSnapshotCorrupt matrix to
+// shipped snapshots: undecodable JSON, truncated bytes, and a semantically
+// broken policy must all refuse the install and leave the shard untouched.
+func TestInstallShardSnapshotCorrupt(t *testing.T) {
+	ctx := context.Background()
+	leader := mustOpen(t, Options{Shards: 1})
+	follower := mustOpen(t, Options{Shards: 1})
+	if _, err := leader.Put(ctx, "keep", testLattice, testCons, MustNotExist); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	good, _, err := leader.ShardSnapshot(0)
+	if err != nil {
+		t.Fatalf("ShardSnapshot: %v", err)
+	}
+	if err := follower.InstallShardSnapshot(0, good); err != nil {
+		t.Fatalf("install good snapshot: %v", err)
+	}
+	before := follower.Fingerprint()
+
+	cases := map[string][]byte{
+		"not json":      []byte("{{{"),
+		"truncated":     good[:len(good)/2],
+		"empty cons":    []byte(`{"last_seq":9,"policies":[{"name":"x","version":1,"lattice":"chain m\nlevels A B\n","constraints":[]}]}`),
+		"bad lattice":   []byte(`{"last_seq":9,"policies":[{"name":"x","version":1,"lattice":"nonsense","constraints":["attrs a\na >= a\n"]}]}`),
+		"bad constrain": []byte(`{"last_seq":9,"policies":[{"name":"x","version":1,"lattice":"chain m\nlevels A B\n","constraints":["@@@"]}]}`),
+	}
+	for label, data := range cases {
+		if err := follower.InstallShardSnapshot(0, data); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("%s: got %v, want ErrSnapshotCorrupt", label, err)
+		}
+		if !bytes.Equal(follower.Fingerprint(), before) {
+			t.Fatalf("%s: corrupt install mutated the shard", label)
+		}
+		if got := follower.ShardSeq(0); got != 1 {
+			t.Fatalf("%s: shard seq moved to %d", label, got)
+		}
+	}
+}
+
+// TestSeqOutReportsSequence: SeqOut must receive the shard-local sequence
+// number for put, append, and delete.
+func TestSeqOutReportsSequence(t *testing.T) {
+	ctx := context.Background()
+	c := mustOpen(t, Options{Shards: 1})
+	var seq uint64
+	if _, err := c.Put(ctx, "p", testLattice, testCons, MustNotExist, MutateOptions{SeqOut: &seq}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if seq != 1 {
+		t.Fatalf("put seq %d, want 1", seq)
+	}
+	if _, err := c.Append(ctx, "p", "attrs extra\nextra >= C\n", Unconditional, MutateOptions{SeqOut: &seq}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("append seq %d, want 2", seq)
+	}
+	if err := c.Delete(ctx, "p", Unconditional, MutateOptions{SeqOut: &seq}); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if seq != 3 {
+		t.Fatalf("delete seq %d, want 3", seq)
+	}
+	if got := c.ShardSeq(0); got != 3 {
+		t.Fatalf("ShardSeq %d, want 3", got)
+	}
+}

@@ -1,0 +1,352 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"minup/internal/catalog"
+)
+
+// maxBurst bounds how many frames one syncPeer pass ships before yielding,
+// so a deeply lagging peer cannot monopolize the loop.
+const maxBurst = 256
+
+// defaultRingSize is the per-shard replication window: a follower that
+// trails by more than this many records catches up by snapshot instead.
+const defaultRingSize = 1024
+
+// RecordLog is the in-memory tail of each shard's WAL, fed by the
+// catalog's OnRecord hook (wire it as catalog.Options.OnRecord =
+// log.Append). The leader replays it to followers frame by frame; records
+// that have already fallen out of the ring force a snapshot catch-up.
+type RecordLog struct {
+	mu     sync.Mutex
+	size   int
+	shards map[int][]ringEntry
+	notify func(shard int, seq uint64)
+}
+
+type ringEntry struct {
+	seq     uint64
+	payload []byte
+}
+
+// NewRecordLog creates a ring keeping up to size records per shard
+// (0 or negative uses the default of 1024).
+func NewRecordLog(size int) *RecordLog {
+	if size <= 0 {
+		size = defaultRingSize
+	}
+	return &RecordLog{size: size, shards: make(map[int][]ringEntry)}
+}
+
+// Append retains one durably appended record. It is called under the
+// owning shard's write lock (the OnRecord contract), so it must stay
+// cheap; the notify callback runs after the ring's own lock is released.
+func (r *RecordLog) Append(ev catalog.RecordEvent) {
+	r.mu.Lock()
+	entries := append(r.shards[ev.Shard], ringEntry{seq: ev.Seq, payload: ev.Payload})
+	if len(entries) > r.size {
+		entries = entries[len(entries)-r.size:]
+	}
+	r.shards[ev.Shard] = entries
+	fn := r.notify
+	r.mu.Unlock()
+	if fn != nil {
+		fn(ev.Shard, ev.Seq)
+	}
+}
+
+// get returns the record at exactly seq on shard, if the ring still holds
+// it.
+func (r *RecordLog) get(shard int, seq uint64) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entries := r.shards[shard]
+	if len(entries) == 0 {
+		return nil, false
+	}
+	first := entries[0].seq
+	if seq < first || seq > entries[len(entries)-1].seq {
+		return nil, false
+	}
+	e := entries[seq-first]
+	if e.seq != seq {
+		// Sequence numbers are contiguous per shard; a mismatch means the
+		// ring was fed out of order and must not serve it.
+		return nil, false
+	}
+	return e.payload, true
+}
+
+// pendingBytes sums the payload bytes still in the ring past seq `after`
+// on shard — the per-peer replication lag in bytes, exact while the peer
+// is inside the ring window.
+func (r *RecordLog) pendingBytes(shard int, after uint64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, e := range r.shards[shard] {
+		if e.seq > after {
+			total += int64(len(e.payload))
+		}
+	}
+	return total
+}
+
+func (r *RecordLog) setNotify(fn func(shard int, seq uint64)) {
+	r.mu.Lock()
+	r.notify = fn
+	r.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Per-peer replication.
+
+// peer is the leader's view of one other node. Mutable fields are guarded
+// by the owning Node's mu; the client serializes its own calls.
+type peer struct {
+	id     int
+	addr   string
+	client *rpcClient
+	wake   chan struct{}
+
+	known     bool // a reply has reported the peer's positions
+	connected bool
+	match     []uint64 // per-shard durably replicated seq on the peer
+	needSnap  map[int]bool
+	lastAck   time.Time
+	lastSent  time.Time
+}
+
+// peerLoop drives one peer: every tick (or sooner, when a fresh record
+// wakes it) it ships whatever the peer is missing — heartbeats when
+// nothing, appends from the ring, snapshots past the ring window.
+func (n *Node) peerLoop(p *peer) {
+	defer n.wg.Done()
+	t := time.NewTicker(n.opt.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-t.C:
+		case <-p.wake:
+		}
+		n.syncPeer(p)
+	}
+}
+
+// syncPeer performs one bounded replication pass against p.
+func (n *Node) syncPeer(p *peer) {
+	n.mu.Lock()
+	if n.role != RoleLeader {
+		n.mu.Unlock()
+		return
+	}
+	term := n.term
+	known := p.known
+	n.mu.Unlock()
+
+	if !known {
+		// Learn the peer's positions before shipping anything.
+		n.sendHeartbeat(p, term)
+		return
+	}
+
+	sent := 0
+	for shard := 0; shard < n.cat.Shards() && sent < maxBurst; shard++ {
+		for sent < maxBurst {
+			n.mu.Lock()
+			if n.role != RoleLeader || n.term != term {
+				n.mu.Unlock()
+				return
+			}
+			var match uint64
+			if shard < len(p.match) {
+				match = p.match[shard]
+			}
+			own := n.ownSeq[shard]
+			needSnap := p.needSnap[shard]
+			delete(p.needSnap, shard)
+			n.mu.Unlock()
+
+			// A peer ahead of the leader carries a divergent tail from a
+			// deposed term; a dirty peer asked for a resync outright. Both
+			// are overwritten by snapshot.
+			if needSnap || match > own {
+				if !n.sendSnapshot(p, term, shard) {
+					return
+				}
+				sent++
+				continue
+			}
+			if match >= own {
+				break
+			}
+			payload, ok := n.opt.Records.get(shard, match+1)
+			if !ok {
+				// Fell out of the ring window: snapshot catch-up.
+				if !n.sendSnapshot(p, term, shard) {
+					return
+				}
+				sent++
+				continue
+			}
+			if !n.sendAppend(p, term, shard, match+1, payload) {
+				return
+			}
+			sent++
+		}
+	}
+	if sent == 0 {
+		n.mu.Lock()
+		due := time.Since(p.lastSent) >= n.opt.Tick
+		n.mu.Unlock()
+		if due {
+			n.sendHeartbeat(p, term)
+		}
+	}
+}
+
+// markSent stamps the last transmission attempt.
+func (n *Node) markSent(p *peer) {
+	n.mu.Lock()
+	p.lastSent = time.Now()
+	n.mu.Unlock()
+}
+
+// noteReply folds one successful reply into the peer's state: liveness,
+// positions (authoritative from the follower), dirty-shard requests, and
+// the commit index.
+func (n *Node) noteReply(p *peer, rep reply) {
+	n.mu.Lock()
+	p.lastAck = time.Now()
+	p.connected = true
+	if rep.Seqs != nil {
+		p.known = true
+		p.match = append(p.match[:0], rep.Seqs...)
+	}
+	for _, shard := range rep.Dirty {
+		if p.needSnap == nil {
+			p.needSnap = make(map[int]bool)
+		}
+		p.needSnap[shard] = true
+	}
+	if n.role == RoleLeader {
+		n.recomputeCommitLocked(-1)
+	}
+	if n.opt.Metrics != nil {
+		var lagFrames uint64
+		var lagBytes int64
+		for s := range n.ownSeq {
+			var match uint64
+			if s < len(p.match) {
+				match = p.match[s]
+			}
+			if n.ownSeq[s] > match {
+				lagFrames += n.ownSeq[s] - match
+				lagBytes += n.opt.Records.pendingBytes(s, match)
+			}
+		}
+		n.opt.Metrics.Gauge(fmt.Sprintf("cluster.peer.%d.lag_frames", p.id)).Set(int64(lagFrames))
+		n.opt.Metrics.Gauge(fmt.Sprintf("cluster.peer.%d.lag_bytes", p.id)).Set(lagBytes)
+	}
+	n.mu.Unlock()
+}
+
+// markDisconnected records a failed call.
+func (n *Node) markDisconnected(p *peer) {
+	n.mu.Lock()
+	p.connected = false
+	n.mu.Unlock()
+}
+
+// sendHeartbeat announces leadership and learns the peer's positions.
+func (n *Node) sendHeartbeat(p *peer, term uint64) bool {
+	n.markSent(p)
+	msg := message{
+		Kind: msgHeartbeat, From: n.opt.ID, Term: term,
+		LeaderHTTP: n.opt.HTTPAddr, Shards: n.cat.Shards(), Seqs: n.cat.ShardSeqs(),
+	}
+	rep, err := p.client.call(msg)
+	if err != nil {
+		n.markDisconnected(p)
+		return false
+	}
+	n.countMetric("cluster.heartbeats_sent")
+	if rep.Term > term {
+		n.observeTerm(rep.Term)
+		return false
+	}
+	n.noteReply(p, rep)
+	return rep.OK
+}
+
+// sendAppend ships one WAL record frame.
+func (n *Node) sendAppend(p *peer, term uint64, shard int, seq uint64, payload []byte) bool {
+	n.markSent(p)
+	msg := message{
+		Kind: msgAppend, From: n.opt.ID, Term: term, LeaderHTTP: n.opt.HTTPAddr,
+		Shard: shard, Seq: seq, Payload: payload,
+	}
+	rep, err := p.client.call(msg)
+	if err != nil {
+		n.markDisconnected(p)
+		return false
+	}
+	n.countMetric("cluster.appends_sent")
+	if rep.Term > term {
+		n.observeTerm(rep.Term)
+		return false
+	}
+	n.noteReply(p, rep)
+	if rep.NeedSync {
+		return n.sendSnapshot(p, term, shard)
+	}
+	return rep.OK
+}
+
+// sendSnapshot ships one whole-shard snapshot (the catalog-<i>.snap bytes
+// plus the seq it covers). The "cluster.snap.corrupt" and
+// "cluster.snap.truncate" fault points mangle the payload after the
+// checksum is taken, so the follower detects and rejects the damage and
+// the next pass retries with clean bytes.
+func (n *Node) sendSnapshot(p *peer, term uint64, shard int) bool {
+	data, seq, err := n.cat.ShardSnapshot(shard)
+	if err != nil {
+		return false
+	}
+	sum := crc32.ChecksumIEEE(data)
+	payload := data
+	if n.opt.Fault.Hit("cluster.snap.corrupt") != nil {
+		payload = append([]byte(nil), data...)
+		payload[len(payload)/2] ^= 0xFF
+	}
+	if n.opt.Fault.Hit("cluster.snap.truncate") != nil {
+		payload = payload[:len(payload)/2]
+	}
+	n.markSent(p)
+	msg := message{
+		Kind: msgSnapshot, From: n.opt.ID, Term: term, LeaderHTTP: n.opt.HTTPAddr,
+		Shard: shard, Seq: seq, Payload: payload, CRC: sum,
+	}
+	rep, err := p.client.call(msg)
+	if err != nil {
+		n.markDisconnected(p)
+		return false
+	}
+	n.countMetric("cluster.catchups_sent")
+	if rep.Term > term {
+		n.observeTerm(rep.Term)
+		return false
+	}
+	n.noteReply(p, rep)
+	if !rep.OK {
+		n.countMetric("cluster.catchup_retries")
+		return false
+	}
+	return true
+}

@@ -1,0 +1,419 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"sync"
+	"time"
+
+	"minup/internal/catalog"
+	"minup/internal/fault"
+	"minup/internal/wal"
+)
+
+// The wire protocol: JSON messages wrapped in the WAL's length+CRC32 frame
+// format (wal.WriteFrame / wal.ReadFrame) over a persistent TCP connection,
+// one synchronous request/reply per frame pair. Replicated records travel
+// as the leader's exact WAL payload bytes, so a follower's log ends up
+// byte-identical to the leader's.
+
+const (
+	msgHeartbeat = "heartbeat"
+	msgAppend    = "append"
+	msgSnapshot  = "snapshot"
+	msgVote      = "vote"
+)
+
+// message is one request frame.
+type message struct {
+	Kind string `json:"kind"`
+	From int    `json:"from"`
+	Term uint64 `json:"term"`
+	// Heartbeat: the leader's HTTP address (for redirects), shard count
+	// (membership sanity check), and per-shard positions (for follower lag).
+	LeaderHTTP string   `json:"leader_http,omitempty"`
+	Shards     int      `json:"shards,omitempty"`
+	Seqs       []uint64 `json:"seqs,omitempty"`
+	// Append/snapshot: the shard, the sequence number the payload carries
+	// the shard to, and the payload (one WAL record, or a whole shard
+	// snapshot with its checksum).
+	Shard   int    `json:"shard,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
+	CRC     uint32 `json:"crc,omitempty"`
+	// Vote: the candidate's last-log term (Seqs carries its positions).
+	LastLogTerm uint64 `json:"last_log_term,omitempty"`
+}
+
+// reply is one response frame.
+type reply struct {
+	OK   bool   `json:"ok"`
+	Term uint64 `json:"term"`
+	// Seqs is the responder's per-shard durable position.
+	Seqs []uint64 `json:"seqs,omitempty"`
+	// NeedSync asks the leader to ship a shard snapshot: the responder has
+	// a gap at msg.Shard, or Dirty lists shards whose local tail may
+	// diverge from the acknowledged history.
+	NeedSync bool   `json:"need_sync,omitempty"`
+	Dirty    []int  `json:"dirty,omitempty"`
+	Granted  bool   `json:"granted,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// errInjected marks a send the fault injector swallowed.
+var errInjected = errors.New("cluster: injected network fault")
+
+// rpcClient is one node's persistent connection to one peer. Calls are
+// serialized; any error closes the connection so the next call redials.
+// The injector hooks live here: "cluster.net.delay" sleeps (delay rules),
+// "cluster.net.drop" loses the send, "cluster.net.dup" sends the frame
+// twice (the receiver must tolerate duplicates), and "cluster.net.reorder"
+// holds the frame back and delivers it after the next one (the receiver
+// sees genuinely reordered frames).
+type rpcClient struct {
+	mu      sync.Mutex
+	addr    string
+	fault   *fault.Injector
+	timeout time.Duration
+	conn    net.Conn
+	br      *bufio.Reader
+	stash   []byte // a reorder-deferred frame, sent after the next one
+}
+
+func (c *rpcClient) closeConn() {
+	c.mu.Lock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.br = nil
+	}
+	c.mu.Unlock()
+}
+
+// call sends one message and waits for its reply.
+func (c *rpcClient) call(msg message) (reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fault.Hit("cluster.net.delay") // delay rules sleep inside Hit
+	if err := c.fault.Hit("cluster.net.drop"); err != nil {
+		c.resetLocked()
+		return reply{}, fmt.Errorf("%w: drop", errInjected)
+	}
+	out, err := json.Marshal(msg)
+	if err != nil {
+		return reply{}, err
+	}
+	if err := c.fault.Hit("cluster.net.reorder"); err != nil && c.stash == nil {
+		// Hold this frame back; it goes out *after* the next call's frame,
+		// arriving out of order (and the caller retries, so the receiver
+		// may also see it twice).
+		c.stash = out
+		return reply{}, fmt.Errorf("%w: reorder (deferred)", errInjected)
+	}
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+		if err != nil {
+			return reply{}, err
+		}
+		c.conn = conn
+		c.br = bufio.NewReader(conn)
+	}
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+
+	frames := 1
+	if err := wal.WriteFrame(c.conn, out); err != nil {
+		c.resetLocked()
+		return reply{}, err
+	}
+	if c.stash != nil {
+		stash := c.stash
+		c.stash = nil
+		if err := wal.WriteFrame(c.conn, stash); err != nil {
+			c.resetLocked()
+			return reply{}, err
+		}
+		frames++
+	}
+	if err := c.fault.Hit("cluster.net.dup"); err != nil {
+		if err := wal.WriteFrame(c.conn, out); err != nil {
+			c.resetLocked()
+			return reply{}, err
+		}
+		frames++
+	}
+	// The server answers every frame in order; the first reply is ours,
+	// the rest (stash, duplicate) are drained and discarded.
+	var rep reply
+	for i := 0; i < frames; i++ {
+		payload, err := wal.ReadFrame(c.br)
+		if err != nil {
+			c.resetLocked()
+			return reply{}, err
+		}
+		if i == 0 {
+			if err := json.Unmarshal(payload, &rep); err != nil {
+				c.resetLocked()
+				return reply{}, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+func (c *rpcClient) resetLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.br = nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Server side.
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.connMu.Lock()
+		n.conns[conn] = struct{}{}
+		n.connMu.Unlock()
+		n.wg.Add(1)
+		go n.handleConn(conn)
+	}
+}
+
+func (n *Node) handleConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.connMu.Lock()
+		delete(n.conns, conn)
+		n.connMu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		payload, err := wal.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		if err := n.opt.Fault.Hit("cluster.net.recv.drop"); err != nil {
+			// Blackhole: swallow the request without replying. The caller's
+			// deadline expires — exactly what a partition looks like.
+			n.countMetric("cluster.frames_blackholed")
+			continue
+		}
+		var msg message
+		if err := json.Unmarshal(payload, &msg); err != nil {
+			return
+		}
+		rep := n.handleMessage(msg)
+		out, err := json.Marshal(rep)
+		if err != nil {
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(n.opt.CallTimeout))
+		if err := wal.WriteFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+// handleMessage dispatches one request. It must not hold n.mu across
+// catalog calls (the catalog's OnRecord hook takes n.mu under the shard
+// lock, so the lock order is always shard → node).
+func (n *Node) handleMessage(msg message) reply {
+	n.countMetric("cluster.frames_recv")
+	switch msg.Kind {
+	case msgHeartbeat:
+		return n.handleHeartbeat(msg)
+	case msgAppend:
+		return n.handleAppend(msg)
+	case msgSnapshot:
+		return n.handleSnapshot(msg)
+	case msgVote:
+		return n.handleVote(msg)
+	default:
+		return reply{OK: false, Err: fmt.Sprintf("unknown message kind %q", msg.Kind)}
+	}
+}
+
+// adoptLeader processes the term/leader claims common to heartbeat, append,
+// and snapshot messages. It returns (currentTerm, ok); !ok means the sender
+// is stale and must be rejected.
+func (n *Node) adoptLeader(msg message) (uint64, bool) {
+	n.mu.Lock()
+	if msg.Term < n.term {
+		term := n.term
+		n.mu.Unlock()
+		return term, false
+	}
+	persistNeeded := msg.Term > n.term
+	if msg.Term > n.term || n.role != RoleFollower || n.leaderID != msg.From {
+		n.stepDownLocked(msg.Term, msg.From)
+	}
+	n.leaderID = msg.From
+	if msg.LeaderHTTP != "" {
+		n.leaderHTTP = msg.LeaderHTTP
+	}
+	n.lastHeartbeat = time.Now()
+	if msg.Kind == msgHeartbeat && msg.Seqs != nil {
+		n.leaderSeqs = msg.Seqs
+		if n.opt.Metrics != nil {
+			var lag uint64
+			for i, ls := range msg.Seqs {
+				if i < len(n.ownSeq) && ls > n.ownSeq[i] {
+					lag += ls - n.ownSeq[i]
+				}
+			}
+			n.opt.Metrics.Gauge("cluster.replica.lag_frames").Set(int64(lag))
+		}
+	}
+	term := n.term
+	n.mu.Unlock()
+	if persistNeeded {
+		n.persist()
+	}
+	return term, true
+}
+
+func (n *Node) handleHeartbeat(msg message) reply {
+	if msg.Shards != 0 && msg.Shards != n.cat.Shards() {
+		return reply{OK: false, Err: fmt.Sprintf("shard count mismatch: leader %d, local %d", msg.Shards, n.cat.Shards())}
+	}
+	term, ok := n.adoptLeader(msg)
+	if !ok {
+		return reply{OK: false, Term: term}
+	}
+	rep := reply{OK: true, Term: term, Seqs: n.cat.ShardSeqs()}
+	n.mu.Lock()
+	for i, d := range n.dirty {
+		if d {
+			rep.Dirty = append(rep.Dirty, i)
+		}
+	}
+	n.mu.Unlock()
+	return rep
+}
+
+func (n *Node) handleAppend(msg message) reply {
+	term, ok := n.adoptLeader(msg)
+	if !ok {
+		return reply{OK: false, Term: term}
+	}
+	if msg.Shard < 0 || msg.Shard >= n.cat.Shards() {
+		return reply{OK: false, Term: term, Err: fmt.Sprintf("no shard %d", msg.Shard)}
+	}
+	n.mu.Lock()
+	dirty := msg.Shard >= 0 && msg.Shard < len(n.dirty) && n.dirty[msg.Shard]
+	n.mu.Unlock()
+	if dirty {
+		return reply{OK: false, Term: term, NeedSync: true, Seqs: n.cat.ShardSeqs()}
+	}
+	local := n.cat.ShardSeq(msg.Shard)
+	switch {
+	case msg.Seq <= local:
+		// Duplicate delivery (retry, dup fault, reorder); already applied.
+		n.countMetric("cluster.frames_duplicate")
+		return reply{OK: true, Term: term, Seqs: n.cat.ShardSeqs()}
+	case msg.Seq > local+1:
+		n.countMetric("cluster.frames_gap")
+		return reply{OK: false, Term: term, NeedSync: true, Seqs: n.cat.ShardSeqs()}
+	}
+	if _, err := n.cat.ApplyRecord(msg.Shard, msg.Payload); err != nil {
+		if errors.Is(err, catalog.ErrOutOfOrder) {
+			return reply{OK: false, Term: term, NeedSync: true, Seqs: n.cat.ShardSeqs()}
+		}
+		return reply{OK: false, Term: term, Err: err.Error(), Seqs: n.cat.ShardSeqs()}
+	}
+	n.mu.Lock()
+	n.lastLogTerm = msg.Term
+	n.mu.Unlock()
+	n.countMetric("cluster.frames_applied")
+	return reply{OK: true, Term: term, Seqs: n.cat.ShardSeqs()}
+}
+
+func (n *Node) handleSnapshot(msg message) reply {
+	term, ok := n.adoptLeader(msg)
+	if !ok {
+		return reply{OK: false, Term: term}
+	}
+	if crc32.ChecksumIEEE(msg.Payload) != msg.CRC {
+		n.countMetric("cluster.catchup_rejected")
+		return reply{OK: false, Term: term, Err: "snapshot checksum mismatch", Seqs: n.cat.ShardSeqs()}
+	}
+	if err := n.cat.InstallShardSnapshot(msg.Shard, msg.Payload); err != nil {
+		n.countMetric("cluster.catchup_rejected")
+		return reply{OK: false, Term: term, Err: err.Error(), Seqs: n.cat.ShardSeqs()}
+	}
+	n.mu.Lock()
+	if msg.Shard >= 0 && msg.Shard < len(n.ownSeq) {
+		n.ownSeq[msg.Shard] = msg.Seq
+		n.dirty[msg.Shard] = false
+	}
+	n.lastLogTerm = msg.Term
+	n.mu.Unlock()
+	n.countMetric("cluster.catchups_installed")
+	n.logger.Info("installed shard snapshot", "shard", msg.Shard, "seq", msg.Seq)
+	return reply{OK: true, Term: term, Seqs: n.cat.ShardSeqs()}
+}
+
+// handleVote grants at most one vote per term, refuses candidates while the
+// local leader lease is fresh, and refuses candidates whose log is behind:
+// lower last-log term, or any shard position behind the voter's. This is
+// the rule that keeps acknowledged mutations electable-leader-only.
+func (n *Node) handleVote(msg message) reply {
+	local := n.cat.ShardSeqs()
+	n.mu.Lock()
+	if msg.Term < n.term {
+		rep := reply{Term: n.term}
+		n.mu.Unlock()
+		return rep
+	}
+	// Lease check against the leadership state *before* adopting the higher
+	// term: a fresh lease from a live leader refuses disruptive candidates.
+	leaseFresh := n.role == RoleFollower && n.leaderID >= 0 &&
+		time.Since(n.lastHeartbeat) <= n.opt.Lease
+	prevHeartbeat := n.lastHeartbeat
+	persistNeeded := msg.Term > n.term
+	if msg.Term > n.term {
+		n.stepDownLocked(msg.Term, -1)
+	}
+	upToDate := msg.LastLogTerm > n.lastLogTerm
+	if msg.LastLogTerm == n.lastLogTerm {
+		upToDate = true
+		for i, s := range local {
+			if i >= len(msg.Seqs) || msg.Seqs[i] < s {
+				upToDate = false
+				break
+			}
+		}
+	}
+	grant := (n.votedFor == -1 || n.votedFor == msg.From) && !leaseFresh && upToDate
+	if grant {
+		n.votedFor = msg.From
+		n.lastHeartbeat = time.Now() // give the candidate a full timeout
+		persistNeeded = true
+	} else {
+		// Raft resets election timers only on granted votes: a refused
+		// candidate (stale log, inflated term after a partition) must not be
+		// able to suppress healthy nodes' own candidacies by spamming votes.
+		n.lastHeartbeat = prevHeartbeat
+	}
+	rep := reply{OK: true, Term: n.term, Granted: grant}
+	n.mu.Unlock()
+	if persistNeeded {
+		n.persist()
+	}
+	if grant {
+		n.countMetric("cluster.votes_granted")
+	}
+	return rep
+}

@@ -34,8 +34,26 @@ type fakeServer struct {
 	burnMilli atomic.Int64
 	// noStatic makes /solve and /trace 404 (catalog-only server).
 	noStatic bool
+	// noLeader answers every mutation 503 + X-Cluster-State: no-leader,
+	// emulating an election window.
+	noLeader atomic.Bool
 
+	mux *http.ServeMux
 	srv *httptest.Server
+}
+
+// newFollower starts a second listener sharing this server's read state
+// but bouncing every mutation to the "leader" with a 307, the way a
+// clustered minupd follower does.
+func (f *fakeServer) newFollower() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && strings.HasPrefix(r.URL.Path, "/policies/") {
+			w.Header().Set("X-Cluster-Leader", f.srv.URL)
+			http.Redirect(w, r, f.srv.URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+			return
+		}
+		f.mux.ServeHTTP(w, r)
+	}))
 }
 
 func newFakeServer() *fakeServer {
@@ -74,6 +92,11 @@ func newFakeServer() *fakeServer {
 	})
 	mux.HandleFunc("/policies/", func(w http.ResponseWriter, r *http.Request) {
 		if f.count(w, r) {
+			return
+		}
+		if r.Method != http.MethodGet && f.noLeader.Load() {
+			w.Header().Set("X-Cluster-State", "no-leader")
+			http.Error(w, "no cluster leader; retry", http.StatusServiceUnavailable)
 			return
 		}
 		rest := strings.TrimPrefix(r.URL.Path, "/policies/")
@@ -116,6 +139,7 @@ func newFakeServer() *fakeServer {
 			http.Error(w, "bad request", http.StatusBadRequest)
 		}
 	})
+	f.mux = mux
 	f.srv = httptest.NewServer(mux)
 	return f
 }
@@ -262,6 +286,74 @@ func TestRunnerClassifiesDegraded(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("failure reasons missing degraded gate: %v", rep.Stages[0].GateFailures)
+	}
+}
+
+func TestRunnerFollowsLeaderRedirects(t *testing.T) {
+	// Two-member "cluster": the follower 307s every mutation to the leader.
+	// The runner must land every mutation anyway (method and body intact),
+	// record the hops, and learn the X-Cluster-Leader hint so most
+	// mutations skip the bounce.
+	f := newFakeServer()
+	defer f.srv.Close()
+	follower := f.newFollower()
+	defer follower.Close()
+
+	r := &Runner{Addrs: []string{follower.URL, f.srv.URL}, Logf: t.Logf}
+	plan := smokePlan()
+	plan.Stages = plan.Stages[:1]
+	plan.Stages[0].Gates = Gates{MinSuccessRate: 0.95, MaxErrorRate: 0.01}
+	rep, err := r.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("clustered run failed: %v", rep.Stages[0].GateFailures)
+	}
+	c := rep.Stages[0].Total
+	if c.Redirects == 0 {
+		t.Fatalf("no redirects recorded against a redirecting follower: %+v", c)
+	}
+	mutates := rep.Stages[0].PerOp[opMutate].Counts
+	if mutates.Redirects == 0 || mutates.Redirects != c.Redirects {
+		t.Fatalf("redirects not attributed to mutations: total=%d mutate=%d", c.Redirects, mutates.Redirects)
+	}
+	// The leader hint sticks: after the first bounce, mutations go direct,
+	// so hops stay well below the mutation count.
+	if mutates.Attempts > 20 && c.Redirects*2 > mutates.Attempts {
+		t.Fatalf("hint not learned: %d redirects across %d mutations", c.Redirects, mutates.Attempts)
+	}
+	if f.mutations.Load() == 0 {
+		t.Fatal("no mutation reached the leader")
+	}
+	if rep.Target != follower.URL+","+f.srv.URL {
+		t.Fatalf("report target %q", rep.Target)
+	}
+}
+
+func TestRunnerClassifiesElectionWindows(t *testing.T) {
+	// A 503 carrying X-Cluster-State is a typed election-window answer:
+	// degraded, not shed and not an error.
+	f := newFakeServer()
+	defer f.srv.Close()
+	f.noLeader.Store(true)
+	r := &Runner{BaseURL: f.srv.URL}
+	plan := smokePlan()
+	plan.Stages = plan.Stages[:1]
+	plan.Stages[0].Gates = Gates{MaxErrorRate: 0.01, MaxShedRate: 0.01}
+	rep, err := r.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("election answers tripped error/shed gates: %v", rep.Stages[0].GateFailures)
+	}
+	c := rep.Stages[0].Total
+	if c.Degraded == 0 {
+		t.Fatalf("no-leader answers not classified degraded: %+v", c)
+	}
+	if c.Shed != 0 {
+		t.Fatalf("typed cluster 503s misclassified as sheds: %+v", c)
 	}
 }
 

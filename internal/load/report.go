@@ -23,6 +23,10 @@ type Counts struct {
 	Shed uint64 `json:"shed"`
 	// Errors is transport failures, timeouts, and unexpected statuses.
 	Errors uint64 `json:"errors"`
+	// Redirects counts 307 leader-redirect hops followed (cluster mode);
+	// the redirected attempt itself is tallied once under its final
+	// outcome.
+	Redirects uint64 `json:"redirects,omitempty"`
 }
 
 func (c Counts) rate(n uint64) float64 {

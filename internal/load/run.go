@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"minup/internal/obs"
@@ -41,10 +42,21 @@ const (
 	opTrace  = "trace"
 )
 
-// Runner drives a Plan against one minupd.
+// maxRedirectHops bounds how many 307 leader redirects one logical
+// request follows before giving up (covers a leader change mid-chain).
+const maxRedirectHops = 3
+
+// Runner drives a Plan against one minupd, or against every member of a
+// replication cluster.
 type Runner struct {
 	// BaseURL is the service listener, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Addrs lists every cluster member's base URL. Clients spread reads
+	// across members round-robin; mutations follow 307 redirects to the
+	// leader (bounded hops, method and body preserved) and remember the
+	// X-Cluster-Leader hint so later mutations go straight there. Empty
+	// means the single BaseURL target.
+	Addrs []string
 	// DebugURL is the debug listener (for /debug/fault chaos arming);
 	// empty refuses plans with fault stages.
 	DebugURL string
@@ -60,6 +72,10 @@ type Runner struct {
 	Logf func(format string, args ...any)
 
 	hasStatic bool
+	targets   []string
+	// leaderHint caches the last X-Cluster-Leader redirect target so
+	// mutations skip the follower round-trip; cleared on no-leader answers.
+	leaderHint atomic.Value // string
 }
 
 func (r *Runner) logf(format string, args ...any) {
@@ -74,6 +90,7 @@ func (r *Runner) logf(format string, args ...any) {
 // the set of policies it knows to be live for cached solves.
 type client struct {
 	id     int
+	base   string // this client's home member (reads stay here)
 	rng    *rand.Rand
 	spec   workload.MutationSpec
 	stream []workload.Mutation
@@ -183,7 +200,7 @@ func newStageRecorder() *stageRecorder {
 	return r
 }
 
-func (r *stageRecorder) record(op string, outcome Outcome, d time.Duration) {
+func (r *stageRecorder) record(op string, outcome Outcome, d time.Duration, redirects int) {
 	us := uint64(d.Microseconds())
 	r.hist.Observe(us)
 	r.perOp[op].Observe(us)
@@ -194,6 +211,7 @@ func (r *stageRecorder) record(op string, outcome Outcome, d time.Duration) {
 	}
 	for _, c := range []*Counts{&r.total, r.counts[op]} {
 		c.Attempts++
+		c.Redirects += uint64(redirects)
 		switch outcome {
 		case OutcomeSuccess:
 			c.Success++
@@ -218,6 +236,21 @@ func (r *Runner) Run(ctx context.Context, plan Plan) (*Report, error) {
 	if r.RequestTimeout <= 0 {
 		r.RequestTimeout = 10 * time.Second
 	}
+	r.targets = r.targets[:0]
+	for _, a := range r.Addrs {
+		if a = strings.TrimSpace(a); a != "" {
+			r.targets = append(r.targets, strings.TrimRight(a, "/"))
+		}
+	}
+	if len(r.targets) == 0 {
+		if r.BaseURL == "" {
+			return nil, fmt.Errorf("load: no target address configured")
+		}
+		r.targets = []string{strings.TrimRight(r.BaseURL, "/")}
+	}
+	if r.BaseURL == "" {
+		r.BaseURL = r.targets[0]
+	}
 	maxClients := 0
 	for _, st := range plan.Stages {
 		if st.Clients > maxClients {
@@ -233,6 +266,11 @@ func (r *Runner) Run(ctx context.Context, plan Plan) (*Report, error) {
 				MaxIdleConns:        maxClients * 2,
 				MaxIdleConnsPerHost: maxClients * 2,
 			},
+			// Leader redirects are followed by hand in execute so hops are
+			// bounded, counted, and the X-Cluster-Leader hint is captured.
+			CheckRedirect: func(*http.Request, []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
 		}
 	}
 
@@ -246,12 +284,13 @@ func (r *Runner) Run(ctx context.Context, plan Plan) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.base = r.targets[i%len(r.targets)]
 		clients[i] = c
 	}
 
 	report := &Report{
 		Plan:      plan,
-		Target:    r.BaseURL,
+		Target:    strings.Join(r.targets, ","),
 		StartedAt: time.Now().UTC(),
 		Passed:    true,
 	}
@@ -297,28 +336,30 @@ func (r *Runner) Run(ctx context.Context, plan Plan) (*Report, error) {
 	return report, nil
 }
 
-// preflight verifies the target is alive and discovers whether the static
-// /solve instance exists (it decides cold-solve/trace fallbacks).
+// preflight verifies every target is alive and discovers whether the
+// static /solve instance exists (it decides cold-solve/trace fallbacks).
 func (r *Runner) preflight(ctx context.Context) error {
 	ctx, cancel := context.WithTimeout(ctx, r.RequestTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/healthz", nil)
+	for _, target := range r.targets {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := r.Client.Do(req)
+		if err != nil {
+			return fmt.Errorf("load: target %s unreachable: %w", target, err)
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("load: %s/healthz answered %d", target, resp.StatusCode)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/solve", nil)
 	if err != nil {
 		return err
 	}
 	resp, err := r.Client.Do(req)
-	if err != nil {
-		return fmt.Errorf("load: target %s unreachable: %w", r.BaseURL, err)
-	}
-	drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("load: %s/healthz answered %d", r.BaseURL, resp.StatusCode)
-	}
-	req, err = http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/solve", nil)
-	if err != nil {
-		return err
-	}
-	resp, err = r.Client.Do(req)
 	if err != nil {
 		return fmt.Errorf("load: probing /solve: %w", err)
 	}
@@ -433,11 +474,11 @@ func (r *Runner) clientLoop(ctx context.Context, st Stage, c *client, rec *stage
 			}
 		}
 		op := c.pickOp(st.Mix, r.hasStatic)
-		outcome, d, err := r.execute(ctx, c, op)
+		outcome, d, hops, err := r.execute(ctx, c, op)
 		if err != nil && ctx.Err() != nil {
 			return // stage ended mid-request; not the server's fault
 		}
-		rec.record(op, outcome, d)
+		rec.record(op, outcome, d, hops)
 	}
 }
 
@@ -447,13 +488,18 @@ type mutationBody struct {
 	Constraints string `json:"constraints"`
 }
 
-// execute performs one request and classifies it. The returned error is
+// execute performs one request and classifies it. Mutations start at the
+// cached leader hint (when known) and follow up to maxRedirectHops 307
+// leader redirects, re-sending the same method and body each hop. A 503
+// carrying X-Cluster-State (election window, replication stall) counts as
+// degraded — the cluster still serves reads but cannot commit just now —
+// while an untyped 503 remains an admission shed. The returned error is
 // only consulted to detect stage teardown; it is already folded into the
 // outcome.
-func (r *Runner) execute(ctx context.Context, c *client, op string) (Outcome, time.Duration, error) {
+func (r *Runner) execute(ctx context.Context, c *client, op string) (Outcome, time.Duration, int, error) {
 	var (
 		method = http.MethodGet
-		url    string
+		path   string
 		body   []byte
 	)
 	var mut workload.Mutation
@@ -461,7 +507,7 @@ func (r *Runner) execute(ctx context.Context, c *client, op string) (Outcome, ti
 	case opMutate:
 		if c.next >= len(c.stream) {
 			if err := c.refill(0); err != nil {
-				return OutcomeError, 0, err
+				return OutcomeError, 0, 0, err
 			}
 		}
 		mut = c.stream[c.next]
@@ -470,50 +516,91 @@ func (r *Runner) execute(ctx context.Context, c *client, op string) (Outcome, ti
 		switch mut.Op {
 		case workload.OpPut:
 			method = http.MethodPut
-			url = r.BaseURL + "/policies/" + mut.Name
+			path = "/policies/" + mut.Name
 			body, err = json.Marshal(mutationBody{Lattice: mut.Lattice, Constraints: mut.Constraints})
 		case workload.OpAppend:
 			method = http.MethodPost
-			url = r.BaseURL + "/policies/" + mut.Name + "/constraints"
+			path = "/policies/" + mut.Name + "/constraints"
 			body, err = json.Marshal(mutationBody{Constraints: mut.Constraints})
 		case workload.OpDelete:
 			method = http.MethodDelete
-			url = r.BaseURL + "/policies/" + mut.Name
+			path = "/policies/" + mut.Name
 		}
 		if err != nil {
-			return OutcomeError, 0, err
+			return OutcomeError, 0, 0, err
 		}
 	case opCached:
-		url = r.BaseURL + "/policies/" + c.live[c.rng.Intn(len(c.live))] + "/solve"
+		path = "/policies/" + c.live[c.rng.Intn(len(c.live))] + "/solve"
 	case opCold:
-		url = r.BaseURL + "/solve"
+		path = "/solve"
 	case opTrace:
-		url = r.BaseURL + "/trace"
+		path = "/trace"
+	}
+
+	// Reads stay on the client's home member; mutations go straight to the
+	// last known leader when a redirect has taught us one.
+	url := c.base + path
+	if op == opMutate {
+		if hint, _ := r.leaderHint.Load().(string); hint != "" {
+			url = hint + path
+		}
 	}
 
 	reqCtx, cancel := context.WithTimeout(ctx, r.RequestTimeout)
 	defer cancel()
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(reqCtx, method, url, rd)
-	if err != nil {
-		return OutcomeError, 0, err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
 	start := time.Now()
-	resp, err := r.Client.Do(req)
-	d := time.Since(start)
-	if err != nil {
-		return OutcomeError, d, err
+	var resp *http.Response
+	hops := 0
+	for {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(reqCtx, method, url, rd)
+		if err != nil {
+			return OutcomeError, 0, hops, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err = r.Client.Do(req)
+		if err != nil {
+			return OutcomeError, time.Since(start), hops, err
+		}
+		if resp.StatusCode != http.StatusTemporaryRedirect || hops >= maxRedirectHops {
+			break
+		}
+		// A follower bounced us to the leader: remember the hint for later
+		// mutations and retry there with the same method and body.
+		hint := resp.Header.Get("X-Cluster-Leader")
+		loc := resp.Header.Get("Location")
+		drain(resp)
+		hops++
+		switch {
+		case loc != "":
+			url = loc
+		case hint != "":
+			url = hint + path
+		default:
+			return OutcomeError, time.Since(start), hops, nil
+		}
+		if hint != "" {
+			r.leaderHint.Store(hint)
+		}
 	}
+	d := time.Since(start)
 	outcome := OutcomeError
 	switch {
 	case resp.StatusCode == http.StatusServiceUnavailable:
-		outcome = OutcomeShed
+		if resp.Header.Get("X-Cluster-State") != "" {
+			// Election window or replication stall: typed cluster
+			// degradation, not an overload shed. Drop the stale hint so the
+			// next mutation rediscovers the leader via its home member.
+			outcome = OutcomeDegraded
+			r.leaderHint.Store("")
+		} else {
+			outcome = OutcomeShed
+		}
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
 		outcome = OutcomeSuccess
 		if op != opMutate && resp.StatusCode == http.StatusOK {
@@ -538,7 +625,7 @@ func (r *Runner) execute(ctx context.Context, c *client, op string) (Outcome, ti
 			c.markDead(mut.Name)
 		}
 	}
-	return outcome, d, nil
+	return outcome, d, hops, nil
 }
 
 // armFault posts a fault spec to the server's /debug/fault; an empty spec

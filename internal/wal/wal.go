@@ -36,6 +36,7 @@
 package wal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -56,6 +57,72 @@ const (
 	// any real policy mutation, tight compared to a corrupt length field.
 	MaxRecord = 16 << 20
 )
+
+// ErrFrameCorrupt reports a frame whose header or payload failed
+// validation while reading a frame stream (ReadFrame). It is distinct from
+// a clean io.EOF, which marks the end of a well-formed stream.
+var ErrFrameCorrupt = errors.New("wal: corrupt frame")
+
+// EncodeFrame wraps payload in the WAL frame format (length + CRC32 header
+// followed by the payload) and returns the framed bytes. The same encoding
+// backs Log.Append and the cluster replication stream, so a frame produced
+// here is byte-identical to one on disk.
+func EncodeFrame(payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
+// WriteFrame frames payload and writes it to w in a single Write call,
+// preserving the torn-tail invariant when w is a file or socket.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("wal: frame of %d bytes exceeds MaxRecord", len(payload))
+	}
+	_, err := w.Write(EncodeFrame(payload))
+	return err
+}
+
+// ReadFrame reads one frame from r and returns its payload. A clean end of
+// stream returns io.EOF; a frame cut mid-header or mid-payload returns
+// io.ErrUnexpectedEOF; an implausible length or CRC mismatch returns
+// ErrFrameCorrupt. The reader should be buffered (bufio) for frame streams;
+// ReadFrame issues exactly the reads it needs and never over-reads.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > MaxRecord {
+		return nil, fmt.Errorf("%w: implausible length %d", ErrFrameCorrupt, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
+	}
+	return payload, nil
+}
+
+// A FrameReader decodes a stream of WAL frames from r, buffering reads.
+type FrameReader struct {
+	br *bufio.Reader
+}
+
+// NewFrameReader wraps r in a buffered frame decoder.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{br: bufio.NewReader(r)} }
+
+// Next returns the next frame's payload, with ReadFrame's error contract.
+func (fr *FrameReader) Next() ([]byte, error) { return ReadFrame(fr.br) }
 
 // SyncPolicy says when the log fsyncs.
 type SyncPolicy uint8
@@ -187,6 +254,9 @@ func Open(path string, opt Options, apply func(rec []byte) error) (*Log, Recover
 // itself back to the last good frame so the in-process view stays
 // consistent with the file.
 func (l *Log) Append(rec []byte) error {
+	if l.f == nil {
+		return ErrClosed
+	}
 	if len(rec) > MaxRecord {
 		return fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(rec))
 	}
@@ -194,10 +264,7 @@ func (l *Log) Append(rec []byte) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	start := time.Now()
-	buf := make([]byte, headerSize+len(rec))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(rec)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(rec))
-	copy(buf[headerSize:], rec)
+	buf := EncodeFrame(rec)
 	if _, err := l.f.Write(buf); err != nil {
 		// Best effort: cut back to the last known-good frame so a partial
 		// write does not poison later appends.
@@ -220,6 +287,9 @@ func (l *Log) Append(rec []byte) error {
 // Sync forces the log to stable storage (a no-op policy knob bypass for
 // callers that batch under SyncNever and sync at their own barriers).
 func (l *Log) Sync() error {
+	if l.f == nil {
+		return ErrClosed
+	}
 	if err := l.opt.Fault.Hit("wal.fsync"); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
@@ -238,6 +308,9 @@ func (l *Log) Sync() error {
 // log described durable elsewhere (the catalog's snapshot file) — Reset is
 // the second half of snapshot compaction.
 func (l *Log) Reset() error {
+	if l.f == nil {
+		return ErrClosed
+	}
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: reset: %w", err)
 	}
@@ -256,10 +329,30 @@ func (l *Log) Reset() error {
 // Size returns the current valid length of the log in bytes.
 func (l *Log) Size() int64 { return l.size }
 
-// Close closes the underlying file. The log is unusable afterwards.
-func (l *Log) Close() error { return l.f.Close() }
+// Close syncs and closes the underlying file. Under SyncNever the appends
+// since the last sync are still sitting in the kernel page cache, so Close
+// fsyncs first — a clean shutdown must not lose the buffered tail (under
+// SyncAlways every append already synced, and the extra fsync is skipped).
+// Idempotent: the first call wins, later calls return nil; Append, Sync,
+// and Reset on a closed log return ErrClosed.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	var syncErr error
+	if l.opt.Sync == SyncNever {
+		syncErr = f.Sync()
+	}
+	closeErr := f.Close()
+	if syncErr != nil {
+		return fmt.Errorf("wal: close: %w", syncErr)
+	}
+	return closeErr
+}
 
-// ErrClosed is retained for future use by callers that poll a closed log.
+// ErrClosed reports an operation against a closed log.
 var ErrClosed = errors.New("wal: log is closed")
 
 // WriteAtomic durably replaces path with data: write to a temp file in the

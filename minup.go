@@ -70,6 +70,7 @@ import (
 	"minup/internal/baseline"
 	"minup/internal/bus"
 	"minup/internal/catalog"
+	"minup/internal/cluster"
 	"minup/internal/constraint"
 	"minup/internal/core"
 	"minup/internal/fault"
@@ -773,3 +774,56 @@ type PolicyMutationSpec = workload.MutationSpec
 func MutationStream(spec PolicyMutationSpec) ([]PolicyMutation, error) {
 	return workload.MutationStream(spec)
 }
+
+// ---------------------------------------------------------------------------
+// Cluster replication (internal/cluster): leader/follower catalog
+// replication over the per-shard WAL record stream.
+
+type (
+	// ClusterNode is one replication cluster member: a term- and
+	// lease-based leader streams WAL record frames to followers and acks a
+	// mutation only after a majority has durably appended it. Construct
+	// with OpenClusterNode.
+	ClusterNode = cluster.Node
+	// ClusterOptions configures OpenClusterNode (node id, listen address,
+	// peer map, advertised HTTP address, catalog, record ring, timings).
+	ClusterOptions = cluster.Options
+	// ClusterStatus is one node's view of the cluster — the GET /cluster
+	// payload (role, term, lease expiry, per-peer lag, fingerprints).
+	ClusterStatus = cluster.Status
+	// ClusterPeerStatus is the leader's replication view of one peer.
+	ClusterPeerStatus = cluster.PeerStatus
+	// ClusterRecordLog is the in-memory per-shard tail of WAL records the
+	// leader replays to followers; wire it into the catalog via
+	// CatalogOptions.OnRecord = log.Append.
+	ClusterRecordLog = cluster.RecordLog
+	// CatalogRecordEvent is the payload of CatalogOptions.OnRecord: one
+	// durably appended WAL record (shard, sequence number, payload bytes).
+	CatalogRecordEvent = catalog.RecordEvent
+)
+
+// Cluster errors. Match with errors.Is; minupd maps them onto the write
+// path (307 redirect, 503).
+var (
+	// ErrClusterNotLeader reports a mutation sent to a follower; redirect
+	// to the leader returned alongside it.
+	ErrClusterNotLeader = cluster.ErrNotLeader
+	// ErrClusterNoLeader reports that no leader is currently known (an
+	// election is in progress, or this node is partitioned).
+	ErrClusterNoLeader = cluster.ErrNoLeader
+	// ErrClusterNoQuorum reports a mutation that is locally durable but
+	// was not acknowledged by a majority within the commit timeout.
+	ErrClusterNoQuorum = cluster.ErrNoQuorum
+	// ErrClusterClosed reports an operation on a closed cluster node.
+	ErrClusterClosed = cluster.ErrClosed
+)
+
+// NewClusterRecordLog creates the replication record ring (0 uses the
+// default window of 1024 records per shard).
+func NewClusterRecordLog(size int) *ClusterRecordLog { return cluster.NewRecordLog(size) }
+
+// OpenClusterNode starts a replication cluster member over an open
+// catalog. The catalog must have been opened with CatalogOptions.OnRecord
+// feeding the same ClusterRecordLog passed here, or followers can only
+// catch up by snapshot.
+func OpenClusterNode(opt ClusterOptions) (*ClusterNode, error) { return cluster.Open(opt) }
