@@ -327,11 +327,14 @@ func (n *Node) loadState() error {
 	return nil
 }
 
-// persist writes the election state durably. Failures are logged, not
-// fatal: an unpersisted vote can at worst delay an election by one term.
-func (n *Node) persist() {
+// persist writes the election state durably and reports failure. Callers
+// on the voting path must check the error: a vote or self-vote that is not
+// durable before it is used can be re-cast after a restart, electing two
+// leaders in one term. Callers persisting only bookkeeping (last-log term,
+// shutdown) may log and carry on.
+func (n *Node) persist() error {
 	if n.opt.Dir == "" {
-		return
+		return nil
 	}
 	n.mu.Lock()
 	st := stateFile{
@@ -348,7 +351,9 @@ func (n *Node) persist() {
 	}
 	if err != nil {
 		n.logger.Warn("cluster state persist failed", "err", err)
+		n.countMetric("cluster.persist_failures")
 	}
+	return err
 }
 
 // ---------------------------------------------------------------------------
@@ -415,7 +420,19 @@ func (n *Node) campaign() {
 	llt := n.lastLogTerm
 	n.setRoleGauges()
 	n.mu.Unlock()
-	n.persist()
+	if err := n.persist(); err != nil {
+		// The self-vote is not durable: soliciting votes now could let a
+		// restart re-vote in this term. Abort the candidacy and retry after
+		// another timeout.
+		n.mu.Lock()
+		if n.term == term && n.role == RoleCandidate {
+			n.role = RoleFollower
+			n.lastHeartbeat = time.Now()
+			n.setRoleGauges()
+		}
+		n.mu.Unlock()
+		return
+	}
 	n.countMetric("cluster.elections")
 	n.logger.Info("campaigning", "term", term)
 
@@ -476,6 +493,10 @@ func (n *Node) becomeLeaderLocked() {
 	now := time.Now()
 	for _, p := range n.peers {
 		p.known = false
+		// Replication proofs are per-term: nothing counts toward this term's
+		// commit quorum until it is re-confirmed by an append or snapshot.
+		p.confirmed = nil
+		p.needSnap = nil
 		p.lastAck = now // grace period before the lease check counts them dead
 		select {
 		case p.wake <- struct{}{}:
@@ -554,15 +575,19 @@ func (n *Node) failWaitersLocked(err error) {
 }
 
 // recomputeCommitLocked refreshes the majority-replicated sequence number
-// for one shard (or all, shard < 0) and releases satisfied waiters. Caller
-// holds n.mu.
+// for one shard (or all, shard < 0) and releases satisfied waiters. Only
+// positions confirmed by a successful append or snapshot in the current
+// term count (Raft's current-term commit rule): a follower's self-reported
+// seqs may cover a divergent deposed-term tail, and a shard awaiting a
+// snapshot resync counts as empty. The commit index never regresses.
+// Caller holds n.mu.
 func (n *Node) recomputeCommitLocked(shard int) {
 	recompute := func(s int) {
 		vals := make([]uint64, 0, len(n.peers)+1)
 		vals = append(vals, n.ownSeq[s])
 		for _, p := range n.peers {
-			if p.known && s < len(p.match) {
-				vals = append(vals, p.match[s])
+			if p.known && s < len(p.confirmed) && !p.needSnap[s] {
+				vals = append(vals, p.confirmed[s])
 			} else {
 				vals = append(vals, 0)
 			}
@@ -576,7 +601,9 @@ func (n *Node) recomputeCommitLocked(shard int) {
 				}
 			}
 		}
-		n.commit[s] = vals[n.quorum()-1]
+		if v := vals[n.quorum()-1]; v > n.commit[s] {
+			n.commit[s] = v
+		}
 	}
 	if shard >= 0 {
 		recompute(shard)

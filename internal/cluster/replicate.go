@@ -72,13 +72,28 @@ func (r *RecordLog) get(shard int, seq uint64) ([]byte, bool) {
 	if seq < first || seq > entries[len(entries)-1].seq {
 		return nil, false
 	}
-	e := entries[seq-first]
+	idx := int(seq - first)
+	if idx >= len(entries) {
+		// The ring has a gap (e.g. a snapshot install advanced the shard
+		// past the buffered tail); the direct index would run off the end.
+		return nil, false
+	}
+	e := entries[idx]
 	if e.seq != seq {
 		// Sequence numbers are contiguous per shard; a mismatch means the
-		// ring was fed out of order and must not serve it.
+		// ring has a gap or was fed out of order and must not serve it.
 		return nil, false
 	}
 	return e.payload, true
+}
+
+// reset drops every buffered record for shard. Called after a snapshot
+// install: the shard's sequence jumped past the buffered tail, and keeping
+// the stale entries would leave a gap in the ring.
+func (r *RecordLog) reset(shard int) {
+	r.mu.Lock()
+	delete(r.shards, shard)
+	r.mu.Unlock()
 }
 
 // pendingBytes sums the payload bytes still in the ring past seq `after`
@@ -115,10 +130,36 @@ type peer struct {
 
 	known     bool // a reply has reported the peer's positions
 	connected bool
-	match     []uint64 // per-shard durably replicated seq on the peer
+	match     []uint64 // per-shard reported seq on the peer (replication cursor)
+	// confirmed is the per-shard position proven by a successful append or
+	// snapshot reply in the leader's current term. Only these positions
+	// count toward the commit quorum: match comes from the follower's own
+	// heartbeat reports, which a dirty/divergent node (a deposed leader's
+	// unacknowledged tail) can populate with same-numbered records that
+	// differ from the acknowledged history.
+	confirmed []uint64
 	needSnap  map[int]bool
 	lastAck   time.Time
 	lastSent  time.Time
+}
+
+// confirm records a replication-proven position for one shard. Caller holds
+// the owning Node's mu.
+func (p *peer) confirm(shards, shard int, seq uint64) {
+	if p.confirmed == nil {
+		p.confirmed = make([]uint64, shards)
+	}
+	if shard >= 0 && shard < len(p.confirmed) && seq > p.confirmed[shard] {
+		p.confirmed[shard] = seq
+	}
+}
+
+// unconfirm voids a shard's replication proof (the peer reported it dirty
+// or gapped). Caller holds the owning Node's mu.
+func (p *peer) unconfirm(shard int) {
+	if shard >= 0 && shard < len(p.confirmed) {
+		p.confirmed[shard] = 0
+	}
 }
 
 // peerLoop drives one peer: every tick (or sooner, when a fresh record
@@ -148,10 +189,14 @@ func (n *Node) syncPeer(p *peer) {
 	}
 	term := n.term
 	known := p.known
+	connected := p.connected
 	n.mu.Unlock()
 
-	if !known {
-		// Learn the peer's positions before shipping anything.
+	if !known || !connected {
+		// (Re)establish contact and learn the peer's positions before
+		// shipping payloads: serializing whole-shard snapshots into a dead
+		// connection every tick wastes work and, in chaos runs, burns
+		// one-shot fault-point hits on frames nobody ever receives.
 		n.sendHeartbeat(p, term)
 		return
 	}
@@ -164,9 +209,12 @@ func (n *Node) syncPeer(p *peer) {
 				n.mu.Unlock()
 				return
 			}
-			var match uint64
+			var match, confirmed uint64
 			if shard < len(p.match) {
 				match = p.match[shard]
+			}
+			if shard < len(p.confirmed) {
+				confirmed = p.confirmed[shard]
 			}
 			own := n.ownSeq[shard]
 			needSnap := p.needSnap[shard]
@@ -184,6 +232,18 @@ func (n *Node) syncPeer(p *peer) {
 				continue
 			}
 			if match >= own {
+				// Fully caught up. If nothing has been appended this term the
+				// peer's position is only heartbeat-reported, which the commit
+				// quorum must not trust; probe with an empty append so a clean
+				// peer confirms it (a dirty one answers NeedSync instead) and
+				// previous-term records can commit — Raft's current-term
+				// commit rule, with the probe standing in for the no-op entry.
+				if match > confirmed {
+					if !n.sendAppend(p, term, shard, match, nil) {
+						return
+					}
+					sent++
+				}
 				break
 			}
 			payload, ok := n.opt.Records.get(shard, match+1)
@@ -219,9 +279,12 @@ func (n *Node) markSent(p *peer) {
 }
 
 // noteReply folds one successful reply into the peer's state: liveness,
-// positions (authoritative from the follower), dirty-shard requests, and
-// the commit index.
-func (n *Node) noteReply(p *peer, rep reply) {
+// positions (the follower's own reports, used only as the replication
+// cursor), dirty-shard requests, and the commit index. confirmShard/
+// confirmSeq, when confirmShard >= 0, record a position proven by a
+// successful append or snapshot in the current term — the only positions
+// the commit quorum counts.
+func (n *Node) noteReply(p *peer, rep reply, confirmShard int, confirmSeq uint64) {
 	n.mu.Lock()
 	p.lastAck = time.Now()
 	p.connected = true
@@ -229,11 +292,15 @@ func (n *Node) noteReply(p *peer, rep reply) {
 		p.known = true
 		p.match = append(p.match[:0], rep.Seqs...)
 	}
+	if confirmShard >= 0 {
+		p.confirm(n.cat.Shards(), confirmShard, confirmSeq)
+	}
 	for _, shard := range rep.Dirty {
 		if p.needSnap == nil {
 			p.needSnap = make(map[int]bool)
 		}
 		p.needSnap[shard] = true
+		p.unconfirm(shard)
 	}
 	if n.role == RoleLeader {
 		n.recomputeCommitLocked(-1)
@@ -281,11 +348,14 @@ func (n *Node) sendHeartbeat(p *peer, term uint64) bool {
 		n.observeTerm(rep.Term)
 		return false
 	}
-	n.noteReply(p, rep)
+	n.noteReply(p, rep, -1, 0)
 	return rep.OK
 }
 
-// sendAppend ships one WAL record frame.
+// sendAppend ships one WAL record frame (or, with an empty payload, probes
+// a position the peer already reports, to confirm it for the commit
+// quorum). A successful apply — or a clean duplicate acknowledgement —
+// confirms the peer at seq for this term.
 func (n *Node) sendAppend(p *peer, term uint64, shard int, seq uint64, payload []byte) bool {
 	n.markSent(p)
 	msg := message{
@@ -302,8 +372,15 @@ func (n *Node) sendAppend(p *peer, term uint64, shard int, seq uint64, payload [
 		n.observeTerm(rep.Term)
 		return false
 	}
-	n.noteReply(p, rep)
+	confirmShard := -1
+	if rep.OK && !rep.NeedSync {
+		confirmShard = shard
+	}
+	n.noteReply(p, rep, confirmShard, seq)
 	if rep.NeedSync {
+		n.mu.Lock()
+		p.unconfirm(shard)
+		n.mu.Unlock()
 		return n.sendSnapshot(p, term, shard)
 	}
 	return rep.OK
@@ -343,7 +420,13 @@ func (n *Node) sendSnapshot(p *peer, term uint64, shard int) bool {
 		n.observeTerm(rep.Term)
 		return false
 	}
-	n.noteReply(p, rep)
+	confirmShard := -1
+	if rep.OK {
+		// An installed snapshot is the leader's own state verbatim: it
+		// confirms the shard at the seq it covers.
+		confirmShard = shard
+	}
+	n.noteReply(p, rep, confirmShard, seq)
 	if !rep.OK {
 		n.countMetric("cluster.catchup_retries")
 		return false

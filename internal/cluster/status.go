@@ -40,12 +40,15 @@ type PeerStatus struct {
 	Addr      string `json:"addr"`
 	Connected bool   `json:"connected"`
 	// Known reports that the peer has answered at least once this term;
-	// MatchSeqs is its per-shard durable position, LagFrames/LagBytes how
+	// MatchSeqs is its per-shard self-reported position, ConfirmedSeqs the
+	// per-shard position proven by append/snapshot replication this term
+	// (only these count toward the commit quorum), LagFrames/LagBytes how
 	// far it trails the leader (bytes counted over the ring window).
-	Known     bool     `json:"known"`
-	MatchSeqs []uint64 `json:"match_seqs,omitempty"`
-	LagFrames uint64   `json:"lag_frames"`
-	LagBytes  int64    `json:"lag_bytes"`
+	Known         bool     `json:"known"`
+	MatchSeqs     []uint64 `json:"match_seqs,omitempty"`
+	ConfirmedSeqs []uint64 `json:"confirmed_seqs,omitempty"`
+	LagFrames     uint64   `json:"lag_frames"`
+	LagBytes      int64    `json:"lag_bytes"`
 	// LastAckMS is milliseconds since the last successful reply (-1 when
 	// never).
 	LastAckMS int64 `json:"last_ack_ms"`
@@ -102,6 +105,7 @@ func (n *Node) Status() Status {
 		}
 		if p.known {
 			ps.MatchSeqs = append([]uint64(nil), p.match...)
+			ps.ConfirmedSeqs = append([]uint64(nil), p.confirmed...)
 			for s := range seqs {
 				var match uint64
 				if s < len(p.match) {

@@ -122,7 +122,7 @@ func (c *rpcClient) call(msg message) (reply, error) {
 		c.conn = conn
 		c.br = bufio.NewReader(conn)
 	}
-	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	c.conn.SetDeadline(time.Now().Add(c.deadlineFor(msg)))
 
 	frames := 1
 	if err := wal.WriteFrame(c.conn, out); err != nil {
@@ -162,6 +162,24 @@ func (c *rpcClient) call(msg message) (reply, error) {
 		}
 	}
 	return rep, nil
+}
+
+// deadlineFor sizes the RPC deadline to the message. Heartbeats, appends,
+// and votes finish within the tick-scaled CallTimeout, but a snapshot reply
+// only arrives after the follower has decoded and rebuilt every policy in
+// the shard, which scales with the payload; holding multi-MB transfers to
+// the heartbeat deadline would time out and re-ship them forever even
+// though every server-side install succeeds.
+func (c *rpcClient) deadlineFor(msg message) time.Duration {
+	if msg.Kind != msgSnapshot {
+		return c.timeout
+	}
+	// 2s floor plus ~1s per MiB of payload, never below CallTimeout.
+	d := 2*time.Second + time.Duration(len(msg.Payload)>>20)*time.Second
+	if d < c.timeout {
+		d = c.timeout
+	}
+	return d
 }
 
 func (c *rpcClient) resetLocked() {
@@ -326,6 +344,11 @@ func (n *Node) handleAppend(msg message) reply {
 	case msg.Seq > local+1:
 		n.countMetric("cluster.frames_gap")
 		return reply{OK: false, Term: term, NeedSync: true, Seqs: n.cat.ShardSeqs()}
+	case len(msg.Payload) == 0:
+		// A position probe for a record this node turns out not to have
+		// (its reported seq went stale, e.g. across a restart). Not a gap —
+		// just report the real position so the leader resumes real appends.
+		return reply{OK: false, Term: term, Seqs: n.cat.ShardSeqs()}
 	}
 	if _, err := n.cat.ApplyRecord(msg.Shard, msg.Payload); err != nil {
 		if errors.Is(err, catalog.ErrOutOfOrder) {
@@ -353,6 +376,11 @@ func (n *Node) handleSnapshot(msg message) reply {
 		n.countMetric("cluster.catchup_rejected")
 		return reply{OK: false, Term: term, Err: err.Error(), Seqs: n.cat.ShardSeqs()}
 	}
+	// The install jumped the shard past anything buffered in the record
+	// ring; drop the stale tail so the ring never holds a seq gap (get()
+	// refuses gapped reads, but a contiguous ring keeps frame replay
+	// available if this node is later elected).
+	n.opt.Records.reset(msg.Shard)
 	n.mu.Lock()
 	if msg.Shard >= 0 && msg.Shard < len(n.ownSeq) {
 		n.ownSeq[msg.Shard] = msg.Seq
@@ -407,11 +435,19 @@ func (n *Node) handleVote(msg message) reply {
 		// able to suppress healthy nodes' own candidacies by spamming votes.
 		n.lastHeartbeat = prevHeartbeat
 	}
-	rep := reply{OK: true, Term: n.term, Granted: grant}
+	term := n.term
 	n.mu.Unlock()
 	if persistNeeded {
-		n.persist()
+		if err := n.persist(); err != nil && grant {
+			// The vote must be durable before the reply: a restart would
+			// reload the old votedFor and could vote again in this term,
+			// electing two leaders. Refuse the grant instead — the in-memory
+			// vote stands, so this node still votes for no one else this
+			// term, which costs availability but never safety.
+			grant = false
+		}
 	}
+	rep := reply{OK: true, Term: term, Granted: grant}
 	if grant {
 		n.countMetric("cluster.votes_granted")
 	}
