@@ -85,8 +85,9 @@ shard-matrix:
 # serving, graceful-shutdown drain, and the catalog/WAL crash-recovery and
 # torn-tail sweeps.
 chaos:
-	$(GO) test -race -run 'Chaos|Panic|Fault|Injected|Degrad|Shed|Drain|Shutdown|Ready|Gate|Crash|Torn|Recover|Partition|Catchup|Resyncs' \
-		./internal/fault ./internal/core ./cmd/minupd ./internal/catalog ./internal/wal ./internal/cluster
+	$(GO) test -race -run 'Chaos|Panic|Fault|Injected|Degrad|Shed|Drain|Shutdown|Ready|Gate|Crash|Torn|Recover|Partition|Catchup|Resyncs|OracleSweep' \
+		./internal/fault ./internal/core ./cmd/minupd ./internal/catalog ./internal/wal ./internal/cluster \
+		./internal/frontend/suppress ./internal/frontend/depinf
 
 # Short fuzz of every fuzz target (go fuzzes one target per invocation).
 FUZZTIME ?= 10s
@@ -96,3 +97,5 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseString$$' -fuzztime $(FUZZTIME) ./internal/constraint
 	$(GO) test -run '^$$' -fuzz '^FuzzParseDIMACS$$' -fuzztime $(FUZZTIME) ./internal/poset
 	$(GO) test -run '^$$' -fuzz '^FuzzSolve$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzSuppressCompile$$' -fuzztime $(FUZZTIME) ./internal/frontend/suppress
+	$(GO) test -run '^$$' -fuzz '^FuzzDepinfCompile$$' -fuzztime $(FUZZTIME) ./internal/frontend/depinf

@@ -25,6 +25,8 @@ import (
 	"minup/internal/baseline"
 	"minup/internal/constraint"
 	"minup/internal/core"
+	"minup/internal/frontend/depinf"
+	"minup/internal/frontend/suppress"
 	"minup/internal/lattice"
 	"minup/internal/poset"
 	"minup/internal/workload"
@@ -597,6 +599,59 @@ func BenchmarkCatalogMutateParallel(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// BenchmarkSolveSuppress measures the compiled solve path on a
+// cell-suppression frontend instance: a dense 12x12 cross-tab whose
+// row/column lub constraints have the connectivity shape the paper-shaped
+// random generator (solveBenchSet) never produces. Tracked next to
+// BenchmarkSolveCompiled in BENCH_solve.json so a solver change that only
+// hurts grid-shaped instances still trips the trend gate.
+func BenchmarkSolveSuppress(b *testing.B) {
+	tab, err := suppress.Generate(suppress.GenSpec{
+		Seed: 7, Rows: 12, Cols: 12, Levels: 3, Density: 0.2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := suppress.Frontend{}.Compile(tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	compiled := Compile(c.Set)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveContext(ctx, compiled, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveDepinf measures the compiled solve path on a
+// dependency-inference frontend instance: a deep layered DAG of denial
+// dependencies, the long-chain propagation shape.
+func BenchmarkSolveDepinf(b *testing.B) {
+	rel, err := depinf.Generate(depinf.GenSpec{
+		Seed: 7, Depth: 8, Width: 5, Fanout: 3, Levels: 4, Extra: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := depinf.Frontend{}.Compile(rel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	compiled := Compile(c.Set)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveContext(ctx, compiled, Options{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -124,6 +124,13 @@ func (g *gate) overloaded() bool {
 // inflight reports how many slots are currently held (for /readyz detail).
 func (g *gate) inflight() int { return len(g.sem) }
 
+// capacity reports the total in-flight slots, and queueDepth the waiters
+// currently queued behind them — the /cluster load hints clients use to
+// prefer lightly loaded nodes for reads.
+func (g *gate) capacity() int { return cap(g.sem) }
+
+func (g *gate) queueDepth() int64 { return g.queued.Load() }
+
 // writeShed answers a shed request: 503 with Retry-After so well-behaved
 // clients back off instead of hammering an overloaded server. The shed
 // disposition is marked on the request record for the access log and the

@@ -142,15 +142,40 @@ func (s *server) clusterReady() (string, bool) {
 	return "", true
 }
 
+// clusterLoadHints is this node's local admission snapshot, attached to
+// GET /cluster so load generators and routing clients can prefer lightly
+// loaded, low-lag nodes for reads without a second probe.
+type clusterLoadHints struct {
+	Inflight    int   `json:"inflight"`
+	MaxInflight int   `json:"max_inflight"`
+	QueueDepth  int64 `json:"queue_depth"`
+}
+
+// clusterStatusResponse is the GET /cluster payload: the replication view
+// (role, term, lease, per-peer lag, catalog fingerprint) plus the local
+// load hints.
+type clusterStatusResponse struct {
+	minup.ClusterStatus
+	Load clusterLoadHints `json:"load"`
+}
+
 // handleClusterStatus serves GET /cluster: this node's view of the
-// cluster (role, term, lease, per-peer lag, catalog fingerprint).
+// cluster (role, term, lease, per-peer lag, catalog fingerprint) plus
+// per-node load-balancing hints.
 func (s *server) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
 	node := s.cfg.cluster.node
 	if node == nil {
 		http.Error(w, "not running in cluster mode (start minupd with -cluster-listen/-cluster-peers)", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, node.Status())
+	writeJSON(w, clusterStatusResponse{
+		ClusterStatus: node.Status(),
+		Load: clusterLoadHints{
+			Inflight:    s.gate.inflight(),
+			MaxInflight: s.gate.capacity(),
+			QueueDepth:  s.gate.queueDepth(),
+		},
+	})
 }
 
 // openCluster boots the replication node from the -cluster-* flag values.

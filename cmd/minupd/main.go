@@ -53,6 +53,19 @@
 //	                                    zero compiles and zero solves
 //	                                    (POST works too)
 //
+// Source problems from the registered problem frontends enter through the
+// /problems routes: the instance JSON is parsed and compiled to policy
+// source texts, then stored with an ordinary catalog Put — sharding,
+// replication, memoized solves, flight records, and SLO gates apply to
+// compiled problems unchanged, and the result is served by the /policies
+// routes under the instance's name (override with ?name=):
+//
+//	GET    /problems                    list the problem families
+//	POST   /problems/{family}           parse + compile + store an instance
+//	                                    (suppress cross-tab table, depinf
+//	                                    relation; ?wait=1 and conditional
+//	                                    headers as on policy PUT)
+//
 // Responses carry the policy version as a strong ETag; If-Match gives
 // compare-and-swap writes (412 on a lost race) and If-None-Match: *
 // create-only PUTs (409 if the name exists).
@@ -545,6 +558,11 @@ func (s *server) routes(logger *slog.Logger) http.Handler {
 	mux.Handle("POST /policies/{name}/constraints", instrumentMethods("policy.constraints", o, s.handlePolicyAppend))
 	mux.Handle("GET /policies/{name}/solve", instrumentMethods("policy.solve", o, s.handlePolicySolve))
 	mux.Handle("POST /policies/{name}/solve", instrumentMethods("policy.solve", o, s.handlePolicySolve))
+	// Problem-frontend routes: source problems compiled into ordinary
+	// catalog policies. Route names stay low-cardinality — the family set
+	// is small and fixed at build time.
+	mux.Handle("GET /problems", instrumentMethods("problems", o, s.handleProblemList))
+	mux.Handle("POST /problems/{family}", instrumentMethods("problem", o, s.handleProblemCreate))
 	return mux
 }
 

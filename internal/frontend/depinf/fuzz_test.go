@@ -1,0 +1,61 @@
+package depinf_test
+
+import (
+	"strings"
+	"testing"
+
+	"minup/internal/constraint"
+	"minup/internal/core"
+	"minup/internal/frontend"
+	"minup/internal/frontend/depinf"
+	"minup/internal/lattice"
+)
+
+// FuzzDepinfCompile drives arbitrary bytes through parse → compile →
+// solve → verify. Parsing may reject, but a parsed instance must compile,
+// a compiled instance must solve (classifying every attribute at the
+// lattice top satisfies every floor and inference constraint), the result
+// must pass the engine verifier, and the emitted policy texts must
+// reparse.
+func FuzzDepinfCompile(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		rel, err := depinf.Generate(depinf.GenSpec{Seed: seed, Depth: 2 + int(seed%4)})
+		if err != nil {
+			f.Fatal(err)
+		}
+		raw, err := frontend.Marshal(rel)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(`{"name":"x","lattice":"chain c\nlevels a b\n","attrs":["p","q"],"sensitive":{"q":"b"},"deps":[{"from":["p"],"to":"q"}]}`))
+	f.Add([]byte(`{"attrs":[]}`))
+	f.Add([]byte(`not json`))
+	fe := depinf.Frontend{}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := fe.Parse(data)
+		if err != nil {
+			return
+		}
+		c, err := fe.Compile(inst)
+		if err != nil {
+			t.Fatalf("parsed instance failed to compile: %v", err)
+		}
+		res, err := core.Solve(c.Set, core.Options{})
+		if err != nil {
+			t.Fatalf("compiled instance failed to solve: %v", err)
+		}
+		if err := core.Verify(c.Set, res.Assignment); err != nil {
+			t.Fatalf("solved assignment failed engine verify: %v", err)
+		}
+		lat, err := lattice.Parse(strings.NewReader(c.LatticeText))
+		if err != nil {
+			t.Fatalf("lattice text does not reparse: %v", err)
+		}
+		set := constraint.NewSet(lat)
+		if err := set.ParseString(c.ConstraintText); err != nil {
+			t.Fatalf("constraint text does not reparse: %v", err)
+		}
+	})
+}

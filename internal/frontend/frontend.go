@@ -1,0 +1,202 @@
+// Package frontend compiles adjacent problem classes from the related
+// literature into the engine's constraint language, so the solver, the
+// policy catalog, and the whole serving stack run unchanged on instance
+// shapes the paper-shaped workload generator never produces.
+//
+// A Frontend owns one source-problem family. It parses a round-trippable
+// JSON instance format, compiles an instance into a security lattice plus
+// a constraint.Set (ready for Compile/Solve or for the catalog as policy
+// source text), generates seeded random instances, and — the part that
+// keeps the reductions honest — checks a solved assignment against a
+// source-level oracle: security and minimality stated in the vocabulary of
+// the source problem, not of the constraint engine. Property tests sweep
+// seeded instances through compile → solve → oracle, so a bug in a
+// reduction cannot hide behind the engine's own (constraint-level)
+// minimality guarantee.
+//
+// Two frontends register themselves here:
+//
+//   - suppress (frontend/suppress): two-dimensional cross-tab tables with
+//     sensitive cells and published marginals, after Kao's "Data Security
+//     Equals Graph Connectivity". Complementary suppression becomes
+//     connectivity-shaped complex constraints on the cell grid.
+//   - depinf (frontend/depinf): relation schemas with denial-style data
+//     dependencies over sensitive attributes, after Pappachan et al.,
+//     "Preventing Inferences through Data Dependencies on Sensitive
+//     Data". The dependency closure becomes inference constraints the way
+//     mlsdb association/inference requirements do.
+//
+// Registration also installs each frontend as an instance family in
+// internal/workload's family registry, so benches and the load harness
+// draw frontend instances through the same seeded-generator surface as
+// paper-shaped ones.
+package frontend
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"minup/internal/constraint"
+	"minup/internal/lattice"
+	"minup/internal/workload"
+)
+
+// Instance is one parsed source-problem instance. Concrete types are
+// plain JSON-taggable structs; Marshal re-serializes them into the same
+// round-trippable format Parse accepts.
+type Instance interface {
+	// Family names the frontend the instance belongs to.
+	Family() string
+	// InstanceName is the instance's own name, used as the default policy
+	// name when the instance is stored in the catalog.
+	InstanceName() string
+	// Validate checks structural well-formedness and the size caps that
+	// keep fuzzed instances bounded.
+	Validate() error
+}
+
+// Compiled is the engine-ready form of a source instance: the lattice and
+// constraint set Algorithm 3.1 runs on, plus their textual forms in the
+// catalog's policy source grammar, so a compiled instance can be stored
+// with an ordinary catalog Put and inherit sharding, replication, memoized
+// solves, flight records, and SLO gates unchanged.
+type Compiled struct {
+	Family   string
+	Name     string
+	Instance Instance
+	Lattice  lattice.Lattice
+	Set      *constraint.Set
+	// LatticeText and ConstraintText round-trip through lattice.Parse and
+	// constraint.ParseInto into an equivalent instance (identical attribute
+	// ids), which is exactly what POST /problems/{family} hands to the
+	// catalog.
+	LatticeText    string
+	ConstraintText string
+}
+
+// Frontend compiles one source-problem family into the constraint engine.
+// Implementations must be stateless (safe for concurrent use) and
+// deterministic: Compile of equal instances yields equal texts, and
+// Generate is a pure function of (seed, size).
+type Frontend interface {
+	// Family is the registry key and the {family} path element of
+	// POST /problems/{family}.
+	Family() string
+	// Describe is a one-line human description for listings.
+	Describe() string
+	// Parse decodes the family's JSON instance format and validates it.
+	Parse(data []byte) (Instance, error)
+	// Generate builds a seeded random instance; size scales the instance
+	// roughly linearly in each dimension (frontends expose richer spec
+	// types for fine control).
+	Generate(seed int64, size int) (Instance, error)
+	// Compile maps a source instance onto the engine: a lattice, a
+	// constraint set, and their catalog source texts.
+	Compile(inst Instance) (*Compiled, error)
+	// Oracle checks a solved assignment in source-problem terms: the
+	// instance's security condition holds, required levels are met, and no
+	// single element can be declassified one step without breaking either
+	// — minimality stated without reference to the compiled constraints.
+	Oracle(c *Compiled, m constraint.Assignment) error
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Frontend)
+)
+
+// Register installs a frontend under its family name and mirrors it into
+// internal/workload's instance-family registry. It panics on a duplicate
+// or empty family — registration happens from package init, where a
+// conflict is a programming error.
+func Register(f Frontend) {
+	family := f.Family()
+	if family == "" || strings.ContainsAny(family, "/ \t\n") {
+		panic(fmt.Sprintf("frontend: invalid family name %q", family))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[family]; dup {
+		panic(fmt.Sprintf("frontend: family %q registered twice", family))
+	}
+	registry[family] = f
+	workload.MustRegisterFamily(workload.Family{
+		Name:     family,
+		Describe: f.Describe(),
+		Generate: func(seed int64, size int) (workload.FamilyInstance, error) {
+			inst, err := f.Generate(seed, size)
+			if err != nil {
+				return workload.FamilyInstance{}, err
+			}
+			c, err := f.Compile(inst)
+			if err != nil {
+				return workload.FamilyInstance{}, err
+			}
+			raw, err := Marshal(inst)
+			if err != nil {
+				return workload.FamilyInstance{}, err
+			}
+			return workload.FamilyInstance{
+				Name:        inst.InstanceName(),
+				JSON:        raw,
+				Lattice:     c.LatticeText,
+				Constraints: c.ConstraintText,
+			}, nil
+		},
+	})
+}
+
+// Lookup returns the frontend registered for a family.
+func Lookup(family string) (Frontend, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[family]
+	return f, ok
+}
+
+// Families returns the registered family names, sorted.
+func Families() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Marshal serializes an instance into the JSON format its frontend's
+// Parse accepts (indented, stable field order per encoding/json).
+func Marshal(inst Instance) ([]byte, error) {
+	return json.MarshalIndent(inst, "", "  ")
+}
+
+// LatticeString renders a lattice's textual form for the compiled policy
+// source. Only chains need synthesizing today (the depinf format carries
+// its lattice text verbatim); other kinds would extend this.
+func LatticeString(name string, bottomUp []string) string {
+	var b strings.Builder
+	b.WriteString("chain ")
+	b.WriteString(name)
+	b.WriteString("\nlevels")
+	for _, l := range bottomUp {
+		b.WriteString(" ")
+		b.WriteString(l)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// ConstraintString renders a constraint set in the catalog's policy
+// source grammar via its WriteTo round-trip form.
+func ConstraintString(s *constraint.Set) (string, error) {
+	var b strings.Builder
+	if _, err := s.WriteTo(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,175 @@
+package frontend_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"minup/internal/constraint"
+	"minup/internal/frontend"
+	_ "minup/internal/frontend/depinf"
+	_ "minup/internal/frontend/suppress"
+	"minup/internal/lattice"
+	"minup/internal/workload"
+)
+
+func TestRegistryFamilies(t *testing.T) {
+	fams := frontend.Families()
+	if !sort.StringsAreSorted(fams) {
+		t.Fatalf("Families() not sorted: %v", fams)
+	}
+	for _, want := range []string{"depinf", "suppress"} {
+		fe, ok := frontend.Lookup(want)
+		if !ok {
+			t.Fatalf("family %q not registered (have %v)", want, fams)
+		}
+		if fe.Family() != want {
+			t.Fatalf("Lookup(%q) returned family %q", want, fe.Family())
+		}
+		if fe.Describe() == "" {
+			t.Fatalf("family %q has an empty description", want)
+		}
+		if _, ok := workload.LookupFamily(want); !ok {
+			t.Fatalf("family %q not mirrored into the workload registry", want)
+		}
+	}
+	if _, ok := frontend.Lookup("no-such-family"); ok {
+		t.Fatal("Lookup of an unknown family succeeded")
+	}
+}
+
+// stubFrontend exists to provoke registration panics; its methods are
+// never called.
+type stubFrontend struct{ family string }
+
+func (s stubFrontend) Family() string   { return s.family }
+func (s stubFrontend) Describe() string { return "stub" }
+func (s stubFrontend) Parse([]byte) (frontend.Instance, error) {
+	return nil, nil
+}
+func (s stubFrontend) Generate(int64, int) (frontend.Instance, error) {
+	return nil, nil
+}
+func (s stubFrontend) Compile(frontend.Instance) (*frontend.Compiled, error) {
+	return nil, nil
+}
+func (s stubFrontend) Oracle(*frontend.Compiled, constraint.Assignment) error {
+	return nil
+}
+
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register of a duplicate family did not panic")
+		}
+	}()
+	frontend.Register(stubFrontend{family: "suppress"})
+}
+
+func TestRegisterPanicsOnInvalidName(t *testing.T) {
+	for _, bad := range []string{"", "two words", "a/b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register of family %q did not panic", bad)
+				}
+			}()
+			frontend.Register(stubFrontend{family: bad})
+		}()
+	}
+}
+
+// TestWorkloadMirrorMatchesFrontend pins the adapter Register installs in
+// the workload family registry to the frontend's own Generate → Compile →
+// Marshal pipeline, and checks the emitted JSON round-trips through Parse
+// into an instance that compiles to the same policy texts.
+func TestWorkloadMirrorMatchesFrontend(t *testing.T) {
+	for _, name := range frontend.Families() {
+		fe, ok := frontend.Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		fi, err := workload.GenerateFamily(name, 11, 3)
+		if err != nil {
+			t.Fatalf("GenerateFamily(%q): %v", name, err)
+		}
+		inst, err := fe.Generate(11, 3)
+		if err != nil {
+			t.Fatalf("%s.Generate: %v", name, err)
+		}
+		c, err := fe.Compile(inst)
+		if err != nil {
+			t.Fatalf("%s.Compile: %v", name, err)
+		}
+		if fi.Name != inst.InstanceName() {
+			t.Errorf("%s: mirror name %q, frontend name %q", name, fi.Name, inst.InstanceName())
+		}
+		if fi.Lattice != c.LatticeText {
+			t.Errorf("%s: mirror lattice text differs from compiled text", name)
+		}
+		if fi.Constraints != c.ConstraintText {
+			t.Errorf("%s: mirror constraint text differs from compiled text", name)
+		}
+		if len(fi.JSON) == 0 {
+			t.Fatalf("%s: mirror emitted no instance JSON", name)
+		}
+		inst2, err := fe.Parse(fi.JSON)
+		if err != nil {
+			t.Fatalf("%s: reparsing mirror JSON: %v", name, err)
+		}
+		c2, err := fe.Compile(inst2)
+		if err != nil {
+			t.Fatalf("%s: recompiling reparsed instance: %v", name, err)
+		}
+		if c2.ConstraintText != c.ConstraintText || c2.LatticeText != c.LatticeText {
+			t.Errorf("%s: reparsed instance compiles to different texts", name)
+		}
+	}
+}
+
+// TestCompiledTextsAreValidPolicySource checks every frontend's emitted
+// lattice and constraint texts parse through the same path the catalog
+// uses for stored policies.
+func TestCompiledTextsAreValidPolicySource(t *testing.T) {
+	for _, name := range frontend.Families() {
+		fe, _ := frontend.Lookup(name)
+		inst, err := fe.Generate(7, 4)
+		if err != nil {
+			t.Fatalf("%s.Generate: %v", name, err)
+		}
+		c, err := fe.Compile(inst)
+		if err != nil {
+			t.Fatalf("%s.Compile: %v", name, err)
+		}
+		lat, err := lattice.Parse(strings.NewReader(c.LatticeText))
+		if err != nil {
+			t.Fatalf("%s: lattice text does not reparse: %v", name, err)
+		}
+		set := constraint.NewSet(lat)
+		if err := set.ParseString(c.ConstraintText); err != nil {
+			t.Fatalf("%s: constraint text does not reparse: %v", name, err)
+		}
+		if set.NumAttrs() != c.Set.NumAttrs() {
+			t.Fatalf("%s: reparsed set has %d attrs, compiled has %d", name, set.NumAttrs(), c.Set.NumAttrs())
+		}
+	}
+}
+
+func TestLatticeStringParses(t *testing.T) {
+	text := frontend.LatticeString("demo", []string{"low", "mid", "high"})
+	lat, err := lattice.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("LatticeString output does not parse: %v\n%s", err, text)
+	}
+	lo, err := lat.ParseLevel("low")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := lat.ParseLevel("high")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lat.Dominates(hi, lo) || lat.Dominates(lo, hi) {
+		t.Fatal("LatticeString chain order is wrong")
+	}
+}

@@ -1,0 +1,60 @@
+package suppress_test
+
+import (
+	"strings"
+	"testing"
+
+	"minup/internal/constraint"
+	"minup/internal/core"
+	"minup/internal/frontend"
+	"minup/internal/frontend/suppress"
+	"minup/internal/lattice"
+)
+
+// FuzzSuppressCompile drives arbitrary bytes through parse → compile →
+// solve → verify. Parsing may reject, but a parsed instance must compile,
+// a compiled instance must solve (valid suppress instances always have a
+// solution: classify everything at the top of the chain), the result must
+// pass the engine verifier, and the emitted policy texts must reparse.
+func FuzzSuppressCompile(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		tab, err := suppress.Generate(suppress.GenSpec{Seed: seed, Rows: 3 + int(seed%4), Cols: 3 + int(seed%3)})
+		if err != nil {
+			f.Fatal(err)
+		}
+		raw, err := frontend.Marshal(tab)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(`{"name":"x","levels":["a","b"],"rows":2,"cols":2,"sensitive":[{"row":0,"col":0,"level":"b"}]}`))
+	f.Add([]byte(`{"rows":-1}`))
+	f.Add([]byte(`not json`))
+	fe := suppress.Frontend{}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := fe.Parse(data)
+		if err != nil {
+			return
+		}
+		c, err := fe.Compile(inst)
+		if err != nil {
+			t.Fatalf("parsed instance failed to compile: %v", err)
+		}
+		res, err := core.Solve(c.Set, core.Options{})
+		if err != nil {
+			t.Fatalf("compiled instance failed to solve: %v", err)
+		}
+		if err := core.Verify(c.Set, res.Assignment); err != nil {
+			t.Fatalf("solved assignment failed engine verify: %v", err)
+		}
+		lat, err := lattice.Parse(strings.NewReader(c.LatticeText))
+		if err != nil {
+			t.Fatalf("lattice text does not reparse: %v", err)
+		}
+		set := constraint.NewSet(lat)
+		if err := set.ParseString(c.ConstraintText); err != nil {
+			t.Fatalf("constraint text does not reparse: %v", err)
+		}
+	})
+}

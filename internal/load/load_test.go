@@ -25,6 +25,7 @@ type fakeServer struct {
 	requests  atomic.Uint64
 	mutations atomic.Uint64
 	solves    atomic.Uint64
+	problems  atomic.Uint64
 
 	// shedEvery sheds (503) every Nth request when > 0.
 	shedEvery uint64
@@ -34,6 +35,8 @@ type fakeServer struct {
 	burnMilli atomic.Int64
 	// noStatic makes /solve and /trace 404 (catalog-only server).
 	noStatic bool
+	// noProblems makes the /problems routes 404 (pre-frontend server).
+	noProblems bool
 	// noLeader answers every mutation 503 + X-Cluster-State: no-leader,
 	// emulating an election window.
 	noLeader atomic.Bool
@@ -47,7 +50,8 @@ type fakeServer struct {
 // clustered minupd follower does.
 func (f *fakeServer) newFollower() *httptest.Server {
 	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet && strings.HasPrefix(r.URL.Path, "/policies/") {
+		if r.Method != http.MethodGet &&
+			(strings.HasPrefix(r.URL.Path, "/policies/") || strings.HasPrefix(r.URL.Path, "/problems/")) {
 			w.Header().Set("X-Cluster-Leader", f.srv.URL)
 			http.Redirect(w, r, f.srv.URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
 			return
@@ -89,6 +93,44 @@ func newFakeServer() *fakeServer {
 			return
 		}
 		fmt.Fprintln(w, `{"steps":[]}`)
+	})
+	mux.HandleFunc("/problems", func(w http.ResponseWriter, r *http.Request) {
+		if f.noProblems {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, `{"families":[{"name":"suppress"},{"name":"depinf"}]}`)
+	})
+	mux.HandleFunc("/problems/", func(w http.ResponseWriter, r *http.Request) {
+		if f.noProblems {
+			http.NotFound(w, r)
+			return
+		}
+		if f.count(w, r) {
+			return
+		}
+		family := strings.TrimPrefix(r.URL.Path, "/problems/")
+		if r.Method != http.MethodPost || (family != "suppress" && family != "depinf") {
+			http.NotFound(w, r)
+			return
+		}
+		if f.noLeader.Load() {
+			w.Header().Set("X-Cluster-State", "no-leader")
+			http.Error(w, "no cluster leader; retry", http.StatusServiceUnavailable)
+			return
+		}
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			http.Error(w, "missing name", http.StatusBadRequest)
+			return
+		}
+		f.mutations.Add(1)
+		f.problems.Add(1)
+		f.mu.Lock()
+		f.policies[name] = true
+		f.mu.Unlock()
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, `{"name":%q,"family":%q}`+"\n", name, family)
 	})
 	mux.HandleFunc("/policies/", func(w http.ResponseWriter, r *http.Request) {
 		if f.count(w, r) {
@@ -431,6 +473,119 @@ func TestRunnerCatalogOnlyFallback(t *testing.T) {
 		if res, ok := st.PerOp[op]; ok && res.Counts.Attempts > 0 {
 			t.Fatalf("%s attempted against a catalog-only server", op)
 		}
+	}
+}
+
+func TestRunnerProblemCreates(t *testing.T) {
+	// The default mix carries a thin stream of problem-frontend creates;
+	// against a server with /problems routes they must land as successes
+	// and register as mutations (a stored problem is an ordinary policy).
+	f := newFakeServer()
+	defer f.srv.Close()
+	r := &Runner{BaseURL: f.srv.URL, Logf: t.Logf}
+	plan := smokePlan()
+	plan.Stages = plan.Stages[:1]
+	plan.Stages[0].Gates = Gates{MinSuccessRate: 0.95, MaxErrorRate: 0.01}
+	rep, err := r.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("run with problem ops failed: %v", rep.Stages[0].GateFailures)
+	}
+	res, ok := rep.Stages[0].PerOp[opProblem]
+	if !ok || res.Counts.Attempts == 0 {
+		t.Fatal("no problem creates attempted under the default mix")
+	}
+	if res.Counts.Errors > 0 {
+		t.Fatalf("problem creates errored: %+v", res.Counts)
+	}
+	if f.problems.Load() == 0 {
+		t.Fatal("no problem create reached the server")
+	}
+}
+
+func TestRunnerProblemFallback(t *testing.T) {
+	// Against a server without the /problems routes (pre-frontend build),
+	// problem draws fall back to mutations instead of racking up 404 errors.
+	f := newFakeServer()
+	defer f.srv.Close()
+	f.noProblems = true
+	r := &Runner{BaseURL: f.srv.URL}
+	plan := smokePlan()
+	plan.Stages = plan.Stages[:1]
+	plan.Stages[0].Gates = Gates{MaxErrorRate: 0.01}
+	rep, err := r.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		t.Fatalf("fallback run failed: %v", rep.Stages[0].GateFailures)
+	}
+	if res, ok := rep.Stages[0].PerOp[opProblem]; ok && res.Counts.Attempts > 0 {
+		t.Fatal("problem creates attempted against a server without /problems")
+	}
+}
+
+// clusterNode fakes one member's read-balancing surface: /healthz plus a
+// fixed GET /cluster payload.
+func clusterNode(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			fmt.Fprintln(w, "ok")
+		case "/cluster":
+			if body == "" {
+				http.NotFound(w, r)
+				return
+			}
+			fmt.Fprintln(w, body)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRankReadTargets(t *testing.T) {
+	leader := clusterNode(t, `{"role":"leader","load":{"inflight":0,"queue_depth":0}}`)
+	fresh := clusterNode(t, `{"role":"follower","replica_lag_frames":0,"replica_lag_known":true,"load":{"inflight":3,"queue_depth":1}}`)
+	lagged := clusterNode(t, `{"role":"follower","replica_lag_frames":5,"replica_lag_known":true,"load":{"inflight":0,"queue_depth":0}}`)
+	stale := clusterNode(t, `{"role":"follower","replica_lag_frames":9999,"replica_lag_known":true,"load":{}}`)
+	unknown := clusterNode(t, `{"role":"follower","replica_lag_known":false,"load":{}}`)
+	bare := clusterNode(t, "") // no /cluster at all
+
+	newRunner := func(targets ...string) *Runner {
+		r := &Runner{Client: http.DefaultClient, RequestTimeout: 2 * time.Second, Logf: t.Logf}
+		r.targets = targets
+		return r
+	}
+	ctx := context.Background()
+
+	// Fresh followers first (by lag, then load), leader last; stale and
+	// lag-unknown members are excluded entirely.
+	r := newRunner(leader.URL, stale.URL, lagged.URL, unknown.URL, fresh.URL)
+	got := r.rankReadTargets(ctx)
+	want := []string{fresh.URL, lagged.URL, leader.URL}
+	if len(got) != len(want) {
+		t.Fatalf("ranked %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranked %v, want %v", got, want)
+		}
+	}
+
+	// A single target never ranks: nothing to balance.
+	if got := newRunner(leader.URL).rankReadTargets(ctx); got != nil {
+		t.Fatalf("single target ranked: %v", got)
+	}
+
+	// Any member without /cluster hints disables ranking (use every target).
+	if got := newRunner(leader.URL, bare.URL).rankReadTargets(ctx); got != nil {
+		t.Fatalf("ranking with a hint-less member: %v", got)
 	}
 }
 

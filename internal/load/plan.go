@@ -47,9 +47,14 @@ type Mix struct {
 	// Trace requests a fully instrumented solve (/trace), the most
 	// expensive read. Falls back like ColdSolve on catalog-only servers.
 	Trace float64 `json:"trace"`
+	// Problem posts a seeded problem-frontend instance (alternating
+	// suppress / depinf) to /problems/{family}, exercising the
+	// parse-compile-store path with instance geometries the mutation
+	// stream never produces.
+	Problem float64 `json:"problem,omitempty"`
 }
 
-func (m Mix) total() float64 { return m.Mutate + m.CachedSolve + m.ColdSolve + m.Trace }
+func (m Mix) total() float64 { return m.Mutate + m.CachedSolve + m.ColdSolve + m.Trace + m.Problem }
 
 // Gates are a stage's pass/fail thresholds. The zero value of each field
 // disables that gate, so a plan only pays for the checks it declares; use
@@ -135,9 +140,9 @@ func DefaultWorkload() workload.MutationSpec {
 
 // DefaultMix is the standard request mix: mostly cached solves (the hot
 // path at scale), a steady mutation trickle, some cold solves, a few
-// traces.
+// traces, and a thin stream of problem-frontend creates.
 func DefaultMix() Mix {
-	return Mix{Mutate: 0.15, CachedSolve: 0.60, ColdSolve: 0.20, Trace: 0.05}
+	return Mix{Mutate: 0.15, CachedSolve: 0.55, ColdSolve: 0.20, Trace: 0.05, Problem: 0.05}
 }
 
 // DefaultPlan is the canonical staged run: ramp to find the knee, storm to

@@ -8,11 +8,16 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	// The frontend packages register the problem families ("suppress",
+	// "depinf") into the workload registry the problem op draws from.
+	_ "minup/internal/frontend/depinf"
+	_ "minup/internal/frontend/suppress"
 	"minup/internal/obs"
 	"minup/internal/workload"
 )
@@ -36,11 +41,24 @@ const (
 
 // opNames index the per-op result blocks; op codes are the Mix fields.
 const (
-	opMutate = "mutate"
-	opCached = "cached_solve"
-	opCold   = "cold_solve"
-	opTrace  = "trace"
+	opMutate  = "mutate"
+	opCached  = "cached_solve"
+	opCold    = "cold_solve"
+	opTrace   = "trace"
+	opProblem = "problem"
 )
+
+// problemFamilies are the frontend families problem draws alternate
+// through, and problemSize the generator size knob (small, so a problem
+// create costs about as much as a policy put).
+var problemFamilies = []string{"suppress", "depinf"}
+
+const problemSize = 3
+
+// maxReadLagFrames is the replica-lag ceiling for read-target ranking: a
+// follower whose lag is unknown or beyond this many frames is skipped for
+// reads when fresher members exist.
+const maxReadLagFrames = 256
 
 // maxRedirectHops bounds how many 307 leader redirects one logical
 // request follows before giving up (covers a leader change mid-chain).
@@ -72,7 +90,16 @@ type Runner struct {
 	Logf func(format string, args ...any)
 
 	hasStatic bool
-	targets   []string
+	// hasProblems reports whether the target serves the problem-frontend
+	// routes; older servers answer 404 on GET /problems, and problem draws
+	// then fall back to mutations the way cold solves fall back to cached.
+	hasProblems bool
+	targets     []string
+	// readTargets is the preflight's load-balanced ordering of targets for
+	// read traffic: leader and fresh followers first, lag-unknown or
+	// badly lagging members excluded (falls back to all targets when the
+	// /cluster hints are unavailable, e.g. single-node mode).
+	readTargets []string
 	// leaderHint caches the last X-Cluster-Leader redirect target so
 	// mutations skip the follower round-trip; cleared on no-leader answers.
 	leaderHint atomic.Value // string
@@ -98,6 +125,9 @@ type client struct {
 	gen    int64
 	live   []string
 	liveAt map[string]int // name -> index in live, for O(1) delete
+	// problems counts this client's problem creates, alternating the
+	// family and seeding the generator deterministically.
+	problems int64
 }
 
 func newClient(id int, planSeed int64, spec workload.MutationSpec) (*client, error) {
@@ -151,10 +181,11 @@ func (c *client) markDead(name string) {
 }
 
 // pickOp draws a request kind from the stage mix, resolving fallbacks: no
-// static instance turns cold/trace draws into cached solves, and a cached
-// draw with no live policy becomes a mutation (whose stream is guaranteed
-// to start with a put).
-func (c *client) pickOp(mix Mix, hasStatic bool) string {
+// static instance turns cold/trace draws into cached solves, no /problems
+// routes turn problem draws into mutations, and a cached draw with no live
+// policy becomes a mutation (whose stream is guaranteed to start with a
+// put).
+func (c *client) pickOp(mix Mix, hasStatic, hasProblems bool) string {
 	r := c.rng.Float64() * mix.total()
 	var op string
 	switch {
@@ -164,11 +195,16 @@ func (c *client) pickOp(mix Mix, hasStatic bool) string {
 		op = opCached
 	case r < mix.Mutate+mix.CachedSolve+mix.ColdSolve:
 		op = opCold
-	default:
+	case r < mix.Mutate+mix.CachedSolve+mix.ColdSolve+mix.Trace:
 		op = opTrace
+	default:
+		op = opProblem
 	}
 	if (op == opCold || op == opTrace) && !hasStatic {
 		op = opCached
+	}
+	if op == opProblem && !hasProblems {
+		op = opMutate
 	}
 	if op == opCached && len(c.live) == 0 {
 		op = opMutate
@@ -193,7 +229,7 @@ func newStageRecorder() *stageRecorder {
 		perOp:  make(map[string]*obs.Histogram),
 		counts: make(map[string]*Counts),
 	}
-	for _, op := range []string{opMutate, opCached, opCold, opTrace} {
+	for _, op := range []string{opMutate, opCached, opCold, opTrace, opProblem} {
 		r.perOp[op] = obs.NewHistogram(obs.DurationBucketsUS)
 		r.counts[op] = &Counts{}
 	}
@@ -278,13 +314,17 @@ func (r *Runner) Run(ctx context.Context, plan Plan) (*Report, error) {
 		return nil, err
 	}
 
+	readTargets := r.readTargets
+	if len(readTargets) == 0 {
+		readTargets = r.targets
+	}
 	clients := make([]*client, maxClients)
 	for i := range clients {
 		c, err := newClient(i, plan.Seed, plan.Workload)
 		if err != nil {
 			return nil, err
 		}
-		c.base = r.targets[i%len(r.targets)]
+		c.base = readTargets[i%len(readTargets)]
 		clients[i] = c
 	}
 
@@ -336,8 +376,10 @@ func (r *Runner) Run(ctx context.Context, plan Plan) (*Report, error) {
 	return report, nil
 }
 
-// preflight verifies every target is alive and discovers whether the
-// static /solve instance exists (it decides cold-solve/trace fallbacks).
+// preflight verifies every target is alive and discovers which optional
+// surfaces exist: the static /solve instance (decides cold-solve/trace
+// fallbacks) and the /problems frontend routes (decides the problem-op
+// fallback), then ranks the targets for read traffic.
 func (r *Runner) preflight(ctx context.Context) error {
 	ctx, cancel := context.WithTimeout(ctx, r.RequestTimeout)
 	defer cancel()
@@ -368,7 +410,110 @@ func (r *Runner) preflight(ctx context.Context) error {
 	if !r.hasStatic {
 		r.logf("target has no static instance; cold-solve and trace draws fall back to cached solves")
 	}
+	req, err = http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/problems", nil)
+	if err != nil {
+		return err
+	}
+	resp, err = r.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("load: probing /problems: %w", err)
+	}
+	drain(resp)
+	r.hasProblems = resp.StatusCode == http.StatusOK
+	if !r.hasProblems {
+		r.logf("target has no problem frontends; problem draws fall back to mutations")
+	}
+	r.readTargets = r.rankReadTargets(ctx)
 	return nil
+}
+
+// clusterProbe is the slice of the GET /cluster payload the read-target
+// ranking consumes: the node's role and replication freshness, plus the
+// local admission-load hints.
+type clusterProbe struct {
+	Role            string `json:"role"`
+	ReplicaLag      uint64 `json:"replica_lag_frames"`
+	ReplicaLagKnown bool   `json:"replica_lag_known"`
+	Load            struct {
+		Inflight   int   `json:"inflight"`
+		QueueDepth int64 `json:"queue_depth"`
+	} `json:"load"`
+}
+
+// rankReadTargets orders the targets for read traffic using the /cluster
+// load-balancing hints: fresh followers first (lowest lag, then lightest
+// load), then the leader, so reads prefer low-lag followers and leave the
+// leader capacity for the write path. Members whose lag is unknown (still
+// catching up, partitioned) or beyond maxReadLagFrames are excluded.
+// Returns nil — meaning "use every target round-robin" — when the hints
+// are unavailable: single-node servers answer 404 on /cluster.
+func (r *Runner) rankReadTargets(ctx context.Context) []string {
+	if len(r.targets) < 2 {
+		return nil
+	}
+	type ranked struct {
+		target string
+		leader bool
+		lag    uint64
+		load   int64
+	}
+	var eligible []ranked
+	probed := true
+	for _, target := range r.targets {
+		probeCtx, cancel := context.WithTimeout(ctx, r.RequestTimeout)
+		req, err := http.NewRequestWithContext(probeCtx, http.MethodGet, target+"/cluster", nil)
+		if err != nil {
+			cancel()
+			return nil
+		}
+		resp, err := r.Client.Do(req)
+		if err != nil {
+			// An unreachable member was already fatal in preflight; a probe
+			// race here just disables ranking.
+			cancel()
+			return nil
+		}
+		if resp.StatusCode != http.StatusOK {
+			drain(resp)
+			cancel()
+			probed = false
+			break
+		}
+		var probe clusterProbe
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&probe)
+		drain(resp)
+		cancel()
+		if err != nil {
+			return nil
+		}
+		switch {
+		case probe.Role == "leader":
+			eligible = append(eligible, ranked{target: target, leader: true, load: int64(probe.Load.Inflight) + probe.Load.QueueDepth})
+		case probe.Role == "follower" && probe.ReplicaLagKnown && probe.ReplicaLag <= maxReadLagFrames:
+			eligible = append(eligible, ranked{target: target, lag: probe.ReplicaLag, load: int64(probe.Load.Inflight) + probe.Load.QueueDepth})
+		default:
+			r.logf("read ranking: skipping %s (role=%s lag_known=%v lag=%d)",
+				target, probe.Role, probe.ReplicaLagKnown, probe.ReplicaLag)
+		}
+	}
+	if !probed || len(eligible) == 0 {
+		return nil
+	}
+	sort.SliceStable(eligible, func(i, j int) bool {
+		if eligible[i].leader != eligible[j].leader {
+			return !eligible[i].leader // followers first
+		}
+		if eligible[i].lag != eligible[j].lag {
+			return eligible[i].lag < eligible[j].lag
+		}
+		return eligible[i].load < eligible[j].load
+	})
+	out := make([]string, len(eligible))
+	for i, e := range eligible {
+		out[i] = e.target
+	}
+	r.logf("read ranking: %s", strings.Join(out, " > "))
+	return out
 }
 
 func (r *Runner) runStage(ctx context.Context, st Stage, clients []*client, before *obs.PromMetrics) (*StageResult, error) {
@@ -473,7 +618,7 @@ func (r *Runner) clientLoop(ctx context.Context, st Stage, c *client, rec *stage
 				nextAt = time.Now().Add(interval)
 			}
 		}
-		op := c.pickOp(st.Mix, r.hasStatic)
+		op := c.pickOp(st.Mix, r.hasStatic, r.hasProblems)
 		outcome, d, hops, err := r.execute(ctx, c, op)
 		if err != nil && ctx.Err() != nil {
 			return // stage ended mid-request; not the server's fault
@@ -535,12 +680,28 @@ func (r *Runner) execute(ctx context.Context, c *client, op string) (Outcome, ti
 		path = "/solve"
 	case opTrace:
 		path = "/trace"
+	case opProblem:
+		// Alternate the frontend families with a per-client deterministic
+		// seed; the instance lands under a client-scoped policy name so
+		// later cached solves can target it.
+		family := problemFamilies[c.problems%int64(len(problemFamilies))]
+		fi, err := workload.GenerateFamily(family, c.spec.Seed+c.problems*7919, problemSize)
+		if err != nil {
+			return OutcomeError, 0, 0, err
+		}
+		probName := fmt.Sprintf("c%03df%04d", c.id, c.problems)
+		c.problems++
+		method = http.MethodPost
+		path = "/problems/" + family + "?name=" + probName
+		body = fi.JSON
+		mut = workload.Mutation{Op: workload.OpPut, Name: probName}
 	}
 
-	// Reads stay on the client's home member; mutations go straight to the
-	// last known leader when a redirect has taught us one.
+	// Reads stay on the client's home member; mutations (policy and
+	// problem writes alike) go straight to the last known leader when a
+	// redirect has taught us one.
 	url := c.base + path
-	if op == opMutate {
+	if op == opMutate || op == opProblem {
 		if hint, _ := r.leaderHint.Load().(string); hint != "" {
 			url = hint + path
 		}
@@ -603,7 +764,7 @@ func (r *Runner) execute(ctx context.Context, c *client, op string) (Outcome, ti
 		}
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
 		outcome = OutcomeSuccess
-		if op != opMutate && resp.StatusCode == http.StatusOK {
+		if op != opMutate && op != opProblem && resp.StatusCode == http.StatusOK {
 			// Solve-shaped responses may carry the degraded marker.
 			var probe struct {
 				Degraded bool `json:"degraded"`
@@ -617,7 +778,8 @@ func (r *Runner) execute(ctx context.Context, c *client, op string) (Outcome, ti
 
 	// Keep the client's live-set in sync with the mutations the server
 	// actually accepted, so cached solves only target policies that exist.
-	if op == opMutate && outcome == OutcomeSuccess {
+	// A stored problem is an ordinary policy, so it joins the live set too.
+	if (op == opMutate || op == opProblem) && outcome == OutcomeSuccess {
 		switch mut.Op {
 		case workload.OpPut:
 			c.markLive(mut.Name)

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"minup/internal/lattice"
+)
+
+// FamilyInstance is one generated instance of a registered family: the
+// catalog-ready policy source texts, plus (for frontend-backed families)
+// the source-problem JSON document that round-trips through the
+// frontend's Parse and is the body of POST /problems/{family}.
+type FamilyInstance struct {
+	// Name is the instance's suggested policy name.
+	Name string
+	// JSON is the source-problem instance document; nil for engine-native
+	// families (the paper-shaped generator has no source problem to show).
+	JSON []byte
+	// Lattice and Constraints are the compiled policy source texts.
+	Lattice     string
+	Constraints string
+}
+
+// Family is one registered instance family: a named, seeded generator of
+// engine instances. The paper-shaped generator registers as "paper";
+// internal/frontend mirrors each problem frontend ("suppress", "depinf")
+// in here on registration.
+//
+// Determinism contract: Generate MUST be a pure function of (seed, size) —
+// it derives its own *rand.Rand from the seed and shares no RNG state with
+// any other family or package-level source. Registering a new family must
+// therefore never perturb an existing family's draws for a given seed;
+// TestFamilyRegistryIndependence holds every family to this, the registry
+// analogue of the MutationStream NamePrefix determinism test.
+type Family struct {
+	Name     string
+	Describe string
+	Generate func(seed int64, size int) (FamilyInstance, error)
+}
+
+var (
+	familyMu sync.RWMutex
+	families = make(map[string]Family)
+)
+
+// RegisterFamily installs a family in the registry. Family names are
+// non-empty path-segment-safe tokens; duplicates are rejected.
+func RegisterFamily(f Family) error {
+	if f.Name == "" || strings.ContainsAny(f.Name, "/ \t\n") {
+		return fmt.Errorf("workload: invalid family name %q", f.Name)
+	}
+	if f.Generate == nil {
+		return fmt.Errorf("workload: family %q has no generator", f.Name)
+	}
+	familyMu.Lock()
+	defer familyMu.Unlock()
+	if _, dup := families[f.Name]; dup {
+		return fmt.Errorf("workload: family %q registered twice", f.Name)
+	}
+	families[f.Name] = f
+	return nil
+}
+
+// MustRegisterFamily is RegisterFamily that panics on error, for
+// package-init registration where a conflict is a programming error.
+func MustRegisterFamily(f Family) {
+	if err := RegisterFamily(f); err != nil {
+		panic(err)
+	}
+}
+
+// LookupFamily returns a registered family.
+func LookupFamily(name string) (Family, bool) {
+	familyMu.RLock()
+	defer familyMu.RUnlock()
+	f, ok := families[name]
+	return f, ok
+}
+
+// FamilyNames returns the registered family names, sorted, so listings
+// and sweeps are independent of registration order.
+func FamilyNames() []string {
+	familyMu.RLock()
+	defer familyMu.RUnlock()
+	out := make([]string, 0, len(families))
+	for name := range families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GenerateFamily generates one instance of a registered family.
+func GenerateFamily(name string, seed int64, size int) (FamilyInstance, error) {
+	f, ok := LookupFamily(name)
+	if !ok {
+		return FamilyInstance{}, fmt.Errorf("workload: unknown instance family %q (have %s)",
+			name, strings.Join(FamilyNames(), ", "))
+	}
+	return f.Generate(seed, size)
+}
+
+// The engine-native paper-shaped family: a mid-sized cyclic ConstraintSpec
+// instance over the standard 4-level chain, sized by the size knob. This
+// is the same shape the MutationStream and the solve benches use, exposed
+// through the family registry so sweeps can compare paper-shaped
+// instances against frontend-compiled ones under one surface.
+func init() {
+	MustRegisterFamily(Family{
+		Name:     "paper",
+		Describe: "paper-shaped mlsdb instance: cyclic random constraint hypergraph over a 4-level chain",
+		Generate: func(seed int64, size int) (FamilyInstance, error) {
+			if size < 1 {
+				size = 1
+			}
+			attrs := 6 * size
+			if attrs < 8 {
+				attrs = 8
+			}
+			lat := mutationChain()
+			set, err := Constraints(lat, ConstraintSpec{
+				Seed:             seed,
+				NumAttrs:         attrs,
+				NumConstraints:   3 * attrs,
+				MaxLHS:           3,
+				LevelRHSFraction: 0.35,
+				Cyclic:           true,
+			})
+			if err != nil {
+				return FamilyInstance{}, err
+			}
+			var text strings.Builder
+			if _, err := set.WriteTo(&text); err != nil {
+				return FamilyInstance{}, err
+			}
+			return FamilyInstance{
+				Name:        fmt.Sprintf("paper-s%d-n%d", seed, size),
+				Lattice:     mutationLattice,
+				Constraints: text.String(),
+			}, nil
+		},
+	})
+}
+
+// mutationChain is the in-memory form of mutationLattice, shared by the
+// paper family generator.
+func mutationChain() lattice.Lattice { return lattice.MustChain("mil", mutationLevels...) }

@@ -1,0 +1,122 @@
+// External test package: importing the concrete frontends here registers
+// them as workload families, exactly as a production binary would, without
+// an import cycle (frontend imports workload).
+package workload_test
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	_ "minup/internal/frontend/depinf"
+	_ "minup/internal/frontend/suppress"
+	"minup/internal/workload"
+)
+
+func TestFamilyNamesRegistered(t *testing.T) {
+	names := workload.FamilyNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("FamilyNames not sorted: %v", names)
+	}
+	for _, want := range []string{"depinf", "paper", "suppress"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("family %q not registered (have %v)", want, names)
+		}
+		f, ok := workload.LookupFamily(want)
+		if !ok || f.Name != want {
+			t.Fatalf("LookupFamily(%q) = %+v, %v", want, f, ok)
+		}
+	}
+}
+
+func TestRegisterFamilyRejects(t *testing.T) {
+	gen := func(int64, int) (workload.FamilyInstance, error) { return workload.FamilyInstance{}, nil }
+	cases := []workload.Family{
+		{Name: "", Generate: gen},
+		{Name: "two words", Generate: gen},
+		{Name: "a/b", Generate: gen},
+		{Name: "nilgen"},
+		{Name: "paper", Generate: gen}, // duplicate
+	}
+	for _, f := range cases {
+		if err := workload.RegisterFamily(f); err == nil {
+			t.Errorf("RegisterFamily(%q) accepted an invalid registration", f.Name)
+		}
+	}
+}
+
+func TestGenerateFamilyUnknown(t *testing.T) {
+	_, err := workload.GenerateFamily("no-such-family", 1, 1)
+	if err == nil {
+		t.Fatal("GenerateFamily of an unknown family succeeded")
+	}
+	if !strings.Contains(err.Error(), "paper") {
+		t.Fatalf("error should list the known families, got: %v", err)
+	}
+}
+
+// TestFamilyRegistryIndependence is the registry analogue of the
+// MutationStream NamePrefix determinism test: every family's Generate is
+// a pure function of (seed, size), so registering additional families —
+// and generating families in any interleaving — must never perturb an
+// existing family's draws.
+func TestFamilyRegistryIndependence(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	snapshot := func(order []string) map[string]workload.FamilyInstance {
+		out := make(map[string]workload.FamilyInstance)
+		for _, name := range order {
+			for _, seed := range seeds {
+				fi, err := workload.GenerateFamily(name, seed, 2)
+				if err != nil {
+					t.Fatalf("GenerateFamily(%q, %d): %v", name, seed, err)
+				}
+				out[name+"/"+string(rune('0'+seed%10))] = fi
+			}
+		}
+		return out
+	}
+	same := func(a, b map[string]workload.FamilyInstance, when string) {
+		t.Helper()
+		for k, fa := range a {
+			fb, ok := b[k]
+			if !ok {
+				t.Fatalf("%s: instance %s missing", when, k)
+			}
+			if fa.Name != fb.Name || fa.Lattice != fb.Lattice || fa.Constraints != fb.Constraints || !bytes.Equal(fa.JSON, fb.JSON) {
+				t.Fatalf("%s: family instance %s changed", when, k)
+			}
+		}
+	}
+
+	families := []string{"paper", "suppress", "depinf"}
+	before := snapshot(families)
+
+	// Generating in a different interleaving must not matter.
+	reversed := []string{"depinf", "suppress", "paper"}
+	same(before, snapshot(reversed), "after reordering generation")
+
+	// Registering a new family must not perturb existing families' draws.
+	err := workload.RegisterFamily(workload.Family{
+		Name:     "independence-probe",
+		Describe: "throwaway family for the registry independence test",
+		Generate: func(seed int64, size int) (workload.FamilyInstance, error) {
+			return workload.FamilyInstance{
+				Name:        "probe",
+				Lattice:     "chain probe\nlevels lo hi\n",
+				Constraints: "attrs x\n",
+			}, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("registering the probe family: %v", err)
+	}
+	same(before, snapshot(families), "after registering a new family")
+}

@@ -74,6 +74,9 @@ import (
 	"minup/internal/constraint"
 	"minup/internal/core"
 	"minup/internal/fault"
+	"minup/internal/frontend"
+	_ "minup/internal/frontend/depinf"
+	_ "minup/internal/frontend/suppress"
 	"minup/internal/lattice"
 	"minup/internal/mac"
 	"minup/internal/mlsdb"
@@ -773,6 +776,53 @@ type PolicyMutationSpec = workload.MutationSpec
 // crash-recovery chaos tests.
 func MutationStream(spec PolicyMutationSpec) ([]PolicyMutation, error) {
 	return workload.MutationStream(spec)
+}
+
+// ---------------------------------------------------------------------------
+// Problem frontends (internal/frontend): adjacent problem classes compiled
+// into the constraint engine. Importing the façade registers the suppress
+// (Kao cell suppression) and depinf (Pappachan dependency inference)
+// frontends.
+
+type (
+	// ProblemFrontend compiles one source-problem family (cell-suppression
+	// tables, dependency-laden relations) into a lattice plus constraint
+	// set, and checks solved assignments against a source-level security
+	// and minimality oracle.
+	ProblemFrontend = frontend.Frontend
+	// ProblemInstance is one parsed source-problem instance with a
+	// round-trippable JSON form.
+	ProblemInstance = frontend.Instance
+	// ProblemCompiled is the engine-ready form of a source instance,
+	// including catalog policy source texts.
+	ProblemCompiled = frontend.Compiled
+)
+
+// LookupProblemFrontend returns the frontend registered for a family
+// ("suppress", "depinf").
+func LookupProblemFrontend(family string) (ProblemFrontend, bool) { return frontend.Lookup(family) }
+
+// ProblemFamilies returns the registered problem-frontend family names,
+// sorted.
+func ProblemFamilies() []string { return frontend.Families() }
+
+// MarshalProblemInstance serializes an instance into the JSON format its
+// frontend's Parse accepts.
+func MarshalProblemInstance(inst ProblemInstance) ([]byte, error) { return frontend.Marshal(inst) }
+
+// PolicyFamilyInstance is one generated instance of a registered workload
+// instance family: catalog-ready policy source texts plus (for
+// frontend-backed families) the source-problem JSON document.
+type PolicyFamilyInstance = workload.FamilyInstance
+
+// PolicyFamilyNames returns the registered workload instance families
+// ("paper" plus one per problem frontend), sorted.
+func PolicyFamilyNames() []string { return workload.FamilyNames() }
+
+// GeneratePolicyFamily generates one seeded instance of a registered
+// workload instance family.
+func GeneratePolicyFamily(name string, seed int64, size int) (PolicyFamilyInstance, error) {
+	return workload.GenerateFamily(name, seed, size)
 }
 
 // ---------------------------------------------------------------------------

@@ -15,7 +15,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT INT TERM
 
 go test -run '^$' \
-  -bench '^(BenchmarkSolveFresh|BenchmarkSolveCompiled|BenchmarkSolveCompiledStats|BenchmarkCatalogServe)$' \
+  -bench '^(BenchmarkSolveFresh|BenchmarkSolveCompiled|BenchmarkSolveCompiledStats|BenchmarkCatalogServe|BenchmarkSolveSuppress|BenchmarkSolveDepinf)$' \
   -benchmem -count 1 . | tee "$tmp"
 
 # One JSON object keyed by benchmark name (GOMAXPROCS suffix stripped);
@@ -32,7 +32,8 @@ BEGIN { print "{"; first = 1 }
 END { print "\n}" }' "$tmp" > "$out"
 
 # Guard against a silently empty run (e.g. a benchmark regex typo).
-for want in BenchmarkSolveFresh BenchmarkSolveCompiled BenchmarkSolveCompiledStats BenchmarkCatalogServe; do
+for want in BenchmarkSolveFresh BenchmarkSolveCompiled BenchmarkSolveCompiledStats BenchmarkCatalogServe \
+            BenchmarkSolveSuppress BenchmarkSolveDepinf; do
   if ! grep -q "\"$want\"" "$out"; then
     echo "bench_json: $want missing from $out" >&2
     exit 1

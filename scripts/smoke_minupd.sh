@@ -287,6 +287,34 @@ if [ -z "$published" ] || [ "$published" -le 0 ]; then
 fi
 echo "smoke: per-shard gauges and bus counters exported (bus_published=$published)"
 
+# --- Problem frontends: compile-and-store through /problems ---------------
+# The frontend routes compile a source-problem instance (here a Kao-style
+# cell-suppression table) into an ordinary catalog policy: list the
+# registered families, create a compiled problem with a waited mutation,
+# and assert the stored policy serves a memoized solve like any other.
+fetch "http://$addr3/problems" /tmp/smoke-problems.json
+grep -q '"suppress"' /tmp/smoke-problems.json
+grep -q '"depinf"' /tmp/smoke-problems.json
+echo "smoke: /problems lists the registered frontend families"
+
+code="$(request POST "http://$addr3/problems/suppress?wait=1&name=smokeprob" \
+  '{"name":"smoketab","levels":["open","secret"],"rows":3,"cols":3,"sensitive":[{"row":0,"col":0,"level":"secret"}]}' \
+  /tmp/smoke-problem.json)"
+if [ "$code" != "201" ]; then
+  echo "smoke: POST /problems/suppress returned $code" >&2
+  cat /tmp/smoke-problem.json >&2 || true
+  exit 1
+fi
+grep -q '"family": "suppress"' /tmp/smoke-problem.json
+grep -q '"solved": true' /tmp/smoke-problem.json
+echo "smoke: suppress instance compiled and stored with a warm cache"
+
+fetch "http://$addr3/policies/smokeprob/solve" /tmp/smoke-probsolve1.json
+grep -q '"assignment"' /tmp/smoke-probsolve1.json
+fetch "http://$addr3/policies/smokeprob/solve" /tmp/smoke-probsolve2.json
+grep -q '"cache_hit": true' /tmp/smoke-probsolve2.json
+echo "smoke: compiled problem serves memoized solves like any policy"
+
 kill -TERM "$pid3"
 wait "$pid3" || true
 /tmp/minupd -addr "$addr3" -debug-addr "" -data-dir "$data_dir" &
@@ -306,6 +334,18 @@ grep -q 'rank .u003e= TS' /tmp/smoke-survived.json
 fetch "http://$addr3/policies/smoke/solve" /tmp/smoke-psolve3.json
 grep -q '"rank": "TS"' /tmp/smoke-psolve3.json
 echo "smoke: policy survived restart with its appended constraint"
+
+# The compiled problem is durable too: it restarts as an ordinary policy
+# and still solves (the Kao reduction forces the sensitive corner cell up).
+code="$(request GET "http://$addr3/policies/smokeprob" "" /tmp/smoke-probsurvived.json)"
+if [ "$code" != "200" ]; then
+  echo "smoke: compiled problem did not survive the restart (GET returned $code)" >&2
+  cat /tmp/smoke-probsurvived.json >&2 || true
+  exit 1
+fi
+fetch "http://$addr3/policies/smokeprob/solve" /tmp/smoke-probsolve3.json
+grep -q '"r0c0": "secret"' /tmp/smoke-probsolve3.json
+echo "smoke: compiled problem survived restart and still solves"
 
 # The restart ran without -shards: the per-shard gauges must still show the
 # two-shard layout pinned in the data directory's meta file.
